@@ -1,0 +1,1 @@
+bench/fig1_top500.ml: Bk List Printf Xsc_hpcbench Xsc_util

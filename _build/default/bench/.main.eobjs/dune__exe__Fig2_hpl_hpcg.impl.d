@@ -1,0 +1,1 @@
+bench/fig2_hpl_hpcg.ml: Bk List Printf Xsc_hpcbench Xsc_simmachine Xsc_util

@@ -1,0 +1,1 @@
+bench/fig3_sched.ml: Array Bk Domain List Printf Xsc_core Xsc_linalg Xsc_runtime Xsc_tile Xsc_util

@@ -1,0 +1,1 @@
+bench/fig4_mixed.ml: Bk Gallery Gblas Lapack List Mat Printf Scalar String Vec Xsc_linalg Xsc_precision Xsc_util

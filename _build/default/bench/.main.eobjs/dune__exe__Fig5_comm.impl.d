@@ -1,0 +1,1 @@
+bench/fig5_comm.ml: Bk Blas Lapack List Mat Printf Xsc_ca Xsc_linalg Xsc_simmachine Xsc_sparse Xsc_util

@@ -1,0 +1,1 @@
+bench/fig6_resilience.ml: Bk Blas Lapack List Mat Printf Xsc_linalg Xsc_resilience Xsc_simmachine Xsc_util

@@ -1,0 +1,1 @@
+bench/fig7_hetero.ml: Array Bk List Printf Xsc_core Xsc_runtime Xsc_tile Xsc_util

@@ -1,0 +1,1 @@
+bench/micro.ml: Array Bechamel Bk Blas Lapack List Mat Printf Scanf Xsc_linalg Xsc_repro Xsc_sparse Xsc_util

@@ -1,0 +1,1 @@
+bench/tab1_autotune.ml: Bk List Mat Printf Xsc_autotune Xsc_core Xsc_linalg Xsc_runtime Xsc_tile Xsc_util

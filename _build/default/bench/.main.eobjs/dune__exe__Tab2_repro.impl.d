@@ -1,0 +1,1 @@
+bench/tab2_repro.ml: Array Bk Float List Printf Xsc_repro Xsc_util

@@ -1,0 +1,1 @@
+bench/tab3_scaling.ml: Bk List Printf Xsc_core Xsc_runtime Xsc_simmachine Xsc_tile Xsc_util

@@ -1,0 +1,1 @@
+bench/tab4_energy.ml: Bk List Printf Xsc_hpcbench Xsc_precision Xsc_simmachine Xsc_util

@@ -1,0 +1,1 @@
+bench/tab5_batched.ml: Array Bk Lapack List Mat Printf Unix Xsc_core Xsc_linalg Xsc_runtime Xsc_util

@@ -1,0 +1,1 @@
+bench/tab6_weak.ml: Bk Float List Printf Xsc_hpcbench Xsc_simmachine Xsc_util

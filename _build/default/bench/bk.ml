@@ -1,0 +1,30 @@
+(* Bechamel plumbing shared by the microbenchmarks: run a list of tests and
+   return (name, ns/run) estimates. *)
+
+open Bechamel
+open Toolkit
+
+let run_tests tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun _label per_instance ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (ns :: _) -> out := (name, ns) :: !out
+          | _ -> ())
+        per_instance)
+    merged;
+  List.sort compare !out
+
+let header title =
+  Printf.printf "\n=== %s ===\n\n%!" title

@@ -1,0 +1,39 @@
+(* FIG-1: Top500 performance development (1993-2016) and the exaflop
+   projection — "performance grows 10x every ~3.5-4 years". *)
+
+module Top500 = Xsc_hpcbench.Top500
+module Table = Xsc_util.Table
+module Units = Xsc_util.Units
+module Stats = Xsc_util.Stats
+
+let run () =
+  Bk.header "FIG-1: Top500 performance development and projection";
+  let t = Table.create ~headers:[ "year"; "#1 system"; "rmax #1"; "rmax #500"; "sum" ] in
+  List.iter
+    (fun e ->
+      Table.add_row t
+        [
+          Printf.sprintf "%.1f" e.Top500.year;
+          e.Top500.system;
+          Units.flops e.Top500.rmax_1;
+          Units.flops e.Top500.rmax_500;
+          Units.flops e.Top500.sum;
+        ])
+    Top500.milestones;
+  Table.print t;
+  print_newline ();
+  let fits = Table.create ~headers:[ "series"; "10x every"; "r^2"; "year of 1 Eflop/s" ] in
+  List.iter
+    (fun (name, series) ->
+      let f = Top500.fit series in
+      Table.add_row fits
+        [
+          name;
+          Printf.sprintf "%.2f years" (Top500.decade_years f);
+          Printf.sprintf "%.4f" f.Stats.r2;
+          Printf.sprintf "%.1f" (Top500.projected_year series ~target:1e18);
+        ])
+    [ ("#1", Top500.Number_one); ("#500", Top500.Number_500); ("sum", Top500.Sum) ];
+  Table.print fits;
+  Printf.printf
+    "\npaper claim: ~10x every 3.5-4 years; list sum crosses 1 Eflop/s ~2017-19,\na single machine ~2020.\n"

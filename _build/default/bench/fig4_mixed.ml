@@ -1,0 +1,93 @@
+(* FIG-4: mixed-precision iterative refinement — fp32 (and fp16)
+   factorization + double refinement reaches fp64 accuracy at ~2x modelled
+   speed. Accuracy is measured with genuine rounded arithmetic; speed comes
+   from the hardware rate model (fp32 2x, fp16 4x). *)
+
+open Xsc_linalg
+module Ir = Xsc_precision.Ir
+module Table = Xsc_util.Table
+module Units = Xsc_util.Units
+module Rng = Xsc_util.Rng
+
+let run () =
+  Bk.header "FIG-4: mixed-precision iterative refinement";
+  let table =
+    Table.create
+      ~headers:
+        [ "n"; "prec"; "plain err"; "IR err"; "sweeps"; "converged"; "model speedup" ]
+  in
+  let base_rate = 1e9 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (pname, rate_mult) ->
+          let precision = Scalar.of_name pname in
+          let module P = (val precision) in
+          let module G = Gblas.Make (P) in
+          let rng = Rng.create (n + String.length pname) in
+          let a = Mat.random_spd rng n in
+          let x_true = Vec.random rng n in
+          let b = Mat.mul_vec a x_true in
+          (* plain low-precision solve for contrast *)
+          let plain_err =
+            try
+              let f = G.quantize_mat a in
+              G.potrf f;
+              let x = G.quantize_vec b in
+              G.potrs f x;
+              Vec.dist_inf x x_true /. Vec.norm_inf x_true
+            with Lapack.Singular _ -> nan
+          in
+          match Ir.chol_ir ~precision ~max_iter:100 a b with
+          | r ->
+            let ir_err = Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true in
+            let t_mixed =
+              Ir.ir_model_time ~n ~low_rate:(base_rate *. rate_mult) ~high_rate:base_rate
+                ~iterations:r.Ir.iterations
+            in
+            let t_plain = Ir.plain_solve_flops n /. base_rate in
+            Table.add_row table
+              [
+                string_of_int n;
+                pname;
+                Printf.sprintf "%.1e" plain_err;
+                Printf.sprintf "%.1e" ir_err;
+                string_of_int r.Ir.iterations;
+                string_of_bool r.Ir.converged;
+                Units.ratio (t_plain /. t_mixed);
+              ]
+          | exception Lapack.Singular _ ->
+            Table.add_row table
+              [ string_of_int n; pname; Printf.sprintf "%.1e" plain_err;
+                "breakdown"; "-"; "false"; "-" ])
+        [ ("fp32", 2.0); ("fp16", 4.0) ])
+    [ 64; 128; 256; 512 ];
+  Table.print table;
+  (* the conditioning frontier: plain IR dies at cond ~ 1/eps_low; GMRES-IR
+     (Carson-Higham) pushes far beyond it with the same fp16 factors *)
+  Printf.printf "\nconditioning range at fp16 (n=60, SPD with prescribed condition number):\n\n";
+  let rng = Rng.create 5 in
+  let table2 =
+    Table.create ~headers:[ "cond(A)"; "plain IR"; "sweeps"; "GMRES-IR"; "sweeps" ]
+  in
+  List.iter
+    (fun cond ->
+      let a = Gallery.spd_with_cond rng 60 ~cond in
+      let x_true = Vec.random rng 60 in
+      let b = Mat.mul_vec a x_true in
+      let describe f =
+        match f () with
+        | (r : Ir.report) ->
+          ( (if r.Ir.converged then Printf.sprintf "%.0e" r.Ir.backward_error else "DIVERGES"),
+            string_of_int r.Ir.iterations )
+        | exception Lapack.Singular _ -> ("breakdown", "-")
+      in
+      let p, pi = describe (fun () -> Ir.lu_ir ~max_iter:30 ~precision:(module Scalar.Fp16) a b) in
+      let g, gi =
+        describe (fun () -> Ir.gmres_ir ~max_iter:30 ~precision:(module Scalar.Fp16) a b)
+      in
+      Table.add_row table2 [ Printf.sprintf "%.0e" cond; p; pi; g; gi ])
+    [ 1e2; 1e3; 1e4; 1e5 ];
+  Table.print table2;
+  Printf.printf
+    "\npaper claim: low-precision factor + double refinement restores ~1e-16\nbackward error in a handful of sweeps, for ~2x (fp32) / higher (fp16)\nmodelled speedups that grow with n; GMRES-IR (the follow-up rule) extends\nthe usable conditioning range by orders of magnitude.\n"

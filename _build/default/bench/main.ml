@@ -1,0 +1,43 @@
+(* Benchmark harness: regenerates every figure and table of the reproduced
+   evaluation (see DESIGN.md section 4 for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe              # run everything
+     dune exec bench/main.exe -- fig3 tab1 # run a subset
+     dune exec bench/main.exe -- --list    # show experiment ids *)
+
+let experiments =
+  [
+    ("fig1", "Top500 performance development and projection", Fig1_top500.run);
+    ("fig2", "peak vs HPL vs HPCG", Fig2_hpl_hpcg.run);
+    ("fig3", "fork-join vs DAG scheduling", Fig3_sched.run);
+    ("fig4", "mixed-precision iterative refinement", Fig4_mixed.run);
+    ("fig5", "communication-avoiding algorithms", Fig5_comm.run);
+    ("fig6", "resilience: checkpointing and ABFT", Fig6_resilience.run);
+    ("fig7", "heterogeneous workers: BSP vs DAG (extension)", Fig7_hetero.run);
+    ("tab1", "autotuning the tile size", Tab1_autotune.run);
+    ("tab2", "reproducible reductions", Tab2_repro.run);
+    ("tab3", "strong scaling on the simulated machine", Tab3_scaling.run);
+    ("tab4", "power wall and energy to solution (extension)", Tab4_energy.run);
+    ("tab5", "batched small factorizations (extension)", Tab5_batched.run);
+    ("tab6", "weak vs strong scaling (extension)", Tab6_weak.run);
+    ("micro", "bechamel kernel microbenchmarks", Micro.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (id, desc, _) -> Printf.printf "%-6s %s\n" id desc) experiments
+  | [] ->
+    Printf.printf "reproduction benchmarks: %d experiments (see DESIGN.md)\n" (List.length experiments);
+    List.iter (fun (_, _, run) -> run ()) experiments
+  | ids ->
+    List.iter
+      (fun id ->
+        match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+        | Some (_, _, run) -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (use --list)\n" id;
+          exit 1)
+      ids

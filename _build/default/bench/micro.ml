@@ -1,0 +1,75 @@
+(* Bechamel microbenchmarks of the hot kernels: per-call wall time measured
+   with a real harness (OLS on monotonic clock), one test per kernel. *)
+
+open Xsc_linalg
+module Rng = Xsc_util.Rng
+module Table = Xsc_util.Table
+module Units = Xsc_util.Units
+
+let gemm_test nb =
+  let rng = Rng.create nb in
+  let a = Mat.random rng nb nb and b = Mat.random rng nb nb in
+  let c = Mat.create nb nb in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "gemm-%d" nb)
+    (Bechamel.Staged.stage (fun () -> Blas.gemm ~alpha:1.0 a b ~beta:0.0 c))
+
+let potrf_test nb =
+  let rng = Rng.create (nb + 1) in
+  let a = Mat.random_spd rng nb in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "potrf-%d" nb)
+    (Bechamel.Staged.stage (fun () ->
+         let f = Mat.copy a in
+         Lapack.potrf f))
+
+let spmv_test grid =
+  let a = Xsc_sparse.Stencil.poisson_3d grid in
+  let x = Array.make a.Xsc_sparse.Csr.cols 1.0 in
+  let y = Array.make a.Xsc_sparse.Csr.rows 0.0 in
+  Bechamel.Test.make
+    ~name:(Printf.sprintf "spmv-7pt-%d^3" grid)
+    (Bechamel.Staged.stage (fun () -> Xsc_sparse.Csr.mul_vec_into a x y))
+
+let sum_tests n =
+  let rng = Rng.create 3 in
+  let arr = Array.init n (fun _ -> Rng.uniform rng -. 0.5) in
+  [
+    Bechamel.Test.make ~name:(Printf.sprintf "sum-naive-%d" n)
+      (Bechamel.Staged.stage (fun () -> ignore (Xsc_repro.Summation.naive arr)));
+    Bechamel.Test.make ~name:(Printf.sprintf "sum-kahan-%d" n)
+      (Bechamel.Staged.stage (fun () -> ignore (Xsc_repro.Summation.kahan arr)));
+    Bechamel.Test.make ~name:(Printf.sprintf "sum-exact-%d" n)
+      (Bechamel.Staged.stage (fun () -> ignore (Xsc_repro.Exact.sum arr)));
+  ]
+
+let flops_of name =
+  (* map test names back to flop counts for the rate column *)
+  try
+    Scanf.sscanf name "gemm-%d" (fun nb -> Blas.gemm_flops nb nb nb)
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+    try Scanf.sscanf name "potrf-%d" (fun nb -> Lapack.potrf_flops nb)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+      try Scanf.sscanf name "spmv-7pt-%d" (fun g -> 2.0 *. 7.0 *. (float_of_int g ** 3.0))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0.0))
+
+let run () =
+  Bk.header "Bechamel microbenchmarks (host kernels)";
+  let tests =
+    [ gemm_test 32; gemm_test 64; gemm_test 128; potrf_test 64; potrf_test 128;
+      spmv_test 16 ]
+    @ sum_tests 10_000
+  in
+  let results = Bk.run_tests tests in
+  let table = Table.create ~headers:[ "kernel"; "time/call"; "rate" ] in
+  List.iter
+    (fun (name, ns) ->
+      let fl = flops_of name in
+      Table.add_row table
+        [
+          name;
+          Units.seconds (ns /. 1e9);
+          (if fl > 0.0 then Units.flops (fl /. (ns /. 1e9)) else "-");
+        ])
+    results;
+  Table.print table

@@ -1,0 +1,69 @@
+(* TAB-2: reproducibility of reductions — non-deterministic arrival orders
+   change the answer on ill-conditioned sums; compensated and exact
+   algorithms restore accuracy and bit-reproducibility. *)
+
+module Summation = Xsc_repro.Summation
+module Exact = Xsc_repro.Exact
+module Reduction = Xsc_repro.Reduction
+module Table = Xsc_util.Table
+module Rng = Xsc_util.Rng
+
+let make_input n =
+  (* cancelling pairs at scale 1e12 with an O(1) signal: condition number
+     ~1e12, the regime where allreduce order visibly changes the result *)
+  let rng = Rng.create 424242 in
+  let base = Array.init (n / 2) (fun _ -> (Rng.uniform rng -. 0.5) *. 1e12) in
+  let arr = Array.concat [ base; Array.map (fun x -> -.x) base; [| Float.pi |] ] in
+  Rng.shuffle rng arr;
+  arr
+
+let run () =
+  Bk.header "TAB-2: reproducible reductions";
+  let n = 100_000 in
+  let arr = make_input n in
+  let exact = Exact.sum arr in
+  Printf.printf "n = %d summands, condition number %.2e, exact sum = %.17g\n\n"
+    (Array.length arr)
+    (Summation.condition_number arr)
+    exact;
+  let table = Table.create ~headers:[ "algorithm"; "result"; "abs error" ] in
+  List.iter
+    (fun (name, f) ->
+      let v = f arr in
+      Table.add_row table
+        [ name; Printf.sprintf "%.17g" v; Printf.sprintf "%.2e" (abs_float (v -. exact)) ])
+    [
+      ("naive (left-to-right)", Summation.naive);
+      ("pairwise", Summation.pairwise);
+      ("sorted by magnitude", Summation.sorted_increasing_magnitude);
+      ("Kahan", Summation.kahan);
+      ("Neumaier", Summation.neumaier);
+      ("exact expansion", Exact.sum);
+    ];
+  Table.print table;
+  (* parallel reduction orders *)
+  Printf.printf "\nparallel reduction over 64 ranks, 12 different arrival orders:\n\n";
+  let results =
+    List.init 12 (fun seed -> Reduction.reduce (Reduction.Timing_dependent (64, seed)) arr)
+  in
+  let mn = List.fold_left min (List.hd results) results in
+  let mx = List.fold_left max (List.hd results) results in
+  let fixed1 = Reduction.reduce (Reduction.Fixed_tree 64) arr in
+  let fixed2 = Reduction.reduce (Reduction.Fixed_tree 64) arr in
+  let exact_leaves =
+    List.init 5 (fun i -> Reduction.reduce (Reduction.Exact_leaves (1 lsl (i + 2))) arr)
+  in
+  let t2 = Table.create ~headers:[ "strategy"; "spread across runs/p"; "bit-reproducible" ] in
+  Table.add_row t2
+    [ "timing-dependent allreduce"; Printf.sprintf "%.3e" (mx -. mn);
+      (if mx = mn then "yes" else "NO") ];
+  Table.add_row t2
+    [ "fixed binary tree (fixed p)"; "0"; (if fixed1 = fixed2 then "yes (for fixed p)" else "NO") ];
+  let el_min = List.fold_left min (List.hd exact_leaves) exact_leaves in
+  let el_max = List.fold_left max (List.hd exact_leaves) exact_leaves in
+  Table.add_row t2
+    [ "exact leaves + exact merge"; Printf.sprintf "%.3e" (el_max -. el_min);
+      (if el_min = el_max && el_min = exact then "yes (for every p)" else "NO") ];
+  Table.print t2;
+  Printf.printf
+    "\npaper claim: with 10^5-10^6 ranks, reduction order is effectively\nrandom and bitwise reproducibility requires deterministic/exact\nsummation; the fix costs only a constant factor.\n"

@@ -1,0 +1,69 @@
+(* TAB-4 (extension): the power wall — energy efficiency trend vs the
+   ~50 Gflops/W an exaflop-in-20MW machine needs, energy-to-solution on the
+   machine presets, and the energy saving mixed precision buys. *)
+
+module Green500 = Xsc_hpcbench.Green500
+module Hpl = Xsc_hpcbench.Hpl
+module Ir = Xsc_precision.Ir
+module Machine = Xsc_simmachine.Machine
+module Node = Xsc_simmachine.Node
+module Presets = Xsc_simmachine.Presets
+module Table = Xsc_util.Table
+module Units = Xsc_util.Units
+module Stats = Xsc_util.Stats
+
+let run () =
+  Bk.header "TAB-4 (extension): the power wall and energy to solution";
+  (* efficiency trend *)
+  let t = Table.create ~headers:[ "year"; "system"; "Gflops/W" ] in
+  List.iter
+    (fun e ->
+      Table.add_row t
+        [ Printf.sprintf "%.1f" e.Green500.year; e.Green500.system;
+          Printf.sprintf "%.3f" e.Green500.gflops_per_watt ])
+    Green500.milestones;
+  Table.print t;
+  let f = Green500.fit () in
+  let need = Green500.required_gflops_per_watt ~target_flops:1e18 ~power_budget:20e6 in
+  Printf.printf
+    "\ntrend: 10x every %.1f years (r^2 %.3f); 1 Eflop/s in 20 MW needs %.0f Gflops/W,\nreached by the trend around %.1f.\n\n"
+    (1.0 /. f.Stats.slope) f.Stats.r2 need
+    (Green500.projected_year ~efficiency:need);
+  (* energy to solution for one HPL-sized job on each preset *)
+  let t2 =
+    Table.create ~headers:[ "machine"; "Gflops/W (peak)"; "HPL time"; "energy"; "MWh" ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let n = Hpl.pick_n m ~memory_per_node:32e9 in
+      let r = Hpl.model m ~n () in
+      let energy = Machine.energy m ~seconds:r.Hpl.time in
+      Table.add_row t2
+        [
+          name;
+          Printf.sprintf "%.2f" (Green500.machine_gflops_per_watt m);
+          Units.seconds r.Hpl.time;
+          Units.joules energy;
+          Printf.sprintf "%.2f" (energy /. 3.6e9);
+        ])
+    Presets.all;
+  Table.print t2;
+  (* mixed precision as an energy lever *)
+  let m = Presets.exascale_2020 in
+  let n = 100_000 in
+  let t64 = Ir.plain_solve_flops n /. Machine.peak m Node.FP64 in
+  let t_mixed =
+    Ir.ir_model_time ~n
+      ~low_rate:(Machine.peak m Node.FP32)
+      ~high_rate:(Machine.peak m Node.FP64)
+      ~iterations:3
+  in
+  Printf.printf
+    "\nmixed precision as an energy lever (dense solve, n=%d, exascale preset):\n  fp64 direct: %s -> %s\n  fp32+IR:     %s -> %s (%.0f%% energy saved)\n"
+    n (Units.seconds t64)
+    (Units.joules (Machine.energy m ~seconds:t64))
+    (Units.seconds t_mixed)
+    (Units.joules (Machine.energy m ~seconds:t_mixed))
+    (100.0 *. (1.0 -. (t_mixed /. t64)));
+  Printf.printf
+    "\npaper claim: power, not flops, is the binding constraint at exascale;\nalgorithmic levers (precision, data movement) are energy levers.\n"

@@ -1,0 +1,37 @@
+(* TAB-6 (extension): weak vs strong scaling — Gustafson's law is what keeps
+   extreme-scale machines usable; fixed-size problems hit the latency wall. *)
+
+module Scaling = Xsc_hpcbench.Scaling
+module Presets = Xsc_simmachine.Presets
+module Machine = Xsc_simmachine.Machine
+module Table = Xsc_util.Table
+module Units = Xsc_util.Units
+
+let run () =
+  Bk.header "TAB-6 (extension): weak vs strong scaling (halo-exchange model)";
+  let m = Presets.titan_like in
+  Printf.printf "%s\n\n" (Machine.describe m);
+  Printf.printf "weak: 64^3 unknowns per node; strong: 256^3 total, split across nodes:\n\n";
+  let t =
+    Table.create
+      ~headers:[ "nodes"; "weak t/iter"; "weak eff"; "strong t/iter"; "strong eff" ]
+  in
+  List.iter
+    (fun nodes ->
+      let weak_t = Scaling.iteration_time m ~local:64 ~nodes in
+      let local_strong =
+        max 1 (int_of_float (Float.round (256.0 /. (float_of_int nodes ** (1.0 /. 3.0)))))
+      in
+      let strong_t = Scaling.iteration_time m ~local:local_strong ~nodes in
+      Table.add_row t
+        [
+          string_of_int nodes;
+          Units.seconds weak_t;
+          Units.percent (Scaling.weak_efficiency m ~local:64 ~nodes);
+          Units.seconds strong_t;
+          Units.percent (Scaling.strong_efficiency m ~total:256 ~nodes);
+        ])
+    [ 1; 8; 64; 512; 4096; 16384 ];
+  Table.print t;
+  Printf.printf
+    "\npaper claim: with work per node held constant, only the halo and the\nlog(p) reduction grow — efficiency stays high to full machine scale;\nfixed total work collapses as local volumes shrink to the latency floor.\n"

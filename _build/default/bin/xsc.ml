@@ -1,0 +1,410 @@
+(* xsc: command-line front end to the extreme-scale computing library.
+
+   Subcommands:
+     machines    list the simulated machine presets
+     solve       generate and solve a dense system (tiled algorithms)
+     simulate    schedule a tiled-Cholesky DAG on a simulated machine
+     hpl         run the HPL-like benchmark on this host or a model
+     hpcg        run the HPCG-like benchmark on this host or a model
+     top500      print the Top500 trend and exaflop projection
+     checkpoint  Young/Daly checkpoint planning for a machine preset
+     tune        autotune the tile size on this host *)
+
+open Cmdliner
+open Xsc_linalg
+module Units = Xsc_util.Units
+
+(* ---- shared args ---- *)
+
+let machine_arg =
+  let doc = "Machine preset (workstation | cluster-2016 | titan-like | exascale-2020)." in
+  Arg.(value & opt string "titan-like" & info [ "machine"; "m" ] ~docv:"NAME" ~doc)
+
+let find_machine name =
+  match List.assoc_opt name Xsc_simmachine.Presets.all with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown machine %S; available: %s" name
+         (String.concat ", " (List.map fst Xsc_simmachine.Presets.all)))
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n"; "size" ] ~docv:"N" ~doc:"Problem size.")
+
+let nb_arg = Arg.(value & opt int 64 & info [ "nb" ] ~docv:"NB" ~doc:"Tile size.")
+
+let workers_arg =
+  Arg.(value & opt int 0 & info [ "workers"; "w" ] ~docv:"W"
+         ~doc:"Worker domains (0 = recommended for this host).")
+
+(* ---- machines ---- *)
+
+let machines_cmd =
+  let run () =
+    List.iter
+      (fun (_, m) -> print_endline (Xsc_simmachine.Machine.describe m))
+      Xsc_simmachine.Presets.all
+  in
+  Cmd.v (Cmd.info "machines" ~doc:"List the simulated machine presets")
+    Term.(const run $ const ())
+
+(* ---- solve ---- *)
+
+let solve_cmd =
+  let kind_arg =
+    Arg.(value & opt string "spd" & info [ "kind"; "k" ] ~docv:"KIND"
+           ~doc:"System kind: spd | general | ls | mixed | protected.")
+  in
+  let run kind n nb workers seed =
+    let workers = if workers <= 0 then Xsc_runtime.Real_exec.default_workers () else workers in
+    let opts =
+      { Xsc_core.Solver.nb;
+        exec = (if workers <= 1 then Xsc_core.Runtime_api.Sequential
+                else Xsc_core.Runtime_api.Dataflow workers) }
+    in
+    let rng = Xsc_util.Rng.create seed in
+    let t0 = Unix.gettimeofday () in
+    let finish name a x b =
+      Printf.printf "%s: n=%d nb=%d workers=%d  time %s  backward error %.2e\n" name n nb
+        workers
+        (Units.seconds (Unix.gettimeofday () -. t0))
+        (Xsc_core.Solver.residual a x b)
+    in
+    match kind with
+    | "spd" ->
+      let a = Mat.random_spd rng n in
+      let b = Vec.random rng n in
+      let x = Xsc_core.Solver.solve_spd ~opts a b in
+      finish "solve_spd (tiled Cholesky)" a x b;
+      `Ok ()
+    | "general" ->
+      let a = Mat.random_diag_dominant rng n in
+      let b = Vec.random rng n in
+      let x = Xsc_core.Solver.solve_general ~opts a b in
+      finish "solve_general (tiled LU)" a x b;
+      `Ok ()
+    | "ls" ->
+      let m = ((2 * n / nb) + 1) * nb and nn = n / nb * nb in
+      let nn = max nb nn in
+      let a = Mat.random rng m nn in
+      let b = Vec.random rng m in
+      let x = Xsc_core.Solver.solve_ls ~opts a b in
+      let r = Array.copy b in
+      Blas.gemv ~alpha:(-1.0) a x ~beta:1.0 r;
+      Printf.printf "solve_ls (tiled QR): %dx%d  time %s  ||A^T r|| = %.2e\n" m nn
+        (Units.seconds (Unix.gettimeofday () -. t0))
+        (Vec.norm_inf (Mat.mul_vec (Mat.transpose a) r));
+      `Ok ()
+    | "mixed" ->
+      let a = Mat.random_spd rng n in
+      let b = Vec.random rng n in
+      let r = Xsc_core.Solver.solve_spd_mixed ~opts a b in
+      Printf.printf
+        "solve_spd_mixed (fp32 + IR): n=%d  %d sweeps  backward error %.2e  modelled speedup %s\n"
+        n r.Xsc_core.Solver.iterations r.Xsc_core.Solver.backward_error
+        (Units.ratio r.Xsc_core.Solver.modeled_speedup);
+      `Ok ()
+    | "protected" ->
+      let a = Mat.random_spd rng n in
+      let b = Vec.random rng n in
+      let inject l =
+        ignore (Xsc_resilience.Inject.corrupt_lower_entry rng l ~magnitude:0.5)
+      in
+      let r = Xsc_core.Solver.solve_spd_protected ~opts ~inject a b in
+      Printf.printf
+        "solve_spd_protected: corruption detected=%b recovered_from_row=%s backward error %.2e\n"
+        r.Xsc_core.Solver.corruption_detected
+        (match r.Xsc_core.Solver.recovered_from_row with
+        | Some r -> string_of_int r
+        | None -> "-")
+        (Xsc_core.Solver.residual a r.Xsc_core.Solver.x b);
+      `Ok ()
+    | other -> `Error (false, Printf.sprintf "unknown kind %S" other)
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Generate and solve a dense system with the tiled algorithms")
+    Term.(ret (const run $ kind_arg $ n_arg 512 $ nb_arg $ workers_arg $ seed_arg))
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let nt_arg =
+    Arg.(value & opt int 16 & info [ "nt" ] ~docv:"NT" ~doc:"Tiles per dimension.")
+  in
+  let policy_arg =
+    Arg.(value & opt string "dag" & info [ "policy"; "p" ] ~docv:"P"
+           ~doc:"Schedule policy: bsp | dag | fifo | steal.")
+  in
+  let sim_workers_arg =
+    Arg.(value & opt int 64 & info [ "workers"; "w" ] ~docv:"W" ~doc:"Simulated workers.")
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print the Gantt chart (small runs only).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
+           ~doc:"Write the schedule as Chrome trace-event JSON (chrome://tracing).")
+  in
+  let run machine nt nb policy workers gantt trace_json =
+    match find_machine machine with
+    | Error e -> `Error (false, e)
+    | Ok m ->
+      let policy =
+        match policy with
+        | "bsp" -> Ok Xsc_runtime.Sim_exec.Bsp
+        | "dag" -> Ok Xsc_runtime.Sim_exec.List_critical_path
+        | "fifo" -> Ok Xsc_runtime.Sim_exec.List_fifo
+        | "steal" -> Ok (Xsc_runtime.Sim_exec.Work_stealing 17)
+        | other -> Error (Printf.sprintf "unknown policy %S" other)
+      in
+      (match policy with
+      | Error e -> `Error (false, e)
+      | Ok policy ->
+        let t = Xsc_tile.Tile.create ~rows:(nt * nb) ~cols:(nt * nb) ~nb in
+        let dag = Xsc_core.Cholesky.dag ~with_closures:false t in
+        let cfg =
+          Xsc_runtime.Sim_exec.config
+            ~comm_cost:(fun ~bytes ->
+              Xsc_simmachine.Network.ptp_avg m.Xsc_simmachine.Machine.network ~bytes)
+            ~workers
+            ~rate:
+              (Xsc_simmachine.Node.core_rate m.Xsc_simmachine.Machine.node
+                 Xsc_simmachine.Node.FP64)
+            ()
+        in
+        let r = Xsc_runtime.Sim_exec.run cfg policy dag in
+        Printf.printf
+          "tiled Cholesky n=%d (%d tasks) on %s, %d workers:\n  makespan %s  utilization %s  comm %s  barriers %d\n"
+          (nt * nb)
+          (Xsc_runtime.Dag.n_tasks dag)
+          machine workers
+          (Units.seconds r.Xsc_runtime.Sim_exec.makespan)
+          (Units.percent r.Xsc_runtime.Sim_exec.utilization)
+          (Units.seconds r.Xsc_runtime.Sim_exec.comm_time)
+          r.Xsc_runtime.Sim_exec.barriers;
+        if gantt then print_string (Xsc_runtime.Trace.gantt r.Xsc_runtime.Sim_exec.trace);
+        (match trace_json with
+        | Some file ->
+          let oc = open_out file in
+          output_string oc (Xsc_runtime.Trace.to_chrome_json r.Xsc_runtime.Sim_exec.trace);
+          close_out oc;
+          Printf.printf "trace written to %s\n" file
+        | None -> ());
+        `Ok ())
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Schedule a tiled-Cholesky DAG on a simulated machine")
+    Term.(ret (const run $ machine_arg $ nt_arg $ nb_arg $ policy_arg $ sim_workers_arg $ gantt_arg $ json_arg))
+
+(* ---- hpl / hpcg ---- *)
+
+let hpl_cmd =
+  let model_arg =
+    Arg.(value & flag & info [ "model" ] ~doc:"Model at machine scale instead of running.")
+  in
+  let run n machine model =
+    if model then begin
+      match find_machine machine with
+      | Error e -> `Error (false, e)
+      | Ok m ->
+        let n = Xsc_hpcbench.Hpl.pick_n m ~memory_per_node:32e9 in
+        let r = Xsc_hpcbench.Hpl.model m ~n () in
+        Printf.printf "HPL model on %s: n=%d  time %s  %.2f Tflop/s  (%s of peak)\n" machine n
+          (Units.seconds r.Xsc_hpcbench.Hpl.time)
+          (r.Xsc_hpcbench.Hpl.gflops_total /. 1e3)
+          (Units.percent r.Xsc_hpcbench.Hpl.fraction_of_peak);
+        `Ok ()
+    end
+    else begin
+      let r = Xsc_hpcbench.Hpl.run_host ~n () in
+      Printf.printf "HPL-like on this host: n=%d  %.3f Gflop/s  residual %.2f (%s)\n"
+        r.Xsc_hpcbench.Hpl.n r.Xsc_hpcbench.Hpl.gflops r.Xsc_hpcbench.Hpl.residual
+        (if r.Xsc_hpcbench.Hpl.passed then "pass" else "FAIL");
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "hpl" ~doc:"HPL-like dense benchmark (host run or machine model)")
+    Term.(ret (const run $ n_arg 256 $ machine_arg $ model_arg))
+
+let hpcg_cmd =
+  let grid_arg =
+    Arg.(value & opt int 12 & info [ "grid"; "g" ] ~docv:"G" ~doc:"Grid dimension (G^3 unknowns).")
+  in
+  let iters_arg =
+    Arg.(value & opt int 50 & info [ "iterations"; "i" ] ~docv:"I" ~doc:"CG iterations.")
+  in
+  let model_arg =
+    Arg.(value & flag & info [ "model" ] ~doc:"Model at machine scale instead of running.")
+  in
+  let run grid iterations machine model =
+    if model then begin
+      match find_machine machine with
+      | Error e -> `Error (false, e)
+      | Ok m ->
+        let r = Xsc_hpcbench.Hpcg.model m ~unknowns_per_node:1_000_000 in
+        Printf.printf "HPCG model on %s: %.2f Tflop/s (%s of peak), %s/iteration\n" machine
+          (r.Xsc_hpcbench.Hpcg.gflops_total /. 1e3)
+          (Units.percent r.Xsc_hpcbench.Hpcg.fraction_of_peak)
+          (Units.seconds r.Xsc_hpcbench.Hpcg.time_per_iteration);
+        `Ok ()
+    end
+    else begin
+      let r = Xsc_hpcbench.Hpcg.run_host ~iterations ~grid () in
+      Printf.printf
+        "HPCG-like on this host: grid %d^3, %d iterations  %.3f Gflop/s  rel.residual %.1e\n"
+        r.Xsc_hpcbench.Hpcg.grid r.Xsc_hpcbench.Hpcg.iterations r.Xsc_hpcbench.Hpcg.gflops
+        r.Xsc_hpcbench.Hpcg.final_relative_residual;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "hpcg" ~doc:"HPCG-like sparse benchmark (host run or machine model)")
+    Term.(ret (const run $ grid_arg $ iters_arg $ machine_arg $ model_arg))
+
+(* ---- top500 ---- *)
+
+let top500_cmd =
+  let target_arg =
+    Arg.(value & opt float 1e18 & info [ "target" ] ~docv:"FLOPS" ~doc:"Projection target in flop/s.")
+  in
+  let run target =
+    List.iter
+      (fun (name, series) ->
+        let f = Xsc_hpcbench.Top500.fit series in
+        Printf.printf "%-5s 10x every %.2f years (r^2 %.4f), %s at %.1f\n" name
+          (Xsc_hpcbench.Top500.decade_years f)
+          f.Xsc_util.Stats.r2 (Units.flops target)
+          (Xsc_hpcbench.Top500.projected_year series ~target))
+      [ ("#1", Xsc_hpcbench.Top500.Number_one);
+        ("#500", Xsc_hpcbench.Top500.Number_500);
+        ("sum", Xsc_hpcbench.Top500.Sum) ]
+  in
+  Cmd.v (Cmd.info "top500" ~doc:"Top500 trend fit and projection")
+    Term.(const run $ target_arg)
+
+(* ---- checkpoint ---- *)
+
+let checkpoint_cmd =
+  let work_arg =
+    Arg.(value & opt float 86400.0 & info [ "work" ] ~docv:"SECONDS" ~doc:"Failure-free job length.")
+  in
+  let cost_arg =
+    Arg.(value & opt float 240.0 & info [ "cost"; "c" ] ~docv:"SECONDS" ~doc:"Checkpoint write cost.")
+  in
+  let restart_arg =
+    Arg.(value & opt float 600.0 & info [ "restart"; "r" ] ~docv:"SECONDS" ~doc:"Restart cost.")
+  in
+  let run machine work checkpoint_cost restart_cost =
+    match find_machine machine with
+    | Error e -> `Error (false, e)
+    | Ok m ->
+      let p =
+        {
+          Xsc_resilience.Checkpoint.work;
+          checkpoint_cost;
+          restart_cost;
+          mtbf = Xsc_simmachine.Machine.system_mtbf m;
+        }
+      in
+      let tau = Xsc_resilience.Checkpoint.daly_interval p in
+      Printf.printf
+        "%s: MTBF %s\n  Daly interval %s\n  expected completion %s (efficiency %s)\n" machine
+        (Units.seconds p.Xsc_resilience.Checkpoint.mtbf)
+        (Units.seconds tau)
+        (Units.seconds (Xsc_resilience.Checkpoint.expected_time p ~interval:tau))
+        (Units.percent (Xsc_resilience.Checkpoint.efficiency p ~interval:tau));
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc:"Young/Daly checkpoint planning for a machine preset")
+    Term.(ret (const run $ machine_arg $ work_arg $ cost_arg $ restart_arg))
+
+(* ---- krylov ---- *)
+
+let krylov_cmd =
+  let grid_arg =
+    Arg.(value & opt int 10 & info [ "grid"; "g" ] ~docv:"G" ~doc:"Grid dimension (G^3 unknowns).")
+  in
+  let run grid machine =
+    match find_machine machine with
+    | Error e -> `Error (false, e)
+    | Ok m ->
+      let a = Xsc_sparse.Stencil.hpcg_27pt grid in
+      let _, b = Xsc_sparse.Stencil.exact_rhs a in
+      Printf.printf "27-pt stencil %d^3 (%d unknowns) + modelled syncs on %s:\n" grid
+        a.Xsc_sparse.Csr.rows machine;
+      List.iter
+        (fun v ->
+          let r = Xsc_sparse.Cg.solve ~variant:v a b in
+          let t =
+            Xsc_sparse.Cg.modeled_iteration_time v
+              ~network:m.Xsc_simmachine.Machine.network
+              ~ranks:m.Xsc_simmachine.Machine.node_count ~spmv_time:5e-5 ~vector_time:1e-5
+          in
+          Printf.printf "  %-18s %4d iters, %4d syncs, %s/iter (modelled)\n"
+            (Xsc_sparse.Cg.variant_name v)
+            r.Xsc_sparse.Cg.iterations r.Xsc_sparse.Cg.sync_points (Units.seconds t))
+        [ Xsc_sparse.Cg.Classic; Xsc_sparse.Cg.Chronopoulos_gear; Xsc_sparse.Cg.Pipelined ];
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "krylov" ~doc:"Compare CG variants (convergence, syncs, modelled time)")
+    Term.(ret (const run $ grid_arg $ machine_arg))
+
+(* ---- scaling ---- *)
+
+let scaling_cmd =
+  let local_arg =
+    Arg.(value & opt int 64 & info [ "local" ] ~docv:"L" ~doc:"Per-node grid edge (weak scaling).")
+  in
+  let total_arg =
+    Arg.(value & opt int 256 & info [ "total" ] ~docv:"T" ~doc:"Total grid edge (strong scaling).")
+  in
+  let run machine local total =
+    match find_machine machine with
+    | Error e -> `Error (false, e)
+    | Ok m ->
+      Printf.printf "%-8s %10s %10s\n" "nodes" "weak eff" "strong eff";
+      List.iter
+        (fun nodes ->
+          Printf.printf "%-8d %10s %10s\n" nodes
+            (Units.percent (Xsc_hpcbench.Scaling.weak_efficiency m ~local ~nodes))
+            (Units.percent (Xsc_hpcbench.Scaling.strong_efficiency m ~total ~nodes)))
+        [ 1; 8; 64; 512; 4096; 16384 ];
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "scaling" ~doc:"Weak vs strong scaling on a machine preset")
+    Term.(ret (const run $ machine_arg $ local_arg $ total_arg))
+
+(* ---- tune ---- *)
+
+let tune_cmd =
+  let run n seed =
+    let rng = Xsc_util.Rng.create seed in
+    let a = Mat.random_spd rng n in
+    let candidates = List.filter (fun nb -> n mod nb = 0) [ 8; 16; 32; 64; 128; 256 ] in
+    let bench nb () = Xsc_core.Cholesky.factor (Xsc_tile.Tile.of_mat ~nb a) in
+    let flops _ = float_of_int n ** 3.0 /. 3.0 in
+    let measurements, best =
+      Xsc_autotune.Tuner.sweep ~warmup:1 ~repeats:3 ~candidates ~flops ~bench ()
+    in
+    List.iter
+      (fun m ->
+        Printf.printf "nb=%-4d %s  %.3f Gflop/s%s\n" m.Xsc_autotune.Tuner.param
+          (Units.seconds m.Xsc_autotune.Tuner.seconds)
+          (m.Xsc_autotune.Tuner.rate /. 1e9)
+          (if m.Xsc_autotune.Tuner.param = best.Xsc_autotune.Tuner.param then "  <- best" else ""))
+      measurements
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Autotune the Cholesky tile size on this host")
+    Term.(const run $ n_arg 512 $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "xsc" ~version:"1.0.0"
+      ~doc:"Extreme-scale computing library: tiled DAG solvers, simulated machines, benchmarks"
+  in
+  let group =
+    Cmd.group info
+      [ machines_cmd; solve_cmd; simulate_cmd; hpl_cmd; hpcg_cmd; top500_cmd; checkpoint_cmd;
+        krylov_cmd; scaling_cmd; tune_cmd ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/batched_kernels.ml: Array Blas Filename Mat Printf Unix Vec Xsc_core Xsc_linalg Xsc_runtime Xsc_util

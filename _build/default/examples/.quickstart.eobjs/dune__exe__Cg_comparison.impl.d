@@ -1,0 +1,1 @@
+examples/cg_comparison.ml: List Printf Xsc_linalg Xsc_simmachine Xsc_sparse Xsc_util

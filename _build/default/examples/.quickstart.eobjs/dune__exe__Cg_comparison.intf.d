@@ -1,0 +1,1 @@
+examples/cg_comparison.mli:

@@ -1,0 +1,1 @@
+examples/exascale_scaling_study.ml: List Printf Xsc_core Xsc_runtime Xsc_simmachine Xsc_tile Xsc_util

@@ -1,0 +1,1 @@
+examples/exascale_scaling_study.mli:

@@ -1,0 +1,1 @@
+examples/heat_equation.ml: Array Printf Unix Xsc_linalg Xsc_simmachine Xsc_sparse Xsc_util

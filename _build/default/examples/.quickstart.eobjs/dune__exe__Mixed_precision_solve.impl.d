@@ -1,0 +1,1 @@
+examples/mixed_precision_solve.ml: Lapack List Mat Printf Scalar Vec Xsc_linalg Xsc_precision Xsc_util

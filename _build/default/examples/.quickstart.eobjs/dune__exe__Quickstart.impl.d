@@ -1,0 +1,1 @@
+examples/quickstart.ml: Mat Printf Vec Xsc_core Xsc_linalg Xsc_runtime Xsc_tile Xsc_util

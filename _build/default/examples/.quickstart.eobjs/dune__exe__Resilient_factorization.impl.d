@@ -1,0 +1,1 @@
+examples/resilient_factorization.ml: Array Blas Lapack Mat Printf Vec Xsc_core Xsc_linalg Xsc_resilience Xsc_simmachine Xsc_util

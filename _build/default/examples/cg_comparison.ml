@@ -1,0 +1,70 @@
+(* Synchronisation-reducing Krylov solvers: run classic, Chronopoulos-Gear
+   and pipelined CG on the HPCG stencil problem, check they are the same
+   Krylov method numerically, and model what the saved synchronisations buy
+   on 100k nodes.
+
+   Run with: dune exec examples/cg_comparison.exe *)
+
+module Cg = Xsc_sparse.Cg
+module Csr = Xsc_sparse.Csr
+module Stencil = Xsc_sparse.Stencil
+module Presets = Xsc_simmachine.Presets
+module Machine = Xsc_simmachine.Machine
+module Network = Xsc_simmachine.Network
+module Units = Xsc_util.Units
+module Vec = Xsc_linalg.Vec
+
+let () =
+  let grid = 10 in
+  let a = Stencil.hpcg_27pt grid in
+  let x_exact, b = Stencil.exact_rhs a in
+  Printf.printf "27-point stencil, %d^3 grid: %d unknowns, %d nonzeros\n\n" grid a.Csr.rows
+    (Csr.nnz a);
+  Printf.printf "%-18s %6s %7s %10s %12s\n" "variant" "iters" "syncs" "rel.err" "flops";
+  List.iter
+    (fun v ->
+      let r = Cg.solve ~variant:v ~tol:1e-12 a b in
+      Printf.printf "%-18s %6d %7d %10.1e %12s\n" (Cg.variant_name v) r.Cg.iterations
+        r.Cg.sync_points
+        (Vec.dist_inf r.Cg.x x_exact /. Vec.norm_inf x_exact)
+        (Units.si r.Cg.flops))
+    [ Cg.Classic; Cg.Chronopoulos_gear; Cg.Pipelined ];
+  (* preconditioning: HPCG's SymGS smoother, then the full multigrid V-cycle *)
+  let pre = Cg.solve ~precond:(Cg.symgs_preconditioner a) ~tol:1e-12 a b in
+  Printf.printf "%-18s %6d %7d %10.1e %12s\n" "classic+SymGS" pre.Cg.iterations
+    pre.Cg.sync_points
+    (Vec.dist_inf pre.Cg.x x_exact /. Vec.norm_inf x_exact)
+    (Units.si pre.Cg.flops);
+  let mg = Xsc_sparse.Mg.create grid in
+  let mgcg = Cg.solve ~precond:(Xsc_sparse.Mg.preconditioner mg) ~tol:1e-12 a b in
+  Printf.printf "%-18s %6d %7d %10.1e %12s\n" "classic+MG" mgcg.Cg.iterations
+    mgcg.Cg.sync_points
+    (Vec.dist_inf mgcg.Cg.x x_exact /. Vec.norm_inf x_exact)
+    (Units.si mgcg.Cg.flops);
+  (* GMRES for contrast: the nonsymmetric workhorse pays O(j) reductions *)
+  let cd = Stencil.convection_diffusion_2d 24 in
+  let cd_exact, cd_b = Stencil.exact_rhs cd in
+  let g = Xsc_sparse.Gmres.solve ~restart:40 cd cd_b in
+  Printf.printf
+    "\nGMRES(40) on nonsymmetric convection-diffusion (%d unknowns): %d iterations,\n%d reductions (%.1f/iter vs CG's ~2), rel.err %.1e\n"
+    cd.Csr.rows g.Xsc_sparse.Gmres.iterations g.Xsc_sparse.Gmres.sync_points
+    (float_of_int g.Xsc_sparse.Gmres.sync_points /. float_of_int (max 1 g.Xsc_sparse.Gmres.iterations))
+    (Vec.dist_inf g.Xsc_sparse.Gmres.x cd_exact /. Vec.norm_inf cd_exact);
+  (* what the sync counts mean at scale *)
+  let m = Presets.exascale_2020 in
+  let allreduce =
+    Network.allreduce_time m.Machine.network ~ranks:m.Machine.node_count ~bytes:16.0
+  in
+  Printf.printf
+    "\non %s (%d nodes), one 16-byte allreduce costs %s.\nper CG iteration (SpMV 50us + vector 10us local work):\n"
+    m.Machine.name m.Machine.node_count (Units.seconds allreduce);
+  List.iter
+    (fun v ->
+      let t =
+        Cg.modeled_iteration_time v ~network:m.Machine.network ~ranks:m.Machine.node_count
+          ~spmv_time:5e-5 ~vector_time:1e-5
+      in
+      Printf.printf "  %-18s %s/iteration\n" (Cg.variant_name v) (Units.seconds t))
+    [ Cg.Classic; Cg.Chronopoulos_gear; Cg.Pipelined ];
+  Printf.printf
+    "\nsame mathematics, fewer/hidden global synchronisations — the\ncommunication-avoiding rule applied to iterative methods.\n"

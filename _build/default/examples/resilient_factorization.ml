@@ -1,0 +1,72 @@
+(* Resilience at extreme scale, end to end:
+   1. checkpoint-interval planning with Young/Daly for a 24h job on the
+      exascale preset, validated by simulation;
+   2. ABFT-protected Cholesky surviving an injected silent error.
+
+   Run with: dune exec examples/resilient_factorization.exe *)
+
+open Xsc_linalg
+module Checkpoint = Xsc_resilience.Checkpoint
+module Machine = Xsc_simmachine.Machine
+module Presets = Xsc_simmachine.Presets
+module Solver = Xsc_core.Solver
+module Units = Xsc_util.Units
+
+let checkpoint_planning () =
+  let m = Presets.exascale_2020 in
+  Printf.printf "%s\n\n" (Machine.describe m);
+  let p =
+    {
+      Checkpoint.work = 86400.0;
+      checkpoint_cost = 240.0;
+      restart_cost = 600.0;
+      mtbf = Machine.system_mtbf m;
+    }
+  in
+  Printf.printf "24h job, 4min checkpoints, system MTBF %s:\n"
+    (Units.seconds p.Checkpoint.mtbf);
+  let tau = Checkpoint.daly_interval p in
+  Printf.printf "  Daly-optimal interval: %s\n" (Units.seconds tau);
+  Printf.printf "  expected completion:   %s (efficiency %s)\n"
+    (Units.seconds (Checkpoint.expected_time p ~interval:tau))
+    (Units.percent (Checkpoint.efficiency p ~interval:tau));
+  Printf.printf "  checkpoint hourly instead and the efficiency drops to %s\n"
+    (Units.percent (Checkpoint.efficiency p ~interval:3600.0));
+  let rng = Xsc_util.Rng.create 1 in
+  let sim = Checkpoint.simulate_mean ~runs:50 rng p ~interval:tau in
+  Printf.printf "  stochastic validation (50 runs): %s\n\n" (Units.seconds sim)
+
+let abft_demo () =
+  let rng = Xsc_util.Rng.create 99 in
+  let n = 300 in
+  let a = Mat.random_spd rng n in
+  let x_true = Vec.random rng n in
+  let b = Mat.mul_vec a x_true in
+  Printf.printf "ABFT-protected Cholesky, n=%d, with an injected silent error:\n" n;
+  let inject l =
+    (* a silent data corruption in the factor, as a particle strike would
+       leave behind *)
+    Mat.set l 170 60 (Mat.get l 170 60 +. 0.37);
+    Printf.printf "  [injected +0.37 into L(170, 60) after factorization]\n"
+  in
+  let r = Solver.solve_spd_protected ~inject a b in
+  Printf.printf "  corruption detected: %b\n" r.Solver.corruption_detected;
+  (match r.Solver.recovered_from_row with
+  | Some row -> Printf.printf "  lineage recovery from row %d (O((n-r) n^2), not O(n^3))\n" row
+  | None -> ());
+  Printf.printf "  forward error after recovery: %.2e\n\n"
+    (Vec.dist_inf r.Solver.x x_true /. Vec.norm_inf x_true);
+  (* contrast: the same corruption without protection *)
+  let f = Mat.copy a in
+  Lapack.potrf f;
+  let l = Mat.lower f in
+  Mat.set l 170 60 (Mat.get l 170 60 +. 0.37);
+  let y = Array.copy b in
+  Blas.trsv ~uplo:Blas.Lower l y;
+  Blas.trsv ~uplo:Blas.Lower ~trans:Blas.Trans l y;
+  Printf.printf "  the same solve WITHOUT ABFT silently returns error %.2e\n"
+    (Vec.dist_inf y x_true /. Vec.norm_inf x_true)
+
+let () =
+  checkpoint_planning ();
+  abft_demo ()

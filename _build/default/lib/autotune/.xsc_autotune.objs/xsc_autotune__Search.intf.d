@@ -1,0 +1,1 @@
+lib/autotune/search.mli:

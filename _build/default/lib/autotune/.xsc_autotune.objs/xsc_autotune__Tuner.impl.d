@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Array List Unix Xsc_util

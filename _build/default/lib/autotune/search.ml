@@ -1,0 +1,70 @@
+type 'a evaluation = { candidate : 'a; cost : float }
+
+let best_of evals =
+  match evals with
+  | [] -> invalid_arg "Search: empty evaluation list"
+  | first :: rest ->
+    List.fold_left (fun acc e -> if e.cost < acc.cost then e else acc) first rest
+
+let grid ~candidates ~f =
+  if candidates = [] then invalid_arg "Search.grid: no candidates";
+  let evals = List.map (fun c -> { candidate = c; cost = f c }) candidates in
+  (evals, best_of evals)
+
+let hill_climb ?(max_steps = 100) ~neighbours ~start f =
+  let rec go current steps =
+    if steps >= max_steps then current
+    else begin
+      let options = List.map (fun c -> { candidate = c; cost = f c }) (neighbours current.candidate) in
+      match options with
+      | [] -> current
+      | _ ->
+        let best = best_of options in
+        if best.cost < current.cost then go best (steps + 1) else current
+    end
+  in
+  go { candidate = start; cost = f start } 0
+
+let simulated_annealing ?(steps = 200) ?temperature ?(cooling = 0.95) ~seed ~neighbours
+    ~start f =
+  if steps <= 0 then invalid_arg "Search.simulated_annealing: steps must be positive";
+  if cooling <= 0.0 || cooling >= 1.0 then
+    invalid_arg "Search.simulated_annealing: cooling must be in (0, 1)";
+  let rng = Xsc_util.Rng.create seed in
+  let start_cost = f start in
+  let temp = ref (match temperature with Some t -> t | None -> max 1e-12 (abs_float start_cost)) in
+  let current = ref { candidate = start; cost = start_cost } in
+  let best = ref !current in
+  for _ = 1 to steps do
+    (match neighbours !current.candidate with
+    | [] -> ()
+    | options ->
+      let pick = List.nth options (Xsc_util.Rng.int rng (List.length options)) in
+      let cost = f pick in
+      let delta = cost -. !current.cost in
+      let accept =
+        delta <= 0.0
+        || (!temp > 0.0 && Xsc_util.Rng.uniform rng < exp (-.delta /. !temp))
+      in
+      if accept then current := { candidate = pick; cost };
+      if cost < !best.cost then best := { candidate = pick; cost });
+    temp := !temp *. cooling
+  done;
+  !best
+
+let successive_halving ?(eta = 2) ~candidates ~budget0 f =
+  if eta < 2 then invalid_arg "Search.successive_halving: eta must be >= 2";
+  if candidates = [] then invalid_arg "Search.successive_halving: no candidates";
+  if budget0 <= 0 then invalid_arg "Search.successive_halving: budget must be positive";
+  let rec round pool budget =
+    let evals = List.map (fun c -> { candidate = c; cost = f c ~budget }) pool in
+    match evals with
+    | [ only ] -> only
+    | _ ->
+      let sorted = List.sort (fun a b -> compare a.cost b.cost) evals in
+      let keep = max 1 (List.length sorted / eta) in
+      let survivors = List.filteri (fun i _ -> i < keep) sorted in
+      if List.length survivors = 1 then List.hd survivors
+      else round (List.map (fun e -> e.candidate) survivors) (budget * eta)
+  in
+  round candidates budget0

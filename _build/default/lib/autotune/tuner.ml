@@ -1,0 +1,35 @@
+type measurement = {
+  param : int;
+  seconds : float;
+  rate : float;
+}
+
+let time_once thunk =
+  let t0 = Unix.gettimeofday () in
+  thunk ();
+  Unix.gettimeofday () -. t0
+
+let time_thunk ?(warmup = 1) ?(repeats = 3) thunk =
+  if repeats <= 0 then invalid_arg "Tuner.time_thunk: repeats must be positive";
+  for _ = 1 to warmup do
+    thunk ()
+  done;
+  let times = Array.init repeats (fun _ -> time_once thunk) in
+  Xsc_util.Stats.median times
+
+let sweep ?warmup ?repeats ~candidates ~flops ~bench () =
+  if candidates = [] then invalid_arg "Tuner.sweep: no candidates";
+  let measurements =
+    List.map
+      (fun p ->
+        let seconds = time_thunk ?warmup ?repeats (bench p) in
+        let fl = flops p in
+        { param = p; seconds; rate = (if seconds > 0.0 then fl /. seconds else 0.0) })
+      candidates
+  in
+  let best =
+    List.fold_left
+      (fun acc m -> if m.seconds < acc.seconds then m else acc)
+      (List.hd measurements) (List.tl measurements)
+  in
+  (measurements, best)

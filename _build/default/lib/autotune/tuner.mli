@@ -1,0 +1,22 @@
+(** Measurement-driven kernel tuning.
+
+    Wraps wall-clock measurement with warmup and median-of-repeats so the
+    search strategies in {!Search} can optimise over real kernel timings
+    (e.g. the tile size of the tiled Cholesky — TAB-1). *)
+
+type measurement = {
+  param : int;
+  seconds : float;  (** median wall time *)
+  rate : float;  (** flops / seconds, 0 when flops unknown *)
+}
+
+val time_thunk : ?warmup:int -> ?repeats:int -> (unit -> unit) -> float
+(** Median wall-clock seconds over [repeats] runs (default 3) after
+    [warmup] discarded runs (default 1). *)
+
+val sweep :
+  ?warmup:int -> ?repeats:int -> candidates:int list -> flops:(int -> float) ->
+  bench:(int -> unit -> unit) -> unit -> measurement list * measurement
+(** Measure [bench p] for every candidate parameter; returns all
+    measurements and the fastest. [bench p] should return a thunk with setup
+    already done so only the kernel is timed. *)

@@ -1,0 +1,1 @@
+lib/ca/dist_cholesky.ml: Array Blas Int Lapack Mat Pgrid Set Xsc_linalg

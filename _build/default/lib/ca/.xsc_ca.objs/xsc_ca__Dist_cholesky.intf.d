@@ -1,0 +1,1 @@
+lib/ca/dist_cholesky.mli: Mat Xsc_linalg

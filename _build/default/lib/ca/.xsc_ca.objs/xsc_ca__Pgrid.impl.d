@@ -1,0 +1,1 @@
+lib/ca/pgrid.ml: Array Mat Network Xsc_linalg Xsc_simmachine

@@ -1,0 +1,1 @@
+lib/ca/pgrid.mli: Mat Xsc_linalg Xsc_simmachine

@@ -1,0 +1,1 @@
+lib/ca/summa.ml: Array Blas Float Mat Network Pgrid Xsc_linalg Xsc_simmachine

@@ -1,0 +1,1 @@
+lib/ca/summa.mli: Mat Xsc_linalg Xsc_simmachine

@@ -1,0 +1,1 @@
+lib/ca/tsqr.ml: Array Blas Lapack List Mat Xsc_linalg

@@ -1,0 +1,1 @@
+lib/ca/tsqr.mli: Mat Xsc_linalg

@@ -1,0 +1,95 @@
+open Xsc_linalg
+
+type result = {
+  l : Mat.t;
+  messages : int;
+  words : float;
+  steps : int;
+}
+
+module Int_set = Set.Make (Int)
+
+let factor ?(pr = 2) ?(pc = 2) ~nb (a : Mat.t) =
+  let n = a.Mat.rows in
+  if n <> a.Mat.cols then invalid_arg "Dist_cholesky.factor: not square";
+  if nb <= 0 || n mod nb <> 0 then invalid_arg "Dist_cholesky.factor: nb must divide n";
+  if pr <= 0 || pc <= 0 then invalid_arg "Dist_cholesky.factor: bad grid";
+  let nt = n / nb in
+  let owner i j = ((i mod pr) * pc) + (j mod pc) in
+  (* working copy as blocks; only the lower triangle is touched *)
+  let blocks =
+    Array.init nt (fun i ->
+        Array.init (i + 1) (fun j -> Mat.sub_block a ~row:(i * nb) ~col:(j * nb) ~rows:nb ~cols:nb))
+  in
+  let blk i j = blocks.(i).(j) in
+  let counter = Pgrid.counter () in
+  let block_words = float_of_int (nb * nb) in
+  (* send a block from its owner to every rank in [dests] that is not the
+     owner (a broadcast tree sends one message per receiving rank) *)
+  let send ~from dests =
+    let receivers = Int_set.remove from dests in
+    Int_set.iter (fun _ -> Pgrid.record counter ~words:block_words) receivers
+  in
+  for k = 0 to nt - 1 do
+    (* 1. factor the diagonal block at its owner *)
+    Lapack.potrf (blk k k);
+    (* 2. L_kk goes to the owners of the panel blocks below it *)
+    let panel_dests = ref Int_set.empty in
+    for i = k + 1 to nt - 1 do
+      panel_dests := Int_set.add (owner i k) !panel_dests
+    done;
+    send ~from:(owner k k) !panel_dests;
+    (* 3. panel TRSMs *)
+    for i = k + 1 to nt - 1 do
+      Blas.trsm ~side:Blas.Right ~uplo:Blas.Lower ~trans:Blas.Trans ~alpha:1.0 (blk k k)
+        (blk i k)
+    done;
+    (* 4. every panel block L_ik is needed by the owners of the trailing
+       blocks it updates: row i (as left operand) and column i (as the
+       transposed right operand) *)
+    for i = k + 1 to nt - 1 do
+      let dests = ref Int_set.empty in
+      for j = k + 1 to i do
+        dests := Int_set.add (owner i j) !dests
+      done;
+      for l = i to nt - 1 do
+        dests := Int_set.add (owner l i) !dests
+      done;
+      send ~from:(owner i k) !dests
+    done;
+    (* 5. trailing update *)
+    for i = k + 1 to nt - 1 do
+      Blas.syrk ~uplo:Blas.Lower ~alpha:(-1.0) (blk i k) ~beta:1.0 (blk i i);
+      for j = k + 1 to i - 1 do
+        Blas.gemm ~transb:Blas.Trans ~alpha:(-1.0) (blk i k) (blk j k) ~beta:1.0 (blk i j)
+      done
+    done
+  done;
+  (* gather the factor *)
+  let l = Mat.create n n in
+  for i = 0 to nt - 1 do
+    for j = 0 to i do
+      let src = if i = j then Mat.lower (blk i j) else blk i j in
+      Mat.blit_block ~src ~dst:l ~src_row:0 ~src_col:0 ~dst_row:(i * nb) ~dst_col:(j * nb)
+        ~rows:nb ~cols:nb
+    done
+  done;
+  {
+    l;
+    messages = counter.Pgrid.messages;
+    words = counter.Pgrid.words;
+    steps = nt;
+  }
+
+type model = { msgs_per_rank : float; words_per_rank : float }
+
+let model_2d ~n ~nb ~p =
+  if n <= 0 || nb <= 0 || p <= 0 then invalid_arg "Dist_cholesky.model_2d: bad arguments";
+  let steps = float_of_int n /. float_of_int nb in
+  let logp = ceil (log (max 2.0 (float_of_int p)) /. log 2.0) in
+  {
+    (* per step: a column broadcast and a row broadcast on the critical path *)
+    msgs_per_rank = 2.0 *. steps *. logp;
+    (* the panel (n x nb per step, n^2 total) crosses the grid both ways *)
+    words_per_rank = float_of_int n *. float_of_int n /. sqrt (float_of_int p);
+  }

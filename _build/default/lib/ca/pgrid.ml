@@ -1,0 +1,106 @@
+open Xsc_linalg
+
+type counter = { mutable messages : int; mutable words : float }
+
+let counter () = { messages = 0; words = 0.0 }
+
+let record c ~words =
+  if words < 0.0 then invalid_arg "Pgrid.record: negative words";
+  c.messages <- c.messages + 1;
+  c.words <- c.words +. words
+
+let merge into from =
+  into.messages <- into.messages + from.messages;
+  into.words <- into.words +. from.words
+
+type t = {
+  pr : int;
+  pc : int;
+  counter : counter;
+}
+
+let create ~pr ~pc =
+  if pr <= 0 || pc <= 0 then invalid_arg "Pgrid.create: grid dims must be positive";
+  { pr; pc; counter = counter () }
+
+let ranks t = t.pr * t.pc
+
+let scatter t (m : Mat.t) =
+  if m.rows mod t.pr <> 0 || m.cols mod t.pc <> 0 then
+    invalid_arg "Pgrid.scatter: matrix not divisible by grid";
+  let br = m.rows / t.pr and bc = m.cols / t.pc in
+  let words = float_of_int (br * bc) in
+  Array.init t.pr (fun i ->
+      Array.init t.pc (fun j ->
+          if i <> 0 || j <> 0 then record t.counter ~words;
+          Mat.sub_block m ~row:(i * br) ~col:(j * bc) ~rows:br ~cols:bc))
+
+let gather t blocks =
+  let br = blocks.(0).(0).Mat.rows and bc = blocks.(0).(0).Mat.cols in
+  let m = Mat.create (t.pr * br) (t.pc * bc) in
+  let words = float_of_int (br * bc) in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j blk ->
+          if i <> 0 || j <> 0 then record t.counter ~words;
+          Mat.blit_block ~src:blk ~dst:m ~src_row:0 ~src_col:0 ~dst_row:(i * br)
+            ~dst_col:(j * bc) ~rows:br ~cols:bc)
+        row)
+    blocks;
+  m
+
+let tree_messages p = max 0 (p - 1)
+(* A binomial broadcast sends p-1 messages in ceil(log2 p) rounds; the
+   count is what the counter tracks (rounds enter through the time model). *)
+
+let bcast_in_row t ~root_col blocks ~row =
+  if row < 0 || row >= t.pr || root_col < 0 || root_col >= t.pc then
+    invalid_arg "Pgrid.bcast_in_row: out of range";
+  let blk = blocks.(row).(root_col) in
+  let words = float_of_int (blk.Mat.rows * blk.Mat.cols) in
+  for _ = 1 to tree_messages t.pc do
+    record t.counter ~words
+  done;
+  blk
+
+let bcast_in_col t ~root_row blocks ~col =
+  if col < 0 || col >= t.pc || root_row < 0 || root_row >= t.pr then
+    invalid_arg "Pgrid.bcast_in_col: out of range";
+  let blk = blocks.(root_row).(col) in
+  let words = float_of_int (blk.Mat.rows * blk.Mat.cols) in
+  for _ = 1 to tree_messages t.pr do
+    record t.counter ~words
+  done;
+  blk
+
+let shift_row_left t blocks ~steps =
+  let steps = ((steps mod t.pc) + t.pc) mod t.pc in
+  if steps <> 0 then
+    for i = 0 to t.pr - 1 do
+      let row = blocks.(i) in
+      let words = float_of_int (row.(0).Mat.rows * row.(0).Mat.cols) in
+      let original = Array.copy row in
+      for j = 0 to t.pc - 1 do
+        row.(j) <- original.((j + steps) mod t.pc);
+        record t.counter ~words
+      done
+    done
+
+let shift_col_up t blocks ~steps =
+  let steps = ((steps mod t.pr) + t.pr) mod t.pr in
+  if steps <> 0 then begin
+    let words = float_of_int (blocks.(0).(0).Mat.rows * blocks.(0).(0).Mat.cols) in
+    for j = 0 to t.pc - 1 do
+      let original = Array.init t.pr (fun i -> blocks.(i).(j)) in
+      for i = 0 to t.pr - 1 do
+        blocks.(i).(j) <- original.((i + steps) mod t.pr);
+        record t.counter ~words
+      done
+    done
+  end
+
+let time_of_counter c network =
+  let open Xsc_simmachine in
+  (float_of_int c.messages *. Network.ptp_avg network ~bytes:0.0)
+  +. (c.words *. 8.0 *. network.Network.beta)

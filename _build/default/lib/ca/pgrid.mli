@@ -1,0 +1,50 @@
+(** Virtual process grids with communication accounting.
+
+    Distributed-memory algorithms are executed "virtually": every rank's
+    block lives in one address space, the arithmetic really happens (so
+    results are checked against the sequential kernels), and every send is
+    recorded in a counter. Message and word counts are therefore *exact*,
+    which is the currency in which communication-avoiding algorithms are
+    compared. *)
+
+open Xsc_linalg
+
+type counter = { mutable messages : int; mutable words : float }
+
+val counter : unit -> counter
+val record : counter -> words:float -> unit
+(** One message of [words] 8-byte words. *)
+
+val merge : counter -> counter -> unit
+
+type t = {
+  pr : int;  (** grid rows *)
+  pc : int;  (** grid cols *)
+  counter : counter;
+}
+
+val create : pr:int -> pc:int -> t
+val ranks : t -> int
+
+val scatter : t -> Mat.t -> Mat.t array array
+(** Split an evenly divisible matrix into [pr x pc] blocks (counted as
+    [ranks - 1] messages from rank 0). *)
+
+val gather : t -> Mat.t array array -> Mat.t
+
+val bcast_in_row : t -> root_col:int -> Mat.t array array -> row:int -> Mat.t
+(** Broadcast block [(row, root_col)] to the other [pc - 1] ranks of the
+    grid row (binomial-tree message count); returns the block. *)
+
+val bcast_in_col : t -> root_row:int -> Mat.t array array -> col:int -> Mat.t
+
+val shift_row_left : t -> Mat.t array array -> steps:int -> unit
+(** Circularly shift each grid row left by [steps] (Cannon's step); every
+    rank sends one block. *)
+
+val shift_col_up : t -> Mat.t array array -> steps:int -> unit
+
+val time_of_counter : counter -> Xsc_simmachine.Network.t -> float
+(** Alpha-beta time of the recorded traffic ([messages * alpha+hop +
+    words * 8 * beta]), serialised — an upper bound used for like-for-like
+    algorithm comparisons. *)

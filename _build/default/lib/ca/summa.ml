@@ -1,0 +1,111 @@
+open Xsc_linalg
+
+type stats = {
+  product : Mat.t;
+  messages : int;
+  words : float;
+}
+
+let grid_side p =
+  let s = int_of_float (Float.round (sqrt (float_of_int p))) in
+  if s * s <> p then invalid_arg "Summa: p must be a perfect square";
+  s
+
+let check_dims (a : Mat.t) (b : Mat.t) s =
+  if a.rows <> a.cols || b.rows <> b.cols || a.rows <> b.rows then
+    invalid_arg "Summa: matrices must be square and equal-sized";
+  if a.rows mod s <> 0 then invalid_arg "Summa: dimension not divisible by grid side"
+
+let summa ~p (a : Mat.t) (b : Mat.t) =
+  let s = grid_side p in
+  check_dims a b s;
+  let g = Pgrid.create ~pr:s ~pc:s in
+  let ab = Pgrid.scatter g a and bb = Pgrid.scatter g b in
+  (* scatter/gather are setup, not algorithm traffic: count from here *)
+  g.Pgrid.counter.Pgrid.messages <- 0;
+  g.Pgrid.counter.Pgrid.words <- 0.0;
+  let nb = a.rows / s in
+  let cb = Array.init s (fun _ -> Array.init s (fun _ -> Mat.create nb nb)) in
+  for k = 0 to s - 1 do
+    (* panel k: broadcast A(:,k) along rows and B(k,:) along columns, then
+       every rank multiplies its received pair locally *)
+    let arecv = Array.init s (fun i -> Pgrid.bcast_in_row g ~root_col:k ab ~row:i) in
+    let brecv = Array.init s (fun j -> Pgrid.bcast_in_col g ~root_row:k bb ~col:j) in
+    for i = 0 to s - 1 do
+      for j = 0 to s - 1 do
+        Blas.gemm ~alpha:1.0 arecv.(i) brecv.(j) ~beta:1.0 cb.(i).(j)
+      done
+    done
+  done;
+  let algo_msgs = g.Pgrid.counter.Pgrid.messages in
+  let algo_words = g.Pgrid.counter.Pgrid.words in
+  let product = Pgrid.gather g cb in
+  { product; messages = algo_msgs; words = algo_words }
+
+let cannon ~p (a : Mat.t) (b : Mat.t) =
+  let s = grid_side p in
+  check_dims a b s;
+  let g = Pgrid.create ~pr:s ~pc:s in
+  let ab = Pgrid.scatter g a and bb = Pgrid.scatter g b in
+  g.Pgrid.counter.Pgrid.messages <- 0;
+  g.Pgrid.counter.Pgrid.words <- 0.0;
+  (* initial skew: row i of A left by i, column j of B up by j *)
+  for i = 1 to s - 1 do
+    let row = ab.(i) in
+    let words = float_of_int (row.(0).Mat.rows * row.(0).Mat.cols) in
+    let original = Array.copy row in
+    for j = 0 to s - 1 do
+      row.(j) <- original.((j + i) mod s);
+      Pgrid.record g.Pgrid.counter ~words
+    done
+  done;
+  for j = 1 to s - 1 do
+    let words = float_of_int (bb.(0).(j).Mat.rows * bb.(0).(j).Mat.cols) in
+    let original = Array.init s (fun i -> bb.(i).(j)) in
+    for i = 0 to s - 1 do
+      bb.(i).(j) <- original.((i + j) mod s);
+      Pgrid.record g.Pgrid.counter ~words
+    done
+  done;
+  let nb = a.rows / s in
+  let cb = Array.init s (fun _ -> Array.init s (fun _ -> Mat.create nb nb)) in
+  for step = 0 to s - 1 do
+    for i = 0 to s - 1 do
+      for j = 0 to s - 1 do
+        Blas.gemm ~alpha:1.0 ab.(i).(j) bb.(i).(j) ~beta:1.0 cb.(i).(j)
+      done
+    done;
+    if step < s - 1 then begin
+      Pgrid.shift_row_left g ab ~steps:1;
+      Pgrid.shift_col_up g bb ~steps:1
+    end
+  done;
+  let algo_msgs = g.Pgrid.counter.Pgrid.messages in
+  let algo_words = g.Pgrid.counter.Pgrid.words in
+  g.Pgrid.counter.Pgrid.messages <- 0;
+  g.Pgrid.counter.Pgrid.words <- 0.0;
+  let product = Pgrid.gather g cb in
+  { product; messages = algo_msgs; words = algo_words }
+
+type model = { msgs : float; words_per_rank : float }
+
+let model_2d ~n ~p =
+  let fp = float_of_int p and fn = float_of_int n in
+  let s = sqrt fp in
+  {
+    msgs = 2.0 *. s *. ceil (log (max 2.0 s) /. log 2.0);
+    words_per_rank = 2.0 *. fn *. fn /. s;
+  }
+
+let model_25d ~n ~p ~c =
+  if c < 1 then invalid_arg "Summa.model_25d: c must be >= 1";
+  let fp = float_of_int p and fn = float_of_int n and fc = float_of_int c in
+  {
+    msgs = sqrt (fp /. (fc *. fc *. fc)) +. (log (max 2.0 fc) /. log 2.0);
+    words_per_rank = 2.0 *. fn *. fn /. sqrt (fc *. fp);
+  }
+
+let model_time m network =
+  let open Xsc_simmachine in
+  (m.msgs *. Network.ptp_avg network ~bytes:0.0)
+  +. (m.words_per_rank *. 8.0 *. network.Network.beta)

@@ -1,0 +1,36 @@
+(** Distributed matrix multiplication: SUMMA, Cannon and the 2.5D model.
+
+    SUMMA and Cannon run for real on a {!Pgrid} (results verified against
+    the sequential GEMM) with exact message/word counts; the 2.5D
+    replication variant is provided as its closed-form cost model, the shape
+    the talk cites: replicating [c] copies of the data cuts words moved per
+    rank by [sqrt c]. *)
+
+open Xsc_linalg
+
+type stats = {
+  product : Mat.t;
+  messages : int;
+  words : float;  (** 8-byte words moved, all ranks combined *)
+}
+
+val summa : p:int -> Mat.t -> Mat.t -> stats
+(** [summa ~p a b] multiplies on a [sqrt p x sqrt p] grid. [p] must be a
+    perfect square dividing the (square, equal) matrix dimensions. *)
+
+val cannon : p:int -> Mat.t -> Mat.t -> stats
+(** Cannon's algorithm on the same grid: same arithmetic, shift-based
+    communication (no broadcasts). *)
+
+type model = { msgs : float; words_per_rank : float }
+
+val model_2d : n:int -> p:int -> model
+(** Per-rank communication of 2D SUMMA: [O(sqrt p)] broadcasts,
+    [O(n² / sqrt p)] words. *)
+
+val model_25d : n:int -> p:int -> c:int -> model
+(** 2.5D with replication factor [c]: words per rank [O(n² / sqrt (c p))],
+    messages [O(sqrt (p / c³) + log c)] (Solomonik-Demmel). *)
+
+val model_time : model -> Xsc_simmachine.Network.t -> float
+(** Alpha-beta time of a per-rank communication volume (critical path). *)

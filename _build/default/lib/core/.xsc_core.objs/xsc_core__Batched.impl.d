@@ -1,0 +1,1 @@
+lib/core/batched.ml: Array Atomic Blas Lapack List Mat Printf Runtime_api Xsc_linalg Xsc_runtime

@@ -1,0 +1,1 @@
+lib/core/batched.mli: Mat Runtime_api Vec Xsc_linalg

@@ -1,0 +1,1 @@
+lib/core/cholesky.ml: Array Blas Lapack List Printf Runtime_api Xsc_linalg Xsc_runtime Xsc_tile

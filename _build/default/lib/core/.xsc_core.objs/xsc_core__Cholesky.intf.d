@@ -1,0 +1,1 @@
+lib/core/cholesky.mli: Mat Runtime_api Vec Xsc_linalg Xsc_tile

@@ -1,0 +1,1 @@
+lib/core/lu.mli: Mat Runtime_api Vec Xsc_linalg Xsc_tile

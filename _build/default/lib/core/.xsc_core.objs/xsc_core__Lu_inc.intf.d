@@ -1,0 +1,1 @@
+lib/core/lu_inc.mli: Mat Runtime_api Vec Xsc_linalg Xsc_tile

@@ -1,0 +1,1 @@
+lib/core/qr.ml: Array Blas Lapack List Mat Printf Runtime_api Xsc_linalg Xsc_runtime Xsc_tile

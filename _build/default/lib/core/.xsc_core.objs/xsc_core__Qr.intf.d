@@ -1,0 +1,1 @@
+lib/core/qr.mli: Mat Runtime_api Vec Xsc_linalg Xsc_tile

@@ -1,0 +1,1 @@
+lib/core/runtime_api.ml: Xsc_runtime

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Blas Cholesky Lu Lu_inc Mat Qr Runtime_api Scalar Vec Xsc_linalg Xsc_precision Xsc_resilience Xsc_tile

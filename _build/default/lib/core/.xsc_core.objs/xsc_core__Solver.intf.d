@@ -1,0 +1,1 @@
+lib/core/solver.mli: Mat Runtime_api Vec Xsc_linalg

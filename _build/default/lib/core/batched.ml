@@ -1,0 +1,62 @@
+open Xsc_linalg
+module Task = Xsc_runtime.Task
+module Dag = Xsc_runtime.Dag
+
+(* Batched kernels are embarrassingly parallel: task i writes datum i. Any
+   kernel exception must not vanish inside a worker domain, so failures are
+   stashed and re-raised on the caller. *)
+
+let run_batch ?(exec = Runtime_api.Sequential) kernels =
+  let n = Array.length kernels in
+  let failure = Atomic.make None in
+  let tasks =
+    List.init n (fun id ->
+        let run () =
+          try kernels.(id) ()
+          with e -> Atomic.set failure (Some e)
+        in
+        Task.make ~id ~name:(Printf.sprintf "batch(%d)" id) ~flops:1.0 ~run
+          [ Task.Write id ])
+  in
+  ignore (Runtime_api.execute exec (Dag.build tasks));
+  match Atomic.get failure with Some e -> raise e | None -> ()
+
+let potrf_batch ?exec batch =
+  run_batch ?exec (Array.map (fun m () -> Lapack.potrf m) batch)
+
+let getrf_batch ?exec batch =
+  let pivots = Array.map (fun (m : Mat.t) -> Array.make m.rows 0) batch in
+  run_batch ?exec
+    (Array.mapi (fun i m () -> pivots.(i) <- Lapack.getrf m) batch);
+  pivots
+
+let gemm_batch ?exec ~alpha ~beta triples =
+  run_batch ?exec
+    (Array.map (fun (a, b, c) () -> Blas.gemm ~alpha a b ~beta c) triples)
+
+let chol_solve_batch ?exec batch rhs =
+  if Array.length batch <> Array.length rhs then
+    invalid_arg "Batched.chol_solve_batch: batch size mismatch";
+  let out = Array.map Array.copy rhs in
+  run_batch ?exec
+    (Array.mapi
+       (fun i m () ->
+         let f = Mat.copy m in
+         Lapack.potrf f;
+         Lapack.potrs f out.(i))
+       batch);
+  out
+
+let tasks_potrf batch =
+  Array.to_list
+    (Array.mapi
+       (fun id (m : Mat.t) ->
+         Task.make ~id ~name:(Printf.sprintf "potrf(%d)" id)
+           ~flops:(Lapack.potrf_flops m.rows)
+           ~bytes:(8.0 *. float_of_int (m.rows * m.cols))
+           ~run:(fun () -> Lapack.potrf m)
+           [ Task.Write id ])
+       batch)
+
+let batch_flops_potrf batch =
+  Array.fold_left (fun acc (m : Mat.t) -> acc +. Lapack.potrf_flops m.rows) 0.0 batch

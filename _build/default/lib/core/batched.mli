@@ -1,0 +1,29 @@
+(** Batched small linear algebra.
+
+    The other end of the extreme-scale story: applications (FEM assembly,
+    tensor contractions, block preconditioners) need thousands of
+    *independent tiny* factorizations, where per-call overhead and idle
+    cores — not flops — dominate. Batched interfaces expose the whole batch
+    to the runtime as one task set. *)
+
+open Xsc_linalg
+
+val potrf_batch : ?exec:Runtime_api.exec -> Mat.t array -> unit
+(** Cholesky-factor every (small SPD) matrix in place, as independent
+    tasks. Raises [Lapack.Singular] if any matrix fails. *)
+
+val getrf_batch : ?exec:Runtime_api.exec -> Mat.t array -> int array array
+(** Partial-pivoting LU of every matrix; returns per-problem pivots. *)
+
+val gemm_batch :
+  ?exec:Runtime_api.exec -> alpha:float -> beta:float ->
+  (Mat.t * Mat.t * Mat.t) array -> unit
+(** [C_i <- alpha A_i B_i + beta C_i] for every triple. *)
+
+val chol_solve_batch : ?exec:Runtime_api.exec -> Mat.t array -> Vec.t array -> Vec.t array
+(** Factor-and-solve a batch of SPD systems (inputs preserved). *)
+
+val tasks_potrf : Mat.t array -> Runtime_api.task list
+(** The underlying task list (for scheduling experiments). *)
+
+val batch_flops_potrf : Mat.t array -> float

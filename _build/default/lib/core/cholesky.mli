@@ -1,0 +1,35 @@
+(** Tiled Cholesky factorization as a task DAG.
+
+    The algorithm of the PLASMA story: [POTRF]/[TRSM]/[SYRK]/[GEMM] kernels
+    on [nb x nb] tiles, with dependences inferred from tile accesses. The
+    same task list drives (a) real execution on domains — closures mutate
+    the tiles in place — and (b) the schedule simulator, which only needs
+    the weights. *)
+
+open Xsc_linalg
+
+val tasks : ?with_closures:bool -> Xsc_tile.Tile.t -> Runtime_api.task list
+(** Task list in program order for the lower-Cholesky of a square tiled
+    matrix. With [with_closures] (default true) each task carries the kernel
+    closure. *)
+
+val dag : ?with_closures:bool -> Xsc_tile.Tile.t -> Runtime_api.dag
+
+val factor : ?exec:Runtime_api.exec -> Xsc_tile.Tile.t -> unit
+(** Factor in place ([L] in the lower tiles; strictly-upper tiles are left
+    stale, as in LAPACK). Default execution is sequential. Raises
+    [Lapack.Singular] if the matrix is not positive definite. *)
+
+val solve : Xsc_tile.Tile.t -> Vec.t -> Vec.t
+(** Given the factored tiles, solve [A x = b] by tiled forward/backward
+    substitution. *)
+
+val factor_mat : ?exec:Runtime_api.exec -> nb:int -> Mat.t -> Xsc_tile.Tile.t
+(** Convenience: tile a dense SPD matrix and factor it. *)
+
+val flops : nt:int -> nb:int -> float
+(** Total flops of the tiled algorithm (matches [n³/3] to leading order). *)
+
+val task_count : nt:int -> int
+(** [nt + nt(nt-1) + nt(nt-1)(nt+1)/6 ...] — closed-form count used by
+    tests. *)

@@ -1,0 +1,108 @@
+open Xsc_linalg
+module Tile = Xsc_tile.Tile
+module Task = Xsc_runtime.Task
+module Dag = Xsc_runtime.Dag
+
+let kernel_flops nb =
+  let fnb = float_of_int nb in
+  let getrf = 2.0 *. fnb *. fnb *. fnb /. 3.0 in
+  let trsm = fnb *. fnb *. fnb in
+  let gemm = 2.0 *. fnb *. fnb *. fnb in
+  (getrf, trsm, gemm)
+
+let tasks ?(with_closures = true) (t : Tile.t) =
+  if t.Tile.mt <> t.Tile.nt then invalid_arg "Lu.tasks: matrix not square";
+  let nt = t.Tile.nt and nb = t.Tile.nb in
+  let getrf_f, trsm_f, gemm_f = kernel_flops nb in
+  let bytes = Runtime_api.tile_bytes ~nb in
+  let datum i j = Task.datum i j ~stride:nt in
+  let acc = ref [] in
+  let next_id = ref 0 in
+  let emit name flops accesses run =
+    let id = !next_id in
+    incr next_id;
+    let run = if with_closures then Some run else None in
+    acc := Task.make ~id ~name ~flops ~bytes ?run accesses :: !acc
+  in
+  for k = 0 to nt - 1 do
+    let akk = Tile.tile t k k in
+    emit
+      (Printf.sprintf "getrf(%d,%d)" k k)
+      getrf_f
+      [ Task.Read_write (datum k k) ]
+      (fun () -> Lapack.getrf_nopiv akk);
+    for j = k + 1 to nt - 1 do
+      let akj = Tile.tile t k j in
+      emit
+        (Printf.sprintf "trsm_l(%d,%d)" k j)
+        trsm_f
+        [ Task.Read (datum k k); Task.Read_write (datum k j) ]
+        (fun () ->
+          (* A_kj <- L_kk^-1 A_kj *)
+          Blas.trsm ~side:Blas.Left ~uplo:Blas.Lower ~diag:Blas.Unit ~alpha:1.0 akk akj)
+    done;
+    for i = k + 1 to nt - 1 do
+      let aik = Tile.tile t i k in
+      emit
+        (Printf.sprintf "trsm_u(%d,%d)" i k)
+        trsm_f
+        [ Task.Read (datum k k); Task.Read_write (datum i k) ]
+        (fun () ->
+          (* A_ik <- A_ik U_kk^-1 *)
+          Blas.trsm ~side:Blas.Right ~uplo:Blas.Upper ~alpha:1.0 akk aik)
+    done;
+    for i = k + 1 to nt - 1 do
+      let aik = Tile.tile t i k in
+      for j = k + 1 to nt - 1 do
+        let akj = Tile.tile t k j in
+        let aij = Tile.tile t i j in
+        emit
+          (Printf.sprintf "gemm(%d,%d,%d)" i j k)
+          gemm_f
+          [ Task.Read (datum i k); Task.Read (datum k j); Task.Read_write (datum i j) ]
+          (fun () -> Blas.gemm ~alpha:(-1.0) aik akj ~beta:1.0 aij)
+      done
+    done
+  done;
+  List.rev !acc
+
+let dag ?with_closures t = Dag.build (tasks ?with_closures t)
+
+let factor ?(exec = Runtime_api.Sequential) t =
+  ignore (Runtime_api.execute exec (dag t))
+
+let solve (t : Tile.t) b =
+  let nt = t.Tile.nt and nb = t.Tile.nb in
+  if Array.length b <> t.Tile.rows then invalid_arg "Lu.solve: dimension mismatch";
+  let y = Tile.tile_vec ~nb b in
+  (* forward: unit-lower L y = b *)
+  for k = 0 to nt - 1 do
+    for j = 0 to k - 1 do
+      Blas.gemv ~alpha:(-1.0) (Tile.tile t k j) y.(j) ~beta:1.0 y.(k)
+    done;
+    Blas.trsv ~uplo:Blas.Lower ~diag:Blas.Unit (Tile.tile t k k) y.(k)
+  done;
+  (* backward: U x = y *)
+  for k = nt - 1 downto 0 do
+    for j = k + 1 to nt - 1 do
+      Blas.gemv ~alpha:(-1.0) (Tile.tile t k j) y.(j) ~beta:1.0 y.(k)
+    done;
+    Blas.trsv ~uplo:Blas.Upper (Tile.tile t k k) y.(k)
+  done;
+  Tile.untile_vec y
+
+let factor_mat ?exec ~nb a =
+  let t = Tile.of_mat ~nb a in
+  factor ?exec t;
+  t
+
+let flops ~nt ~nb =
+  let getrf_f, trsm_f, gemm_f = kernel_flops nb in
+  let fnt = float_of_int nt in
+  let trsm_n = fnt *. (fnt -. 1.0) in
+  let gemm_n = fnt *. (fnt -. 1.0) *. ((2.0 *. fnt) -. 1.0) /. 6.0 in
+  (fnt *. getrf_f) +. (trsm_n *. trsm_f) +. (gemm_n *. gemm_f)
+
+let task_count ~nt =
+  (* getrf: nt, trsm: nt(nt-1), gemm: sum k (nt-1-k)^2 = nt(nt-1)(2nt-1)/6 *)
+  nt + (nt * (nt - 1)) + (nt * (nt - 1) * ((2 * nt) - 1) / 6)

@@ -1,0 +1,26 @@
+(** Tiled LU factorization (without pivoting) as a task DAG.
+
+    Tile LU trades the global pivot search — a scalability bottleneck,
+    because it synchronises the whole panel — for a no-pivoting factorization
+    that is valid for diagonally dominant (and most well-conditioned
+    random-SPD-shifted) matrices; this is the standard trade the tile
+    algorithms make (PLASMA offers incremental pivoting for the general
+    case — here the partial-pivoting LAPACK path is the general fallback,
+    see {!Xsc_linalg.Lapack.getrf}). *)
+
+open Xsc_linalg
+
+val tasks : ?with_closures:bool -> Xsc_tile.Tile.t -> Runtime_api.task list
+val dag : ?with_closures:bool -> Xsc_tile.Tile.t -> Runtime_api.dag
+
+val factor : ?exec:Runtime_api.exec -> Xsc_tile.Tile.t -> unit
+(** In place: unit-lower [L] below the diagonal, [U] on and above. Raises
+    [Lapack.Singular] on a zero pivot. *)
+
+val solve : Xsc_tile.Tile.t -> Vec.t -> Vec.t
+(** Solve from factored tiles (forward unit-lower, backward upper). *)
+
+val factor_mat : ?exec:Runtime_api.exec -> nb:int -> Mat.t -> Xsc_tile.Tile.t
+
+val flops : nt:int -> nb:int -> float
+val task_count : nt:int -> int

@@ -1,0 +1,17 @@
+type task = Xsc_runtime.Task.t
+type dag = Xsc_runtime.Dag.t
+
+type exec =
+  | Sequential
+  | Dataflow of int
+  | Forkjoin of int
+
+let execute exec dag =
+  match exec with
+  | Sequential -> Xsc_runtime.Real_exec.run_sequential dag
+  | Dataflow workers -> Xsc_runtime.Real_exec.run_dataflow ~workers dag
+  | Forkjoin workers -> Xsc_runtime.Real_exec.run_forkjoin ~workers dag
+
+let tile_bytes ~nb = 8.0 *. float_of_int (nb * nb)
+
+let datum = Xsc_runtime.Task.datum

@@ -1,0 +1,16 @@
+(** Shared execution plumbing for the tiled algorithms. *)
+
+type task = Xsc_runtime.Task.t
+type dag = Xsc_runtime.Dag.t
+
+type exec =
+  | Sequential
+  | Dataflow of int  (** dynamic superscalar executor on [n] domains *)
+  | Forkjoin of int  (** level-synchronous executor on [n] domains *)
+
+val execute : exec -> dag -> Xsc_runtime.Real_exec.stats
+
+val tile_bytes : nb:int -> float
+(** Footprint of one tile, for task byte weights. *)
+
+val datum : int -> int -> stride:int -> int

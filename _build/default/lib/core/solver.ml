@@ -1,0 +1,130 @@
+open Xsc_linalg
+module Tile = Xsc_tile.Tile
+
+type options = {
+  nb : int;
+  exec : Runtime_api.exec;
+}
+
+let default = { nb = 64; exec = Runtime_api.Sequential }
+
+let with_workers ?(nb = 64) n = { nb; exec = Runtime_api.Dataflow n }
+
+let residual a x b =
+  let r = Array.copy b in
+  Blas.gemv ~alpha:(-1.0) a x ~beta:1.0 r;
+  let denom = (Mat.norm_inf a *. Vec.norm_inf x) +. Vec.norm_inf b in
+  if denom = 0.0 then 0.0 else Vec.norm_inf r /. denom
+
+let pad_rhs b padded =
+  let out = Array.make padded 0.0 in
+  Array.blit b 0 out 0 (Array.length b);
+  out
+
+let solve_spd ?(opts = default) a b =
+  let n = a.Mat.rows in
+  if n <> a.Mat.cols || Array.length b <> n then invalid_arg "Solver.solve_spd: dimensions";
+  let padded, _ = Tile.pad_to ~nb:opts.nb a in
+  let t = Tile.of_mat ~nb:opts.nb padded in
+  Cholesky.factor ~exec:opts.exec t;
+  let x = Cholesky.solve t (pad_rhs b padded.Mat.rows) in
+  Array.sub x 0 n
+
+let strictly_diag_dominant a =
+  let n = a.Mat.rows in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let off = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then off := !off +. abs_float (Mat.get a i j)
+    done;
+    if abs_float (Mat.get a i i) <= !off then ok := false
+  done;
+  !ok
+
+let solve_general ?(opts = default) a b =
+  let n = a.Mat.rows in
+  if n <> a.Mat.cols || Array.length b <> n then
+    invalid_arg "Solver.solve_general: dimensions";
+  let padded, _ = Tile.pad_to ~nb:opts.nb a in
+  let t = Tile.of_mat ~nb:opts.nb padded in
+  if strictly_diag_dominant a then begin
+    Lu.factor ~exec:opts.exec t;
+    let x = Lu.solve t (pad_rhs b padded.Mat.rows) in
+    Array.sub x 0 n
+  end
+  else begin
+    let f = Lu_inc.factor ~exec:opts.exec t in
+    let x = Lu_inc.solve f (pad_rhs b padded.Mat.rows) in
+    Array.sub x 0 n
+  end
+
+let solve_ls ?(opts = default) a b =
+  let m, n = Mat.dims a in
+  if m < n then invalid_arg "Solver.solve_ls: system must be overdetermined";
+  if m mod opts.nb <> 0 || n mod opts.nb <> 0 then
+    invalid_arg "Solver.solve_ls: dimensions must be multiples of the tile size";
+  if Array.length b <> m then invalid_arg "Solver.solve_ls: rhs dimension";
+  let t = Tile.of_mat ~nb:opts.nb a in
+  let f = Qr.factor ~exec:opts.exec t in
+  Qr.solve f b
+
+type mixed_report = {
+  x : Vec.t;
+  iterations : int;
+  converged : bool;
+  backward_error : float;
+  modeled_speedup : float;
+}
+
+let solve_spd_mixed ?(opts = default) ?(precision = "fp32") ?(low_rate_mult = 2.0) a b =
+  ignore opts;
+  let n = a.Mat.rows in
+  let p = Scalar.of_name precision in
+  let report = Xsc_precision.Ir.chol_ir ~precision:p a b in
+  let high_rate = 1e9 in
+  let t_mixed =
+    Xsc_precision.Ir.ir_model_time ~n ~low_rate:(high_rate *. low_rate_mult) ~high_rate
+      ~iterations:report.Xsc_precision.Ir.iterations
+  in
+  let t_full = Xsc_precision.Ir.plain_solve_flops n /. high_rate in
+  {
+    x = report.Xsc_precision.Ir.x;
+    iterations = report.Xsc_precision.Ir.iterations;
+    converged = report.Xsc_precision.Ir.converged;
+    backward_error = report.Xsc_precision.Ir.backward_error;
+    modeled_speedup = t_full /. t_mixed;
+  }
+
+type protected_report = {
+  x : Vec.t;
+  corruption_detected : bool;
+  recovered_from_row : int option;
+}
+
+let solve_spd_protected ?(opts = default) ?inject a b =
+  let n = a.Mat.rows in
+  if n <> a.Mat.cols || Array.length b <> n then
+    invalid_arg "Solver.solve_spd_protected: dimensions";
+  let padded, _ = Tile.pad_to ~nb:opts.nb a in
+  let t = Tile.of_mat ~nb:opts.nb padded in
+  Cholesky.factor ~exec:opts.exec t;
+  let l = Mat.lower (Tile.to_mat t) in
+  (match inject with Some f -> f l | None -> ());
+  let detected = Xsc_resilience.Abft.verify_cholesky ~l padded in
+  let recovered_from_row =
+    match detected with
+    | None -> None
+    | Some row ->
+      Xsc_resilience.Abft.recover_cholesky_rows ~a:padded ~l ~from:row;
+      Some row
+  in
+  (* solve with the (possibly repaired) dense factor *)
+  let y = pad_rhs b padded.Mat.rows in
+  Blas.trsv ~uplo:Blas.Lower l y;
+  Blas.trsv ~uplo:Blas.Lower ~trans:Blas.Trans l y;
+  {
+    x = Array.sub y 0 n;
+    corruption_detected = detected <> None;
+    recovered_from_row;
+  }

@@ -1,0 +1,1 @@
+lib/hpcbench/green500.ml: Array List Xsc_simmachine Xsc_util

@@ -1,0 +1,1 @@
+lib/hpcbench/green500.mli: Xsc_simmachine Xsc_util

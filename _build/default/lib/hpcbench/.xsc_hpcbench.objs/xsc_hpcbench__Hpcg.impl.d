@@ -1,0 +1,1 @@
+lib/hpcbench/hpcg.ml: Machine Network Node Unix Xsc_linalg Xsc_simmachine Xsc_sparse

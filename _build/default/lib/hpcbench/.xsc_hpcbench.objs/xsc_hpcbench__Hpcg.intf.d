@@ -1,0 +1,1 @@
+lib/hpcbench/hpcg.mli: Xsc_simmachine

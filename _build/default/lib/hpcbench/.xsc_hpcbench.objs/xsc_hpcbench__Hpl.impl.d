@@ -1,0 +1,1 @@
+lib/hpcbench/hpl.ml: Array Blas Lapack Machine Mat Network Node Roofline Unix Vec Xsc_core Xsc_linalg Xsc_simmachine Xsc_tile Xsc_util

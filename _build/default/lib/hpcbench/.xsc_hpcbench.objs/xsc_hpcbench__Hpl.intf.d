@@ -1,0 +1,1 @@
+lib/hpcbench/hpl.mli: Xsc_simmachine

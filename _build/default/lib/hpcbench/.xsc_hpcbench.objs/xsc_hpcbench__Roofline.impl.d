@@ -1,0 +1,1 @@
+lib/hpcbench/roofline.ml: Node Printf Xsc_simmachine Xsc_sparse

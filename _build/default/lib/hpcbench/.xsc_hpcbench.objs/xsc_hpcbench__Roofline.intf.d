@@ -1,0 +1,1 @@
+lib/hpcbench/roofline.mli: Xsc_simmachine Xsc_sparse

@@ -1,0 +1,1 @@
+lib/hpcbench/scaling.ml: Float Machine Network Node Xsc_simmachine

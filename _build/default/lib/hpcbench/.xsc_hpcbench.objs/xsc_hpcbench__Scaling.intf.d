@@ -1,0 +1,1 @@
+lib/hpcbench/scaling.mli: Xsc_simmachine

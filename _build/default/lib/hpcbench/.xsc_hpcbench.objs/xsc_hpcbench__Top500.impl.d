@@ -1,0 +1,1 @@
+lib/hpcbench/top500.ml: Array List Xsc_util

@@ -1,0 +1,1 @@
+lib/hpcbench/top500.mli: Xsc_util

@@ -1,0 +1,36 @@
+type entry = { year : float; system : string; gflops_per_watt : float }
+
+(* Representative Green500 #1 efficiencies (June lists). *)
+let milestones =
+  [
+    { year = 2007.5; system = "BlueGene/P"; gflops_per_watt = 0.357 };
+    { year = 2008.5; system = "QPACE-like Cell"; gflops_per_watt = 0.536 };
+    { year = 2010.5; system = "QPACE"; gflops_per_watt = 0.774 };
+    { year = 2011.5; system = "BlueGene/Q proto"; gflops_per_watt = 2.097 };
+    { year = 2012.5; system = "BlueGene/Q"; gflops_per_watt = 2.100 };
+    { year = 2013.5; system = "Eurora (K20)"; gflops_per_watt = 3.209 };
+    { year = 2014.5; system = "TSUBAME-KFC"; gflops_per_watt = 4.390 };
+    { year = 2015.5; system = "Shoubu"; gflops_per_watt = 7.032 };
+    { year = 2016.5; system = "Shoubu"; gflops_per_watt = 6.674 };
+  ]
+
+let fit () =
+  let pts =
+    Array.of_list
+      (List.map (fun e -> (e.year, log10 e.gflops_per_watt)) milestones)
+  in
+  Xsc_util.Stats.linear_fit pts
+
+let required_gflops_per_watt ~target_flops ~power_budget =
+  if target_flops <= 0.0 || power_budget <= 0.0 then
+    invalid_arg "Green500.required_gflops_per_watt: positive arguments required";
+  target_flops /. power_budget /. 1e9
+
+let projected_year ~efficiency =
+  if efficiency <= 0.0 then invalid_arg "Green500.projected_year: positive efficiency required";
+  let f = fit () in
+  (log10 efficiency -. f.Xsc_util.Stats.intercept) /. f.Xsc_util.Stats.slope
+
+let machine_gflops_per_watt m =
+  Xsc_simmachine.Machine.peak m Xsc_simmachine.Node.FP64
+  /. Xsc_simmachine.Machine.power m /. 1e9

@@ -1,0 +1,23 @@
+(** Energy efficiency trend (Green500-style) and the exascale power wall.
+
+    The talk's constraint: an exaflop machine must fit in ~20 MW, i.e.
+    deliver ~50 Gflops/W — an order of magnitude beyond 2016 leaders. This
+    module carries representative efficiency milestones, the trend fit, and
+    the arithmetic of the power wall. *)
+
+type entry = { year : float; system : string; gflops_per_watt : float }
+
+val milestones : entry list
+(** Ascending by year (June lists, representative #1 Green500 values). *)
+
+val fit : unit -> Xsc_util.Stats.linfit
+(** Least squares on [log10(gflops/W)] vs year. *)
+
+val required_gflops_per_watt : target_flops:float -> power_budget:float -> float
+(** e.g. [1e18] flop/s at [20e6] W -> 50 Gflops/W. *)
+
+val projected_year : efficiency:float -> float
+(** Year the fitted trend reaches [efficiency] Gflops/W. *)
+
+val machine_gflops_per_watt : Xsc_simmachine.Machine.t -> float
+(** Peak fp64 per watt of a simulated machine preset. *)

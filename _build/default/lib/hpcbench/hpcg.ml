@@ -1,0 +1,65 @@
+type run = {
+  grid : int;
+  iterations : int;
+  seconds : float;
+  gflops : float;
+  final_relative_residual : float;
+}
+
+let flops_per_iteration ~nnz ~rows = (2.0 *. nnz) +. (4.0 *. nnz) +. (5.0 *. 2.0 *. rows)
+
+let run_host ?(iterations = 50) ?(preconditioner = `Symgs) ~grid () =
+  if grid <= 1 then invalid_arg "Hpcg.run_host: grid too small";
+  let a = Xsc_sparse.Stencil.hpcg_27pt grid in
+  let _, b = Xsc_sparse.Stencil.exact_rhs a in
+  let precond =
+    match preconditioner with
+    | `Symgs -> Xsc_sparse.Cg.symgs_preconditioner a
+    | `Mg -> Xsc_sparse.Mg.preconditioner (Xsc_sparse.Mg.create grid)
+  in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Xsc_sparse.Cg.solve ~precond ~max_iter:iterations
+      ~tol:1e-30 (* force the full iteration count, as HPCG does *)
+      a b
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let nnz = float_of_int (Xsc_sparse.Csr.nnz a) in
+  let rows = float_of_int a.Xsc_sparse.Csr.rows in
+  let flops = float_of_int result.Xsc_sparse.Cg.iterations *. flops_per_iteration ~nnz ~rows in
+  let bn = Xsc_linalg.Vec.nrm2 b in
+  {
+    grid;
+    iterations = result.Xsc_sparse.Cg.iterations;
+    seconds;
+    gflops = flops /. seconds /. 1e9;
+    final_relative_residual =
+      result.Xsc_sparse.Cg.residual_norm /. (if bn = 0.0 then 1.0 else bn);
+  }
+
+type model = {
+  time_per_iteration : float;
+  gflops_total : float;
+  fraction_of_peak : float;
+}
+
+let model m ~unknowns_per_node =
+  if unknowns_per_node <= 0 then invalid_arg "Hpcg.model: unknowns must be positive";
+  let open Xsc_simmachine in
+  let rows = float_of_int unknowns_per_node in
+  let nnz = 27.0 *. rows in
+  let flops_iter = flops_per_iteration ~nnz ~rows in
+  (* bandwidth-bound streaming: SpMV traffic once, SymGS twice *)
+  let bytes_iter = 3.0 *. ((12.0 *. nnz) +. (16.0 *. rows)) in
+  let t_stream = bytes_iter /. m.Machine.node.Node.mem_bandwidth in
+  (* 2 blocking allreduces per iteration (classic PCG) *)
+  let t_sync =
+    2.0 *. Network.allreduce_time m.Machine.network ~ranks:m.Machine.node_count ~bytes:8.0
+  in
+  let time_per_iteration = t_stream +. t_sync in
+  let rate = flops_iter *. float_of_int m.Machine.node_count /. time_per_iteration in
+  {
+    time_per_iteration;
+    gflops_total = rate /. 1e9;
+    fraction_of_peak = rate /. Machine.peak m Node.FP64;
+  }

@@ -1,0 +1,38 @@
+type point = {
+  kernel : string;
+  intensity : float;
+  attainable : float;
+  fraction_of_peak : float;
+}
+
+let gemm_intensity ~nb =
+  if nb <= 0 then invalid_arg "Roofline.gemm_intensity: nb must be positive";
+  float_of_int nb /. 12.0
+
+let spmv_intensity a = Xsc_sparse.Csr.spmv_flops a /. Xsc_sparse.Csr.spmv_bytes a
+
+(* 27 nonzeros per row: flops = 54, bytes ~ 12*27 + 16 = 340 *)
+let stencil27_intensity = 54.0 /. 340.0
+
+(* a(i) = b(i) + q*c(i): 2 flops per 24 bytes *)
+let stream_triad_intensity = 2.0 /. 24.0
+
+let point node ~kernel ~intensity =
+  let open Xsc_simmachine in
+  let attainable = Node.roofline_rate node Node.FP64 ~intensity in
+  {
+    kernel;
+    intensity;
+    attainable;
+    fraction_of_peak = attainable /. Node.node_rate node Node.FP64;
+  }
+
+let standard_points ?(nb = 256) node =
+  [
+    point node ~kernel:"stream-triad" ~intensity:stream_triad_intensity;
+    point node ~kernel:"spmv-27pt" ~intensity:stencil27_intensity;
+    point node ~kernel:"gemm-nb32" ~intensity:(gemm_intensity ~nb:32);
+    point node ~kernel:(Printf.sprintf "gemm-nb%d" nb) ~intensity:(gemm_intensity ~nb);
+  ]
+
+let ridge_point node = Xsc_simmachine.Node.machine_balance node

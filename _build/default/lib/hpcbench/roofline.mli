@@ -1,0 +1,31 @@
+(** Roofline model: attainable performance as a function of arithmetic
+    intensity. This single picture explains the paper's HPL/HPCG gap: dense
+    factorizations sit on the compute roof, sparse solvers on the bandwidth
+    slope, and the machine balance (flops per byte) decides how far apart
+    the two are. *)
+
+type point = {
+  kernel : string;
+  intensity : float;  (** flops per byte of memory traffic *)
+  attainable : float;  (** flop/s on the given node, [min(peak, I * BW)] *)
+  fraction_of_peak : float;
+}
+
+val gemm_intensity : nb:int -> float
+(** Blocked GEMM working on [nb x nb] tiles: [2nb³ / (3 · 8 · nb²)] =
+    [nb/12]. *)
+
+val spmv_intensity : Xsc_sparse.Csr.t -> float
+val stencil27_intensity : float
+(** Asymptotic intensity of the 27-point-stencil SpMV (what bounds HPCG). *)
+
+val stream_triad_intensity : float
+
+val point : Xsc_simmachine.Node.t -> kernel:string -> intensity:float -> point
+
+val standard_points : ?nb:int -> Xsc_simmachine.Node.t -> point list
+(** Triad, SpMV (27pt), small/large blocked GEMM — the canonical chart. *)
+
+val ridge_point : Xsc_simmachine.Node.t -> float
+(** Intensity at which the node transitions from bandwidth- to
+    compute-bound ([peak / BW], the machine balance). *)

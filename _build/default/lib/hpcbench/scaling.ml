@@ -1,0 +1,32 @@
+let halo_bytes ~local =
+  if local <= 0 then invalid_arg "Scaling.halo_bytes: local must be positive";
+  let l = float_of_int local in
+  8.0 *. ((6.0 *. l *. l) +. (12.0 *. l) +. 8.0)
+
+let iteration_time m ~local ~nodes =
+  if nodes <= 0 then invalid_arg "Scaling.iteration_time: nodes must be positive";
+  let open Xsc_simmachine in
+  let rows = float_of_int (local * local * local) in
+  let nnz = 27.0 *. rows in
+  (* SpMV + SymGS streaming, as in the HPCG model *)
+  let bytes = 3.0 *. ((12.0 *. nnz) +. (16.0 *. rows)) in
+  let t_stream = bytes /. m.Machine.node.Node.mem_bandwidth in
+  let t_halo =
+    if nodes = 1 then 0.0
+    else
+      (* 6 face messages dominate; edges/corners ride along in the volume *)
+      6.0 *. Network.ptp_avg m.Machine.network ~bytes:(halo_bytes ~local /. 6.0)
+  in
+  let t_sync = 2.0 *. Network.allreduce_time m.Machine.network ~ranks:nodes ~bytes:8.0 in
+  t_stream +. t_halo +. t_sync
+
+let weak_efficiency m ~local ~nodes =
+  iteration_time m ~local ~nodes:1 /. iteration_time m ~local ~nodes
+
+let strong_efficiency m ~total ~nodes =
+  if total <= 0 then invalid_arg "Scaling.strong_efficiency: total must be positive";
+  let t1 = iteration_time m ~local:total ~nodes:1 in
+  (* per-node cube edge shrinks with the cube root of the node count *)
+  let local = max 1 (int_of_float (Float.round (float_of_int total /. (float_of_int nodes ** (1.0 /. 3.0))))) in
+  let tp = iteration_time m ~local ~nodes in
+  t1 /. (float_of_int nodes *. tp)

@@ -1,0 +1,1 @@
+lib/linalg/blas.ml: Array Mat

@@ -1,0 +1,1 @@
+lib/linalg/blas.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/gallery.ml: Array Blas Lapack Mat Xsc_util

@@ -1,0 +1,1 @@
+lib/linalg/gallery.mli: Mat Xsc_util

@@ -1,0 +1,1 @@
+lib/linalg/gblas.ml: Array Lapack Mat Scalar

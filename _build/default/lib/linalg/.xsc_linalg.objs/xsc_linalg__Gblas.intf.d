@@ -1,0 +1,1 @@
+lib/linalg/gblas.mli: Mat Scalar Vec

@@ -1,0 +1,1 @@
+lib/linalg/lapack.ml: Array Blas Mat

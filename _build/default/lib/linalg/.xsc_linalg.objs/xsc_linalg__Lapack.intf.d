@@ -1,0 +1,1 @@
+lib/linalg/lapack.mli: Blas Mat Vec

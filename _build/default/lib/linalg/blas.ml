@@ -1,0 +1,297 @@
+type trans = NoTrans | Trans
+type side = Left | Right
+type uplo = Upper | Lower
+type diag = Unit | NonUnit
+
+let op_dims trans (m : Mat.t) =
+  match trans with NoTrans -> (m.rows, m.cols) | Trans -> (m.cols, m.rows)
+
+(* C <- alpha op(A) op(B) + beta C.
+
+   Each transpose combination gets its own loop nest so the inner loop walks
+   contiguous row-major storage wherever possible (the i-k-j order streams
+   both B and C rows for the NoTrans/NoTrans case). *)
+let gemm ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t) ~beta
+    (c : Mat.t) =
+  let ma, ka = op_dims transa a in
+  let kb, nb = op_dims transb b in
+  if ka <> kb then invalid_arg "Blas.gemm: inner dimension mismatch";
+  if c.rows <> ma || c.cols <> nb then invalid_arg "Blas.gemm: output dimension mismatch";
+  let m = ma and n = nb and k = ka in
+  let ad = a.data and bd = b.data and cd = c.data in
+  if beta <> 1.0 then
+    for i = 0 to (m * n) - 1 do
+      cd.(i) <- beta *. cd.(i)
+    done;
+  if alpha <> 0.0 then
+    match (transa, transb) with
+    | NoTrans, NoTrans ->
+      for i = 0 to m - 1 do
+        let arow = i * a.cols and crow = i * n in
+        for l = 0 to k - 1 do
+          let aik = alpha *. ad.(arow + l) in
+          if aik <> 0.0 then begin
+            let brow = l * b.cols in
+            for j = 0 to n - 1 do
+              cd.(crow + j) <- cd.(crow + j) +. (aik *. bd.(brow + j))
+            done
+          end
+        done
+      done
+    | NoTrans, Trans ->
+      for i = 0 to m - 1 do
+        let arow = i * a.cols and crow = i * n in
+        for j = 0 to n - 1 do
+          let brow = j * b.cols in
+          let acc = ref 0.0 in
+          for l = 0 to k - 1 do
+            acc := !acc +. (ad.(arow + l) *. bd.(brow + l))
+          done;
+          cd.(crow + j) <- cd.(crow + j) +. (alpha *. !acc)
+        done
+      done
+    | Trans, NoTrans ->
+      for l = 0 to k - 1 do
+        let arow = l * a.cols and brow = l * b.cols in
+        for i = 0 to m - 1 do
+          let aik = alpha *. ad.(arow + i) in
+          if aik <> 0.0 then begin
+            let crow = i * n in
+            for j = 0 to n - 1 do
+              cd.(crow + j) <- cd.(crow + j) +. (aik *. bd.(brow + j))
+            done
+          end
+        done
+      done
+    | Trans, Trans ->
+      for i = 0 to m - 1 do
+        let crow = i * n in
+        for j = 0 to n - 1 do
+          let brow = j * b.cols in
+          let acc = ref 0.0 in
+          for l = 0 to k - 1 do
+            acc := !acc +. (ad.((l * a.cols) + i) *. bd.(brow + l))
+          done;
+          cd.(crow + j) <- cd.(crow + j) +. (alpha *. !acc)
+        done
+      done
+
+let gemm_new ?(transa = NoTrans) ?(transb = NoTrans) a b =
+  let m, _ = op_dims transa a and _, n = op_dims transb b in
+  let c = Mat.create m n in
+  gemm ~transa ~transb ~alpha:1.0 a b ~beta:0.0 c;
+  c
+
+let gemv ?(trans = NoTrans) ~alpha (a : Mat.t) x ~beta y =
+  let m, n = op_dims trans a in
+  if Array.length x <> n then invalid_arg "Blas.gemv: x dimension mismatch";
+  if Array.length y <> m then invalid_arg "Blas.gemv: y dimension mismatch";
+  if beta <> 1.0 then
+    for i = 0 to m - 1 do
+      y.(i) <- beta *. y.(i)
+    done;
+  let ad = a.data in
+  (match trans with
+  | NoTrans ->
+    for i = 0 to m - 1 do
+      let base = i * a.cols in
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc := !acc +. (ad.(base + j) *. x.(j))
+      done;
+      y.(i) <- y.(i) +. (alpha *. !acc)
+    done
+  | Trans ->
+    for j = 0 to a.rows - 1 do
+      let base = j * a.cols in
+      let xv = alpha *. x.(j) in
+      if xv <> 0.0 then
+        for i = 0 to m - 1 do
+          y.(i) <- y.(i) +. (xv *. ad.(base + i))
+        done
+    done)
+
+let ger ~alpha x y (a : Mat.t) =
+  if Array.length x <> a.rows || Array.length y <> a.cols then
+    invalid_arg "Blas.ger: dimension mismatch";
+  let ad = a.data in
+  for i = 0 to a.rows - 1 do
+    let xi = alpha *. x.(i) in
+    if xi <> 0.0 then begin
+      let base = i * a.cols in
+      for j = 0 to a.cols - 1 do
+        ad.(base + j) <- ad.(base + j) +. (xi *. y.(j))
+      done
+    end
+  done
+
+let syrk ?(uplo = Lower) ?(trans = NoTrans) ~alpha (a : Mat.t) ~beta (c : Mat.t) =
+  let n, k = op_dims trans a in
+  if c.rows <> n || c.cols <> n then invalid_arg "Blas.syrk: output dimension mismatch";
+  let in_triangle i j = match uplo with Lower -> j <= i | Upper -> j >= i in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if in_triangle i j then begin
+        let acc = ref 0.0 in
+        (match trans with
+        | NoTrans ->
+          for l = 0 to k - 1 do
+            acc := !acc +. (Mat.get a i l *. Mat.get a j l)
+          done
+        | Trans ->
+          for l = 0 to k - 1 do
+            acc := !acc +. (Mat.get a l i *. Mat.get a l j)
+          done);
+        Mat.set c i j ((alpha *. !acc) +. (beta *. Mat.get c i j))
+      end
+    done
+  done
+
+let diag_value diag a i = match diag with Unit -> 1.0 | NonUnit -> Mat.get a i i
+
+(* B <- alpha op(A)^-1 B (Left) or alpha B op(A)^-1 (Right). The four
+   triangular orientations reduce to forward or backward substitution over
+   rows (Left) or columns (Right) of B. *)
+let trsm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~alpha
+    (a : Mat.t) (b : Mat.t) =
+  if a.rows <> a.cols then invalid_arg "Blas.trsm: A not square";
+  let n = a.rows in
+  (match side with
+  | Left -> if b.rows <> n then invalid_arg "Blas.trsm: dimension mismatch"
+  | Right -> if b.cols <> n then invalid_arg "Blas.trsm: dimension mismatch");
+  if alpha <> 1.0 then
+    for i = 0 to Array.length b.data - 1 do
+      b.data.(i) <- alpha *. b.data.(i)
+    done;
+  (* Effective orientation: a transposed triangle flips Lower <-> Upper with
+     element access swapped. *)
+  let aget i j = match trans with NoTrans -> Mat.get a i j | Trans -> Mat.get a j i in
+  let eff_uplo =
+    match (uplo, trans) with
+    | Lower, NoTrans | Upper, Trans -> Lower
+    | Upper, NoTrans | Lower, Trans -> Upper
+  in
+  match (side, eff_uplo) with
+  | Left, Lower ->
+    (* forward substitution on block rows of B *)
+    for i = 0 to n - 1 do
+      for l = 0 to i - 1 do
+        let ail = aget i l in
+        if ail <> 0.0 then
+          for j = 0 to b.cols - 1 do
+            Mat.set b i j (Mat.get b i j -. (ail *. Mat.get b l j))
+          done
+      done;
+      let d = diag_value diag a i in
+      if d <> 1.0 then
+        for j = 0 to b.cols - 1 do
+          Mat.set b i j (Mat.get b i j /. d)
+        done
+    done
+  | Left, Upper ->
+    for i = n - 1 downto 0 do
+      for l = i + 1 to n - 1 do
+        let ail = aget i l in
+        if ail <> 0.0 then
+          for j = 0 to b.cols - 1 do
+            Mat.set b i j (Mat.get b i j -. (ail *. Mat.get b l j))
+          done
+      done;
+      let d = diag_value diag a i in
+      if d <> 1.0 then
+        for j = 0 to b.cols - 1 do
+          Mat.set b i j (Mat.get b i j /. d)
+        done
+    done
+  | Right, Lower ->
+    (* X A = B with A lower: solve columns right-to-left. *)
+    for j = n - 1 downto 0 do
+      for l = j + 1 to n - 1 do
+        let alj = aget l j in
+        if alj <> 0.0 then
+          for i = 0 to b.rows - 1 do
+            Mat.set b i j (Mat.get b i j -. (Mat.get b i l *. alj))
+          done
+      done;
+      let d = diag_value diag a j in
+      if d <> 1.0 then
+        for i = 0 to b.rows - 1 do
+          Mat.set b i j (Mat.get b i j /. d)
+        done
+    done
+  | Right, Upper ->
+    for j = 0 to n - 1 do
+      for l = 0 to j - 1 do
+        let alj = aget l j in
+        if alj <> 0.0 then
+          for i = 0 to b.rows - 1 do
+            Mat.set b i j (Mat.get b i j -. (Mat.get b i l *. alj))
+          done
+      done;
+      let d = diag_value diag a j in
+      if d <> 1.0 then
+        for i = 0 to b.rows - 1 do
+          Mat.set b i j (Mat.get b i j /. d)
+        done
+    done
+
+let trsv ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) (a : Mat.t) x =
+  if a.rows <> a.cols then invalid_arg "Blas.trsv: A not square";
+  if Array.length x <> a.rows then invalid_arg "Blas.trsv: dimension mismatch";
+  let n = a.rows in
+  let aget i j = match trans with NoTrans -> Mat.get a i j | Trans -> Mat.get a j i in
+  let eff_uplo =
+    match (uplo, trans) with
+    | Lower, NoTrans | Upper, Trans -> Lower
+    | Upper, NoTrans | Lower, Trans -> Upper
+  in
+  match eff_uplo with
+  | Lower ->
+    for i = 0 to n - 1 do
+      let acc = ref x.(i) in
+      for l = 0 to i - 1 do
+        acc := !acc -. (aget i l *. x.(l))
+      done;
+      x.(i) <- (match diag with Unit -> !acc | NonUnit -> !acc /. Mat.get a i i)
+    done
+  | Upper ->
+    for i = n - 1 downto 0 do
+      let acc = ref x.(i) in
+      for l = i + 1 to n - 1 do
+        acc := !acc -. (aget i l *. x.(l))
+      done;
+      x.(i) <- (match diag with Unit -> !acc | NonUnit -> !acc /. Mat.get a i i)
+    done
+
+let trmm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~alpha
+    (a : Mat.t) (b : Mat.t) =
+  if a.rows <> a.cols then invalid_arg "Blas.trmm: A not square";
+  let n = a.rows in
+  (match side with
+  | Left -> if b.rows <> n then invalid_arg "Blas.trmm: dimension mismatch"
+  | Right -> if b.cols <> n then invalid_arg "Blas.trmm: dimension mismatch");
+  (* Build the effective triangular operand explicitly — trmm is not on the
+     critical path of any kernel, so clarity wins over blocking. *)
+  let tri =
+    Mat.init n n (fun i j ->
+        let v = match trans with NoTrans -> Mat.get a i j | Trans -> Mat.get a j i in
+        let eff_uplo =
+          match (uplo, trans) with
+          | Lower, NoTrans | Upper, Trans -> Lower
+          | Upper, NoTrans | Lower, Trans -> Upper
+        in
+        let inside = match eff_uplo with Lower -> i >= j | Upper -> i <= j in
+        if i = j then (match diag with Unit -> 1.0 | NonUnit -> v)
+        else if inside then v
+        else 0.0)
+  in
+  let result =
+    match side with
+    | Left -> gemm_new tri b
+    | Right -> gemm_new b tri
+  in
+  for i = 0 to Array.length b.data - 1 do
+    b.data.(i) <- alpha *. result.data.(i)
+  done
+
+let gemm_flops m n k = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k

@@ -1,0 +1,42 @@
+(** Level-2/3 BLAS subset in double precision.
+
+    These are the hot kernels of the tile algorithms; they operate in place
+    on {!Mat.t} storage with explicit transpose/side/uplo flags following
+    BLAS conventions. Dimension mismatches raise [Invalid_argument]. *)
+
+type trans = NoTrans | Trans
+type side = Left | Right
+type uplo = Upper | Lower
+type diag = Unit | NonUnit
+
+val gemm : ?transa:trans -> ?transb:trans -> alpha:float -> Mat.t -> Mat.t -> beta:float -> Mat.t -> unit
+(** [gemm ~alpha a b ~beta c] computes [C <- alpha op(A) op(B) + beta C]. *)
+
+val gemm_new : ?transa:trans -> ?transb:trans -> Mat.t -> Mat.t -> Mat.t
+(** Allocating convenience: [op(A) op(B)]. *)
+
+val gemv : ?trans:trans -> alpha:float -> Mat.t -> Vec.t -> beta:float -> Vec.t -> unit
+(** [y <- alpha op(A) x + beta y]. *)
+
+val ger : alpha:float -> Vec.t -> Vec.t -> Mat.t -> unit
+(** Rank-1 update [A <- alpha x yᵀ + A]. *)
+
+val syrk : ?uplo:uplo -> ?trans:trans -> alpha:float -> Mat.t -> beta:float -> Mat.t -> unit
+(** Symmetric rank-k update touching only the [uplo] triangle of [C]:
+    [C <- alpha A Aᵀ + beta C] ([NoTrans]) or [alpha Aᵀ A + beta C]
+    ([Trans]). Default lower, matching the Cholesky kernels. *)
+
+val trsm : ?side:side -> ?uplo:uplo -> ?trans:trans -> ?diag:diag -> alpha:float -> Mat.t -> Mat.t -> unit
+(** Triangular solve with multiple right-hand sides, in place on the second
+    argument: [B <- alpha op(A)⁻¹ B] ([Left]) or [B <- alpha B op(A)⁻¹]
+    ([Right]). *)
+
+val trsv : ?uplo:uplo -> ?trans:trans -> ?diag:diag -> Mat.t -> Vec.t -> unit
+(** Triangular solve with a single right-hand side, in place. *)
+
+val trmm : ?side:side -> ?uplo:uplo -> ?trans:trans -> ?diag:diag -> alpha:float -> Mat.t -> Mat.t -> unit
+(** Triangular matrix multiply in place on the second argument. *)
+
+val gemm_flops : int -> int -> int -> float
+(** Flop count of an [m x k] by [k x n] multiply ([2 m n k]), used by the
+    simulator's task weights and the Gflop/s reports. *)

@@ -1,0 +1,184 @@
+(* Two-phase symmetric eigensolver: Householder tridiagonalization then the
+   EISPACK tql2 implicit-shift QL iteration. *)
+
+let hypot a b = sqrt ((a *. a) +. (b *. b))
+
+let tridiagonalize (a0 : Mat.t) =
+  let n = a0.Mat.rows in
+  if n <> a0.Mat.cols then invalid_arg "Eigen.tridiagonalize: not square";
+  let a = Mat.symmetrize a0 in
+  let q = Mat.identity n in
+  let d = Array.make n 0.0 in
+  let e = Array.make (max 0 (n - 1)) 0.0 in
+  let v = Array.make n 0.0 in
+  for k = 0 to n - 3 do
+    (* Householder vector annihilating column k below row k+1 *)
+    let alpha = Mat.get a (k + 1) k in
+    let xnorm2 = ref 0.0 in
+    for i = k + 2 to n - 1 do
+      let x = Mat.get a i k in
+      xnorm2 := !xnorm2 +. (x *. x)
+    done;
+    if !xnorm2 > 0.0 then begin
+      let norm = sqrt ((alpha *. alpha) +. !xnorm2) in
+      let beta = if alpha >= 0.0 then -.norm else norm in
+      (* v = x - beta e1, normalised so that H = I - tau v v^T with
+         tau = 2 / (v^T v) *)
+      Array.fill v 0 n 0.0;
+      v.(k + 1) <- alpha -. beta;
+      for i = k + 2 to n - 1 do
+        v.(i) <- Mat.get a i k
+      done;
+      let vtv = ref 0.0 in
+      for i = k + 1 to n - 1 do
+        vtv := !vtv +. (v.(i) *. v.(i))
+      done;
+      let tau = 2.0 /. !vtv in
+      (* two-sided update: p = tau A v; w = p - (tau/2)(v^T p) v;
+         A <- A - v w^T - w v^T *)
+      let p = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for j = k + 1 to n - 1 do
+          acc := !acc +. (Mat.get a i j *. v.(j))
+        done;
+        p.(i) <- tau *. !acc
+      done;
+      let vtp = ref 0.0 in
+      for i = k + 1 to n - 1 do
+        vtp := !vtp +. (v.(i) *. p.(i))
+      done;
+      let w = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        w.(i) <- p.(i) -. (0.5 *. tau *. !vtp *. v.(i))
+      done;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Mat.set a i j (Mat.get a i j -. (v.(i) *. w.(j)) -. (w.(i) *. v.(j)))
+        done
+      done;
+      (* accumulate Q <- Q H  (H applied on the right) *)
+      for i = 0 to n - 1 do
+        let acc = ref 0.0 in
+        for j = k + 1 to n - 1 do
+          acc := !acc +. (Mat.get q i j *. v.(j))
+        done;
+        let s = tau *. !acc in
+        for j = k + 1 to n - 1 do
+          Mat.set q i j (Mat.get q i j -. (s *. v.(j)))
+        done
+      done
+    end
+  done;
+  for i = 0 to n - 1 do
+    d.(i) <- Mat.get a i i
+  done;
+  for i = 0 to n - 2 do
+    e.(i) <- Mat.get a (i + 1) i
+  done;
+  (d, e, q)
+
+(* EISPACK tql2: implicit-shift QL with eigenvector accumulation. [e] holds
+   the subdiagonal in e.(0 .. n-2); internally shifted to the classical
+   e.(1 .. n-1) indexing with a sentinel at the end. *)
+let tql2 ~d ~e ~z =
+  let n = Array.length d in
+  if n = 0 then ()
+  else begin
+    if Array.length e <> n - 1 then invalid_arg "Eigen.tql2: e must have length n-1";
+    if z.Mat.rows <> n || z.Mat.cols <> n then invalid_arg "Eigen.tql2: z dimension mismatch";
+    let ev = Array.make n 0.0 in
+    Array.blit e 0 ev 0 (n - 1);
+    for l = 0 to n - 1 do
+      let iter = ref 0 in
+      let finished = ref false in
+      while not !finished do
+        (* find the first small off-diagonal at or after l *)
+        let m = ref l in
+        let found = ref false in
+        while (not !found) && !m < n - 1 do
+          let dd = abs_float d.(!m) +. abs_float d.(!m + 1) in
+          if abs_float ev.(!m) <= epsilon_float *. dd then found := true else incr m
+        done;
+        if !m = l then finished := true
+        else begin
+          incr iter;
+          if !iter > 50 then failwith "Eigen.tql2: no convergence in 50 iterations";
+          (* implicit shift from the 2x2 at l *)
+          let g = (d.(l + 1) -. d.(l)) /. (2.0 *. ev.(l)) in
+          let r = hypot g 1.0 in
+          let sign_r = if g >= 0.0 then abs_float r else -.abs_float r in
+          let g = ref (d.(!m) -. d.(l) +. (ev.(l) /. (g +. sign_r))) in
+          let s = ref 1.0 and c = ref 1.0 and p = ref 0.0 in
+          let i = ref (!m - 1) in
+          let broke = ref false in
+          while !i >= l && not !broke do
+            let ii = !i in
+            let f = !s *. ev.(ii) in
+            let b = !c *. ev.(ii) in
+            let r = hypot f !g in
+            ev.(ii + 1) <- r;
+            if r = 0.0 then begin
+              (* recover from underflow: skip the rest of the sweep *)
+              d.(ii + 1) <- d.(ii + 1) -. !p;
+              ev.(!m) <- 0.0;
+              broke := true
+            end
+            else begin
+              s := f /. r;
+              c := !g /. r;
+              let gg = d.(ii + 1) -. !p in
+              let rr = ((d.(ii) -. gg) *. !s) +. (2.0 *. !c *. b) in
+              p := !s *. rr;
+              d.(ii + 1) <- gg +. !p;
+              g := (!c *. rr) -. b;
+              (* accumulate the rotation into the eigenvector columns *)
+              for k = 0 to n - 1 do
+                let f = Mat.get z k (ii + 1) in
+                Mat.set z k (ii + 1) ((!s *. Mat.get z k ii) +. (!c *. f));
+                Mat.set z k ii ((!c *. Mat.get z k ii) -. (!s *. f))
+              done;
+              decr i
+            end
+          done;
+          if not !broke then begin
+            d.(l) <- d.(l) -. !p;
+            ev.(l) <- !g;
+            ev.(!m) <- 0.0
+          end
+        end
+      done
+    done;
+    (* sort ascending, permuting the vector columns along *)
+    for i = 0 to n - 2 do
+      let k = ref i in
+      for j = i + 1 to n - 1 do
+        if d.(j) < d.(!k) then k := j
+      done;
+      if !k <> i then begin
+        let tmp = d.(i) in
+        d.(i) <- d.(!k);
+        d.(!k) <- tmp;
+        for r = 0 to n - 1 do
+          let t = Mat.get z r i in
+          Mat.set z r i (Mat.get z r !k);
+          Mat.set z r !k t
+        done
+      end
+    done;
+    Array.blit ev 0 e 0 (n - 1)
+  end
+
+let symmetric a =
+  let d, e, q = tridiagonalize a in
+  tql2 ~d ~e ~z:q;
+  (d, q)
+
+let eigenvalues a = fst (symmetric a)
+
+let condition_spd a =
+  let ev = eigenvalues a in
+  let n = Array.length ev in
+  if n = 0 then invalid_arg "Eigen.condition_spd: empty matrix";
+  if ev.(0) <= 0.0 then invalid_arg "Eigen.condition_spd: matrix not positive definite";
+  ev.(n - 1) /. ev.(0)

@@ -1,0 +1,39 @@
+let random_orthogonal rng n =
+  if n <= 0 then invalid_arg "Gallery.random_orthogonal: n must be positive";
+  let b = Mat.init n n (fun _ _ -> Xsc_util.Rng.gaussian rng) in
+  let w = Mat.copy b in
+  let tau = Lapack.geqrf w in
+  let q = Lapack.orgqr ~a:w ~tau in
+  (* fix the signs so the distribution is not biased by R's diagonal *)
+  for j = 0 to n - 1 do
+    if Mat.get w j j < 0.0 then
+      for i = 0 to n - 1 do
+        Mat.set q i j (-.(Mat.get q i j))
+      done
+  done;
+  q
+
+let with_spectrum rng eigenvalues =
+  let n = Array.length eigenvalues in
+  if n = 0 then invalid_arg "Gallery.with_spectrum: empty spectrum";
+  let q = random_orthogonal rng n in
+  let qd = Mat.init n n (fun i j -> Mat.get q i j *. eigenvalues.(j)) in
+  Mat.symmetrize (Blas.gemm_new ~transb:Blas.Trans qd q)
+
+let spd_with_cond rng n ~cond =
+  if cond < 1.0 then invalid_arg "Gallery.spd_with_cond: cond must be >= 1";
+  let spectrum =
+    Array.init n (fun i ->
+        if n = 1 then 1.0
+        else cond ** (-.float_of_int i /. float_of_int (n - 1)))
+  in
+  with_spectrum rng spectrum
+
+let hilbert n =
+  if n <= 0 then invalid_arg "Gallery.hilbert: n must be positive";
+  Mat.init n n (fun i j -> 1.0 /. float_of_int (i + j + 1))
+
+let tridiagonal_toeplitz n ~diag ~off =
+  if n <= 0 then invalid_arg "Gallery.tridiagonal_toeplitz: n must be positive";
+  Mat.init n n (fun i j ->
+      if i = j then diag else if abs (i - j) = 1 then off else 0.0)

@@ -1,0 +1,137 @@
+module Make (P : Scalar.S) = struct
+  let quantize_mat m = Mat.map P.round m
+  let quantize_vec v = Array.map P.round v
+
+  let gemm ~alpha (a : Mat.t) (b : Mat.t) ~beta (c : Mat.t) =
+    if a.cols <> b.rows || c.rows <> a.rows || c.cols <> b.cols then
+      invalid_arg "Gblas.gemm: dimension mismatch";
+    for i = 0 to c.rows - 1 do
+      for j = 0 to c.cols - 1 do
+        let acc = ref (P.mul beta (Mat.get c i j)) in
+        for k = 0 to a.cols - 1 do
+          acc := P.add !acc (P.mul alpha (P.mul (Mat.get a i k) (Mat.get b k j)))
+        done;
+        Mat.set c i j !acc
+      done
+    done
+
+  let gemv ~alpha (a : Mat.t) x ~beta y =
+    if Array.length x <> a.cols || Array.length y <> a.rows then
+      invalid_arg "Gblas.gemv: dimension mismatch";
+    for i = 0 to a.rows - 1 do
+      let acc = ref (P.mul beta y.(i)) in
+      for j = 0 to a.cols - 1 do
+        acc := P.add !acc (P.mul alpha (P.mul (Mat.get a i j) x.(j)))
+      done;
+      y.(i) <- !acc
+    done
+
+  let dot x y =
+    if Array.length x <> Array.length y then invalid_arg "Gblas.dot: length mismatch";
+    let acc = ref 0.0 in
+    for i = 0 to Array.length x - 1 do
+      acc := P.add !acc (P.mul x.(i) y.(i))
+    done;
+    !acc
+
+  let potrf (a : Mat.t) =
+    if a.rows <> a.cols then invalid_arg "Gblas.potrf: not square";
+    let n = a.rows in
+    for j = 0 to n - 1 do
+      let d = ref (Mat.get a j j) in
+      for k = 0 to j - 1 do
+        let l = Mat.get a j k in
+        d := P.sub !d (P.mul l l)
+      done;
+      if !d <= 0.0 then raise (Lapack.Singular j);
+      let ljj = P.sqrt !d in
+      Mat.set a j j ljj;
+      for i = j + 1 to n - 1 do
+        let acc = ref (Mat.get a i j) in
+        for k = 0 to j - 1 do
+          acc := P.sub !acc (P.mul (Mat.get a i k) (Mat.get a j k))
+        done;
+        Mat.set a i j (P.div !acc ljj)
+      done
+    done
+
+  let potrs (a : Mat.t) b =
+    let n = a.rows in
+    if Array.length b <> n then invalid_arg "Gblas.potrs: dimension mismatch";
+    (* forward: L y = b *)
+    for i = 0 to n - 1 do
+      let acc = ref b.(i) in
+      for k = 0 to i - 1 do
+        acc := P.sub !acc (P.mul (Mat.get a i k) b.(k))
+      done;
+      b.(i) <- P.div !acc (Mat.get a i i)
+    done;
+    (* backward: L^T x = y *)
+    for i = n - 1 downto 0 do
+      let acc = ref b.(i) in
+      for k = i + 1 to n - 1 do
+        acc := P.sub !acc (P.mul (Mat.get a k i) b.(k))
+      done;
+      b.(i) <- P.div !acc (Mat.get a i i)
+    done
+
+  let getrf (a : Mat.t) =
+    if a.rows <> a.cols then invalid_arg "Gblas.getrf: not square";
+    let n = a.rows in
+    let ipiv = Array.make n 0 in
+    for k = 0 to n - 1 do
+      let pivot_row = ref k in
+      let pivot_val = ref (abs_float (Mat.get a k k)) in
+      for i = k + 1 to n - 1 do
+        let v = abs_float (Mat.get a i k) in
+        if v > !pivot_val then begin
+          pivot_val := v;
+          pivot_row := i
+        end
+      done;
+      ipiv.(k) <- !pivot_row;
+      if !pivot_val = 0.0 then raise (Lapack.Singular k);
+      if !pivot_row <> k then
+        for j = 0 to n - 1 do
+          let tmp = Mat.get a k j in
+          Mat.set a k j (Mat.get a !pivot_row j);
+          Mat.set a !pivot_row j tmp
+        done;
+      let akk = Mat.get a k k in
+      for i = k + 1 to n - 1 do
+        let lik = P.div (Mat.get a i k) akk in
+        Mat.set a i k lik;
+        if lik <> 0.0 then
+          for j = k + 1 to n - 1 do
+            Mat.set a i j (P.sub (Mat.get a i j) (P.mul lik (Mat.get a k j)))
+          done
+      done
+    done;
+    ipiv
+
+  let getrs (a : Mat.t) ipiv b =
+    let n = a.rows in
+    if Array.length b <> n then invalid_arg "Gblas.getrs: dimension mismatch";
+    Array.iteri
+      (fun k p ->
+        if p <> k then begin
+          let tmp = b.(k) in
+          b.(k) <- b.(p);
+          b.(p) <- tmp
+        end)
+      ipiv;
+    for i = 0 to n - 1 do
+      let acc = ref b.(i) in
+      for k = 0 to i - 1 do
+        acc := P.sub !acc (P.mul (Mat.get a i k) b.(k))
+      done;
+      b.(i) <- !acc
+    done;
+    for i = n - 1 downto 0 do
+      let acc = ref b.(i) in
+      for k = i + 1 to n - 1 do
+        acc := P.sub !acc (P.mul (Mat.get a i k) b.(k))
+      done;
+      b.(i) <- P.div !acc (Mat.get a i i)
+    done
+end

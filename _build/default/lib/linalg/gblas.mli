@@ -1,0 +1,29 @@
+(** BLAS/LAPACK kernels generic over the scalar precision.
+
+    [Make (P)] instantiates the kernels with every arithmetic operation
+    rounded to precision [P] — the numerical behaviour of running the same
+    algorithm on fp32/fp16 hardware. Used by the mixed-precision iterative
+    refinement experiment, where the factorization runs at low precision and
+    the residual/update at double. *)
+
+module Make (P : Scalar.S) : sig
+  val quantize_mat : Mat.t -> Mat.t
+  (** Round every entry into the format (the "conversion" step of a
+      mixed-precision solver). *)
+
+  val quantize_vec : Vec.t -> Vec.t
+
+  val gemm : alpha:float -> Mat.t -> Mat.t -> beta:float -> Mat.t -> unit
+  (** [C <- alpha A B + beta C] with every multiply-add rounded. *)
+
+  val gemv : alpha:float -> Mat.t -> Vec.t -> beta:float -> Vec.t -> unit
+  val dot : Vec.t -> Vec.t -> float
+  val potrf : Mat.t -> unit
+  (** Raises [Lapack.Singular] on breakdown (more likely at low
+      precision). *)
+
+  val potrs : Mat.t -> Vec.t -> unit
+
+  val getrf : Mat.t -> int array
+  val getrs : Mat.t -> int array -> Vec.t -> unit
+end

@@ -1,0 +1,302 @@
+exception Singular of int
+
+let potrf (a : Mat.t) =
+  if a.rows <> a.cols then invalid_arg "Lapack.potrf: not square";
+  let n = a.rows in
+  for j = 0 to n - 1 do
+    (* d = a_jj - sum_k l_jk^2 *)
+    let d = ref (Mat.get a j j) in
+    for k = 0 to j - 1 do
+      let l = Mat.get a j k in
+      d := !d -. (l *. l)
+    done;
+    if !d <= 0.0 then raise (Singular j);
+    let ljj = sqrt !d in
+    Mat.set a j j ljj;
+    for i = j + 1 to n - 1 do
+      let acc = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        acc := !acc -. (Mat.get a i k *. Mat.get a j k)
+      done;
+      Mat.set a i j (!acc /. ljj)
+    done
+  done
+
+let potrs a b =
+  Blas.trsv ~uplo:Blas.Lower ~trans:Blas.NoTrans a b;
+  Blas.trsv ~uplo:Blas.Lower ~trans:Blas.Trans a b
+
+let getrf (a : Mat.t) =
+  if a.rows <> a.cols then invalid_arg "Lapack.getrf: not square";
+  let n = a.rows in
+  let ipiv = Array.make n 0 in
+  for k = 0 to n - 1 do
+    (* partial pivoting: largest magnitude in column k at or below row k *)
+    let pivot_row = ref k in
+    let pivot_val = ref (abs_float (Mat.get a k k)) in
+    for i = k + 1 to n - 1 do
+      let v = abs_float (Mat.get a i k) in
+      if v > !pivot_val then begin
+        pivot_val := v;
+        pivot_row := i
+      end
+    done;
+    ipiv.(k) <- !pivot_row;
+    if !pivot_val = 0.0 then raise (Singular k);
+    if !pivot_row <> k then
+      for j = 0 to n - 1 do
+        let tmp = Mat.get a k j in
+        Mat.set a k j (Mat.get a !pivot_row j);
+        Mat.set a !pivot_row j tmp
+      done;
+    let akk = Mat.get a k k in
+    for i = k + 1 to n - 1 do
+      let lik = Mat.get a i k /. akk in
+      Mat.set a i k lik;
+      if lik <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set a i j (Mat.get a i j -. (lik *. Mat.get a k j))
+        done
+    done
+  done;
+  ipiv
+
+let getrf_nopiv (a : Mat.t) =
+  if a.rows <> a.cols then invalid_arg "Lapack.getrf_nopiv: not square";
+  let n = a.rows in
+  for k = 0 to n - 1 do
+    let akk = Mat.get a k k in
+    if akk = 0.0 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let lik = Mat.get a i k /. akk in
+      Mat.set a i k lik;
+      if lik <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set a i j (Mat.get a i j -. (lik *. Mat.get a k j))
+        done
+    done
+  done
+
+let getrf_blocked ?(nb = 64) (a : Mat.t) =
+  if a.rows <> a.cols then invalid_arg "Lapack.getrf_blocked: not square";
+  if nb <= 0 then invalid_arg "Lapack.getrf_blocked: nb must be positive";
+  let n = a.rows in
+  let ipiv = Array.make n 0 in
+  let swap_rows r1 r2 =
+    if r1 <> r2 then
+      for j = 0 to n - 1 do
+        let tmp = Mat.get a r1 j in
+        Mat.set a r1 j (Mat.get a r2 j);
+        Mat.set a r2 j tmp
+      done
+  in
+  let k0 = ref 0 in
+  while !k0 < n do
+    let kb = min nb (n - !k0) in
+    let k1 = !k0 + kb in
+    (* unblocked panel factorization on columns k0..k1-1; interchanges are
+       applied to the full rows so L and the trailing matrix stay in sync *)
+    for j = !k0 to k1 - 1 do
+      let pivot_row = ref j in
+      let pivot_val = ref (abs_float (Mat.get a j j)) in
+      for i = j + 1 to n - 1 do
+        let v = abs_float (Mat.get a i j) in
+        if v > !pivot_val then begin
+          pivot_val := v;
+          pivot_row := i
+        end
+      done;
+      ipiv.(j) <- !pivot_row;
+      if !pivot_val = 0.0 then raise (Singular j);
+      swap_rows j !pivot_row;
+      let ajj = Mat.get a j j in
+      for i = j + 1 to n - 1 do
+        let lij = Mat.get a i j /. ajj in
+        Mat.set a i j lij;
+        if lij <> 0.0 then
+          for l = j + 1 to k1 - 1 do
+            Mat.set a i l (Mat.get a i l -. (lij *. Mat.get a j l))
+          done
+      done
+    done;
+    if k1 < n then begin
+      (* block row: U_12 <- L_11^-1 A_12 *)
+      let l11 = Mat.sub_block a ~row:!k0 ~col:!k0 ~rows:kb ~cols:kb in
+      let a12 = Mat.sub_block a ~row:!k0 ~col:k1 ~rows:kb ~cols:(n - k1) in
+      Blas.trsm ~side:Blas.Left ~uplo:Blas.Lower ~diag:Blas.Unit ~alpha:1.0 l11 a12;
+      Mat.blit_block ~src:a12 ~dst:a ~src_row:0 ~src_col:0 ~dst_row:!k0 ~dst_col:k1
+        ~rows:kb ~cols:(n - k1);
+      (* trailing update: A_22 <- A_22 - L_21 U_12 *)
+      let l21 = Mat.sub_block a ~row:k1 ~col:!k0 ~rows:(n - k1) ~cols:kb in
+      let a22 = Mat.sub_block a ~row:k1 ~col:k1 ~rows:(n - k1) ~cols:(n - k1) in
+      Blas.gemm ~alpha:(-1.0) l21 a12 ~beta:1.0 a22;
+      Mat.blit_block ~src:a22 ~dst:a ~src_row:0 ~src_col:0 ~dst_row:k1 ~dst_col:k1
+        ~rows:(n - k1) ~cols:(n - k1)
+    end;
+    k0 := k1
+  done;
+  ipiv
+
+let apply_pivots_vec ipiv b =
+  Array.iteri
+    (fun k p ->
+      if p <> k then begin
+        let tmp = b.(k) in
+        b.(k) <- b.(p);
+        b.(p) <- tmp
+      end)
+    ipiv
+
+let getrs a ipiv b =
+  if Array.length b <> a.Mat.rows then invalid_arg "Lapack.getrs: dimension mismatch";
+  apply_pivots_vec ipiv b;
+  Blas.trsv ~uplo:Blas.Lower ~diag:Blas.Unit a b;
+  Blas.trsv ~uplo:Blas.Upper a b
+
+let getrs_nopiv a b =
+  Blas.trsv ~uplo:Blas.Lower ~diag:Blas.Unit a b;
+  Blas.trsv ~uplo:Blas.Upper a b
+
+let laswp (m : Mat.t) ipiv =
+  Array.iteri
+    (fun k p ->
+      if p <> k then
+        for j = 0 to m.cols - 1 do
+          let tmp = Mat.get m k j in
+          Mat.set m k j (Mat.get m p j);
+          Mat.set m p j tmp
+        done)
+    ipiv
+
+(* Householder reflector for x = A[k.., k]: returns tau and writes beta to
+   A[k,k] and v(1..) below; v(0) = 1 is implicit (LAPACK dlarfg). *)
+let larfg (a : Mat.t) k =
+  let m = a.rows in
+  let alpha = Mat.get a k k in
+  let xnorm2 = ref 0.0 in
+  for i = k + 1 to m - 1 do
+    let v = Mat.get a i k in
+    xnorm2 := !xnorm2 +. (v *. v)
+  done;
+  if !xnorm2 = 0.0 then 0.0
+  else begin
+    let norm = sqrt ((alpha *. alpha) +. !xnorm2) in
+    let beta = if alpha >= 0.0 then -.norm else norm in
+    let tau = (beta -. alpha) /. beta in
+    let scale = 1.0 /. (alpha -. beta) in
+    for i = k + 1 to m - 1 do
+      Mat.set a i k (Mat.get a i k *. scale)
+    done;
+    Mat.set a k k beta;
+    tau
+  end
+
+(* Apply H = I - tau v v^T (v from column k of [a], v0 = 1) to columns
+   [j0, j1) of [c], rows k.. — shared by geqrf and ormqr. *)
+let apply_reflector (a : Mat.t) k tau (c : Mat.t) j0 j1 =
+  if tau <> 0.0 then
+    for j = j0 to j1 - 1 do
+      (* w = v^T c_j *)
+      let w = ref (Mat.get c k j) in
+      for i = k + 1 to a.rows - 1 do
+        w := !w +. (Mat.get a i k *. Mat.get c i j)
+      done;
+      let tw = tau *. !w in
+      Mat.set c k j (Mat.get c k j -. tw);
+      for i = k + 1 to a.rows - 1 do
+        Mat.set c i j (Mat.get c i j -. (Mat.get a i k *. tw))
+      done
+    done
+
+let geqrf (a : Mat.t) =
+  let kmax = min a.rows a.cols in
+  let tau = Array.make kmax 0.0 in
+  for k = 0 to kmax - 1 do
+    tau.(k) <- larfg a k;
+    (* trailing update must not disturb the stored v in column k, so we
+       temporarily stash beta and restore after applying to columns k+1.. *)
+    apply_reflector a k tau.(k) a (k + 1) a.cols
+  done;
+  tau
+
+let ormqr ~trans ~a ~tau (c : Mat.t) =
+  if c.Mat.rows <> a.Mat.rows then invalid_arg "Lapack.ormqr: dimension mismatch";
+  let kmax = Array.length tau in
+  (match trans with
+  | Blas.Trans ->
+    (* Q^T C = H_{K-1} ... H_0 C: apply in ascending order *)
+    for k = 0 to kmax - 1 do
+      apply_reflector a k tau.(k) c 0 c.Mat.cols
+    done
+  | Blas.NoTrans ->
+    for k = kmax - 1 downto 0 do
+      apply_reflector a k tau.(k) c 0 c.Mat.cols
+    done)
+
+let orgqr ~a ~tau =
+  let m = a.Mat.rows and n = a.Mat.cols in
+  let q = Mat.init m n (fun i j -> if i = j then 1.0 else 0.0) in
+  ormqr ~trans:Blas.NoTrans ~a ~tau q;
+  q
+
+let gels a b =
+  let m, n = Mat.dims a in
+  if m < n then invalid_arg "Lapack.gels: system must be overdetermined";
+  if Array.length b <> m then invalid_arg "Lapack.gels: dimension mismatch";
+  let qr = Mat.copy a in
+  let tau = geqrf qr in
+  let rhs = Mat.init m 1 (fun i _ -> b.(i)) in
+  ormqr ~trans:Blas.Trans ~a:qr ~tau rhs;
+  (* back-substitute with the n x n upper triangle *)
+  let x = Array.init n (fun i -> Mat.get rhs i 0) in
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Mat.get qr i j *. x.(j))
+    done;
+    let d = Mat.get qr i i in
+    if d = 0.0 then raise (Singular i);
+    x.(i) <- !acc /. d
+  done;
+  x
+
+let chol_solve a b =
+  let f = Mat.copy a in
+  potrf f;
+  let x = Array.copy b in
+  potrs f x;
+  x
+
+let lu_solve a b =
+  let f = Mat.copy a in
+  let ipiv = getrf f in
+  let x = Array.copy b in
+  getrs f ipiv x;
+  x
+
+let inverse a =
+  let n = a.Mat.rows in
+  if n <> a.Mat.cols then invalid_arg "Lapack.inverse: not square";
+  let f = Mat.copy a in
+  let ipiv = getrf f in
+  let inv = Mat.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
+    getrs f ipiv e;
+    for i = 0 to n - 1 do
+      Mat.set inv i j e.(i)
+    done
+  done;
+  inv
+
+let potrf_flops n =
+  let fn = float_of_int n in
+  fn *. fn *. fn /. 3.0
+
+let getrf_flops n =
+  let fn = float_of_int n in
+  2.0 *. fn *. fn *. fn /. 3.0
+
+let geqrf_flops m n =
+  let fm = float_of_int m and fn = float_of_int n in
+  (2.0 *. fm *. fn *. fn) -. (2.0 *. fn *. fn *. fn /. 3.0)

@@ -1,0 +1,55 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let copy = Array.copy
+let of_list = Array.of_list
+
+let random rng n = Array.init n (fun _ -> (2.0 *. Xsc_util.Rng.uniform rng) -. 1.0)
+
+let fill a x = Array.fill a 0 (Array.length a) x
+
+let check_same_length name x y =
+  if Array.length x <> Array.length y then invalid_arg (name ^ ": length mismatch")
+
+let dot x y =
+  check_same_length "Vec.dot" x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let axpy alpha x y =
+  check_same_length "Vec.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let scal alpha x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+let add x y =
+  check_same_length "Vec.add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_length "Vec.sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let nrm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun acc v -> max acc (abs_float v)) 0.0 x
+
+let dist_inf x y =
+  check_same_length "Vec.dist_inf" x y;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := max !acc (abs_float (x.(i) -. y.(i)))
+  done;
+  !acc
+
+let approx_equal ?(tol = 1e-10) x y =
+  Array.length x = Array.length y && dist_inf x y <= tol

@@ -1,0 +1,30 @@
+(** Dense vectors as unboxed [float array]s with the level-1 operations the
+    iterative solvers need. All operations check dimensions. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero-initialised vector. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val of_list : float list -> t
+
+val random : Xsc_util.Rng.t -> int -> t
+(** Entries uniform in [\[-1, 1)]. *)
+
+val fill : t -> float -> unit
+val dot : t -> t -> float
+val axpy : float -> t -> t -> unit
+(** [axpy alpha x y] computes [y <- alpha * x + y]. *)
+
+val scal : float -> t -> unit
+val add : t -> t -> t
+val sub : t -> t -> t
+val nrm2 : t -> float
+val norm_inf : t -> float
+val dist_inf : t -> t -> float
+(** Max-norm of the difference. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Component-wise comparison with absolute tolerance (default [1e-10]). *)

@@ -1,0 +1,1 @@
+lib/precision/ir.ml: Array Blas Gblas Lapack List Mat Scalar Vec Xsc_linalg

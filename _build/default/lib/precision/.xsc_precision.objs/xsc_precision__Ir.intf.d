@@ -1,0 +1,1 @@
+lib/precision/ir.mli: Mat Scalar Vec Xsc_linalg

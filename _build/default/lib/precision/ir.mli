@@ -1,0 +1,53 @@
+(** Mixed-precision iterative refinement.
+
+    The extreme-scale "rule": factorizations dominate the flops and run ~2x
+    faster (4x for fp16 with tensor cores) at reduced precision; a handful of
+    cheap refinement sweeps in double recovers full accuracy whenever the
+    matrix is not too ill-conditioned (Langou et al. 2006, Carson & Higham
+    2017). The factorization here uses genuinely rounded low-precision
+    arithmetic ({!Xsc_linalg.Gblas}); residuals and updates are double. *)
+
+open Xsc_linalg
+
+type report = {
+  x : Vec.t;  (** refined solution *)
+  iterations : int;  (** refinement sweeps performed *)
+  converged : bool;
+  backward_error : float;
+      (** final normwise relative backward error
+          [||b - Ax||_inf / (||A||_inf ||x||_inf + ||b||_inf)] *)
+  factor_flops : float;  (** flops spent in the low-precision factorization *)
+  refine_flops : float;  (** flops spent in refinement sweeps *)
+  history : float list;  (** backward error after each sweep, oldest first *)
+}
+
+val lu_ir :
+  ?max_iter:int -> ?tol:float -> precision:(module Scalar.S) -> Mat.t -> Vec.t -> report
+(** Solve a general system: LU with partial pivoting at [precision],
+    refinement in double. [tol] defaults to a small multiple of double unit
+    roundoff; [max_iter] defaults to 50. Raises [Lapack.Singular] if the
+    low-precision factorization breaks down. *)
+
+val chol_ir :
+  ?max_iter:int -> ?tol:float -> precision:(module Scalar.S) -> Mat.t -> Vec.t -> report
+(** Same for SPD systems with Cholesky. *)
+
+val gmres_ir :
+  ?max_iter:int -> ?tol:float -> ?restart:int -> precision:(module Scalar.S) -> Mat.t ->
+  Vec.t -> report
+(** GMRES-based iterative refinement (Carson & Higham): each correction
+    equation is solved by a few GMRES steps on the low-precision-LU
+    preconditioned operator [U⁻¹L⁻¹PA] (applied in double), instead of a
+    single triangular solve. Converges for condition numbers far beyond
+    plain {!lu_ir}'s [1/eps_low] limit — the trick that makes fp16
+    factorization usable on realistic matrices. [restart] is the GMRES
+    basis size per correction (default 10). *)
+
+val plain_solve_flops : int -> float
+(** Flops of a plain double LU solve of size [n] — the baseline of the
+    speedup model in FIG-4. *)
+
+val ir_model_time : n:int -> low_rate:float -> high_rate:float -> iterations:int -> float
+(** Machine-model time of an IR solve: factorization at [low_rate] flop/s
+    plus [iterations] refinement sweeps ([O(n^2)] each) at [high_rate].
+    Used to report the modelled speedup next to the measured accuracy. *)

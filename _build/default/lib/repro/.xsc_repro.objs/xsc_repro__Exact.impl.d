@@ -1,0 +1,1 @@
+lib/repro/exact.ml: Array Float

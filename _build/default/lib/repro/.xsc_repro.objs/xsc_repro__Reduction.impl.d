@@ -1,0 +1,1 @@
+lib/repro/reduction.ml: Array Exact List Xsc_util

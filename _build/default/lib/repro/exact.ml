@@ -1,0 +1,116 @@
+(* Shewchuk-style expansion arithmetic. Invariant: [comps] holds
+   non-overlapping doubles in increasing order of magnitude whose exact sum
+   is the accumulated value; zeros may appear and are squeezed out by
+   [compress]. *)
+
+type t = { mutable comps : float array; mutable len : int }
+
+let create () = { comps = Array.make 8 0.0; len = 0 }
+
+let two_sum a b =
+  let s = a +. b in
+  let bv = s -. a in
+  let av = s -. bv in
+  let err = (a -. av) +. (b -. bv) in
+  (s, err)
+
+let ensure_capacity t n =
+  if n > Array.length t.comps then begin
+    let bigger = Array.make (max n (2 * Array.length t.comps)) 0.0 in
+    Array.blit t.comps 0 bigger 0 t.len;
+    t.comps <- bigger
+  end
+
+(* GROW-EXPANSION: add [x] keeping exactness, then drop zeros. *)
+let grow t x =
+  ensure_capacity t (t.len + 1);
+  let q = ref x in
+  let out = ref 0 in
+  for i = 0 to t.len - 1 do
+    let s, err = two_sum !q t.comps.(i) in
+    q := s;
+    if err <> 0.0 then begin
+      t.comps.(!out) <- err;
+      incr out
+    end
+  done;
+  t.comps.(!out) <- !q;
+  t.len <- !out + 1
+
+let compress t =
+  (* Two passes of the renormalisation from Shewchuk §2.8: bottom-up then
+     top-down, yielding a minimal-length non-overlapping expansion. *)
+  if t.len > 1 then begin
+    let q = ref t.comps.(t.len - 1) in
+    let bottom = ref (t.len - 1) in
+    for i = t.len - 2 downto 0 do
+      let s, err = two_sum !q t.comps.(i) in
+      if err <> 0.0 then begin
+        t.comps.(!bottom) <- s;
+        decr bottom;
+        q := err
+      end
+      else q := s
+    done;
+    t.comps.(!bottom) <- !q;
+    let top = ref !bottom in
+    for i = !bottom + 1 to t.len - 1 do
+      let s, err = two_sum t.comps.(i) !q in
+      q := s;
+      if err <> 0.0 then begin
+        t.comps.(!top) <- err;
+        incr top
+      end
+    done;
+    t.comps.(!top) <- !q;
+    let new_len = !top - !bottom + 1 in
+    Array.blit t.comps !bottom t.comps 0 new_len;
+    t.len <- new_len
+  end
+
+let add t x =
+  if not (Float.is_finite x) then invalid_arg "Exact.add: non-finite input";
+  grow t x;
+  if t.len > 32 then compress t
+
+let add_expansion t other =
+  for i = 0 to other.len - 1 do
+    add t other.comps.(i)
+  done
+
+let value t =
+  compress t;
+  if t.len = 0 then 0.0
+  else begin
+    (* After compression the components are non-overlapping with the largest
+       last; summing smallest-first rounds correctly. *)
+    let acc = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      acc := !acc +. t.comps.(i)
+    done;
+    !acc
+  end
+
+let components t =
+  compress t;
+  Array.sub t.comps 0 t.len
+
+let sum a =
+  let t = create () in
+  Array.iter (add t) a;
+  value t
+
+let two_product a b =
+  let p = a *. b in
+  let err = Float.fma a b (-.p) in
+  (p, err)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Exact.dot: length mismatch";
+  let t = create () in
+  for i = 0 to Array.length a - 1 do
+    let p, err = two_product a.(i) b.(i) in
+    add t p;
+    if err <> 0.0 then add t err
+  done;
+  value t

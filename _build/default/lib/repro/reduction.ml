@@ -1,0 +1,73 @@
+type strategy =
+  | Sequential
+  | Fixed_tree of int
+  | Timing_dependent of int * int
+  | Exact_leaves of int
+
+let chunk_bounds n p i =
+  let base = n / p and rem = n mod p in
+  let lo = (i * base) + min i rem in
+  let hi = lo + base + (if i < rem then 1 else 0) in
+  (lo, hi)
+
+let chunk_sum a lo hi =
+  let acc = ref 0.0 in
+  for i = lo to hi - 1 do
+    acc := !acc +. a.(i)
+  done;
+  !acc
+
+let partial_sums a p =
+  let n = Array.length a in
+  Array.init p (fun i ->
+      let lo, hi = chunk_bounds n p i in
+      chunk_sum a lo hi)
+
+(* Combine pairwise in a fixed binary tree: (((s0+s1)+(s2+s3))+...). *)
+let rec tree_combine parts =
+  match Array.length parts with
+  | 0 -> 0.0
+  | 1 -> parts.(0)
+  | n ->
+    let half = (n + 1) / 2 in
+    let next =
+      Array.init half (fun i ->
+          if (2 * i) + 1 < n then parts.(2 * i) +. parts.((2 * i) + 1) else parts.(2 * i))
+    in
+    tree_combine next
+
+let reduce strategy a =
+  match strategy with
+  | Sequential -> chunk_sum a 0 (Array.length a)
+  | Fixed_tree p ->
+    if p <= 0 then invalid_arg "Reduction.reduce: p must be positive";
+    tree_combine (partial_sums a p)
+  | Timing_dependent (p, seed) ->
+    if p <= 0 then invalid_arg "Reduction.reduce: p must be positive";
+    let parts = partial_sums a p in
+    (* "Arrival order" is a shuffle; the running sum then absorbs partials in
+       that order, exactly like a naive non-deterministic allreduce. *)
+    let rng = Xsc_util.Rng.create seed in
+    Xsc_util.Rng.shuffle rng parts;
+    Array.fold_left ( +. ) 0.0 parts
+  | Exact_leaves p ->
+    if p <= 0 then invalid_arg "Reduction.reduce: p must be positive";
+    let n = Array.length a in
+    let acc = Exact.create () in
+    for i = 0 to p - 1 do
+      let lo, hi = chunk_bounds n p i in
+      let leaf = Exact.create () in
+      for j = lo to hi - 1 do
+        Exact.add leaf a.(j)
+      done;
+      Exact.add_expansion acc leaf
+    done;
+    Exact.value acc
+
+let spread a ~strategies =
+  let results = List.map (fun s -> reduce s a) strategies in
+  match results with
+  | [] -> 0.0
+  | x :: rest ->
+    let mn = List.fold_left min x rest and mx = List.fold_left max x rest in
+    mx -. mn

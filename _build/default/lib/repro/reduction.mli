@@ -1,0 +1,27 @@
+(** Deterministic parallel reductions.
+
+    A parallel sum over [p] workers is reproducible iff the reduction tree
+    shape and the per-leaf order are fixed independently of timing. This
+    module evaluates reductions under an explicit, seedable schedule so the
+    experiment can demonstrate (a) that timing-dependent orders change the
+    answer and (b) that a fixed tree with exact leaf accumulation does not. *)
+
+type strategy =
+  | Sequential  (** left-to-right over the whole array *)
+  | Fixed_tree of int
+      (** [Fixed_tree p]: split into [p] equal leaf chunks, sum each
+          left-to-right, combine in a fixed binary tree — deterministic for
+          fixed [p] but changes with [p]. *)
+  | Timing_dependent of int * int
+      (** [Timing_dependent (p, seed)]: same chunks, but combined in the
+          (pseudo-random) order "completions" arrive — models a
+          non-deterministic MPI allreduce. *)
+  | Exact_leaves of int
+      (** [Exact_leaves p]: exact expansion per chunk, exact merge —
+          bit-identical for every [p] and arrival order. *)
+
+val reduce : strategy -> float array -> float
+
+val spread : float array -> strategies:strategy list -> float
+(** Max minus min of the results over the strategies — 0 means bitwise
+    agreement. *)

@@ -1,0 +1,45 @@
+let naive a = Array.fold_left ( +. ) 0.0 a
+
+let kahan a =
+  let sum = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !sum +. y in
+      c := t -. !sum -. y;
+      sum := t)
+    a;
+  !sum
+
+let neumaier a =
+  let sum = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let t = !sum +. x in
+      if abs_float !sum >= abs_float x then c := !c +. (!sum -. t +. x)
+      else c := !c +. (x -. t +. !sum);
+      sum := t)
+    a;
+  !sum +. !c
+
+let pairwise a =
+  let rec go lo len =
+    if len = 0 then 0.0
+    else if len = 1 then a.(lo)
+    else if len = 2 then a.(lo) +. a.(lo + 1)
+    else begin
+      let half = len / 2 in
+      go lo half +. go (lo + half) (len - half)
+    end
+  in
+  go 0 (Array.length a)
+
+let sorted_increasing_magnitude a =
+  let b = Array.copy a in
+  Array.sort (fun x y -> compare (abs_float x) (abs_float y)) b;
+  naive b
+
+let condition_number a =
+  let abs = Array.map abs_float a in
+  let num = Exact.sum abs and den = abs_float (Exact.sum a) in
+  if den = 0.0 then infinity else num /. den

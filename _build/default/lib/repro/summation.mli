@@ -1,0 +1,30 @@
+(** Floating-point summation algorithms of increasing robustness.
+
+    At extreme scale a reduction over a million ranks can be evaluated in an
+    essentially arbitrary order, and the rounded result depends on that
+    order. This module provides the classical summation algorithms compared
+    in the reproducibility experiment (TAB-2): their accuracy differs by many
+    orders of magnitude on ill-conditioned inputs. *)
+
+val naive : float array -> float
+(** Left-to-right recursive summation; error grows as O(n u). *)
+
+val kahan : float array -> float
+(** Kahan compensated summation; error O(u) independent of n, but can lose
+    the compensation when a summand exceeds the running sum. *)
+
+val neumaier : float array -> float
+(** Neumaier's improvement of Kahan: also compensates when the incoming term
+    dominates the running sum. *)
+
+val pairwise : float array -> float
+(** Recursive pairwise (cascade) summation; error O(u log n). Deterministic
+    for a fixed input length, independent of how work is split. *)
+
+val sorted_increasing_magnitude : float array -> float
+(** Sums after sorting by increasing magnitude (a common accuracy folk
+    remedy); does not modify its input. *)
+
+val condition_number : float array -> float
+(** [sum |x_i| / |sum x_i|] — the conditioning of the summation problem
+    (computed with exact accumulation so it is trustworthy). *)

@@ -1,0 +1,1 @@
+lib/resilience/abft.ml: Array Blas Lapack List Mat Xsc_linalg

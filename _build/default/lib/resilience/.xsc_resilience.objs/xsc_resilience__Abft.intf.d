@@ -1,0 +1,1 @@
+lib/resilience/abft.mli: Mat Xsc_linalg

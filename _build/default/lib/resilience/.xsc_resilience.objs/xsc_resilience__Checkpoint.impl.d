@@ -1,0 +1,1 @@
+lib/resilience/checkpoint.ml: Xsc_util

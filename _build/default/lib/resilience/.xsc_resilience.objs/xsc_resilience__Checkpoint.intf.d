@@ -1,0 +1,1 @@
+lib/resilience/checkpoint.mli: Xsc_util

@@ -1,0 +1,1 @@
+lib/resilience/inject.ml: Int64 Mat Xsc_linalg Xsc_util

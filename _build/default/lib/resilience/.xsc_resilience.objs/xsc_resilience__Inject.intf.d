@@ -1,0 +1,1 @@
+lib/resilience/inject.mli: Mat Xsc_linalg Xsc_util

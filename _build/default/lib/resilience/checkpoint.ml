@@ -1,0 +1,70 @@
+type params = {
+  work : float;
+  checkpoint_cost : float;
+  restart_cost : float;
+  mtbf : float;
+}
+
+let validate p =
+  if p.work <= 0.0 || p.checkpoint_cost < 0.0 || p.restart_cost < 0.0 || p.mtbf <= 0.0
+  then invalid_arg "Checkpoint: invalid parameters"
+
+let young_interval p =
+  validate p;
+  sqrt (2.0 *. p.checkpoint_cost *. p.mtbf)
+
+let daly_interval p =
+  validate p;
+  let c = p.checkpoint_cost and m = p.mtbf in
+  if c >= 2.0 *. m then m
+  else begin
+    (* Daly 2006, eq. (20): tau = sqrt(2 c M) [1 + 1/3 sqrt(c/2M) + c/18M] - c *)
+    let x = sqrt (c /. (2.0 *. m)) in
+    (sqrt (2.0 *. c *. m) *. (1.0 +. (x /. 3.0) +. (c /. (18.0 *. m)))) -. c
+  end
+
+let expected_time p ~interval =
+  validate p;
+  if interval <= 0.0 then invalid_arg "Checkpoint.expected_time: interval must be positive";
+  let m = p.mtbf and c = p.checkpoint_cost and r = p.restart_cost in
+  let segments = p.work /. interval in
+  (* expected time per attempted segment of useful length tau with a
+     checkpoint: M e^{R/M} (e^{(tau+C)/M} - 1) per Daly's model *)
+  m *. exp (r /. m) *. (exp ((interval +. c) /. m) -. 1.0) *. segments
+
+let simulate rng p ~interval =
+  validate p;
+  if interval <= 0.0 then invalid_arg "Checkpoint.simulate: interval must be positive";
+  let clock = ref 0.0 in
+  let done_work = ref 0.0 in
+  (* exponential inter-arrival; memorylessness lets us draw the time to the
+     next failure fresh at the start of each segment attempt *)
+  let time_to_failure () = Xsc_util.Rng.exponential rng (1.0 /. p.mtbf) in
+  let next_failure = ref (time_to_failure ()) in
+  while !done_work < p.work do
+    let segment = min interval (p.work -. !done_work) in
+    let need = segment +. (if !done_work +. segment >= p.work then 0.0 else p.checkpoint_cost) in
+    if !next_failure >= need then begin
+      (* segment (and checkpoint) completed before the next failure *)
+      clock := !clock +. need;
+      next_failure := !next_failure -. need;
+      done_work := !done_work +. segment
+    end
+    else begin
+      (* failure mid-segment: lose the partial segment, pay restart *)
+      clock := !clock +. !next_failure +. p.restart_cost;
+      next_failure := time_to_failure ()
+      (* done_work unchanged: we restart from the last checkpoint *)
+    end
+  done;
+  !clock
+
+let simulate_mean ?(runs = 200) rng p ~interval =
+  if runs <= 0 then invalid_arg "Checkpoint.simulate_mean: runs must be positive";
+  let acc = ref 0.0 in
+  for _ = 1 to runs do
+    acc := !acc +. simulate rng p ~interval
+  done;
+  !acc /. float_of_int runs
+
+let efficiency p ~interval = p.work /. expected_time p ~interval

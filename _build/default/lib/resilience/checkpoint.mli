@@ -1,0 +1,34 @@
+(** Checkpoint/restart under Poisson failures.
+
+    At exascale the system MTBF drops below the application runtime, so the
+    checkpoint interval becomes a first-order design parameter. This module
+    provides the Young/Daly analysis and a stochastic simulation that
+    validates it (FIG-6): expected completion time is convex in the interval
+    with its minimum at [sqrt(2 C M)]. *)
+
+type params = {
+  work : float;  (** failure-free compute time of the job, seconds *)
+  checkpoint_cost : float;  (** C: time to write one checkpoint *)
+  restart_cost : float;  (** R: time to reboot/reload after a failure *)
+  mtbf : float;  (** M: system mean time between failures *)
+}
+
+val young_interval : params -> float
+(** Young's first-order optimum [sqrt(2 C M)]. *)
+
+val daly_interval : params -> float
+(** Daly's higher-order optimum (reduces to Young when [C << M]). *)
+
+val expected_time : params -> interval:float -> float
+(** Daly's closed-form expected completion time with checkpoints every
+    [interval] seconds of useful work. *)
+
+val simulate : Xsc_util.Rng.t -> params -> interval:float -> float
+(** One stochastic run: exponential failures, work lost back to the last
+    checkpoint, restart cost paid per failure. Returns total wall time. *)
+
+val simulate_mean : ?runs:int -> Xsc_util.Rng.t -> params -> interval:float -> float
+(** Mean of [runs] (default 200) independent simulations. *)
+
+val efficiency : params -> interval:float -> float
+(** [work / expected_time] — the fraction of the machine doing science. *)

@@ -1,0 +1,25 @@
+open Xsc_linalg
+
+let corrupt_entry m i j ~delta = Mat.set m i j (Mat.get m i j +. delta)
+
+let corrupt_random_entry rng (m : Mat.t) ~magnitude =
+  let i = Xsc_util.Rng.int rng m.rows and j = Xsc_util.Rng.int rng m.cols in
+  let sign = if Xsc_util.Rng.uniform rng < 0.5 then -1.0 else 1.0 in
+  corrupt_entry m i j ~delta:(sign *. magnitude);
+  (i, j)
+
+let flip_mantissa_bit rng (m : Mat.t) =
+  let i = Xsc_util.Rng.int rng m.rows and j = Xsc_util.Rng.int rng m.cols in
+  let bit = Xsc_util.Rng.int rng 51 in
+  let bits = Int64.bits_of_float (Mat.get m i j) in
+  let flipped = Int64.logxor bits (Int64.shift_left 1L bit) in
+  Mat.set m i j (Int64.float_of_bits flipped);
+  (i, j)
+
+let corrupt_lower_entry rng (m : Mat.t) ~magnitude =
+  if m.rows < 2 then invalid_arg "Inject.corrupt_lower_entry: matrix too small";
+  let i = 1 + Xsc_util.Rng.int rng (m.rows - 1) in
+  let j = Xsc_util.Rng.int rng i in
+  let sign = if Xsc_util.Rng.uniform rng < 0.5 then -1.0 else 1.0 in
+  corrupt_entry m i j ~delta:(sign *. magnitude);
+  (i, j)

@@ -1,0 +1,20 @@
+(** Fault injection for the resilience experiments: soft errors modelled as
+    silent corruption of matrix entries. *)
+
+open Xsc_linalg
+
+val corrupt_entry : Mat.t -> int -> int -> delta:float -> unit
+(** Add [delta] to one entry (the canonical silent-error model). *)
+
+val corrupt_random_entry : Xsc_util.Rng.t -> Mat.t -> magnitude:float -> int * int
+(** Corrupt a uniformly random entry by a delta of the given magnitude
+    (random sign); returns the coordinates. *)
+
+val flip_mantissa_bit : Xsc_util.Rng.t -> Mat.t -> int * int
+(** Flip one random bit among the low 51 mantissa bits of a random entry —
+    a bit-level soft error that changes the value without producing
+    NaN/Inf. Returns the coordinates. *)
+
+val corrupt_lower_entry : Xsc_util.Rng.t -> Mat.t -> magnitude:float -> int * int
+(** Corrupt a random entry strictly inside the lower triangle (for factor
+    matrices). Requires a matrix of size at least 2. *)

@@ -1,0 +1,1 @@
+lib/runtime/dag.ml: Array Buffer Hashtbl List Option Printf String Task

@@ -1,0 +1,1 @@
+lib/runtime/hetero.ml: Array Dag List Task Trace

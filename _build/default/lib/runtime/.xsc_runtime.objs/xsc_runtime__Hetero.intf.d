@@ -1,0 +1,1 @@
+lib/runtime/hetero.mli: Dag Trace

@@ -1,0 +1,1 @@
+lib/runtime/real_exec.ml: Array Atomic Condition Dag Domain List Mutex Option Queue Task Unix

@@ -1,0 +1,1 @@
+lib/runtime/real_exec.mli: Dag

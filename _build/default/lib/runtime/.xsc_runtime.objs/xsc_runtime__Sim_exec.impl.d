@@ -1,0 +1,1 @@
+lib/runtime/sim_exec.ml: Array Dag List Machine Network Node Task Trace Xsc_simmachine Xsc_util

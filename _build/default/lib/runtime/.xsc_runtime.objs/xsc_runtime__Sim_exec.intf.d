@@ -1,0 +1,1 @@
+lib/runtime/sim_exec.mli: Dag Trace Xsc_simmachine

@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Array Buffer Bytes Char Hashtbl List Option Printf String Xsc_util

@@ -1,0 +1,177 @@
+type config = {
+  rates : float array;
+  task_overhead : float;
+  barrier_cost : float;
+  comm_cost : bytes:float -> float;
+}
+
+let config ?(task_overhead = 5e-7) ?(barrier_cost = 5e-6) ?(comm_cost = fun ~bytes:_ -> 0.0)
+    ~rates () =
+  if Array.length rates = 0 then invalid_arg "Hetero.config: no workers";
+  Array.iter (fun r -> if r <= 0.0 then invalid_arg "Hetero.config: rates must be positive") rates;
+  { rates; task_overhead; barrier_cost; comm_cost }
+
+let two_tier ~fast ~slow ~fast_rate ~slow_rate =
+  if fast < 0 || slow < 0 || fast + slow = 0 then invalid_arg "Hetero.two_tier: bad counts";
+  Array.append (Array.make fast fast_rate) (Array.make slow slow_rate)
+
+type result = {
+  makespan : float;
+  utilization : float;
+  trace : Trace.t;
+  order : int list;
+}
+
+let duration cfg w (task : Task.t) = cfg.task_overhead +. (task.Task.flops /. cfg.rates.(w))
+
+(* Heterogeneous worker counts stay small (tens), so both schedulers scan
+   every worker per task — O(T W) is fine and keeps the code obvious. *)
+
+let run_bsp cfg (dag : Dag.t) =
+  let workers = Array.length cfg.rates in
+  let trace = Trace.create ~workers in
+  let clock = ref 0.0 in
+  let order = ref [] in
+  Array.iter
+    (fun level_tasks ->
+      let tasks =
+        List.sort
+          (fun a b -> compare dag.Dag.tasks.(b).Task.flops dag.Dag.tasks.(a).Task.flops)
+          level_tasks
+      in
+      let free = Array.make workers !clock in
+      List.iter
+        (fun id ->
+          let task = dag.Dag.tasks.(id) in
+          (* earliest finish across workers, so a fast worker takes more *)
+          let best_w = ref 0 in
+          let best_finish = ref (free.(0) +. duration cfg 0 task) in
+          for w = 1 to workers - 1 do
+            let f = free.(w) +. duration cfg w task in
+            if f < !best_finish then begin
+              best_finish := f;
+              best_w := w
+            end
+          done;
+          let w = !best_w in
+          let start = free.(w) in
+          free.(w) <- !best_finish;
+          Trace.add trace
+            { Trace.task = id; name = task.Task.name; worker = w; start; finish = !best_finish };
+          order := id :: !order)
+        tasks;
+      clock := Array.fold_left max !clock free +. cfg.barrier_cost)
+    dag.Dag.levels;
+  let makespan = Trace.makespan trace in
+  {
+    makespan;
+    utilization = Trace.utilization trace;
+    trace;
+    order = List.rev !order;
+  }
+
+let run_bsp_oblivious cfg (dag : Dag.t) =
+  let workers = Array.length cfg.rates in
+  let trace = Trace.create ~workers in
+  let clock = ref 0.0 in
+  let order = ref [] in
+  Array.iter
+    (fun level_tasks ->
+      let free = Array.make workers !clock in
+      List.iteri
+        (fun i id ->
+          (* round-robin: the static split of an SPMD loop *)
+          let w = i mod workers in
+          let task = dag.Dag.tasks.(id) in
+          let start = free.(w) in
+          let finish = start +. duration cfg w task in
+          free.(w) <- finish;
+          Trace.add trace
+            { Trace.task = id; name = task.Task.name; worker = w; start; finish };
+          order := id :: !order)
+        level_tasks;
+      clock := Array.fold_left max !clock free +. cfg.barrier_cost)
+    dag.Dag.levels;
+  {
+    makespan = Trace.makespan trace;
+    utilization = Trace.utilization trace;
+    trace;
+    order = List.rev !order;
+  }
+
+let run_dataflow cfg (dag : Dag.t) =
+  let workers = Array.length cfg.rates in
+  let n = Dag.n_tasks dag in
+  let trace = Trace.create ~workers in
+  let free = Array.make workers 0.0 in
+  let finish_time = Array.make n 0.0 in
+  let placed_on = Array.make n (-1) in
+  let remaining = Array.copy dag.Dag.indegree in
+  let bl = Dag.bottom_level dag in
+  (* ready list kept sorted by priority (small batches; list is fine) *)
+  let ready = ref (List.sort (fun a b -> compare bl.(b) bl.(a)) (Dag.sources dag)) in
+  let order = ref [] in
+  let scheduled = ref 0 in
+  while !ready <> [] do
+    match !ready with
+    | [] -> ()
+    | id :: rest ->
+      ready := rest;
+      let task = dag.Dag.tasks.(id) in
+      let eval w =
+        let ready_t =
+          List.fold_left
+            (fun acc p ->
+              let avail =
+                finish_time.(p)
+                +. (if placed_on.(p) = w then 0.0
+                    else cfg.comm_cost ~bytes:dag.Dag.tasks.(p).Task.bytes)
+              in
+              max acc avail)
+            0.0 dag.Dag.preds.(id)
+        in
+        let start = max ready_t free.(w) in
+        (start, start +. duration cfg w task)
+      in
+      let best_w = ref 0 in
+      let s0, f0 = eval 0 in
+      let best_start = ref s0 and best_finish = ref f0 in
+      for w = 1 to workers - 1 do
+        let s, f = eval w in
+        if f < !best_finish then begin
+          best_w := w;
+          best_start := s;
+          best_finish := f
+        end
+      done;
+      let w = !best_w in
+      placed_on.(id) <- w;
+      finish_time.(id) <- !best_finish;
+      free.(w) <- !best_finish;
+      Trace.add trace
+        { Trace.task = id; name = task.Task.name; worker = w; start = !best_start; finish = !best_finish };
+      order := id :: !order;
+      incr scheduled;
+      List.iter
+        (fun s ->
+          remaining.(s) <- remaining.(s) - 1;
+          if remaining.(s) = 0 then begin
+            (* insert by priority *)
+            let rec insert = function
+              | [] -> [ s ]
+              | x :: rest as l -> if bl.(s) > bl.(x) then s :: l else x :: insert rest
+            in
+            ready := insert !ready
+          end)
+        dag.Dag.succs.(id)
+  done;
+  if !scheduled <> n then failwith "Hetero.run_dataflow: unreachable tasks";
+  {
+    makespan = Trace.makespan trace;
+    utilization = Trace.utilization trace;
+    trace;
+    order = List.rev !order;
+  }
+
+let ideal_time cfg dag =
+  Dag.total_flops dag /. Array.fold_left ( +. ) 0.0 cfg.rates

@@ -1,0 +1,45 @@
+(** Scheduling on heterogeneous workers.
+
+    Post-2016 nodes mix fat and thin cores (CPU + accelerator); a
+    bulk-synchronous schedule runs every level at the pace of the slowest
+    worker assigned work, while a dynamic schedule keeps the fast workers
+    saturated. This module re-runs the BSP-vs-DAG comparison with
+    per-worker speeds. *)
+
+type config = {
+  rates : float array;  (** flop/s of each worker; length = worker count *)
+  task_overhead : float;
+  barrier_cost : float;
+  comm_cost : bytes:float -> float;
+}
+
+val config :
+  ?task_overhead:float -> ?barrier_cost:float -> ?comm_cost:(bytes:float -> float) ->
+  rates:float array -> unit -> config
+
+val two_tier : fast:int -> slow:int -> fast_rate:float -> slow_rate:float -> float array
+(** Convenience: [fast] workers at [fast_rate] followed by [slow] at
+    [slow_rate]. *)
+
+type result = {
+  makespan : float;
+  utilization : float;  (** busy time / (makespan * workers), time-based *)
+  trace : Trace.t;
+  order : int list;
+}
+
+val run_bsp : config -> Dag.t -> result
+(** Level-synchronous: within a level, earliest-finish assignment (rate
+    aware), then a global barrier. *)
+
+val run_bsp_oblivious : config -> Dag.t -> result
+(** Level-synchronous with a rate-OBLIVIOUS round-robin split — the
+    behaviour of legacy SPMD code that assumes identical workers. Every
+    level then waits for whatever landed on the slowest core. *)
+
+val run_dataflow : config -> Dag.t -> result
+(** Greedy list scheduling with bottom-level priority; each task goes to
+    the worker (any of them — rate aware) that finishes it earliest. *)
+
+val ideal_time : config -> Dag.t -> float
+(** Total flops / aggregate rate — the heterogeneous throughput bound. *)

@@ -1,0 +1,107 @@
+type stats = {
+  elapsed : float;
+  tasks : int;
+  workers : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let closure_of (task : Task.t) =
+  match task.Task.run with
+  | Some f -> f
+  | None -> invalid_arg ("Real_exec: task without closure: " ^ task.Task.name)
+
+let run_sequential (dag : Dag.t) =
+  let t0 = now () in
+  Array.iter (fun task -> closure_of task ()) dag.Dag.tasks;
+  { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers = 1 }
+
+let run_dataflow ~workers (dag : Dag.t) =
+  if workers < 1 then invalid_arg "Real_exec.run_dataflow: workers < 1";
+  let n = Dag.n_tasks dag in
+  Array.iter (fun t -> ignore (closure_of t : unit -> unit)) dag.Dag.tasks;
+  if n = 0 then { elapsed = 0.0; tasks = 0; workers }
+  else begin
+    let remaining = Array.map Atomic.make dag.Dag.indegree in
+    let completed = Atomic.make 0 in
+    let mutex = Mutex.create () in
+    let nonempty = Condition.create () in
+    let ready : int Queue.t = Queue.create () in
+    let push id =
+      Mutex.lock mutex;
+      Queue.push id ready;
+      Condition.signal nonempty;
+      Mutex.unlock mutex
+    in
+    let finished () = Atomic.get completed >= n in
+    (* Blocking pop; returns None once every task has completed. *)
+    let pop () =
+      Mutex.lock mutex;
+      let rec wait () =
+        if not (Queue.is_empty ready) then Some (Queue.pop ready)
+        else if finished () then None
+        else begin
+          Condition.wait nonempty mutex;
+          wait ()
+        end
+      in
+      let r = wait () in
+      Mutex.unlock mutex;
+      r
+    in
+    let complete id =
+      List.iter
+        (fun s -> if Atomic.fetch_and_add remaining.(s) (-1) = 1 then push s)
+        dag.Dag.succs.(id);
+      if Atomic.fetch_and_add completed 1 = n - 1 then begin
+        (* everything done: wake all sleepers so they can exit *)
+        Mutex.lock mutex;
+        Condition.broadcast nonempty;
+        Mutex.unlock mutex
+      end
+    in
+    let rec worker_loop () =
+      match pop () with
+      | None -> ()
+      | Some id ->
+        (Option.get dag.Dag.tasks.(id).Task.run) ();
+        complete id;
+        worker_loop ()
+    in
+    let t0 = now () in
+    List.iter push (Dag.sources dag);
+    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker_loop) in
+    worker_loop ();
+    List.iter Domain.join domains;
+    assert (Atomic.get completed = n);
+    { elapsed = now () -. t0; tasks = n; workers }
+  end
+
+let run_forkjoin ~workers (dag : Dag.t) =
+  if workers < 1 then invalid_arg "Real_exec.run_forkjoin: workers < 1";
+  Array.iter (fun t -> ignore (closure_of t : unit -> unit)) dag.Dag.tasks;
+  let t0 = now () in
+  Array.iter
+    (fun level ->
+      let tasks = Array.of_list level in
+      let ntasks = Array.length tasks in
+      let nworkers = min workers ntasks in
+      if nworkers <= 1 then
+        Array.iter (fun id -> (Option.get dag.Dag.tasks.(id).Task.run) ()) tasks
+      else begin
+        (* static block partition of the level across fresh domains — the
+           spawn/join cost is the fork-join overhead being measured *)
+        let chunk w =
+          let lo = w * ntasks / nworkers and hi = (w + 1) * ntasks / nworkers in
+          for i = lo to hi - 1 do
+            (Option.get dag.Dag.tasks.(tasks.(i)).Task.run) ()
+          done
+        in
+        let domains = List.init (nworkers - 1) (fun w -> Domain.spawn (fun () -> chunk (w + 1))) in
+        chunk 0;
+        List.iter Domain.join domains
+      end)
+    dag.Dag.levels;
+  { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers }
+
+let default_workers () = min 8 (Domain.recommended_domain_count ())

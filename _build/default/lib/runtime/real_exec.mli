@@ -1,0 +1,34 @@
+(** Host execution of task DAGs on OCaml 5 domains.
+
+    Two executors embody the paper's comparison on real cores:
+
+    - {!run_dataflow} — a dynamic superscalar executor: a task is enqueued
+      the instant its dependence counter reaches zero, workers pull from a
+      shared ready queue, no global synchronisation anywhere;
+    - {!run_forkjoin} — a bulk-synchronous executor: dependence levels are
+      executed one at a time, each level fanned out across fresh domains and
+      joined (the classical loop-parallel style, with its real barrier and
+      spawn costs).
+
+    Tasks must carry [run] closures. Closures of independent tasks must be
+    safe to run from different domains — the tile kernels are, as they write
+    disjoint tiles. *)
+
+type stats = {
+  elapsed : float;  (** wall-clock seconds *)
+  tasks : int;
+  workers : int;
+}
+
+val run_dataflow : workers:int -> Dag.t -> stats
+(** Raises [Invalid_argument] if a task lacks a closure or [workers < 1]. *)
+
+val run_forkjoin : workers:int -> Dag.t -> stats
+
+val run_sequential : Dag.t -> stats
+(** Program-order execution on the calling domain (baseline and test
+    oracle). *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count], capped at 8 to stay polite on shared
+    CI machines. *)

@@ -1,0 +1,29 @@
+type access =
+  | Read of int
+  | Write of int
+  | Read_write of int
+
+type t = {
+  id : int;
+  name : string;
+  flops : float;
+  bytes : float;
+  accesses : access list;
+  run : (unit -> unit) option;
+}
+
+let make ~id ~name ~flops ?(bytes = 0.0) ?run accesses =
+  if flops < 0.0 || bytes < 0.0 then invalid_arg "Task.make: negative weight";
+  { id; name; flops; bytes; accesses; run }
+
+let reads t =
+  List.filter_map
+    (function Read d | Read_write d -> Some d | Write _ -> None)
+    t.accesses
+
+let writes t =
+  List.filter_map
+    (function Write d | Read_write d -> Some d | Read _ -> None)
+    t.accesses
+
+let datum i j ~stride = (i * stride) + j

@@ -1,0 +1,36 @@
+(** Tasks: the unit of scheduling.
+
+    A task declares the data it touches as access annotations on abstract
+    datum identifiers (tile coordinates, vector chunks, ...). The DAG builder
+    derives all dependences from these annotations — the "superscalar"
+    data-flow model of PLASMA/QUARK/StarPU that replaces fork-join
+    synchronisation. *)
+
+type access =
+  | Read of int
+  | Write of int
+  | Read_write of int  (** accumulation-style update *)
+
+type t = {
+  id : int;
+  name : string;  (** kernel name, e.g. ["potrf(2,2)"] — used by traces *)
+  flops : float;  (** arithmetic weight, drives simulated durations *)
+  bytes : float;  (** datum footprint moved if the task runs remotely *)
+  accesses : access list;
+  run : (unit -> unit) option;
+      (** real closure for host execution; [None] for model-only DAGs *)
+}
+
+val make :
+  id:int -> name:string -> flops:float -> ?bytes:float -> ?run:(unit -> unit) ->
+  access list -> t
+
+val reads : t -> int list
+(** Data read (including read-write). *)
+
+val writes : t -> int list
+(** Data written (including read-write). *)
+
+val datum : int -> int -> stride:int -> int
+(** Helper to linearise 2-D tile coordinates into datum ids:
+    [datum i j ~stride = i * stride + j]. *)

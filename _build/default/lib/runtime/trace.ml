@@ -1,0 +1,92 @@
+type entry = { task : int; name : string; worker : int; start : float; finish : float }
+
+type t = { workers : int; mutable entries : entry list; mutable makespan : float; mutable busy : float }
+
+let create ~workers =
+  if workers <= 0 then invalid_arg "Trace.create: workers must be positive";
+  { workers; entries = []; makespan = 0.0; busy = 0.0 }
+
+let add t e =
+  if e.finish < e.start then invalid_arg "Trace.add: finish before start";
+  if e.worker < 0 || e.worker >= t.workers then invalid_arg "Trace.add: bad worker";
+  t.entries <- e :: t.entries;
+  if e.finish > t.makespan then t.makespan <- e.finish;
+  t.busy <- t.busy +. (e.finish -. e.start)
+
+let entries t = List.sort (fun a b -> compare a.start b.start) t.entries
+
+let makespan t = t.makespan
+let busy_time t = t.busy
+
+let utilization t =
+  if t.makespan <= 0.0 then 0.0 else t.busy /. (float_of_int t.workers *. t.makespan)
+
+let workers t = t.workers
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"task":%d}}|}
+           (json_escape e.name) (e.start *. 1e6)
+           ((e.finish -. e.start) *. 1e6)
+           e.worker e.task))
+    (entries t);
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let by_kernel t =
+  let tbl : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let family =
+        match String.index_opt e.name '(' with
+        | Some i -> String.sub e.name 0 i
+        | None -> e.name
+      in
+      let time, count = Option.value ~default:(0.0, 0) (Hashtbl.find_opt tbl family) in
+      Hashtbl.replace tbl family (time +. (e.finish -. e.start), count + 1))
+    t.entries;
+  Hashtbl.fold (fun name (time, count) acc -> (name, time, count) :: acc) tbl []
+  |> List.sort (fun (_, t1, _) (_, t2, _) -> compare t2 t1)
+
+let gantt ?(width = 72) t =
+  if t.makespan <= 0.0 then "(empty trace)"
+  else begin
+    let rows = Array.init t.workers (fun _ -> Bytes.make width '.') in
+    List.iter
+      (fun e ->
+        let c0 = int_of_float (e.start /. t.makespan *. float_of_int width) in
+        let c1 = int_of_float (e.finish /. t.makespan *. float_of_int width) in
+        let c1 = min (width - 1) (max c0 c1) in
+        for c = c0 to c1 do
+          Bytes.set rows.(e.worker) c '#'
+        done)
+      t.entries;
+    let buf = Buffer.create (t.workers * (width + 8)) in
+    Array.iteri
+      (fun w row -> Buffer.add_string buf (Printf.sprintf "w%02d |%s|\n" w (Bytes.to_string row)))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "makespan %s, utilization %s\n"
+         (Xsc_util.Units.seconds t.makespan)
+         (Xsc_util.Units.percent (utilization t)));
+    Buffer.contents buf
+  end

@@ -1,0 +1,31 @@
+(** Execution traces: what ran where and when — the evidence behind the
+    utilization plots (dense Gantt for DAG scheduling, comb-shaped gaps for
+    fork-join). *)
+
+type entry = { task : int; name : string; worker : int; start : float; finish : float }
+
+type t
+
+val create : workers:int -> t
+val add : t -> entry -> unit
+val entries : t -> entry list
+(** In increasing start order. *)
+
+val makespan : t -> float
+val busy_time : t -> float
+val utilization : t -> float
+(** [busy / (workers * makespan)]; 1.0 is a perfectly packed schedule. *)
+
+val workers : t -> int
+
+val gantt : ?width:int -> t -> string
+(** ASCII Gantt chart, one row per worker ([#] busy, [.] idle). *)
+
+val to_chrome_json : t -> string
+(** Chrome trace-event JSON (open in chrome://tracing or Perfetto): one
+    complete event per task, workers as threads, microsecond timestamps. *)
+
+val by_kernel : t -> (string * float * int) list
+(** Profile summary: per kernel family (the task-name prefix before ['(']),
+    total busy time and task count, sorted by descending time — "where did
+    the time go". *)

@@ -1,0 +1,1 @@
+lib/simmachine/failure.ml: List Machine Xsc_util

@@ -1,0 +1,1 @@
+lib/simmachine/failure.mli: Machine Xsc_util

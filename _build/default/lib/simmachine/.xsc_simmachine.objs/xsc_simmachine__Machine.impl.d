@@ -1,0 +1,1 @@
+lib/simmachine/machine.ml: Network Node Printf Topology Xsc_util

@@ -1,0 +1,1 @@
+lib/simmachine/network.ml: Hashtbl Topology

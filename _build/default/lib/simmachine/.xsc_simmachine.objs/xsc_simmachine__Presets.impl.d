@@ -1,0 +1,1 @@
+lib/simmachine/presets.ml: List Machine Network Node Printf Topology

@@ -1,0 +1,1 @@
+lib/simmachine/topology.ml: Printf Xsc_util

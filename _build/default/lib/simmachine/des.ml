@@ -1,0 +1,87 @@
+(* Binary min-heap on (time, seq); seq breaks ties FIFO so simulations are
+   deterministic regardless of heap internals. *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable stopped : bool;
+}
+
+let dummy = { time = 0.0; seq = 0; action = ignore }
+
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0; stopped = false }
+
+let now t = t.clock
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule t time action =
+  if time < t.clock then invalid_arg "Des.schedule: time in the past";
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule_after t delay action =
+  if delay < 0.0 then invalid_arg "Des.schedule_after: negative delay";
+  schedule t (t.clock +. delay) action
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  top
+
+let stop t = t.stopped <- true
+
+let run ?until t =
+  t.stopped <- false;
+  let continue_ = ref true in
+  while !continue_ && t.size > 0 && not t.stopped do
+    match until with
+    | Some limit when t.heap.(0).time > limit ->
+      t.clock <- limit;
+      continue_ := false
+    | _ ->
+      let ev = pop t in
+      t.clock <- ev.time;
+      ev.action ()
+  done;
+  t.clock
+
+let pending t = t.size

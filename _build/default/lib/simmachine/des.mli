@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine.
+
+    A minimal event calendar: callbacks scheduled at absolute simulated
+    times, executed in time order (FIFO among equal times, so runs are
+    deterministic). Used by the checkpoint/restart and failure experiments;
+    the task-scheduling simulator uses its own specialised loop. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time; 0 before any event has run. *)
+
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule sim time f] runs [f] when the clock reaches [time]. Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> unit
+(** Relative variant: [schedule sim (now sim +. delay)]. *)
+
+val run : ?until:float -> t -> float
+(** Execute events in order until the calendar is empty (or the clock would
+    pass [until]); returns the final clock. Events may schedule further
+    events. *)
+
+val stop : t -> unit
+(** Abort the run after the current event returns (used when the simulated
+    job completes). *)
+
+val pending : t -> int
+(** Number of events still scheduled. *)

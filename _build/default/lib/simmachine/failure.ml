@@ -1,0 +1,21 @@
+type t = { rng : Xsc_util.Rng.t; rate : float }
+
+let create rng ~rate =
+  if rate <= 0.0 then invalid_arg "Failure.create: rate must be positive";
+  { rng; rate }
+
+let of_machine rng m = create rng ~rate:(1.0 /. Machine.system_mtbf m)
+
+let rate t = t.rate
+let mtbf t = 1.0 /. t.rate
+
+let next_after t now = now +. Xsc_util.Rng.exponential t.rng t.rate
+
+let failures_before t ~horizon =
+  let rec go acc now =
+    let next = next_after t now in
+    if next >= horizon then List.rev acc else go (next :: acc) next
+  in
+  go [] 0.0
+
+let expected_failures t ~horizon = t.rate *. horizon

@@ -1,0 +1,73 @@
+let gflops = 1e9
+let gbytes = 1e9
+
+let workstation =
+  let node =
+    Node.create ~cores:16 ~flops_fp64:(8.0 *. gflops) ~mem_bandwidth:(40.0 *. gbytes)
+      ~watts:200.0 ()
+  in
+  Machine.create ~name:"workstation" ~node ~node_count:1
+    ~network:(Network.create ~alpha:1e-7 ~beta:1e-11 ~per_hop:0.0 (Topology.All_to_all 1))
+    ()
+
+let cluster_2016 =
+  let node =
+    Node.create ~cores:16 ~flops_fp64:(10.0 *. gflops) ~mem_bandwidth:(60.0 *. gbytes)
+      ~watts:350.0 ()
+  in
+  Machine.create ~name:"cluster-2016" ~node ~node_count:128
+    ~network:(Network.create ~alpha:1.5e-6 ~beta:8e-11 (Topology.of_spec "fattree" 128))
+    ()
+
+let titan_like =
+  (* 18688 nodes, ~1.45 Tflop/s/node (CPU+GPU folded into one rate),
+     ~50 GB/s usable memory bandwidth: balance ~29 flops/byte, which is what
+     caps HPCG at a few percent of peak. *)
+  let node =
+    Node.create ~cores:16 ~flops_fp64:(90.0 *. gflops) ~fp32_mult:2.0 ~fp16_mult:2.0
+      ~mem_bandwidth:(50.0 *. gbytes) ~watts:450.0 ()
+  in
+  Machine.create ~name:"titan-like" ~node ~node_count:18688 ~node_mtbf:(2.0 *. 365.25 *. 86400.0)
+    ~network:(Network.create ~alpha:1.5e-6 ~beta:1.56e-10 ~per_hop:4e-8 (Topology.Torus3d (25, 32, 24)))
+    ()
+
+let exascale_2020 =
+  (* ~100k fat nodes x 10 Tflop/s = 1 Eflop/s; wide fp16 units; MTBF of the
+     full system in the tens of minutes. *)
+  let node =
+    Node.create ~cores:128 ~flops_fp64:(80.0 *. gflops) ~fp32_mult:2.0 ~fp16_mult:8.0
+      ~mem_bandwidth:(500.0 *. gbytes) ~watts:300.0 ()
+  in
+  Machine.create ~name:"exascale-2020" ~node ~node_count:100_000
+    ~node_mtbf:(5.0 *. 365.25 *. 86400.0)
+    ~network:(Network.create ~alpha:8e-7 ~beta:2.5e-11 ~per_hop:2e-8 (Topology.of_spec "dragonfly" 100_000))
+    ()
+
+let all =
+  [
+    ("workstation", workstation);
+    ("cluster-2016", cluster_2016);
+    ("titan-like", titan_like);
+    ("exascale-2020", exascale_2020);
+  ]
+
+let find name = List.assoc name all
+
+let scale_nodes m count =
+  if count <= 0 then invalid_arg "Presets.scale_nodes: count must be positive";
+  let topo_kind =
+    match m.Machine.network.Network.topology with
+    | Topology.All_to_all _ -> "alltoall"
+    | Topology.Ring _ -> "ring"
+    | Topology.Mesh2d _ -> "mesh2d"
+    | Topology.Torus3d _ -> "torus3d"
+    | Topology.Fat_tree _ -> "fattree"
+    | Topology.Dragonfly _ -> "dragonfly"
+  in
+  let network =
+    Network.create ~alpha:m.Machine.network.Network.alpha
+      ~beta:m.Machine.network.Network.beta ~per_hop:m.Machine.network.Network.per_hop
+      (Topology.of_spec topo_kind count)
+  in
+  Machine.create ~name:(Printf.sprintf "%s@%d" m.Machine.name count) ~node:m.Machine.node
+    ~node_count:count ~node_mtbf:m.Machine.node_mtbf ~network ()

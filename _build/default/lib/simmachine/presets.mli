@@ -1,0 +1,29 @@
+(** Machine presets used throughout the experiments.
+
+    Rates are representative, not vendor-exact: the experiments depend on the
+    *ratios* (machine balance, network latency vs compute, MTBF at scale),
+    which match the 2016-era systems the talk cites. *)
+
+val workstation : Machine.t
+(** 1 node x 16 cores — the "real hardware" reference whose kernel runs are
+    measured (not simulated). *)
+
+val cluster_2016 : Machine.t
+(** 128-node commodity cluster, fat-tree. *)
+
+val titan_like : Machine.t
+(** O(20k) heterogeneous nodes, 3D torus, ~27 Pflop/s peak — the machine of
+    the talk's HPL/HPCG gap numbers. *)
+
+val exascale_2020 : Machine.t
+(** The projected ~1 Eflop/s machine: high balance, dragonfly network,
+    minutes-scale system MTBF. *)
+
+val all : (string * Machine.t) list
+
+val find : string -> Machine.t
+(** Lookup by name; raises [Not_found]. *)
+
+val scale_nodes : Machine.t -> int -> Machine.t
+(** Same node and network parameters with a different node count (topology
+    re-fitted); used by the strong-scaling sweeps. *)

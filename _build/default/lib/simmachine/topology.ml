@@ -1,0 +1,137 @@
+type t =
+  | All_to_all of int
+  | Ring of int
+  | Mesh2d of int * int
+  | Torus3d of int * int * int
+  | Fat_tree of { arity : int; levels : int }
+  | Dragonfly of { groups : int; routers_per_group : int; nodes_per_router : int }
+
+let ipow base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
+let nodes = function
+  | All_to_all n | Ring n -> n
+  | Mesh2d (x, y) -> x * y
+  | Torus3d (x, y, z) -> x * y * z
+  | Fat_tree { arity; levels } -> ipow arity levels
+  | Dragonfly { groups; routers_per_group; nodes_per_router } ->
+    groups * routers_per_group * nodes_per_router
+
+let check_node t id =
+  if id < 0 || id >= nodes t then invalid_arg "Topology: node id out of range"
+
+let hops t src dst =
+  check_node t src;
+  check_node t dst;
+  if src = dst then 0
+  else begin
+    match t with
+    | All_to_all _ -> 1
+    | Ring n ->
+      let d = abs (src - dst) in
+      min d (n - d)
+    | Mesh2d (_, y) ->
+      let sx = src / y and sy = src mod y in
+      let dx = dst / y and dy = dst mod y in
+      abs (sx - dx) + abs (sy - dy)
+    | Torus3d (x, y, z) ->
+      let ring_dist n a b =
+        let d = abs (a - b) in
+        min d (n - d)
+      in
+      let sx = src / (y * z) and sy = src / z mod y and sz = src mod z in
+      let dx = dst / (y * z) and dy = dst / z mod y and dz = dst mod z in
+      ring_dist x sx dx + ring_dist y sy dy + ring_dist z sz dz
+    | Fat_tree { arity; levels = _ } ->
+      (* The route climbs to the lowest common ancestor and back down: the
+         LCA is at the smallest k with src / arity^k = dst / arity^k. *)
+      let rec climb k s d = if s = d then k else climb (k + 1) (s / arity) (d / arity) in
+      2 * climb 0 src dst
+    | Dragonfly { groups = _; routers_per_group; nodes_per_router } ->
+      let router id = id / nodes_per_router in
+      let group id = router id / routers_per_group in
+      let rs = router src and rd = router dst in
+      if rs = rd then 2 (* node -> router -> node *)
+      else if group src = group dst then 3 (* node -> r -> r -> node *)
+      else 5 (* node -> r -> gateway -> gateway' -> r' -> node (minimal l-g-l) *)
+  end
+
+let diameter t =
+  match t with
+  | All_to_all n -> if n <= 1 then 0 else 1
+  | Ring n -> n / 2
+  | Mesh2d (x, y) -> x - 1 + (y - 1)
+  | Torus3d (x, y, z) -> (x / 2) + (y / 2) + (z / 2)
+  | Fat_tree { levels; _ } -> 2 * levels
+  | Dragonfly _ -> if nodes t <= 1 then 0 else 5
+
+let average_hops ?(samples = 4096) ?(seed = 42) t =
+  let n = nodes t in
+  if n <= 1 then 0.0
+  else if n * n <= samples then begin
+    let acc = ref 0 and count = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then begin
+          acc := !acc + hops t i j;
+          incr count
+        end
+      done
+    done;
+    float_of_int !acc /. float_of_int !count
+  end
+  else begin
+    let rng = Xsc_util.Rng.create seed in
+    let acc = ref 0 and count = ref 0 in
+    while !count < samples do
+      let i = Xsc_util.Rng.int rng n and j = Xsc_util.Rng.int rng n in
+      if i <> j then begin
+        acc := !acc + hops t i j;
+        incr count
+      end
+    done;
+    float_of_int !acc /. float_of_int samples
+  end
+
+let name = function
+  | All_to_all n -> Printf.sprintf "alltoall(%d)" n
+  | Ring n -> Printf.sprintf "ring(%d)" n
+  | Mesh2d (x, y) -> Printf.sprintf "mesh2d(%dx%d)" x y
+  | Torus3d (x, y, z) -> Printf.sprintf "torus3d(%dx%dx%d)" x y z
+  | Fat_tree { arity; levels } -> Printf.sprintf "fattree(arity=%d,levels=%d)" arity levels
+  | Dragonfly { groups; routers_per_group; nodes_per_router } ->
+    Printf.sprintf "dragonfly(%dg x %dr x %dn)" groups routers_per_group nodes_per_router
+
+let iroot3 n =
+  let rec go k = if k * k * k >= n then k else go (k + 1) in
+  go 1
+
+let isqrt n =
+  let rec go k = if k * k >= n then k else go (k + 1) in
+  go 1
+
+let of_spec kind n =
+  if n <= 0 then invalid_arg "Topology.of_spec: n must be positive";
+  match kind with
+  | "alltoall" -> All_to_all n
+  | "ring" -> Ring n
+  | "mesh2d" ->
+    let s = isqrt n in
+    Mesh2d (s, s)
+  | "torus3d" ->
+    let s = iroot3 n in
+    Torus3d (s, s, s)
+  | "fattree" ->
+    let arity = 4 in
+    let rec lev l = if ipow arity l >= n then l else lev (l + 1) in
+    Fat_tree { arity; levels = lev 1 }
+  | "dragonfly" ->
+    (* balanced a = routers/group, g = a + 1 groups, h = a nodes/router *)
+    let rec pick a =
+      let total = (a + 1) * a * a in
+      if total >= n then a else pick (a + 1)
+    in
+    let a = pick 2 in
+    Dragonfly { groups = a + 1; routers_per_group = a; nodes_per_router = a }
+  | s -> invalid_arg ("Topology.of_spec: unknown topology " ^ s)

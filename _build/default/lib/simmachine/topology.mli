@@ -1,0 +1,33 @@
+(** Interconnect topologies.
+
+    Hop-count geometry for the network model: the per-message cost includes
+    a per-hop term, so topology choice shows up in the scaling experiments
+    (TAB-3). Node identifiers are [0 .. nodes-1]. *)
+
+type t =
+  | All_to_all of int  (** full crossbar, 1 hop between distinct nodes *)
+  | Ring of int
+  | Mesh2d of int * int  (** no wraparound *)
+  | Torus3d of int * int * int  (** wraparound in all three dimensions *)
+  | Fat_tree of { arity : int; levels : int }
+      (** [arity^levels] leaf nodes; distance climbs to the lowest common
+          ancestor and back *)
+  | Dragonfly of { groups : int; routers_per_group : int; nodes_per_router : int }
+      (** all-to-all intra-group and inter-group router links (hop counts
+          follow the canonical minimal l-g-l route) *)
+
+val nodes : t -> int
+val hops : t -> int -> int -> int
+(** Shortest-path hop count between two node ids (0 for [src = dst]). *)
+
+val diameter : t -> int
+val average_hops : ?samples:int -> ?seed:int -> t -> float
+(** Mean hop count over distinct pairs — exact when [nodes] is small,
+    sampled otherwise. *)
+
+val name : t -> string
+
+val of_spec : string -> int -> t
+(** [of_spec kind n] builds a roughly balanced topology of [kind]
+    (["alltoall" | "ring" | "mesh2d" | "torus3d" | "fattree" | "dragonfly"])
+    with *at least* [n] nodes (dimensions are rounded up). *)

@@ -1,0 +1,1 @@
+lib/sparse/cg.ml: Array Csr Network Vec Xsc_linalg Xsc_simmachine

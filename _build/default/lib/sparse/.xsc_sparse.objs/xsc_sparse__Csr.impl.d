@@ -1,0 +1,1 @@
+lib/sparse/csr.ml: Array Domain Hashtbl List Mat Option Xsc_linalg

@@ -1,0 +1,1 @@
+lib/sparse/gmres.ml: Array Csr Vec Xsc_linalg

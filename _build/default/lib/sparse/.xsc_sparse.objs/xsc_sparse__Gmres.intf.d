@@ -1,0 +1,1 @@
+lib/sparse/gmres.mli: Csr Vec Xsc_linalg

@@ -1,0 +1,1 @@
+lib/sparse/market.ml: Array Buffer Csr Fun List Printf Scanf String

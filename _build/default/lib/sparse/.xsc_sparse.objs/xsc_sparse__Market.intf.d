@@ -1,0 +1,1 @@
+lib/sparse/market.mli: Csr

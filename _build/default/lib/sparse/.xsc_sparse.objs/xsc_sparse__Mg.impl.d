@@ -1,0 +1,1 @@
+lib/sparse/mg.ml: Array Csr List Stencil Vec Xsc_linalg

@@ -1,0 +1,1 @@
+lib/sparse/mg.mli: Csr Xsc_linalg

@@ -1,0 +1,1 @@
+lib/sparse/stencil.ml: Array Csr

@@ -1,0 +1,1 @@
+lib/sparse/stencil.mli: Csr Xsc_linalg

@@ -1,0 +1,133 @@
+open Xsc_linalg
+
+type result = {
+  x : Vec.t;
+  iterations : int;
+  restarts : int;
+  converged : bool;
+  residual_norm : float;
+  sync_points : int;
+}
+
+let solve ?(restart = 30) ?(max_iter = 2000) ?(tol = 1e-10) ?precond ?x0 a b =
+  if a.Csr.rows <> a.Csr.cols then invalid_arg "Gmres.solve: matrix not square";
+  let n = a.Csr.rows in
+  if Array.length b <> n then invalid_arg "Gmres.solve: dimension mismatch";
+  if restart < 1 then invalid_arg "Gmres.solve: restart must be >= 1";
+  let x =
+    match x0 with
+    | None -> Array.make n 0.0
+    | Some v ->
+      if Array.length v <> n then invalid_arg "Gmres.solve: x0 dimension mismatch";
+      Array.copy v
+  in
+  let syncs = ref 0 in
+  let dot u v =
+    incr syncs;
+    Vec.dot u v
+  in
+  let norm v =
+    incr syncs;
+    Vec.nrm2 v
+  in
+  let apply_m r = match precond with None -> r | Some m -> m r in
+  let bn = Vec.nrm2 b in
+  let target = tol *. (if bn = 0.0 then 1.0 else bn) in
+  let m = restart in
+  (* Krylov basis and the Hessenberg system, reused across restarts *)
+  let basis = Array.init (m + 1) (fun _ -> Array.make n 0.0) in
+  let h = Array.make_matrix (m + 1) m 0.0 in
+  let cs = Array.make m 0.0 and sn = Array.make m 0.0 in
+  let g = Array.make (m + 1) 0.0 in
+  let iterations = ref 0 and restarts = ref 0 in
+  let converged = ref false in
+  let finished = ref false in
+  while not !finished do
+    (* residual of the current iterate *)
+    let r = Array.copy b in
+    let ax = Csr.mul_vec a x in
+    Vec.axpy (-1.0) ax r;
+    let r = apply_m r in
+    let beta = norm r in
+    if beta <= target then begin
+      converged := true;
+      finished := true
+    end
+    else if !iterations >= max_iter then finished := true
+    else begin
+      Array.blit r 0 basis.(0) 0 n;
+      Vec.scal (1.0 /. beta) basis.(0);
+      Array.fill g 0 (m + 1) 0.0;
+      g.(0) <- beta;
+      let j = ref 0 in
+      let inner_done = ref false in
+      while not !inner_done do
+        let jj = !j in
+        (* Arnoldi step: w = M^-1 A v_j, orthogonalised by MGS *)
+        let w = apply_m (Csr.mul_vec a basis.(jj)) in
+        let w = if w == basis.(jj) then Array.copy w else w in
+        for i = 0 to jj do
+          let hij = dot w basis.(i) in
+          h.(i).(jj) <- hij;
+          Vec.axpy (-.hij) basis.(i) w
+        done;
+        let hnext = norm w in
+        h.(jj + 1).(jj) <- hnext;
+        if hnext > 0.0 then begin
+          Array.blit w 0 basis.(jj + 1) 0 n;
+          Vec.scal (1.0 /. hnext) basis.(jj + 1)
+        end;
+        (* apply existing Givens rotations to the new column *)
+        for i = 0 to jj - 1 do
+          let t = (cs.(i) *. h.(i).(jj)) +. (sn.(i) *. h.(i + 1).(jj)) in
+          h.(i + 1).(jj) <- (-.sn.(i) *. h.(i).(jj)) +. (cs.(i) *. h.(i + 1).(jj));
+          h.(i).(jj) <- t
+        done;
+        (* new rotation annihilating h(jj+1, jj) *)
+        let denom = sqrt ((h.(jj).(jj) ** 2.0) +. (h.(jj + 1).(jj) ** 2.0)) in
+        if denom = 0.0 then begin
+          cs.(jj) <- 1.0;
+          sn.(jj) <- 0.0
+        end
+        else begin
+          cs.(jj) <- h.(jj).(jj) /. denom;
+          sn.(jj) <- h.(jj + 1).(jj) /. denom
+        end;
+        h.(jj).(jj) <- (cs.(jj) *. h.(jj).(jj)) +. (sn.(jj) *. h.(jj + 1).(jj));
+        h.(jj + 1).(jj) <- 0.0;
+        g.(jj + 1) <- -.sn.(jj) *. g.(jj);
+        g.(jj) <- cs.(jj) *. g.(jj);
+        incr iterations;
+        let implied_residual = abs_float g.(jj + 1) in
+        if implied_residual <= target || jj = m - 1 || hnext = 0.0
+           || !iterations >= max_iter
+        then inner_done := true
+        else incr j
+      done;
+      (* back-substitute y and update x with the basis *)
+      let steps = !j + 1 in
+      let y = Array.make steps 0.0 in
+      for i = steps - 1 downto 0 do
+        let acc = ref g.(i) in
+        for l = i + 1 to steps - 1 do
+          acc := !acc -. (h.(i).(l) *. y.(l))
+        done;
+        y.(i) <- !acc /. h.(i).(i)
+      done;
+      for i = 0 to steps - 1 do
+        Vec.axpy y.(i) basis.(i) x
+      done;
+      incr restarts
+    end
+  done;
+  let r = Array.copy b in
+  let ax = Csr.mul_vec a x in
+  Vec.axpy (-1.0) ax r;
+  {
+    x;
+    iterations = !iterations;
+    restarts = !restarts;
+    converged = !converged;
+    residual_norm = Vec.nrm2 r;
+    sync_points = !syncs;
+  }

@@ -1,0 +1,25 @@
+(** Restarted GMRES for nonsymmetric systems.
+
+    Arnoldi with modified Gram-Schmidt and Givens-rotation least squares.
+    Each Arnoldi step at iteration [j] performs [j + 2] global reductions —
+    the synchronisation appetite that motivates communication-avoiding
+    Krylov reformulations; {!result.sync_points} counts them so the
+    experiments can compare against CG's constant per-iteration cost. *)
+
+open Xsc_linalg
+
+type result = {
+  x : Vec.t;
+  iterations : int;  (** total Arnoldi steps across restarts *)
+  restarts : int;
+  converged : bool;
+  residual_norm : float;  (** true final residual 2-norm *)
+  sync_points : int;  (** blocking reductions (dots + norms) executed *)
+}
+
+val solve :
+  ?restart:int -> ?max_iter:int -> ?tol:float -> ?precond:(Vec.t -> Vec.t) ->
+  ?x0:Vec.t -> Csr.t -> Vec.t -> result
+(** Solve [A x = b]; [restart] (default 30) is the Krylov basis size, [tol]
+    the relative-residual target (default 1e-10), [precond] an application
+    of [M⁻¹] (left preconditioning). *)

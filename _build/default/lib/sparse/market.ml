@@ -1,0 +1,80 @@
+let to_string (a : Csr.t) =
+  let buf = Buffer.create (32 * Csr.nnz a) in
+  Buffer.add_string buf "%%MatrixMarket matrix coordinate real general\n";
+  Buffer.add_string buf (Printf.sprintf "%d %d %d\n" a.Csr.rows a.Csr.cols (Csr.nnz a));
+  for i = 0 to a.Csr.rows - 1 do
+    for k = a.Csr.row_ptr.(i) to a.Csr.row_ptr.(i + 1) - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %.17g\n" (i + 1) (a.Csr.col_idx.(k) + 1) a.Csr.values.(k))
+    done
+  done;
+  Buffer.contents buf
+
+let fail_line lineno msg = failwith (Printf.sprintf "Market: line %d: %s" lineno msg)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let symmetric = ref false in
+  let header_seen = ref false in
+  let dims = ref None in
+  let triplets = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" then ()
+      else if String.length line >= 2 && String.sub line 0 2 = "%%" then begin
+        if !header_seen then fail_line lineno "duplicate header"
+        else begin
+          header_seen := true;
+          let lower = String.lowercase_ascii line in
+          let has sub =
+            let rec go i =
+              i + String.length sub <= String.length lower
+              && (String.sub lower i (String.length sub) = sub || go (i + 1))
+            in
+            go 0
+          in
+          if not (has "matrix" && has "coordinate" && has "real") then
+            fail_line lineno "unsupported Matrix Market flavour";
+          if has "symmetric" then symmetric := true
+          else if not (has "general") then fail_line lineno "unsupported symmetry kind"
+        end
+      end
+      else if line.[0] = '%' then ()
+      else begin
+        match !dims with
+        | None -> (
+          match Scanf.sscanf line " %d %d %d" (fun r c n -> (r, c, n)) with
+          | d -> dims := Some d
+          | exception _ -> fail_line lineno "expected 'rows cols nnz'")
+        | Some _ -> (
+          match Scanf.sscanf line " %d %d %f" (fun i j v -> (i, j, v)) with
+          | i, j, v ->
+            triplets := (i - 1, j - 1, v) :: !triplets;
+            if !symmetric && i <> j then triplets := (j - 1, i - 1, v) :: !triplets
+          | exception _ -> fail_line lineno "expected 'i j value'")
+      end)
+    lines;
+  match !dims with
+  | None -> failwith "Market: missing size line"
+  | Some (rows, cols, nnz) ->
+    let count = List.length !triplets in
+    let expected = if !symmetric then -1 (* expansion changes the count *) else nnz in
+    if expected >= 0 && count <> expected then
+      failwith
+        (Printf.sprintf "Market: expected %d entries, found %d" expected count);
+    Csr.of_triplets ~rows ~cols !triplets
+
+let write_file path a =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string a))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      of_string text)

@@ -1,0 +1,11 @@
+(** Matrix Market exchange format (coordinate, real, general) — the lingua
+    franca for sparse matrices (SuiteSparse collection, HPCG dumps, ...).
+    Only the coordinate/real/general flavour is produced; [symmetric]
+    headers are accepted on input and expanded. *)
+
+val to_string : Csr.t -> string
+val of_string : string -> Csr.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val write_file : string -> Csr.t -> unit
+val read_file : string -> Csr.t

@@ -1,0 +1,34 @@
+(** Geometric multigrid on the 3-D stencil problems.
+
+    The real HPCG preconditioner is a short V-cycle with symmetric
+    Gauss-Seidel smoothing over a hierarchy of coarsened grids. This module
+    builds that hierarchy for an [n³] grid (n halving per level, injection
+    restriction, trilinear-ish prolongation by replication) and exposes the
+    V-cycle both as a standalone solver and as a CG preconditioner. *)
+
+type t
+
+type smoother = Symgs | Jacobi
+
+val create : ?levels:int -> ?smoother:smoother -> ?stencil:(int -> Csr.t) -> int -> t
+(** [create n] builds the hierarchy for an [n³] fine grid ([n] even;
+    coarsening stops after [levels] (default 4, HPCG's depth) or when the
+    grid would drop below 2). [stencil] defaults to {!Stencil.hpcg_27pt};
+    [smoother] to [Symgs] (HPCG's choice — [Jacobi] trades a weaker smoother
+    for full row-parallelism). *)
+
+val levels : t -> int
+val fine_matrix : t -> Csr.t
+
+val v_cycle : t -> b:Xsc_linalg.Vec.t -> x:Xsc_linalg.Vec.t -> unit
+(** One V-cycle on [A x = b], in place on [x] (pre/post smoothing = one
+    SymGS sweep each, exact-ish bottom solve by repeated smoothing). *)
+
+val preconditioner : t -> Xsc_linalg.Vec.t -> Xsc_linalg.Vec.t
+(** [M⁻¹ r] = one V-cycle from a zero initial guess — plug into
+    [Cg.solve ~precond]. Symmetric positive by construction (SymGS
+    smoothers), so CG theory applies. *)
+
+val solve : ?tol:float -> ?max_cycles:int -> t -> Xsc_linalg.Vec.t -> Xsc_linalg.Vec.t * int
+(** Stationary V-cycle iteration until the relative residual drops below
+    [tol] (default 1e-8); returns the solution and cycle count. *)

@@ -1,0 +1,99 @@
+let poisson_1d n =
+  if n <= 0 then invalid_arg "Stencil.poisson_1d: n must be positive";
+  let triplets = ref [] in
+  for i = 0 to n - 1 do
+    triplets := (i, i, 2.0) :: !triplets;
+    if i > 0 then triplets := (i, i - 1, -1.0) :: !triplets;
+    if i < n - 1 then triplets := (i, i + 1, -1.0) :: !triplets
+  done;
+  Csr.of_triplets ~rows:n ~cols:n !triplets
+
+let poisson_2d n =
+  if n <= 0 then invalid_arg "Stencil.poisson_2d: n must be positive";
+  let idx x y = (x * n) + y in
+  let triplets = ref [] in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      let i = idx x y in
+      triplets := (i, i, 4.0) :: !triplets;
+      if x > 0 then triplets := (i, idx (x - 1) y, -1.0) :: !triplets;
+      if x < n - 1 then triplets := (i, idx (x + 1) y, -1.0) :: !triplets;
+      if y > 0 then triplets := (i, idx x (y - 1), -1.0) :: !triplets;
+      if y < n - 1 then triplets := (i, idx x (y + 1), -1.0) :: !triplets
+    done
+  done;
+  Csr.of_triplets ~rows:(n * n) ~cols:(n * n) !triplets
+
+let convection_diffusion_2d ?(cx = 1.0) ?(cy = 1.0) n =
+  if n <= 0 then invalid_arg "Stencil.convection_diffusion_2d: n must be positive";
+  if cx < 0.0 || cy < 0.0 then
+    invalid_arg "Stencil.convection_diffusion_2d: upwinding assumes c >= 0";
+  let idx x y = (x * n) + y in
+  let triplets = ref [] in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      let i = idx x y in
+      (* diffusion 5-point plus first-order upwind convection: the flow
+         (cx, cy) strengthens the west/south couplings and the diagonal *)
+      triplets := (i, i, 4.0 +. cx +. cy) :: !triplets;
+      if x > 0 then triplets := (i, idx (x - 1) y, -1.0 -. cx) :: !triplets;
+      if x < n - 1 then triplets := (i, idx (x + 1) y, -1.0) :: !triplets;
+      if y > 0 then triplets := (i, idx x (y - 1), -1.0 -. cy) :: !triplets;
+      if y < n - 1 then triplets := (i, idx x (y + 1), -1.0) :: !triplets
+    done
+  done;
+  Csr.of_triplets ~rows:(n * n) ~cols:(n * n) !triplets
+
+let grid_index ~n x y z = (((x * n) + y) * n) + z
+
+let poisson_3d n =
+  if n <= 0 then invalid_arg "Stencil.poisson_3d: n must be positive";
+  let triplets = ref [] in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      for z = 0 to n - 1 do
+        let i = grid_index ~n x y z in
+        triplets := (i, i, 6.0) :: !triplets;
+        let neighbour nx ny nz =
+          if nx >= 0 && nx < n && ny >= 0 && ny < n && nz >= 0 && nz < n then
+            triplets := (i, grid_index ~n nx ny nz, -1.0) :: !triplets
+        in
+        neighbour (x - 1) y z;
+        neighbour (x + 1) y z;
+        neighbour x (y - 1) z;
+        neighbour x (y + 1) z;
+        neighbour x y (z - 1);
+        neighbour x y (z + 1)
+      done
+    done
+  done;
+  let nn = n * n * n in
+  Csr.of_triplets ~rows:nn ~cols:nn !triplets
+
+let hpcg_27pt n =
+  if n <= 0 then invalid_arg "Stencil.hpcg_27pt: n must be positive";
+  let triplets = ref [] in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      for z = 0 to n - 1 do
+        let i = grid_index ~n x y z in
+        for dx = -1 to 1 do
+          for dy = -1 to 1 do
+            for dz = -1 to 1 do
+              let nx = x + dx and ny = y + dy and nz = z + dz in
+              if nx >= 0 && nx < n && ny >= 0 && ny < n && nz >= 0 && nz < n then
+                if dx = 0 && dy = 0 && dz = 0 then triplets := (i, i, 26.0) :: !triplets
+                else triplets := (i, grid_index ~n nx ny nz, -1.0) :: !triplets
+            done
+          done
+        done
+      done
+    done
+  done;
+  let nn = n * n * n in
+  Csr.of_triplets ~rows:nn ~cols:nn !triplets
+
+let exact_rhs a =
+  let x = Array.make a.Csr.cols 1.0 in
+  let b = Csr.mul_vec a x in
+  (x, b)

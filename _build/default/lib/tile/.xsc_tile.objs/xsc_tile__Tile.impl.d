@@ -1,0 +1,1 @@
+lib/tile/tile.ml: Array Mat Xsc_linalg

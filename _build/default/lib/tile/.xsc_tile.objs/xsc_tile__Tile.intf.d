@@ -1,0 +1,1 @@
+lib/tile/tile.mli: Mat Vec Xsc_linalg

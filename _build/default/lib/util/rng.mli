@@ -1,0 +1,42 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Experiments at scale must be reproducible bit-for-bit, so every stochastic
+    component of the library (workload generators, failure injectors,
+    work-stealing victim selection) draws from an explicitly seeded generator
+    rather than the global [Random] state. The implementation is
+    xoshiro256++ seeded through splitmix64, the combination recommended by
+    Blackman and Vigna. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Used to give each simulated node / worker its own stream so that adding
+    a consumer does not perturb the others. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller, polar form). *)
+
+val exponential : t -> float -> float
+(** [exponential t lambda] draws from Exp(lambda); mean [1/lambda]. Used by
+    the failure injector. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,50 @@
+let si_prefixes = [| ""; "K"; "M"; "G"; "T"; "P"; "E"; "Z" |]
+
+let scale_si x =
+  if x = 0.0 || Float.is_nan x then (x, 0)
+  else begin
+    let mag = abs_float x in
+    let idx = int_of_float (floor (log10 mag /. 3.0)) in
+    let idx = max 0 (min idx (Array.length si_prefixes - 1)) in
+    (x /. (10.0 ** float_of_int (3 * idx)), idx)
+  end
+
+let si x =
+  let m, idx = scale_si x in
+  Printf.sprintf "%.2f %s" m si_prefixes.(idx)
+
+let flops x =
+  let m, idx = scale_si x in
+  Printf.sprintf "%.2f %sflop/s" m si_prefixes.(idx)
+
+let bytes x =
+  let prefixes = [| "B"; "KiB"; "MiB"; "GiB"; "TiB"; "PiB"; "EiB" |] in
+  if x = 0.0 then "0 B"
+  else begin
+    let idx = int_of_float (floor (log (abs_float x) /. log 1024.0)) in
+    let idx = max 0 (min idx (Array.length prefixes - 1)) in
+    Printf.sprintf "%.2f %s" (x /. (1024.0 ** float_of_int idx)) prefixes.(idx)
+  end
+
+let seconds x =
+  let mag = abs_float x in
+  if Float.is_nan x then "nan"
+  else if mag = 0.0 then "0 s"
+  else if mag < 1e-6 then Printf.sprintf "%.1f ns" (x *. 1e9)
+  else if mag < 1e-3 then Printf.sprintf "%.2f us" (x *. 1e6)
+  else if mag < 1.0 then Printf.sprintf "%.2f ms" (x *. 1e3)
+  else if mag < 120.0 then Printf.sprintf "%.3f s" x
+  else if mag < 7200.0 then Printf.sprintf "%.1f min" (x /. 60.0)
+  else if mag < 172800.0 then Printf.sprintf "%.1f h" (x /. 3600.0)
+  else Printf.sprintf "%.1f days" (x /. 86400.0)
+
+let watts x =
+  let m, idx = scale_si x in
+  Printf.sprintf "%.2f %sW" m si_prefixes.(idx)
+
+let joules x =
+  let m, idx = scale_si x in
+  Printf.sprintf "%.2f %sJ" m si_prefixes.(idx)
+
+let ratio x = Printf.sprintf "%.2fx" x
+let percent x = Printf.sprintf "%.1f%%" (x *. 100.0)

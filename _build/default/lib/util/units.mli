@@ -1,0 +1,23 @@
+(** Human-readable formatting of the quantities the library reports:
+    flop rates, byte counts, times, energies. *)
+
+val flops : float -> string
+(** e.g. [flops 1.23e12 = "1.23 Tflop/s"]. *)
+
+val bytes : float -> string
+(** Binary prefixes: ["1.00 GiB"]. *)
+
+val seconds : float -> string
+(** Scales between ns and days. *)
+
+val watts : float -> string
+val joules : float -> string
+
+val si : float -> string
+(** Bare SI-scaled mantissa+prefix, e.g. ["3.14 M"]. *)
+
+val ratio : float -> string
+(** Fixed 2-decimal multiplier, e.g. ["1.87x"]. *)
+
+val percent : float -> string
+(** [percent 0.123 = "12.3%"] — argument is a fraction. *)

@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Array Gen List QCheck QCheck_alcotest Sys Xsc_autotune

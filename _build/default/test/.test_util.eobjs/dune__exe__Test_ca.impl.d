@@ -1,0 +1,1 @@
+test/test_ca.ml: Alcotest Array Blas Lapack Mat QCheck QCheck_alcotest Xsc_ca Xsc_linalg Xsc_simmachine Xsc_util

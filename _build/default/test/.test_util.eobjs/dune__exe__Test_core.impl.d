@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Blas Lapack List Mat Printf QCheck QCheck_alcotest Vec Xsc_core Xsc_linalg Xsc_runtime Xsc_tile Xsc_util

@@ -1,0 +1,1 @@
+test/test_hpcbench.ml: Alcotest List Printf Xsc_hpcbench Xsc_simmachine Xsc_sparse Xsc_util

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Blas Eigen Float Gallery Gblas Lapack List Mat Printf QCheck QCheck_alcotest Scalar Vec Xsc_linalg Xsc_util

@@ -1,0 +1,1 @@
+test/test_precision.ml: Alcotest Gallery Gblas Lapack List Mat QCheck QCheck_alcotest Scalar Vec Xsc_linalg Xsc_precision Xsc_util

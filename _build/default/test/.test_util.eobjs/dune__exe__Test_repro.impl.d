@@ -1,0 +1,1 @@
+test/test_repro.ml: Alcotest Array Gen List QCheck QCheck_alcotest Xsc_repro Xsc_util

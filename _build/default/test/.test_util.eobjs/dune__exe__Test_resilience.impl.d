@@ -1,0 +1,1 @@
+test/test_resilience.ml: Alcotest Blas Float Lapack Mat Printf QCheck QCheck_alcotest Xsc_linalg Xsc_resilience Xsc_util

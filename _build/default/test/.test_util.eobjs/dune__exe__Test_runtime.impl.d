@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic List QCheck QCheck_alcotest String Xsc_core Xsc_runtime Xsc_tile Xsc_util

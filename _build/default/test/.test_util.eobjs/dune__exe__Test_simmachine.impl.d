@@ -1,0 +1,1 @@
+test/test_simmachine.ml: Alcotest List QCheck QCheck_alcotest String Xsc_simmachine Xsc_util

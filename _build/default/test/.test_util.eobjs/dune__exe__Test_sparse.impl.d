@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Filename Lapack List Mat Printf QCheck QCheck_alcotest Sys Vec Xsc_linalg Xsc_simmachine Xsc_sparse Xsc_util

@@ -1,0 +1,1 @@
+test/test_tile.ml: Alcotest Array Lapack Mat QCheck QCheck_alcotest Xsc_linalg Xsc_tile Xsc_util

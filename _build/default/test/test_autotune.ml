@@ -1,0 +1,169 @@
+(* Tests for Xsc_autotune: search strategies and the measurement harness. *)
+
+module Search = Xsc_autotune.Search
+module Tuner = Xsc_autotune.Tuner
+
+let qcheck tc = QCheck_alcotest.to_alcotest tc
+
+(* ---- Search ---- *)
+
+let test_grid_finds_minimum () =
+  let f x = float_of_int ((x - 7) * (x - 7)) in
+  let evals, best = Search.grid ~candidates:(List.init 20 (fun i -> i)) ~f in
+  Alcotest.(check int) "evaluated all" 20 (List.length evals);
+  Alcotest.(check int) "best candidate" 7 best.Search.candidate;
+  Alcotest.(check (float 0.0)) "best cost" 0.0 best.Search.cost
+
+let test_grid_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Search.grid: no candidates") (fun () ->
+      ignore (Search.grid ~candidates:[] ~f:(fun _ -> 0.0)))
+
+let test_grid_preserves_order () =
+  let evals, _ = Search.grid ~candidates:[ 3; 1; 2 ] ~f:float_of_int in
+  Alcotest.(check (list int)) "input order" [ 3; 1; 2 ]
+    (List.map (fun e -> e.Search.candidate) evals)
+
+let test_hill_climb_convex () =
+  let f x = ((x -. 5.0) ** 2.0) +. 1.0 in
+  let neighbours x = [ x -. 1.0; x +. 1.0 ] in
+  let best = Search.hill_climb ~neighbours ~start:0.0 f in
+  Alcotest.(check (float 0.0)) "finds the minimum" 5.0 best.Search.candidate;
+  Alcotest.(check (float 0.0)) "minimum value" 1.0 best.Search.cost
+
+let test_hill_climb_respects_max_steps () =
+  let f x = -.x in
+  (* unbounded descent *)
+  let best = Search.hill_climb ~max_steps:10 ~neighbours:(fun x -> [ x +. 1.0 ]) ~start:0.0 f in
+  Alcotest.(check (float 0.0)) "stopped at budget" 10.0 best.Search.candidate
+
+let test_hill_climb_local_optimum () =
+  (* two baseins; hill climbing from 0 gets stuck in the local one *)
+  let f x = if x < 5.0 then abs_float (x -. 2.0) else abs_float (x -. 8.0) -. 10.0 in
+  let best = Search.hill_climb ~neighbours:(fun x -> [ x -. 1.0; x +. 1.0 ]) ~start:0.0 f in
+  Alcotest.(check (float 0.0)) "stuck at local min" 2.0 best.Search.candidate
+
+let test_hill_climb_no_neighbours () =
+  let best = Search.hill_climb ~neighbours:(fun _ -> []) ~start:42 (fun _ -> 3.0) in
+  Alcotest.(check int) "returns start" 42 best.Search.candidate
+
+let test_successive_halving_picks_best () =
+  (* cost improves with budget but ordering is stable: the true best wins *)
+  let f c ~budget = (float_of_int c *. 10.0) +. (100.0 /. float_of_int budget) in
+  let best = Search.successive_halving ~candidates:[ 5; 3; 1; 4; 2 ] ~budget0:1 f in
+  Alcotest.(check int) "best survives" 1 best.Search.candidate
+
+let test_successive_halving_single () =
+  let best = Search.successive_halving ~candidates:[ 9 ] ~budget0:4 (fun _ ~budget -> float_of_int budget) in
+  Alcotest.(check int) "sole candidate" 9 best.Search.candidate
+
+let test_successive_halving_budget_grows () =
+  let budgets = ref [] in
+  let f _ ~budget =
+    if not (List.mem budget !budgets) then budgets := budget :: !budgets;
+    0.0
+  in
+  ignore (Search.successive_halving ~candidates:[ 1; 2; 3; 4 ] ~budget0:2 f);
+  Alcotest.(check bool) "budget doubled at least once" true (List.mem 4 !budgets)
+
+let test_successive_halving_validation () =
+  Alcotest.check_raises "eta" (Invalid_argument "Search.successive_halving: eta must be >= 2")
+    (fun () ->
+      ignore (Search.successive_halving ~eta:1 ~candidates:[ 1 ] ~budget0:1 (fun _ ~budget:_ -> 0.0)))
+
+let test_simulated_annealing_escapes_local_minimum () =
+  (* the landscape that traps hill climbing in test_hill_climb_local_optimum *)
+  let f x = if x < 5.0 then abs_float (x -. 2.0) else abs_float (x -. 8.0) -. 10.0 in
+  let neighbours x = [ x -. 1.0; x +. 1.0 ] in
+  let stuck = Search.hill_climb ~neighbours ~start:0.0 f in
+  Alcotest.(check (float 0.0)) "hill climbing is stuck" 2.0 stuck.Search.candidate;
+  let sa =
+    Search.simulated_annealing ~steps:2000 ~temperature:5.0 ~cooling:0.999 ~seed:7
+      ~neighbours ~start:0.0 f
+  in
+  Alcotest.(check (float 0.0)) "annealing escapes" 8.0 sa.Search.candidate;
+  Alcotest.(check (float 0.0)) "global cost" (-10.0) sa.Search.cost
+
+let test_simulated_annealing_deterministic_per_seed () =
+  let f x = (x -. 3.0) ** 2.0 in
+  let neighbours x = [ x -. 1.0; x +. 1.0 ] in
+  let a = Search.simulated_annealing ~seed:5 ~neighbours ~start:10.0 f in
+  let b = Search.simulated_annealing ~seed:5 ~neighbours ~start:10.0 f in
+  Alcotest.(check (float 0.0)) "same seed, same result" a.Search.cost b.Search.cost
+
+let test_simulated_annealing_validation () =
+  Alcotest.check_raises "cooling" (Invalid_argument "Search.simulated_annealing: cooling must be in (0, 1)")
+    (fun () ->
+      ignore
+        (Search.simulated_annealing ~cooling:1.5 ~seed:1 ~neighbours:(fun _ -> []) ~start:0
+           (fun _ -> 0.0)))
+
+let prop_grid_best_is_minimum =
+  QCheck.Test.make ~name:"grid best has minimal cost" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range (-100.0) 100.0))
+    (fun costs ->
+      let candidates = List.mapi (fun i _ -> i) costs in
+      let f i = List.nth costs i in
+      let evals, best = Search.grid ~candidates ~f in
+      List.for_all (fun e -> best.Search.cost <= e.Search.cost) evals)
+
+(* ---- Tuner ---- *)
+
+let test_time_thunk_measures () =
+  let t = Tuner.time_thunk ~warmup:0 ~repeats:3 (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0.0))) in
+  Alcotest.(check bool) "non-negative" true (t >= 0.0)
+
+let test_time_thunk_counts_runs () =
+  let count = ref 0 in
+  ignore (Tuner.time_thunk ~warmup:2 ~repeats:3 (fun () -> incr count));
+  Alcotest.(check int) "warmup + repeats" 5 !count
+
+let test_sweep_picks_fastest () =
+  (* simulate work proportional to the parameter *)
+  let bench p () =
+    let acc = ref 0.0 in
+    for i = 1 to p * 20000 do
+      acc := !acc +. float_of_int i
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let measurements, best =
+    Tuner.sweep ~warmup:0 ~repeats:3 ~candidates:[ 16; 1; 8 ] ~flops:float_of_int ~bench ()
+  in
+  Alcotest.(check int) "three measurements" 3 (List.length measurements);
+  Alcotest.(check int) "fastest param" 1 best.Tuner.param
+
+let test_sweep_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Tuner.sweep: no candidates") (fun () ->
+      ignore (Tuner.sweep ~candidates:[] ~flops:float_of_int ~bench:(fun _ () -> ()) ()))
+
+let () =
+  Alcotest.run "xsc_autotune"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "grid minimum" `Quick test_grid_finds_minimum;
+          Alcotest.test_case "grid empty" `Quick test_grid_empty;
+          Alcotest.test_case "grid order" `Quick test_grid_preserves_order;
+          Alcotest.test_case "hill climb convex" `Quick test_hill_climb_convex;
+          Alcotest.test_case "hill climb budget" `Quick test_hill_climb_respects_max_steps;
+          Alcotest.test_case "hill climb local optimum" `Quick test_hill_climb_local_optimum;
+          Alcotest.test_case "hill climb isolated" `Quick test_hill_climb_no_neighbours;
+          Alcotest.test_case "halving picks best" `Quick test_successive_halving_picks_best;
+          Alcotest.test_case "halving single" `Quick test_successive_halving_single;
+          Alcotest.test_case "halving budget grows" `Quick test_successive_halving_budget_grows;
+          Alcotest.test_case "halving validation" `Quick test_successive_halving_validation;
+          Alcotest.test_case "annealing escapes local min" `Quick
+            test_simulated_annealing_escapes_local_minimum;
+          Alcotest.test_case "annealing deterministic" `Quick
+            test_simulated_annealing_deterministic_per_seed;
+          Alcotest.test_case "annealing validation" `Quick test_simulated_annealing_validation;
+          qcheck prop_grid_best_is_minimum;
+        ] );
+      ( "tuner",
+        [
+          Alcotest.test_case "time_thunk" `Quick test_time_thunk_measures;
+          Alcotest.test_case "run counting" `Quick test_time_thunk_counts_runs;
+          Alcotest.test_case "sweep picks fastest" `Quick test_sweep_picks_fastest;
+          Alcotest.test_case "sweep empty" `Quick test_sweep_empty;
+        ] );
+    ]

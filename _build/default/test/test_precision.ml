@@ -1,0 +1,163 @@
+(* Tests for Xsc_precision: mixed-precision iterative refinement. *)
+
+open Xsc_linalg
+module Ir = Xsc_precision.Ir
+module Rng = Xsc_util.Rng
+
+let qcheck tc = QCheck_alcotest.to_alcotest tc
+
+let spd_system seed n =
+  let rng = Rng.create seed in
+  let a = Mat.random_spd rng n in
+  let x_true = Vec.random rng n in
+  let b = Mat.mul_vec a x_true in
+  (a, x_true, b)
+
+let general_system seed n =
+  let rng = Rng.create seed in
+  let a = Mat.random_diag_dominant rng n in
+  let x_true = Vec.random rng n in
+  let b = Mat.mul_vec a x_true in
+  (a, x_true, b)
+
+let test_chol_ir_fp32_converges () =
+  let a, x_true, b = spd_system 1 48 in
+  let r = Ir.chol_ir ~precision:(module Scalar.Fp32) a b in
+  Alcotest.(check bool) "converged" true r.Ir.converged;
+  Alcotest.(check bool) "double accuracy" true
+    (Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true < 1e-12);
+  Alcotest.(check bool) "few iterations" true (r.Ir.iterations <= 5);
+  Alcotest.(check bool) "did refine" true (r.Ir.iterations >= 1)
+
+let test_lu_ir_fp32_converges () =
+  let a, x_true, b = general_system 2 48 in
+  let r = Ir.lu_ir ~precision:(module Scalar.Fp32) a b in
+  Alcotest.(check bool) "converged" true r.Ir.converged;
+  Alcotest.(check bool) "double accuracy" true
+    (Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true < 1e-12)
+
+let test_ir_beats_plain_low_precision () =
+  let a, x_true, b = spd_system 3 48 in
+  let module G = Gblas.Make (Scalar.Fp32) in
+  let f = G.quantize_mat a in
+  G.potrf f;
+  let x32 = G.quantize_vec b in
+  G.potrs f x32;
+  let err32 = Vec.dist_inf x32 x_true in
+  let r = Ir.chol_ir ~precision:(module Scalar.Fp32) a b in
+  let err_ir = Vec.dist_inf r.Ir.x x_true in
+  Alcotest.(check bool) "IR strictly more accurate" true (err_ir < err32 /. 100.0)
+
+let test_ir_history () =
+  let a, _, b = spd_system 4 32 in
+  let r = Ir.chol_ir ~precision:(module Scalar.Fp32) a b in
+  Alcotest.(check int) "history length = iterations + 1" (r.Ir.iterations + 1)
+    (List.length r.Ir.history);
+  Alcotest.(check (float 0.0)) "final entry is the reported error" r.Ir.backward_error
+    (List.nth r.Ir.history r.Ir.iterations)
+
+let test_ir_fp16_small_system () =
+  (* fp16 has ~3 digits; IR still recovers double accuracy on a tiny
+     well-conditioned system, just with more sweeps than fp32 *)
+  let a, x_true, b = spd_system 5 12 in
+  let r = Ir.chol_ir ~precision:(module Scalar.Fp16) ~max_iter:100 a b in
+  Alcotest.(check bool) "converged" true r.Ir.converged;
+  Alcotest.(check bool) "accurate" true
+    (Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true < 1e-10)
+
+let test_ir_fp64_is_direct () =
+  let a, _, b = spd_system 6 32 in
+  let r = Ir.chol_ir ~precision:(module Scalar.Fp64) a b in
+  Alcotest.(check bool) "0 or 1 sweeps" true (r.Ir.iterations <= 1)
+
+let prop_ir_sizes =
+  QCheck.Test.make ~name:"chol_ir converges across sizes" ~count:10
+    QCheck.(int_range 4 64)
+    (fun n ->
+      let a, _, b = spd_system (1000 + n) n in
+      let r = Ir.chol_ir ~precision:(module Scalar.Fp32) a b in
+      r.Ir.converged)
+
+let test_ir_flop_accounting () =
+  let a, _, b = spd_system 7 32 in
+  let r = Ir.chol_ir ~precision:(module Scalar.Fp32) a b in
+  Alcotest.(check (float 1e-6)) "factor flops = n^3/3" (Lapack.potrf_flops 32)
+    r.Ir.factor_flops;
+  Alcotest.(check (float 1e-6)) "refine flops proportional to iterations"
+    (float_of_int r.Ir.iterations *. 4.0 *. (32.0 ** 2.0))
+    r.Ir.refine_flops
+
+let test_ir_dimension_check () =
+  let a = Mat.identity 4 in
+  Alcotest.check_raises "dims" (Invalid_argument "Ir.chol_ir: dimension mismatch")
+    (fun () -> ignore (Ir.chol_ir ~precision:(module Scalar.Fp32) a [| 1.0 |]))
+
+let test_gmres_ir_extends_conditioning_range () =
+  (* Carson-Higham: plain fp16 IR diverges once cond(A) passes ~1/eps_fp16;
+     GMRES-IR on the preconditioned operator keeps converging *)
+  let rng = Rng.create 5 in
+  let n = 60 in
+  let a = Gallery.spd_with_cond rng n ~cond:1e4 in
+  let x_true = Vec.random rng n in
+  let b = Mat.mul_vec a x_true in
+  let plain = Ir.lu_ir ~max_iter:30 ~precision:(module Scalar.Fp16) a b in
+  Alcotest.(check bool) "plain fp16 IR fails at cond 1e4" false plain.Ir.converged;
+  let gm = Ir.gmres_ir ~max_iter:30 ~precision:(module Scalar.Fp16) a b in
+  Alcotest.(check bool) "GMRES-IR converges" true gm.Ir.converged;
+  Alcotest.(check bool) "full accuracy" true (gm.Ir.backward_error < 1e-14)
+
+let test_gmres_ir_well_conditioned () =
+  let a, x_true, b = spd_system 8 48 in
+  let r = Ir.gmres_ir ~precision:(module Scalar.Fp32) a b in
+  Alcotest.(check bool) "converged" true r.Ir.converged;
+  Alcotest.(check bool) "accurate" true
+    (Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true < 1e-11)
+
+let test_gmres_ir_dimension_check () =
+  Alcotest.check_raises "dims" (Invalid_argument "Ir.gmres_ir: dimension mismatch")
+    (fun () ->
+      ignore (Ir.gmres_ir ~precision:(module Scalar.Fp32) (Mat.identity 4) [| 1.0 |]))
+
+let test_model_time_speedup () =
+  (* the modelled mixed-precision time beats plain fp64 for large n when the
+     low format runs 2x faster *)
+  let n = 4096 in
+  let t_mixed = Ir.ir_model_time ~n ~low_rate:2e9 ~high_rate:1e9 ~iterations:3 in
+  let t_plain = Ir.plain_solve_flops n /. 1e9 in
+  Alcotest.(check bool) "speedup in (1.5, 2.0]" true
+    (t_plain /. t_mixed > 1.5 && t_plain /. t_mixed <= 2.0)
+
+let test_model_time_iterations_cost () =
+  let n = 1024 in
+  let t3 = Ir.ir_model_time ~n ~low_rate:2e9 ~high_rate:1e9 ~iterations:3 in
+  let t30 = Ir.ir_model_time ~n ~low_rate:2e9 ~high_rate:1e9 ~iterations:30 in
+  Alcotest.(check bool) "more sweeps cost more" true (t30 > t3)
+
+let () =
+  Alcotest.run "xsc_precision"
+    [
+      ( "iterative refinement",
+        [
+          Alcotest.test_case "chol fp32 converges" `Quick test_chol_ir_fp32_converges;
+          Alcotest.test_case "lu fp32 converges" `Quick test_lu_ir_fp32_converges;
+          Alcotest.test_case "IR beats plain fp32" `Quick test_ir_beats_plain_low_precision;
+          Alcotest.test_case "history" `Quick test_ir_history;
+          Alcotest.test_case "fp16 small system" `Quick test_ir_fp16_small_system;
+          Alcotest.test_case "fp64 is direct" `Quick test_ir_fp64_is_direct;
+          qcheck prop_ir_sizes;
+          Alcotest.test_case "flop accounting" `Quick test_ir_flop_accounting;
+          Alcotest.test_case "dimension check" `Quick test_ir_dimension_check;
+        ] );
+      ( "gmres-ir",
+        [
+          Alcotest.test_case "extends conditioning range" `Quick
+            test_gmres_ir_extends_conditioning_range;
+          Alcotest.test_case "well conditioned" `Quick test_gmres_ir_well_conditioned;
+          Alcotest.test_case "dimension check" `Quick test_gmres_ir_dimension_check;
+        ] );
+      ( "speed model",
+        [
+          Alcotest.test_case "speedup bounds" `Quick test_model_time_speedup;
+          Alcotest.test_case "iteration cost" `Quick test_model_time_iterations_cost;
+        ] );
+    ]

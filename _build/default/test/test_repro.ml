@@ -1,0 +1,223 @@
+(* Tests for Xsc_repro: exact expansions, summation algorithms,
+   deterministic reductions. *)
+
+module Exact = Xsc_repro.Exact
+module Summation = Xsc_repro.Summation
+module Reduction = Xsc_repro.Reduction
+module Rng = Xsc_util.Rng
+
+let qcheck tc = QCheck_alcotest.to_alcotest tc
+
+(* an array whose exact sum is known: pairs (x, -x) plus a marker *)
+let cancelling_array n =
+  let rng = Rng.create 91 in
+  let base = Array.init n (fun _ -> (Rng.uniform rng -. 0.5) *. 1e10) in
+  let arr = Array.concat [ base; Array.map (fun x -> -.x) base; [| 1.0 |] ] in
+  Rng.shuffle rng arr;
+  arr
+
+(* ---- two_sum / Exact ---- *)
+
+let test_two_sum_exact () =
+  let s, err = Exact.two_sum 1.0 1e-20 in
+  Alcotest.(check (float 0.0)) "s is rounded sum" 1.0 s;
+  Alcotest.(check (float 0.0)) "error preserved" 1e-20 err
+
+let prop_two_sum =
+  QCheck.Test.make ~name:"two_sum: s + err == fl(a+b) decomposition" ~count:500
+    QCheck.(pair (float_range (-1e15) 1e15) (float_range (-1e15) 1e15))
+    (fun (a, b) ->
+      let s, err = Exact.two_sum a b in
+      s = a +. b && abs_float err <= abs_float s *. epsilon_float)
+
+let test_exact_sum_cancellation () =
+  let arr = cancelling_array 1000 in
+  Alcotest.(check (float 0.0)) "exact despite cancellation" 1.0 (Exact.sum arr)
+
+let test_exact_sum_classic_case () =
+  (* 1e100 + 1 - 1e100 = 1, naive gets 0 *)
+  let arr = [| 1e100; 1.0; -1e100 |] in
+  Alcotest.(check (float 0.0)) "naive loses it" 0.0 (Summation.naive arr);
+  Alcotest.(check (float 0.0)) "exact keeps it" 1.0 (Exact.sum arr)
+
+let prop_exact_order_independent =
+  QCheck.Test.make ~name:"Exact.sum is order-independent (bitwise)" ~count:100
+    QCheck.(pair small_int (array_of_size Gen.(int_range 1 200) (float_range (-1e12) 1e12)))
+    (fun (seed, arr) ->
+      let shuffled = Array.copy arr in
+      Rng.shuffle (Rng.create seed) shuffled;
+      Exact.sum arr = Exact.sum shuffled)
+
+let test_exact_add_expansion () =
+  let a = Exact.create () and b = Exact.create () in
+  Exact.add a 1e100;
+  Exact.add a 1.0;
+  Exact.add b (-1e100);
+  Exact.add b 2.5;
+  Exact.add_expansion a b;
+  Alcotest.(check (float 0.0)) "merged exactly" 3.5 (Exact.value a)
+
+let test_exact_components_nonoverlapping () =
+  let t = Exact.create () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 500 do
+    Exact.add t ((Rng.uniform rng -. 0.5) *. (10.0 ** float_of_int (Rng.int rng 30)))
+  done;
+  let comps = Exact.components t in
+  (* after compression, components increase in magnitude and do not overlap:
+     each is smaller than an ulp of the next *)
+  for i = 0 to Array.length comps - 2 do
+    if comps.(i) <> 0.0 then
+      Alcotest.(check bool) "ordered by magnitude" true
+        (abs_float comps.(i) < abs_float comps.(i + 1))
+  done
+
+let test_exact_rejects_nonfinite () =
+  let t = Exact.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Exact.add: non-finite input") (fun () ->
+      Exact.add t nan)
+
+let test_exact_dot () =
+  let x = [| 1e8; 1.0; -1e8 |] and y = [| 1e8; 1.0; 1e8 |] in
+  (* exact: 1e16 + 1 - 1e16 = 1 *)
+  Alcotest.(check (float 0.0)) "dot exact" 1.0 (Exact.dot x y)
+
+let test_exact_empty () =
+  Alcotest.(check (float 0.0)) "empty sum" 0.0 (Exact.sum [||])
+
+(* ---- Summation accuracy ordering ---- *)
+
+let test_summation_accuracy_ranking () =
+  let arr = cancelling_array 2000 in
+  let exact = 1.0 in
+  let err f = abs_float (f arr -. exact) in
+  let e_naive = err Summation.naive in
+  let e_kahan = err Summation.kahan in
+  let e_neumaier = err Summation.neumaier in
+  Alcotest.(check bool) "naive is wrong here" true (e_naive > 1e-6);
+  Alcotest.(check bool) "neumaier beats naive" true (e_neumaier <= e_naive);
+  Alcotest.(check bool) "kahan no worse than naive" true (e_kahan <= e_naive)
+
+let test_neumaier_handles_big_terms () =
+  (* the case Kahan famously drops: sum [1; huge; 1; -huge] *)
+  let arr = [| 1.0; 1e100; 1.0; -1e100 |] in
+  Alcotest.(check (float 0.0)) "neumaier" 2.0 (Summation.neumaier arr)
+
+let prop_pairwise_matches_exact_on_easy =
+  QCheck.Test.make ~name:"pairwise ~ exact on well-conditioned data" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 500) (float_range 0.0 1.0))
+    (fun arr ->
+      let exact = Exact.sum arr in
+      abs_float (Summation.pairwise arr -. exact) <= 1e-10 *. max 1.0 (abs_float exact))
+
+let test_pairwise_empty_and_small () =
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Summation.pairwise [||]);
+  Alcotest.(check (float 0.0)) "one" 5.0 (Summation.pairwise [| 5.0 |]);
+  Alcotest.(check (float 0.0)) "two" 3.0 (Summation.pairwise [| 1.0; 2.0 |])
+
+let test_sorted_does_not_modify () =
+  let arr = [| 3.0; -1.0; 2.0 |] in
+  let copy = Array.copy arr in
+  ignore (Summation.sorted_increasing_magnitude arr);
+  Alcotest.(check (array (float 0.0))) "input untouched" copy arr
+
+let test_condition_number () =
+  Alcotest.(check (float 1e-12)) "benign" 1.0 (Summation.condition_number [| 1.0; 2.0 |]);
+  Alcotest.(check bool) "cancelling is ill-conditioned" true
+    (Summation.condition_number [| 1e10; -1e10; 1.0 |] > 1e9)
+
+(* ---- Reduction strategies ---- *)
+
+let test_reduction_sequential_matches_naive () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 100 (fun _ -> Rng.uniform rng) in
+  Alcotest.(check (float 0.0)) "sequential = naive" (Summation.naive arr)
+    (Reduction.reduce Reduction.Sequential arr)
+
+let test_reduction_fixed_tree_deterministic () =
+  let arr = cancelling_array 500 in
+  let a = Reduction.reduce (Reduction.Fixed_tree 16) arr in
+  let b = Reduction.reduce (Reduction.Fixed_tree 16) arr in
+  Alcotest.(check (float 0.0)) "bitwise repeatable" a b
+
+let test_reduction_timing_dependent_varies () =
+  let arr = cancelling_array 2000 in
+  let results =
+    List.init 20 (fun seed -> Reduction.reduce (Reduction.Timing_dependent (64, seed)) arr)
+  in
+  let distinct = List.sort_uniq compare results in
+  Alcotest.(check bool) "different arrival orders change the answer" true
+    (List.length distinct > 1)
+
+let prop_exact_leaves_independent_of_p =
+  QCheck.Test.make ~name:"Exact_leaves identical for every worker count" ~count:50
+    QCheck.(array_of_size Gen.(int_range 1 300) (float_range (-1e10) 1e10))
+    (fun arr ->
+      let r1 = Reduction.reduce (Reduction.Exact_leaves 1) arr in
+      let r7 = Reduction.reduce (Reduction.Exact_leaves 7) arr in
+      let r64 = Reduction.reduce (Reduction.Exact_leaves 64) arr in
+      r1 = r7 && r7 = r64)
+
+let test_exact_leaves_equals_exact_sum () =
+  let arr = cancelling_array 1000 in
+  Alcotest.(check (float 0.0)) "= Exact.sum" (Exact.sum arr)
+    (Reduction.reduce (Reduction.Exact_leaves 13) arr)
+
+let test_spread () =
+  let arr = cancelling_array 1000 in
+  let spread_exact =
+    Reduction.spread arr
+      ~strategies:[ Reduction.Exact_leaves 2; Reduction.Exact_leaves 32 ]
+  in
+  Alcotest.(check (float 0.0)) "exact strategies agree" 0.0 spread_exact;
+  let spread_noisy =
+    Reduction.spread arr
+      ~strategies:
+        (List.init 10 (fun s -> Reduction.Timing_dependent (64, s)))
+  in
+  Alcotest.(check bool) "timing-dependent spread > 0" true (spread_noisy > 0.0)
+
+let test_reduction_invalid_p () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Reduction.reduce: p must be positive")
+    (fun () -> ignore (Reduction.reduce (Reduction.Fixed_tree 0) [| 1.0 |]))
+
+let () =
+  Alcotest.run "xsc_repro"
+    [
+      ( "exact",
+        [
+          Alcotest.test_case "two_sum exact" `Quick test_two_sum_exact;
+          qcheck prop_two_sum;
+          Alcotest.test_case "cancellation" `Quick test_exact_sum_cancellation;
+          Alcotest.test_case "classic 1e100 case" `Quick test_exact_sum_classic_case;
+          qcheck prop_exact_order_independent;
+          Alcotest.test_case "add_expansion" `Quick test_exact_add_expansion;
+          Alcotest.test_case "components nonoverlapping" `Quick
+            test_exact_components_nonoverlapping;
+          Alcotest.test_case "rejects non-finite" `Quick test_exact_rejects_nonfinite;
+          Alcotest.test_case "exact dot" `Quick test_exact_dot;
+          Alcotest.test_case "empty" `Quick test_exact_empty;
+        ] );
+      ( "summation",
+        [
+          Alcotest.test_case "accuracy ranking" `Quick test_summation_accuracy_ranking;
+          Alcotest.test_case "neumaier big terms" `Quick test_neumaier_handles_big_terms;
+          qcheck prop_pairwise_matches_exact_on_easy;
+          Alcotest.test_case "pairwise edge sizes" `Quick test_pairwise_empty_and_small;
+          Alcotest.test_case "sorted preserves input" `Quick test_sorted_does_not_modify;
+          Alcotest.test_case "condition number" `Quick test_condition_number;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "sequential = naive" `Quick test_reduction_sequential_matches_naive;
+          Alcotest.test_case "fixed tree deterministic" `Quick
+            test_reduction_fixed_tree_deterministic;
+          Alcotest.test_case "timing-dependent varies" `Quick
+            test_reduction_timing_dependent_varies;
+          qcheck prop_exact_leaves_independent_of_p;
+          Alcotest.test_case "exact leaves = exact sum" `Quick
+            test_exact_leaves_equals_exact_sum;
+          Alcotest.test_case "spread" `Quick test_spread;
+          Alcotest.test_case "invalid p" `Quick test_reduction_invalid_p;
+        ] );
+    ]

@@ -1,0 +1,279 @@
+(* Tests for Xsc_resilience: Young/Daly checkpointing, ABFT checksums,
+   fault injection. *)
+
+open Xsc_linalg
+module Checkpoint = Xsc_resilience.Checkpoint
+module Abft = Xsc_resilience.Abft
+module Inject = Xsc_resilience.Inject
+module Rng = Xsc_util.Rng
+
+let qcheck tc = QCheck_alcotest.to_alcotest tc
+
+let params = { Checkpoint.work = 7200.0; checkpoint_cost = 15.0; restart_cost = 60.0; mtbf = 1800.0 }
+
+(* ---- Checkpoint ---- *)
+
+let test_young_formula () =
+  Alcotest.(check (float 1e-9)) "sqrt(2CM)"
+    (sqrt (2.0 *. 15.0 *. 1800.0))
+    (Checkpoint.young_interval params)
+
+let test_daly_close_to_young_when_c_small () =
+  let p = { params with checkpoint_cost = 1.0; mtbf = 1e6 } in
+  let young = Checkpoint.young_interval p and daly = Checkpoint.daly_interval p in
+  Alcotest.(check bool) "within 2%" true (abs_float (daly -. young) /. young < 0.02)
+
+let test_expected_time_exceeds_work () =
+  let t = Checkpoint.expected_time params ~interval:(Checkpoint.daly_interval params) in
+  Alcotest.(check bool) "overhead positive" true (t > params.Checkpoint.work)
+
+let test_expected_time_convex_minimum () =
+  (* the optimum beats both a too-short and a too-long interval *)
+  let tau = Checkpoint.daly_interval params in
+  let at x = Checkpoint.expected_time params ~interval:x in
+  Alcotest.(check bool) "beats tau/8" true (at tau < at (tau /. 8.0));
+  Alcotest.(check bool) "beats 8 tau" true (at tau < at (8.0 *. tau))
+
+let test_simulation_matches_model () =
+  let rng = Rng.create 42 in
+  let tau = Checkpoint.daly_interval params in
+  let sim = Checkpoint.simulate_mean ~runs:400 rng params ~interval:tau in
+  let model = Checkpoint.expected_time params ~interval:tau in
+  Alcotest.(check bool)
+    (Printf.sprintf "sim %.0f within 15%% of model %.0f" sim model)
+    true
+    (abs_float (sim -. model) /. model < 0.15)
+
+let test_simulation_minimum_near_daly () =
+  (* simulated time at the Daly interval beats far-off intervals *)
+  let rng = Rng.create 43 in
+  let tau = Checkpoint.daly_interval params in
+  let at x = Checkpoint.simulate_mean ~runs:300 rng params ~interval:x in
+  let t_opt = at tau in
+  Alcotest.(check bool) "beats tau/8" true (t_opt < at (tau /. 8.0));
+  Alcotest.(check bool) "beats 8 tau" true (t_opt < at (8.0 *. tau))
+
+let test_simulate_no_failures_limit () =
+  (* with an enormous MTBF the run is just work + checkpoints *)
+  let p = { params with mtbf = 1e15 } in
+  let rng = Rng.create 44 in
+  let t = Checkpoint.simulate rng p ~interval:720.0 in
+  let segments = 7200.0 /. 720.0 in
+  let expected = 7200.0 +. ((segments -. 1.0) *. 15.0) in
+  Alcotest.(check (float 1.0)) "work + C per non-final segment" expected t
+
+let test_efficiency_bounds () =
+  let e = Checkpoint.efficiency params ~interval:(Checkpoint.daly_interval params) in
+  Alcotest.(check bool) "in (0,1)" true (e > 0.0 && e < 1.0)
+
+let test_checkpoint_validation () =
+  Alcotest.check_raises "bad params" (Invalid_argument "Checkpoint: invalid parameters")
+    (fun () -> ignore (Checkpoint.young_interval { params with mtbf = 0.0 }));
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Checkpoint.expected_time: interval must be positive") (fun () ->
+      ignore (Checkpoint.expected_time params ~interval:0.0))
+
+(* ---- ABFT gemm ---- *)
+
+let test_gemm_protected_clean () =
+  let rng = Rng.create 1 in
+  let a = Mat.random rng 8 6 and b = Mat.random rng 6 10 in
+  let p = Abft.gemm_protected a b in
+  Alcotest.(check (list (pair int int))) "no mismatches" [] (Abft.verify_product p);
+  Alcotest.(check bool) "decodes to the product" true
+    (Mat.approx_equal ~tol:1e-10 (Blas.gemm_new a b) (Abft.decode_product p))
+
+let prop_gemm_single_error_corrected =
+  QCheck.Test.make ~name:"single corrupted entry is located and corrected" ~count:50
+    QCheck.(triple (int_range 0 7) (int_range 0 9) (float_range 0.5 100.0))
+    (fun (i, j, delta) ->
+      let rng = Rng.create ((i * 11) + j) in
+      let a = Mat.random rng 8 6 and b = Mat.random rng 6 10 in
+      let p = Abft.gemm_protected a b in
+      Inject.corrupt_entry p.Abft.full i j ~delta;
+      let located = Abft.verify_product p in
+      let fixed = Abft.correct_product p in
+      located = [ (i, j) ] && fixed = 1
+      && Mat.approx_equal ~tol:1e-8 (Blas.gemm_new a b) (Abft.decode_product p))
+
+let test_gemm_two_errors_distinct_rows_cols () =
+  let rng = Rng.create 3 in
+  let a = Mat.random rng 8 6 and b = Mat.random rng 6 10 in
+  let p = Abft.gemm_protected a b in
+  Inject.corrupt_entry p.Abft.full 1 2 ~delta:5.0;
+  Inject.corrupt_entry p.Abft.full 4 7 ~delta:(-3.0);
+  (* the row/col intersection now has 4 candidates; only the 2 real ones
+     show matching row/col discrepancies and get fixed *)
+  let fixed = Abft.correct_product p in
+  Alcotest.(check int) "both corrected" 2 fixed;
+  Alcotest.(check bool) "product restored" true
+    (Mat.approx_equal ~tol:1e-8 (Blas.gemm_new a b) (Abft.decode_product p))
+
+let test_gemm_correct_noop_when_clean () =
+  let rng = Rng.create 4 in
+  let a = Mat.random rng 5 5 and b = Mat.random rng 5 5 in
+  let p = Abft.gemm_protected a b in
+  Alcotest.(check int) "nothing to fix" 0 (Abft.correct_product p)
+
+(* ---- ABFT cholesky ---- *)
+
+let chol_fixture seed n =
+  let rng = Rng.create seed in
+  let a = Mat.random_spd rng n in
+  let f = Mat.copy a in
+  Lapack.potrf f;
+  (a, Mat.lower f)
+
+let test_verify_cholesky_clean () =
+  let a, l = chol_fixture 5 24 in
+  Alcotest.(check (option int)) "clean factor passes" None (Abft.verify_cholesky ~l a)
+
+let prop_cholesky_corruption_detected_and_recovered =
+  QCheck.Test.make ~name:"corrupted L entry detected at row <= j, lineage-recovered"
+    ~count:30
+    QCheck.(pair (int_range 1 23) (float_range 0.01 10.0))
+    (fun (i, delta) ->
+      let a, l = chol_fixture 7 24 in
+      let j = i / 2 in
+      Inject.corrupt_entry l i j ~delta;
+      match Abft.verify_cholesky ~l a with
+      | None -> false
+      | Some row ->
+        row <= j
+        && begin
+             Abft.recover_cholesky_rows ~a ~l ~from:row;
+             Abft.verify_cholesky ~l a = None
+           end)
+
+let test_cholesky_bitflip_detected () =
+  let a, l = chol_fixture 9 16 in
+  let rng = Rng.create 77 in
+  (* low-order flips fall below the numerical detection threshold, so the
+     guarantee is that flips of consequential bits are caught: succeed if
+     any flip within the attempt budget is detected *)
+  let rec try_flip attempts =
+    if attempts = 0 then false
+    else begin
+      let l' = Mat.copy l in
+      let _ = Inject.flip_mantissa_bit rng l' in
+      Abft.verify_cholesky ~l:l' a <> None || try_flip (attempts - 1)
+    end
+  in
+  Alcotest.(check bool) "a significant bit flip is caught" true (try_flip 50)
+
+let test_recover_rows_full_refactor () =
+  (* recovery from row 0 recomputes the entire factor *)
+  let a, l = chol_fixture 11 16 in
+  let damaged = Mat.map (fun _ -> 0.0) l in
+  Abft.recover_cholesky_rows ~a ~l:damaged ~from:0;
+  Alcotest.(check bool) "matches potrf" true (Mat.approx_equal ~tol:1e-8 l damaged)
+
+(* ---- ABFT LU ---- *)
+
+let lu_fixture seed n =
+  let rng = Rng.create seed in
+  let a = Mat.random_diag_dominant rng n in
+  let f = Mat.copy a in
+  Lapack.getrf_nopiv f;
+  (a, f)
+
+let test_verify_lu_clean () =
+  let a, lu = lu_fixture 31 20 in
+  Alcotest.(check (option int)) "clean factor passes" None (Abft.verify_lu ~lu a)
+
+let prop_lu_corruption_detected_and_recovered =
+  QCheck.Test.make ~name:"corrupted LU entry detected and lineage-recovered" ~count:30
+    QCheck.(triple (int_range 0 19) (int_range 0 19) (float_range 0.05 5.0))
+    (fun (i, j, delta) ->
+      let a, lu = lu_fixture 37 20 in
+      let clean = Mat.copy lu in
+      Inject.corrupt_entry lu i j ~delta;
+      match Abft.verify_lu ~lu a with
+      | None -> false
+      | Some row ->
+        Abft.recover_lu_rows ~a ~lu ~from:row;
+        Abft.verify_lu ~lu a = None && Mat.approx_equal ~tol:1e-8 clean lu)
+
+let test_recover_lu_full_refactor () =
+  let a, lu = lu_fixture 41 16 in
+  let damaged = Mat.map (fun _ -> 0.0) lu in
+  Abft.recover_lu_rows ~a ~lu:damaged ~from:0;
+  Alcotest.(check bool) "matches getrf_nopiv" true (Mat.approx_equal ~tol:1e-8 lu damaged)
+
+let test_overhead_model () =
+  (* one extra checksum tile row/col on an nt x nt tiled matrix *)
+  Alcotest.(check bool) "shrinks with nt" true
+    (Abft.overhead_model ~n:4096 ~nb:128 < Abft.overhead_model ~n:1024 ~nb:128);
+  Alcotest.(check bool) "small at scale" true (Abft.overhead_model ~n:8192 ~nb:128 < 0.05)
+
+(* ---- Inject ---- *)
+
+let test_corrupt_random_entry () =
+  let rng = Rng.create 21 in
+  let m = Mat.create 6 6 in
+  let i, j = Inject.corrupt_random_entry rng m ~magnitude:3.0 in
+  Alcotest.(check (float 0.0)) "entry changed by +-magnitude" 3.0 (abs_float (Mat.get m i j))
+
+let test_corrupt_lower_entry () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 50 do
+    let m = Mat.create 8 8 in
+    let i, j = Inject.corrupt_lower_entry rng m ~magnitude:1.0 in
+    Alcotest.(check bool) "strictly lower" true (i > j)
+  done
+
+let test_flip_mantissa_changes_value () =
+  let rng = Rng.create 25 in
+  let m = Mat.init 4 4 (fun _ _ -> 1.234) in
+  let i, j = Inject.flip_mantissa_bit rng m in
+  Alcotest.(check bool) "value changed, still finite" true
+    (Mat.get m i j <> 1.234 && Float.is_finite (Mat.get m i j))
+
+let () =
+  Alcotest.run "xsc_resilience"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "young formula" `Quick test_young_formula;
+          Alcotest.test_case "daly ~ young for small C" `Quick
+            test_daly_close_to_young_when_c_small;
+          Alcotest.test_case "expected time > work" `Quick test_expected_time_exceeds_work;
+          Alcotest.test_case "model convex minimum" `Quick test_expected_time_convex_minimum;
+          Alcotest.test_case "simulation matches model" `Quick test_simulation_matches_model;
+          Alcotest.test_case "simulated minimum near Daly" `Quick
+            test_simulation_minimum_near_daly;
+          Alcotest.test_case "no-failure limit" `Quick test_simulate_no_failures_limit;
+          Alcotest.test_case "efficiency bounds" `Quick test_efficiency_bounds;
+          Alcotest.test_case "validation" `Quick test_checkpoint_validation;
+        ] );
+      ( "abft gemm",
+        [
+          Alcotest.test_case "clean verifies" `Quick test_gemm_protected_clean;
+          qcheck prop_gemm_single_error_corrected;
+          Alcotest.test_case "two errors" `Quick test_gemm_two_errors_distinct_rows_cols;
+          Alcotest.test_case "correct is a no-op when clean" `Quick
+            test_gemm_correct_noop_when_clean;
+        ] );
+      ( "abft cholesky",
+        [
+          Alcotest.test_case "clean verifies" `Quick test_verify_cholesky_clean;
+          qcheck prop_cholesky_corruption_detected_and_recovered;
+          Alcotest.test_case "bit flip detected" `Quick test_cholesky_bitflip_detected;
+          Alcotest.test_case "recover from row 0 = refactor" `Quick
+            test_recover_rows_full_refactor;
+          Alcotest.test_case "overhead model" `Quick test_overhead_model;
+        ] );
+      ( "abft lu",
+        [
+          Alcotest.test_case "clean verifies" `Quick test_verify_lu_clean;
+          qcheck prop_lu_corruption_detected_and_recovered;
+          Alcotest.test_case "recover from row 0 = refactor" `Quick
+            test_recover_lu_full_refactor;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "corrupt random entry" `Quick test_corrupt_random_entry;
+          Alcotest.test_case "corrupt lower entry" `Quick test_corrupt_lower_entry;
+          Alcotest.test_case "flip mantissa" `Quick test_flip_mantissa_changes_value;
+        ] );
+    ]

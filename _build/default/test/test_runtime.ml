@@ -1,0 +1,454 @@
+(* Tests for Xsc_runtime: task accesses, DAG dependence inference, schedule
+   simulation, real multicore execution, traces. *)
+
+module Task = Xsc_runtime.Task
+module Dag = Xsc_runtime.Dag
+module Sim_exec = Xsc_runtime.Sim_exec
+module Real_exec = Xsc_runtime.Real_exec
+module Trace = Xsc_runtime.Trace
+module Rng = Xsc_util.Rng
+
+let qcheck tc = QCheck_alcotest.to_alcotest tc
+
+let task ?(flops = 1e6) ?run id accesses = Task.make ~id ~name:(string_of_int id) ~flops ?run accesses
+
+(* ---- Task ---- *)
+
+let test_task_reads_writes () =
+  let t = task 0 [ Task.Read 1; Task.Write 2; Task.Read_write 3 ] in
+  Alcotest.(check (list int)) "reads" [ 1; 3 ] (List.sort compare (Task.reads t));
+  Alcotest.(check (list int)) "writes" [ 2; 3 ] (List.sort compare (Task.writes t))
+
+let test_task_datum () =
+  Alcotest.(check int) "linearised" 23 (Task.datum 2 3 ~stride:10)
+
+let test_task_negative_flops () =
+  Alcotest.check_raises "negative" (Invalid_argument "Task.make: negative weight") (fun () ->
+      ignore (Task.make ~id:0 ~name:"t" ~flops:(-1.0) []))
+
+(* ---- Dag dependence inference ---- *)
+
+let test_dag_raw () =
+  (* t0 writes d, t1 reads d: RAW edge *)
+  let d = Dag.build [ task 0 [ Task.Write 0 ]; task 1 [ Task.Read 0 ] ] in
+  Alcotest.(check (list int)) "edge 0->1" [ 1 ] d.Dag.succs.(0);
+  Alcotest.(check int) "depth 2" 2 (Dag.depth d)
+
+let test_dag_war () =
+  (* t0 reads d, t1 writes d: WAR edge *)
+  let d = Dag.build [ task 0 [ Task.Read 0 ]; task 1 [ Task.Write 0 ] ] in
+  Alcotest.(check (list int)) "edge 0->1" [ 1 ] d.Dag.succs.(0)
+
+let test_dag_waw () =
+  let d = Dag.build [ task 0 [ Task.Write 0 ]; task 1 [ Task.Write 0 ] ] in
+  Alcotest.(check (list int)) "edge 0->1" [ 1 ] d.Dag.succs.(0)
+
+let test_dag_independent_readers () =
+  (* two readers of the same datum are NOT ordered *)
+  let d =
+    Dag.build
+      [ task 0 [ Task.Write 0 ]; task 1 [ Task.Read 0 ]; task 2 [ Task.Read 0 ] ]
+  in
+  Alcotest.(check int) "depth 2" 2 (Dag.depth d);
+  Alcotest.(check (list int)) "both readers in level 1" [ 1; 2 ] d.Dag.levels.(1)
+
+let test_dag_independent_data () =
+  let d = Dag.build [ task 0 [ Task.Write 0 ]; task 1 [ Task.Write 1 ] ] in
+  Alcotest.(check int) "no edges" 0 (Dag.n_edges d);
+  Alcotest.(check int) "depth 1" 1 (Dag.depth d)
+
+let test_dag_rw_chain () =
+  (* accumulations serialise *)
+  let d =
+    Dag.build
+      [ task 0 [ Task.Read_write 0 ]; task 1 [ Task.Read_write 0 ]; task 2 [ Task.Read_write 0 ] ]
+  in
+  Alcotest.(check int) "chain depth" 3 (Dag.depth d)
+
+let test_dag_diamond () =
+  (* 0 -> {1, 2} -> 3 *)
+  let d =
+    Dag.build
+      [
+        task 0 [ Task.Write 0 ];
+        task 1 [ Task.Read 0; Task.Write 1 ];
+        task 2 [ Task.Read 0; Task.Write 2 ];
+        task 3 [ Task.Read 1; Task.Read 2 ];
+      ]
+  in
+  Alcotest.(check int) "edges" 4 (Dag.n_edges d);
+  Alcotest.(check int) "depth" 3 (Dag.depth d);
+  Alcotest.(check (list int)) "sources" [ 0 ] (Dag.sources d);
+  Alcotest.(check (list int)) "indegree of join" [ 1; 2 ]
+    (List.sort compare d.Dag.preds.(3))
+
+let test_dag_numbering_check () =
+  Alcotest.check_raises "bad ids" (Invalid_argument "Dag.build: tasks must be numbered in order")
+    (fun () -> ignore (Dag.build [ task 5 [] ]))
+
+let test_dag_flops () =
+  let d =
+    Dag.build
+      [ task ~flops:10.0 0 [ Task.Write 0 ]; task ~flops:20.0 1 [ Task.Read 0 ];
+        task ~flops:5.0 2 [ Task.Write 9 ] ]
+  in
+  Alcotest.(check (float 0.0)) "total" 35.0 (Dag.total_flops d);
+  Alcotest.(check (float 0.0)) "critical path" 30.0 (Dag.critical_path_flops d);
+  let bl = Dag.bottom_level d in
+  Alcotest.(check (float 0.0)) "bottom level source" 30.0 bl.(0);
+  Alcotest.(check (float 0.0)) "bottom level sink" 20.0 bl.(1)
+
+let test_dag_to_dot () =
+  let d =
+    Dag.build [ task 0 [ Task.Write 0 ]; task 1 [ Task.Read 0 ]; task 2 [ Task.Read 0 ] ]
+  in
+  let dot = Dag.to_dot d in
+  Alcotest.(check bool) "digraph wrapper" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  let contains sub =
+    let rec go i =
+      i + String.length sub <= String.length dot
+      && (String.sub dot i (String.length sub) = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "edges present" true (contains "t0 -> t1" && contains "t0 -> t2");
+  Alcotest.(check bool) "rank groups" true (contains "rank=same");
+  let big = Dag.build (List.init 600 (fun id -> task id [ Task.Write id ])) in
+  Alcotest.check_raises "size guard"
+    (Invalid_argument "Dag.to_dot: 600 tasks exceeds max_nodes=500") (fun () ->
+      ignore (Dag.to_dot big))
+
+let test_validate_schedule () =
+  let d =
+    Dag.build [ task 0 [ Task.Write 0 ]; task 1 [ Task.Read 0 ]; task 2 [ Task.Write 5 ] ]
+  in
+  Alcotest.(check bool) "valid order" true (Dag.validate_schedule d ~order:[ 2; 0; 1 ]);
+  Alcotest.(check bool) "violates dependence" false (Dag.validate_schedule d ~order:[ 1; 0; 2 ]);
+  Alcotest.(check bool) "missing task" false (Dag.validate_schedule d ~order:[ 0; 1 ]);
+  Alcotest.(check bool) "duplicate" false (Dag.validate_schedule d ~order:[ 0; 0; 1 ])
+
+(* random DAG generator for property tests: random accesses over few data *)
+let random_tasks seed n =
+  let rng = Rng.create seed in
+  List.init n (fun id ->
+      let n_acc = 1 + Rng.int rng 3 in
+      let accesses =
+        List.init n_acc (fun _ ->
+            let d = Rng.int rng 6 in
+            match Rng.int rng 3 with
+            | 0 -> Task.Read d
+            | 1 -> Task.Write d
+            | _ -> Task.Read_write d)
+      in
+      task ~flops:(1e5 +. Rng.float rng 1e6) id accesses)
+
+let prop_policies_produce_valid_schedules =
+  QCheck.Test.make ~name:"every policy yields a valid topological order" ~count:40
+    QCheck.(pair (int_range 1 60) (int_range 1 32))
+    (fun (n, workers) ->
+      let dag = Dag.build (random_tasks (n * 7) n) in
+      let cfg = Sim_exec.config ~workers ~rate:1e9 () in
+      List.for_all
+        (fun policy ->
+          let r = Sim_exec.run cfg policy dag in
+          Dag.validate_schedule dag ~order:r.Sim_exec.order)
+        [ Sim_exec.Bsp; Sim_exec.List_critical_path; Sim_exec.List_fifo; Sim_exec.Work_stealing 3 ])
+
+let prop_makespan_bounds =
+  QCheck.Test.make ~name:"makespan >= max(throughput bound, span bound)" ~count:40
+    QCheck.(pair (int_range 1 60) (int_range 1 16))
+    (fun (n, workers) ->
+      let dag = Dag.build (random_tasks (n * 13) n) in
+      let cfg = Sim_exec.config ~task_overhead:0.0 ~barrier_cost:0.0 ~workers ~rate:1e9 () in
+      List.for_all
+        (fun policy ->
+          let r = Sim_exec.run cfg policy dag in
+          r.Sim_exec.makespan +. 1e-12 >= Sim_exec.perfect_time cfg dag
+          && r.Sim_exec.makespan +. 1e-12 >= Sim_exec.critical_time cfg dag)
+        [ Sim_exec.Bsp; Sim_exec.List_critical_path; Sim_exec.List_fifo ])
+
+let test_single_worker_serialises () =
+  let dag = Dag.build (random_tasks 99 20) in
+  let cfg = Sim_exec.config ~task_overhead:0.0 ~barrier_cost:0.0 ~workers:1 ~rate:1e9 () in
+  let r = Sim_exec.run cfg Sim_exec.List_fifo dag in
+  Alcotest.(check (float 1e-9)) "makespan = total work" (Sim_exec.perfect_time cfg dag)
+    r.Sim_exec.makespan;
+  Alcotest.(check bool) "utilization ~ 1" true (r.Sim_exec.utilization > 0.999)
+
+let test_dag_beats_bsp_on_cholesky_shape () =
+  (* a wide, staircase-dependent DAG: list scheduling should beat BSP *)
+  let nt = 8 in
+  let t = Xsc_tile.Tile.create ~rows:(nt * 8) ~cols:(nt * 8) ~nb:8 in
+  let dag = Xsc_core.Cholesky.dag ~with_closures:false t in
+  let cfg = Sim_exec.config ~workers:8 ~rate:1e9 () in
+  let bsp = Sim_exec.run cfg Sim_exec.Bsp dag in
+  let dyn = Sim_exec.run cfg Sim_exec.List_critical_path dag in
+  Alcotest.(check bool) "dataflow at least as fast" true
+    (dyn.Sim_exec.makespan <= bsp.Sim_exec.makespan);
+  Alcotest.(check int) "bsp barrier count = depth" (Dag.depth dag) bsp.Sim_exec.barriers
+
+let test_comm_cost_slows_things () =
+  let dag = Dag.build (random_tasks 7 40) in
+  let free = Sim_exec.config ~workers:4 ~rate:1e9 () in
+  let costly =
+    Sim_exec.config ~comm_cost:(fun ~bytes:_ -> 1e-3) ~workers:4 ~rate:1e9 ()
+  in
+  let r_free = Sim_exec.run free Sim_exec.List_critical_path dag in
+  let r_costly = Sim_exec.run costly Sim_exec.List_critical_path dag in
+  Alcotest.(check bool) "comm increases makespan" true
+    (r_costly.Sim_exec.makespan >= r_free.Sim_exec.makespan);
+  Alcotest.(check (float 0.0)) "no comm time when free" 0.0 r_free.Sim_exec.comm_time
+
+let test_work_stealing_deterministic_per_seed () =
+  let dag = Dag.build (random_tasks 21 50) in
+  let cfg = Sim_exec.config ~workers:4 ~rate:1e9 () in
+  let r1 = Sim_exec.run cfg (Sim_exec.Work_stealing 5) dag in
+  let r2 = Sim_exec.run cfg (Sim_exec.Work_stealing 5) dag in
+  Alcotest.(check (float 0.0)) "same seed same makespan" r1.Sim_exec.makespan r2.Sim_exec.makespan
+
+(* ---- Real executor ---- *)
+
+(* build a DAG of tasks with real closures: each task appends its id to a
+   shared per-datum cell with the dependences enforcing a unique final
+   value; then compare against sequential execution. *)
+let accumulation_dag n =
+  let cells = Array.make 4 0.0 in
+  let tasks =
+    List.init n (fun id ->
+        let d = id mod 4 in
+        let run () =
+          (* non-commutative update makes ordering violations visible *)
+          cells.(d) <- (cells.(d) *. 1.000001) +. float_of_int id
+        in
+        Task.make ~id ~name:(string_of_int id) ~flops:1.0 ~run
+          [ Task.Read_write d ])
+  in
+  (Dag.build tasks, cells)
+
+let test_real_sequential () =
+  let dag, cells = accumulation_dag 40 in
+  let stats = Real_exec.run_sequential dag in
+  Alcotest.(check int) "all tasks ran" 40 stats.Real_exec.tasks;
+  let dag2, cells2 = accumulation_dag 40 in
+  ignore (Real_exec.run_sequential dag2);
+  Alcotest.(check (array (float 0.0))) "deterministic" cells cells2
+
+let test_real_dataflow_matches_sequential () =
+  let dag_seq, cells_seq = accumulation_dag 60 in
+  ignore (Real_exec.run_sequential dag_seq);
+  let dag_par, cells_par = accumulation_dag 60 in
+  let stats = Real_exec.run_dataflow ~workers:4 dag_par in
+  Alcotest.(check int) "all tasks ran" 60 stats.Real_exec.tasks;
+  (* per-datum chains are serialised by Read_write dependences, so the
+     result must be bitwise identical to sequential execution *)
+  Alcotest.(check (array (float 0.0))) "same result in parallel" cells_seq cells_par
+
+let test_real_forkjoin_matches_sequential () =
+  let dag_seq, cells_seq = accumulation_dag 60 in
+  ignore (Real_exec.run_sequential dag_seq);
+  let dag_par, cells_par = accumulation_dag 60 in
+  let stats = Real_exec.run_forkjoin ~workers:4 dag_par in
+  Alcotest.(check int) "all tasks ran" 60 stats.Real_exec.tasks;
+  Alcotest.(check (array (float 0.0))) "same result" cells_seq cells_par
+
+let test_real_dataflow_parallel_independent () =
+  (* independent tasks with real work: all must complete *)
+  let counter = Atomic.make 0 in
+  let tasks =
+    List.init 32 (fun id ->
+        Task.make ~id ~name:"inc" ~flops:1.0
+          ~run:(fun () -> Atomic.incr counter)
+          [ Task.Write id ])
+  in
+  let stats = Real_exec.run_dataflow ~workers:4 (Dag.build tasks) in
+  Alcotest.(check int) "all ran exactly once" 32 (Atomic.get counter);
+  Alcotest.(check bool) "elapsed sane" true (stats.Real_exec.elapsed >= 0.0)
+
+let test_real_missing_closure () =
+  let dag = Dag.build [ Task.make ~id:0 ~name:"bare" ~flops:1.0 [ Task.Write 0 ] ] in
+  Alcotest.check_raises "no closure" (Invalid_argument "Real_exec: task without closure: bare")
+    (fun () -> ignore (Real_exec.run_dataflow ~workers:2 dag))
+
+let test_real_empty_dag () =
+  let stats = Real_exec.run_dataflow ~workers:4 (Dag.build []) in
+  Alcotest.(check int) "no tasks" 0 stats.Real_exec.tasks
+
+let test_default_workers () =
+  let w = Real_exec.default_workers () in
+  Alcotest.(check bool) "1..8" true (w >= 1 && w <= 8)
+
+(* ---- Trace ---- *)
+
+let test_trace_metrics () =
+  let t = Trace.create ~workers:2 in
+  Trace.add t { Trace.task = 0; name = "a"; worker = 0; start = 0.0; finish = 2.0 };
+  Trace.add t { Trace.task = 1; name = "b"; worker = 1; start = 1.0; finish = 2.0 };
+  Alcotest.(check (float 0.0)) "makespan" 2.0 (Trace.makespan t);
+  Alcotest.(check (float 0.0)) "busy" 3.0 (Trace.busy_time t);
+  Alcotest.(check (float 1e-12)) "utilization" 0.75 (Trace.utilization t);
+  Alcotest.(check int) "entries sorted by start" 0
+    (List.hd (Trace.entries t)).Trace.task
+
+let test_trace_gantt () =
+  let t = Trace.create ~workers:2 in
+  Trace.add t { Trace.task = 0; name = "a"; worker = 0; start = 0.0; finish = 1.0 };
+  let g = Trace.gantt ~width:20 t in
+  Alcotest.(check bool) "has rows" true (String.length g > 20);
+  Alcotest.(check bool) "busy marker present" true (String.contains g '#')
+
+let test_trace_validation () =
+  let t = Trace.create ~workers:1 in
+  Alcotest.check_raises "bad worker" (Invalid_argument "Trace.add: bad worker") (fun () ->
+      Trace.add t { Trace.task = 0; name = "x"; worker = 3; start = 0.0; finish = 1.0 })
+
+let test_trace_chrome_json () =
+  let t = Trace.create ~workers:2 in
+  Trace.add t { Trace.task = 5; name = "gemm(1,\"2\")"; worker = 1; start = 1e-3; finish = 2e-3 };
+  let json = Trace.to_chrome_json t in
+  Alcotest.(check bool) "is an array" true
+    (json.[0] = '[' && json.[String.length json - 1] = ']');
+  Alcotest.(check bool) "has the event" true
+    (let sub = {|"ph":"X"|} in
+     let rec contains i =
+       i + String.length sub <= String.length json
+       && (String.sub json i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0);
+  Alcotest.(check bool) "quotes escaped" true
+    (let sub = {|\"2\"|} in
+     let rec contains i =
+       i + String.length sub <= String.length json
+       && (String.sub json i (String.length sub) = sub || contains (i + 1))
+     in
+     contains 0)
+
+let test_trace_by_kernel () =
+  let t = Trace.create ~workers:2 in
+  Trace.add t { Trace.task = 0; name = "gemm(0,0,0)"; worker = 0; start = 0.0; finish = 2.0 };
+  Trace.add t { Trace.task = 1; name = "gemm(1,0,0)"; worker = 1; start = 0.0; finish = 3.0 };
+  Trace.add t { Trace.task = 2; name = "potrf(0)"; worker = 0; start = 2.0; finish = 3.0 };
+  (match Trace.by_kernel t with
+  | [ ("gemm", gt, gc); ("potrf", pt, pc) ] ->
+    Alcotest.(check (float 0.0)) "gemm time" 5.0 gt;
+    Alcotest.(check int) "gemm count" 2 gc;
+    Alcotest.(check (float 0.0)) "potrf time" 1.0 pt;
+    Alcotest.(check int) "potrf count" 1 pc
+  | other ->
+    Alcotest.failf "unexpected profile (%d families)" (List.length other))
+
+(* ---- Hetero ---- *)
+
+module Hetero = Xsc_runtime.Hetero
+
+let hetero_dag () =
+  let t = Xsc_tile.Tile.create ~rows:64 ~cols:64 ~nb:8 in
+  Xsc_core.Cholesky.dag ~with_closures:false t
+
+let test_hetero_schedules_valid () =
+  let dag = hetero_dag () in
+  let cfg = Hetero.config ~rates:(Hetero.two_tier ~fast:2 ~slow:4 ~fast_rate:4e9 ~slow_rate:1e9) () in
+  List.iter
+    (fun r -> Alcotest.(check bool) "valid order" true (Dag.validate_schedule dag ~order:r.Hetero.order))
+    [ Hetero.run_bsp cfg dag; Hetero.run_bsp_oblivious cfg dag; Hetero.run_dataflow cfg dag ]
+
+let test_hetero_dataflow_beats_oblivious () =
+  let dag = hetero_dag () in
+  let cfg = Hetero.config ~rates:(Hetero.two_tier ~fast:1 ~slow:1 ~fast_rate:10e9 ~slow_rate:1e9) () in
+  let naive = Hetero.run_bsp_oblivious cfg dag in
+  let dyn = Hetero.run_dataflow cfg dag in
+  Alcotest.(check bool) "dataflow faster on skewed rates" true
+    (dyn.Hetero.makespan < naive.Hetero.makespan);
+  Alcotest.(check bool) "above the throughput bound" true
+    (dyn.Hetero.makespan >= Hetero.ideal_time cfg dag)
+
+let test_hetero_uniform_matches_homogeneous_shape () =
+  (* with equal rates, the heterogeneous scheduler reduces to ordinary list
+     scheduling: makespan within task-overhead noise of Sim_exec *)
+  let dag = hetero_dag () in
+  let hcfg = Hetero.config ~task_overhead:0.0 ~rates:(Array.make 4 1e9) () in
+  let scfg = Sim_exec.config ~task_overhead:0.0 ~workers:4 ~rate:1e9 () in
+  let h = Hetero.run_dataflow hcfg dag in
+  let s = Sim_exec.run scfg Sim_exec.List_critical_path dag in
+  let ratio = h.Hetero.makespan /. s.Sim_exec.makespan in
+  Alcotest.(check bool) "within 10%" true (ratio > 0.9 && ratio < 1.1)
+
+let test_hetero_faster_rates_help () =
+  let dag = hetero_dag () in
+  let slow = Hetero.config ~task_overhead:0.0 ~barrier_cost:0.0 ~rates:(Array.make 4 1e9) () in
+  let fast = Hetero.config ~task_overhead:0.0 ~barrier_cost:0.0 ~rates:(Array.make 4 4e9) () in
+  Alcotest.(check bool) "4x rates shrink the makespan" true
+    ((Hetero.run_dataflow fast dag).Hetero.makespan
+    < (Hetero.run_dataflow slow dag).Hetero.makespan /. 2.0)
+
+let test_hetero_validation () =
+  Alcotest.check_raises "no workers" (Invalid_argument "Hetero.config: no workers") (fun () ->
+      ignore (Hetero.config ~rates:[||] ()));
+  Alcotest.check_raises "bad rate" (Invalid_argument "Hetero.config: rates must be positive")
+    (fun () -> ignore (Hetero.config ~rates:[| 1e9; 0.0 |] ()))
+
+let () =
+  Alcotest.run "xsc_runtime"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "reads/writes" `Quick test_task_reads_writes;
+          Alcotest.test_case "datum" `Quick test_task_datum;
+          Alcotest.test_case "negative flops" `Quick test_task_negative_flops;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "RAW" `Quick test_dag_raw;
+          Alcotest.test_case "WAR" `Quick test_dag_war;
+          Alcotest.test_case "WAW" `Quick test_dag_waw;
+          Alcotest.test_case "independent readers" `Quick test_dag_independent_readers;
+          Alcotest.test_case "independent data" `Quick test_dag_independent_data;
+          Alcotest.test_case "RW chain" `Quick test_dag_rw_chain;
+          Alcotest.test_case "diamond" `Quick test_dag_diamond;
+          Alcotest.test_case "numbering check" `Quick test_dag_numbering_check;
+          Alcotest.test_case "flops/critical path" `Quick test_dag_flops;
+          Alcotest.test_case "to_dot" `Quick test_dag_to_dot;
+          Alcotest.test_case "validate_schedule" `Quick test_validate_schedule;
+        ] );
+      ( "sim_exec",
+        [
+          qcheck prop_policies_produce_valid_schedules;
+          qcheck prop_makespan_bounds;
+          Alcotest.test_case "single worker" `Quick test_single_worker_serialises;
+          Alcotest.test_case "dag beats bsp" `Quick test_dag_beats_bsp_on_cholesky_shape;
+          Alcotest.test_case "comm cost" `Quick test_comm_cost_slows_things;
+          Alcotest.test_case "work stealing deterministic" `Quick
+            test_work_stealing_deterministic_per_seed;
+        ] );
+      ( "real_exec",
+        [
+          Alcotest.test_case "sequential" `Quick test_real_sequential;
+          Alcotest.test_case "dataflow = sequential" `Quick
+            test_real_dataflow_matches_sequential;
+          Alcotest.test_case "forkjoin = sequential" `Quick
+            test_real_forkjoin_matches_sequential;
+          Alcotest.test_case "parallel independent" `Quick
+            test_real_dataflow_parallel_independent;
+          Alcotest.test_case "missing closure" `Quick test_real_missing_closure;
+          Alcotest.test_case "empty dag" `Quick test_real_empty_dag;
+          Alcotest.test_case "default workers" `Quick test_default_workers;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "metrics" `Quick test_trace_metrics;
+          Alcotest.test_case "gantt" `Quick test_trace_gantt;
+          Alcotest.test_case "validation" `Quick test_trace_validation;
+          Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
+          Alcotest.test_case "by_kernel profile" `Quick test_trace_by_kernel;
+        ] );
+      ( "hetero",
+        [
+          Alcotest.test_case "valid schedules" `Quick test_hetero_schedules_valid;
+          Alcotest.test_case "dataflow beats oblivious BSP" `Quick
+            test_hetero_dataflow_beats_oblivious;
+          Alcotest.test_case "uniform ~ homogeneous" `Quick
+            test_hetero_uniform_matches_homogeneous_shape;
+          Alcotest.test_case "faster rates help" `Quick test_hetero_faster_rates_help;
+          Alcotest.test_case "validation" `Quick test_hetero_validation;
+        ] );
+    ]
