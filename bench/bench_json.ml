@@ -1,0 +1,80 @@
+(* Machine-readable benchmark mode: `bench/main.exe --json FILE` emits one
+   JSON record with GEMM kernel rates (naive vs blocked) and real-domain
+   scheduler results (dataflow vs fork-join, with steal/park counts). This
+   seeds the BENCH_*.json perf trajectory: each PR can append a record and
+   diff GFLOP/s and speedups against the previous ones. *)
+
+open Xsc_linalg
+module Tile = Xsc_tile.Tile
+module Cholesky = Xsc_core.Cholesky
+module Real_exec = Xsc_runtime.Real_exec
+module Rng = Xsc_util.Rng
+
+let time f reps =
+  f ();
+  (* warm-up: first call touches cold caches and packing buffers *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let gemm_record ~n ~reps =
+  let rng = Rng.create n in
+  let a = Mat.random rng n n and b = Mat.random rng n n in
+  let c = Mat.create n n in
+  let flops = Blas.gemm_flops n n n in
+  let naive = flops /. time (fun () -> Blas.gemm_unblocked ~alpha:1.0 a b ~beta:0.0 c) reps /. 1e9 in
+  let blocked = flops /. time (fun () -> Blas.gemm ~alpha:1.0 a b ~beta:0.0 c) reps /. 1e9 in
+  Printf.sprintf
+    "{\"n\": %d, \"naive_gflops\": %.4f, \"blocked_gflops\": %.4f, \"speedup\": %.3f}" n
+    naive blocked (blocked /. naive)
+
+let sched_record ~nt ~nb ~workers =
+  let n = nt * nb in
+  let rng = Rng.create 7 in
+  let a = Mat.random_spd rng n in
+  let run exec =
+    let tiles = Tile.of_mat ~nb a in
+    let dag = Cholesky.dag tiles in
+    match exec with
+    | `Seq -> Real_exec.run_sequential dag
+    | `Forkjoin -> Real_exec.run_forkjoin ~workers dag
+    | `Dataflow ->
+      Real_exec.run_dataflow
+        ~priority:(Xsc_core.Runtime_api.critical_path_priority dag)
+        ~workers dag
+  in
+  let median exec =
+    let rs = Array.init 5 (fun _ -> run exec) in
+    let xs = Array.map (fun s -> s.Real_exec.elapsed) rs in
+    (Xsc_util.Stats.median xs, rs.(0))
+  in
+  let seq_t, _ = median `Seq in
+  let fj_t, _ = median `Forkjoin in
+  let df_t, df = median `Dataflow in
+  Printf.sprintf
+    "{\"n\": %d, \"nb\": %d, \"workers\": %d, \"sequential_s\": %.6f, \"forkjoin_s\": \
+     %.6f, \"dataflow_s\": %.6f, \"forkjoin_speedup\": %.3f, \"dataflow_speedup\": \
+     %.3f, \"dataflow_over_forkjoin\": %.3f, \"steals\": %d, \"parks\": %d}"
+    n nb workers seq_t fj_t df_t (seq_t /. fj_t) (seq_t /. df_t) (fj_t /. df_t)
+    df.Real_exec.steals df.Real_exec.parks
+
+let run ~file =
+  let gemm_sizes = [ (128, 20); (256, 5); (512, 3) ] in
+  let gemms = List.map (fun (n, reps) -> "    " ^ gemm_record ~n ~reps) gemm_sizes in
+  let workers = max 2 (Real_exec.default_workers ()) in
+  let sched = sched_record ~nt:6 ~nb:72 ~workers in
+  let json =
+    String.concat "\n"
+      ([ "{"; "  \"gemm\": [" ]
+      @ [ String.concat ",\n" gemms ]
+      @ [ "  ],"; "  \"sched\": " ^ sched; "}" ])
+  in
+  let oc = open_out file in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" file;
+  print_string json;
+  print_newline ()

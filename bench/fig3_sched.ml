@@ -52,25 +52,40 @@ let real_host () =
   let rng = Rng.create 7 in
   let a = Mat.random_spd rng n in
   let workers = max 2 (Real_exec.default_workers ()) in
-  let run exec_name exec =
+  let run exec =
     let tiles = Tile.of_mat ~nb a in
     let dag = Cholesky.dag tiles in
-    let stats =
-      match exec with
-      | `Seq -> Real_exec.run_sequential dag
-      | `Forkjoin -> Real_exec.run_forkjoin ~workers dag
-      | `Dataflow -> Real_exec.run_dataflow ~workers dag
-    in
-    (exec_name, stats.Real_exec.elapsed)
+    match exec with
+    | `Seq -> Real_exec.run_sequential dag
+    | `Forkjoin -> Real_exec.run_forkjoin ~workers dag
+    | `Steal ->
+      (* pure work stealing: no priority, successors run in discovery order *)
+      Real_exec.run_dataflow ~workers dag
+    | `Steal_cp ->
+      (* the critical-path ablation: rank ready tasks by bottom level *)
+      Real_exec.run_dataflow
+        ~priority:(Xsc_core.Runtime_api.critical_path_priority dag)
+        ~workers dag
+    | `Steal_fifo ->
+      (* FIFO program order: prefer the oldest ready task *)
+      Real_exec.run_dataflow ~priority:(fun id -> -id) ~workers dag
   in
   (* median of 3 to tame noise *)
   let timed name exec =
-    let xs = Array.init 3 (fun _ -> snd (run name exec)) in
-    (name, Xsc_util.Stats.median xs)
+    let rs = Array.init 3 (fun _ -> run exec) in
+    let xs = Array.map (fun s -> s.Real_exec.elapsed) rs in
+    (name, Xsc_util.Stats.median xs, rs.(0))
   in
   let seq = timed "sequential" `Seq in
-  let fj = timed "fork-join" `Forkjoin in
-  let df = timed "dataflow" `Dataflow in
+  let rows =
+    [
+      seq;
+      timed "fork-join" `Forkjoin;
+      timed "steal" `Steal;
+      timed "steal+cp" `Steal_cp;
+      timed "steal+fifo" `Steal_fifo;
+    ]
+  in
   Printf.printf "\nreal execution on %d domains (n=%d, nb=%d, median of 3):\n\n" workers n nb;
   if Real_exec.default_workers () <= 1 then
     Printf.printf
@@ -79,11 +94,21 @@ let real_host () =
        speedups require real cores (the simulated table above carries the\n\
        scaling claim).\n\n"
       (Domain.recommended_domain_count ());
-  let table = Table.create ~headers:[ "executor"; "time"; "speedup vs seq" ] in
+  let table =
+    Table.create ~headers:[ "executor"; "time"; "speedup vs seq"; "steals"; "parks" ]
+  in
+  let (_, seq_t, _) = seq in
   List.iter
-    (fun (name, t) ->
-      Table.add_row table [ name; Units.seconds t; Units.ratio (snd seq /. t) ])
-    [ seq; fj; df ];
+    (fun (name, t, stats) ->
+      Table.add_row table
+        [
+          name;
+          Units.seconds t;
+          Units.ratio (seq_t /. t);
+          string_of_int stats.Real_exec.steals;
+          string_of_int stats.Real_exec.parks;
+        ])
+    rows;
   Table.print table
 
 let run () =

@@ -2,9 +2,10 @@
    evaluation (see DESIGN.md section 4 for the experiment index).
 
    Usage:
-     dune exec bench/main.exe              # run everything
-     dune exec bench/main.exe -- fig3 tab1 # run a subset
-     dune exec bench/main.exe -- --list    # show experiment ids *)
+     dune exec bench/main.exe                 # run everything
+     dune exec bench/main.exe -- fig3 tab1    # run a subset
+     dune exec bench/main.exe -- --list       # show experiment ids
+     dune exec bench/main.exe -- --json FILE  # machine-readable perf record *)
 
 let experiments =
   [
@@ -29,6 +30,10 @@ let () =
   match args with
   | [ "--list" ] ->
     List.iter (fun (id, desc, _) -> Printf.printf "%-6s %s\n" id desc) experiments
+  | [ "--json"; file ] -> Bench_json.run ~file
+  | [ "--json" ] ->
+    Printf.eprintf "--json requires an output file argument\n";
+    exit 1
   | [] ->
     Printf.printf "reproduction benchmarks: %d experiments (see DESIGN.md)\n" (List.length experiments);
     List.iter (fun (_, _, run) -> run ()) experiments

@@ -6,10 +6,23 @@ type exec =
   | Dataflow of int
   | Forkjoin of int
 
+(* Locality/priority hint for the work-stealing executor: rank ready tasks
+   by flops-weighted bottom level, normalised into an int scale. Tasks on
+   the critical path (the panel factorizations and the updates feeding
+   them) then run before trailing-matrix updates whenever a worker has the
+   choice, which is exactly the list-scheduling heuristic the simulator's
+   List_critical_path policy uses. *)
+let critical_path_priority dag =
+  let bl = Xsc_runtime.Dag.bottom_level dag in
+  let cp = Xsc_runtime.Dag.critical_path_flops dag in
+  if cp <= 0.0 then fun _ -> 0
+  else fun id -> int_of_float (1e6 *. bl.(id) /. cp)
+
 let execute exec dag =
   match exec with
   | Sequential -> Xsc_runtime.Real_exec.run_sequential dag
-  | Dataflow workers -> Xsc_runtime.Real_exec.run_dataflow ~workers dag
+  | Dataflow workers ->
+    Xsc_runtime.Real_exec.run_dataflow ~priority:(critical_path_priority dag) ~workers dag
   | Forkjoin workers -> Xsc_runtime.Real_exec.run_forkjoin ~workers dag
 
 let tile_bytes ~nb = 8.0 *. float_of_int (nb * nb)

@@ -9,6 +9,14 @@ type exec =
   | Forkjoin of int  (** level-synchronous executor on [n] domains *)
 
 val execute : exec -> dag -> Xsc_runtime.Real_exec.stats
+(** [Dataflow] runs with {!critical_path_priority} as its scheduling hint,
+    so every tiled factorization (Cholesky, LU, QR, ...) gets
+    critical-path-first ordering on real domains for free. *)
+
+val critical_path_priority : dag -> int -> int
+(** Flops-weighted bottom level of each task, scaled to an int rank —
+    higher means closer to the critical path. Suitable for
+    [Real_exec.run_dataflow ~priority]. *)
 
 val tile_bytes : nb:int -> float
 (** Footprint of one tile, for task byte weights. *)

@@ -6,13 +6,15 @@ type diag = Unit | NonUnit
 let op_dims trans (m : Mat.t) =
   match trans with NoTrans -> (m.rows, m.cols) | Trans -> (m.cols, m.rows)
 
-(* C <- alpha op(A) op(B) + beta C.
+(* C <- alpha op(A) op(B) + beta C, reference loop nests.
 
    Each transpose combination gets its own loop nest so the inner loop walks
    contiguous row-major storage wherever possible (the i-k-j order streams
-   both B and C rows for the NoTrans/NoTrans case). *)
-let gemm ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t) ~beta
-    (c : Mat.t) =
+   both B and C rows for the NoTrans/NoTrans case). [gemm] proper routes
+   large NoTrans cases to the packed {!Kernel} instead; this unblocked
+   version stays the oracle the blocked path is tested against. *)
+let gemm_unblocked ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t)
+    ~beta (c : Mat.t) =
   let ma, ka = op_dims transa a in
   let kb, nb = op_dims transb b in
   if ka <> kb then invalid_arg "Blas.gemm: inner dimension mismatch";
@@ -76,6 +78,31 @@ let gemm ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t) 
         done
       done
 
+let gemm ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t) ~beta
+    (c : Mat.t) =
+  let ma, ka = op_dims transa a in
+  let kb, nb = op_dims transb b in
+  if ka <> kb then invalid_arg "Blas.gemm: inner dimension mismatch";
+  if c.rows <> ma || c.cols <> nb then invalid_arg "Blas.gemm: output dimension mismatch";
+  let m = ma and n = nb and k = ka in
+  (* Blocked path for the shapes the tile kernels hit: packing pays for
+     itself once every dimension clears the cutoff. *)
+  let blocked = m >= Kernel.cutoff && n >= Kernel.cutoff && k >= Kernel.cutoff in
+  match (transa, transb) with
+  | NoTrans, NoTrans when blocked ->
+    if beta <> 1.0 then
+      for i = 0 to (m * n) - 1 do
+        c.data.(i) <- beta *. c.data.(i)
+      done;
+    Kernel.add_matmul ~trans_b:false ~alpha a b c
+  | NoTrans, Trans when blocked ->
+    if beta <> 1.0 then
+      for i = 0 to (m * n) - 1 do
+        c.data.(i) <- beta *. c.data.(i)
+      done;
+    Kernel.add_matmul ~trans_b:true ~alpha a b c
+  | _ -> gemm_unblocked ~transa ~transb ~alpha a b ~beta c
+
 let gemm_new ?(transa = NoTrans) ?(transb = NoTrans) a b =
   let m, _ = op_dims transa a and _, n = op_dims transb b in
   let c = Mat.create m n in
@@ -125,26 +152,38 @@ let ger ~alpha x y (a : Mat.t) =
     end
   done
 
+(* Raw index arithmetic throughout: syrk sits on the tiled Cholesky hot
+   path, and per-element Mat.get/Mat.set costs a multiply and bounds logic
+   per flop. NoTrans dots rows of A (contiguous); Trans dots columns
+   (stride lda), still without per-element recomputation of bases. *)
 let syrk ?(uplo = Lower) ?(trans = NoTrans) ~alpha (a : Mat.t) ~beta (c : Mat.t) =
   let n, k = op_dims trans a in
   if c.rows <> n || c.cols <> n then invalid_arg "Blas.syrk: output dimension mismatch";
-  let in_triangle i j = match uplo with Lower -> j <= i | Upper -> j >= i in
+  let ad = a.data and cd = c.data in
+  let lda = a.cols and ldc = c.cols in
   for i = 0 to n - 1 do
-    for j = 0 to n - 1 do
-      if in_triangle i j then begin
+    let jlo, jhi = match uplo with Lower -> (0, i) | Upper -> (i, n - 1) in
+    let crow = i * ldc in
+    match trans with
+    | NoTrans ->
+      let arow_i = i * lda in
+      for j = jlo to jhi do
+        let arow_j = j * lda in
         let acc = ref 0.0 in
-        (match trans with
-        | NoTrans ->
-          for l = 0 to k - 1 do
-            acc := !acc +. (Mat.get a i l *. Mat.get a j l)
-          done
-        | Trans ->
-          for l = 0 to k - 1 do
-            acc := !acc +. (Mat.get a l i *. Mat.get a l j)
-          done);
-        Mat.set c i j ((alpha *. !acc) +. (beta *. Mat.get c i j))
-      end
-    done
+        for l = 0 to k - 1 do
+          acc := !acc +. (ad.(arow_i + l) *. ad.(arow_j + l))
+        done;
+        cd.(crow + j) <- (alpha *. !acc) +. (beta *. cd.(crow + j))
+      done
+    | Trans ->
+      for j = jlo to jhi do
+        let acc = ref 0.0 in
+        for l = 0 to k - 1 do
+          let arow_l = l * lda in
+          acc := !acc +. (ad.(arow_l + i) *. ad.(arow_l + j))
+        done;
+        cd.(crow + j) <- (alpha *. !acc) +. (beta *. cd.(crow + j))
+      done
   done
 
 let diag_value diag a i = match diag with Unit -> 1.0 | NonUnit -> Mat.get a i i
@@ -164,8 +203,12 @@ let trsm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~al
       b.data.(i) <- alpha *. b.data.(i)
     done;
   (* Effective orientation: a transposed triangle flips Lower <-> Upper with
-     element access swapped. *)
-  let aget i j = match trans with NoTrans -> Mat.get a i j | Trans -> Mat.get a j i in
+     element access swapped. All four substitution loops run on raw offsets
+     into the data arrays — trsm is on the tile hot path (both Cholesky and
+     LU panels), and the inner loops sweep whole rows of B. *)
+  let ad = a.data and bd = b.data in
+  let lda = a.cols and ldb = b.cols in
+  let aget i j = match trans with NoTrans -> ad.((i * lda) + j) | Trans -> ad.((j * lda) + i) in
   let eff_uplo =
     match (uplo, trans) with
     | Lower, NoTrans | Upper, Trans -> Lower
@@ -175,32 +218,38 @@ let trsm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~al
   | Left, Lower ->
     (* forward substitution on block rows of B *)
     for i = 0 to n - 1 do
+      let brow_i = i * ldb in
       for l = 0 to i - 1 do
         let ail = aget i l in
-        if ail <> 0.0 then
-          for j = 0 to b.cols - 1 do
-            Mat.set b i j (Mat.get b i j -. (ail *. Mat.get b l j))
+        if ail <> 0.0 then begin
+          let brow_l = l * ldb in
+          for j = 0 to ldb - 1 do
+            bd.(brow_i + j) <- bd.(brow_i + j) -. (ail *. bd.(brow_l + j))
           done
+        end
       done;
       let d = diag_value diag a i in
       if d <> 1.0 then
-        for j = 0 to b.cols - 1 do
-          Mat.set b i j (Mat.get b i j /. d)
+        for j = 0 to ldb - 1 do
+          bd.(brow_i + j) <- bd.(brow_i + j) /. d
         done
     done
   | Left, Upper ->
     for i = n - 1 downto 0 do
+      let brow_i = i * ldb in
       for l = i + 1 to n - 1 do
         let ail = aget i l in
-        if ail <> 0.0 then
-          for j = 0 to b.cols - 1 do
-            Mat.set b i j (Mat.get b i j -. (ail *. Mat.get b l j))
+        if ail <> 0.0 then begin
+          let brow_l = l * ldb in
+          for j = 0 to ldb - 1 do
+            bd.(brow_i + j) <- bd.(brow_i + j) -. (ail *. bd.(brow_l + j))
           done
+        end
       done;
       let d = diag_value diag a i in
       if d <> 1.0 then
-        for j = 0 to b.cols - 1 do
-          Mat.set b i j (Mat.get b i j /. d)
+        for j = 0 to ldb - 1 do
+          bd.(brow_i + j) <- bd.(brow_i + j) /. d
         done
     done
   | Right, Lower ->
@@ -210,13 +259,14 @@ let trsm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~al
         let alj = aget l j in
         if alj <> 0.0 then
           for i = 0 to b.rows - 1 do
-            Mat.set b i j (Mat.get b i j -. (Mat.get b i l *. alj))
+            let brow = i * ldb in
+            bd.(brow + j) <- bd.(brow + j) -. (bd.(brow + l) *. alj)
           done
       done;
       let d = diag_value diag a j in
       if d <> 1.0 then
         for i = 0 to b.rows - 1 do
-          Mat.set b i j (Mat.get b i j /. d)
+          bd.((i * ldb) + j) <- bd.((i * ldb) + j) /. d
         done
     done
   | Right, Upper ->
@@ -225,13 +275,14 @@ let trsm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~al
         let alj = aget l j in
         if alj <> 0.0 then
           for i = 0 to b.rows - 1 do
-            Mat.set b i j (Mat.get b i j -. (Mat.get b i l *. alj))
+            let brow = i * ldb in
+            bd.(brow + j) <- bd.(brow + j) -. (bd.(brow + l) *. alj)
           done
       done;
       let d = diag_value diag a j in
       if d <> 1.0 then
         for i = 0 to b.rows - 1 do
-          Mat.set b i j (Mat.get b i j /. d)
+          bd.((i * ldb) + j) <- bd.((i * ldb) + j) /. d
         done
     done
 

@@ -10,7 +10,16 @@ type uplo = Upper | Lower
 type diag = Unit | NonUnit
 
 val gemm : ?transa:trans -> ?transb:trans -> alpha:float -> Mat.t -> Mat.t -> beta:float -> Mat.t -> unit
-(** [gemm ~alpha a b ~beta c] computes [C <- alpha op(A) op(B) + beta C]. *)
+(** [gemm ~alpha a b ~beta c] computes [C <- alpha op(A) op(B) + beta C].
+    NoTrans/NoTrans and NoTrans/Trans shapes with every dimension at least
+    {!Kernel.cutoff} run on the packed, cache-blocked {!Kernel}; everything
+    else uses the reference loop nests of {!gemm_unblocked}. The two paths
+    associate the k-summation differently, so results may differ by normal
+    rounding (order 1e-14 relative), never more. *)
+
+val gemm_unblocked : ?transa:trans -> ?transb:trans -> alpha:float -> Mat.t -> Mat.t -> beta:float -> Mat.t -> unit
+(** The reference (naive loop nest) gemm: the oracle blocked gemm is tested
+    against, and the baseline the JSON bench reports speedups over. *)
 
 val gemm_new : ?transa:trans -> ?transb:trans -> Mat.t -> Mat.t -> Mat.t
 (** Allocating convenience: [op(A) op(B)]. *)

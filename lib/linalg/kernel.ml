@@ -1,0 +1,198 @@
+(* Blocked GEMM with packing, after the GotoBLAS/BLIS decomposition:
+   jc over NC columns of B, pc over KC ranks, ic over MC rows of A, and an
+   MRxNR register-tiled microkernel over the packed panels. All flops
+   happen in [micro] on contiguous data; everything else is data movement
+   arranged so each level of blocking reuses what the cache level above it
+   just loaded. *)
+
+let mr = 4
+let nr = 4
+let kc = 256
+let mc = 128
+let nc = 512
+let cutoff = 48
+
+let ( .!() ) = Array.unsafe_get
+let ( .!()<- ) = Array.unsafe_set
+
+(* Per-domain packing buffers: apack holds an MC x KC panel of A in
+   MR-strips, bpack a KC x NC panel of B in NR-strips. Cached in
+   domain-local storage so concurrent tile kernels on different workers
+   each pack into their own buffer, and repeated small GEMMs (the tile hot
+   path) never reallocate. *)
+let apack_key = Domain.DLS.new_key (fun () -> ref [||])
+let bpack_key = Domain.DLS.new_key (fun () -> ref [||])
+
+let buffer key needed =
+  let cell = Domain.DLS.get key in
+  if Array.length !cell < needed then cell := Array.make needed 0.0;
+  !cell
+
+(* Pack rows [row0, row0+m) x cols [col0, col0+k) of A into MR-strips:
+   strip s holds rows [s*MR, s*MR+MR), laid out k-major so the microkernel
+   reads MR consecutive elements per k step. Short strips are zero-padded —
+   the microkernel then needs no row fringe cases. *)
+let pack_a ad ~lda ~row0 ~col0 ~m ~k apack =
+  let nstrips = (m + mr - 1) / mr in
+  for s = 0 to nstrips - 1 do
+    let i0 = s * mr in
+    let base = s * k * mr in
+    let full = i0 + mr <= m in
+    for p = 0 to k - 1 do
+      let dst = base + (p * mr) in
+      let src = ((row0 + i0) * lda) + col0 + p in
+      if full then begin
+        apack.!(dst) <- ad.!(src);
+        apack.!(dst + 1) <- ad.!(src + lda);
+        apack.!(dst + 2) <- ad.!(src + (2 * lda));
+        apack.!(dst + 3) <- ad.!(src + (3 * lda))
+      end
+      else
+        for i = 0 to mr - 1 do
+          apack.!(dst + i) <- (if i0 + i < m then ad.!(src + (i * lda)) else 0.0)
+        done
+    done
+  done
+
+(* Pack rows [row0, row0+k) x cols [col0, col0+n) of op(B) into NR-strips,
+   k-major, zero-padding short strips. For [trans] the source is B^T, i.e.
+   element (p, j) comes from B[col0+j][row0+p]. *)
+let pack_b bd ~ldb ~trans ~row0 ~col0 ~k ~n bpack =
+  let nstrips = (n + nr - 1) / nr in
+  for s = 0 to nstrips - 1 do
+    let j0 = s * nr in
+    let base = s * k * nr in
+    let full = j0 + nr <= n in
+    if not trans then
+      for p = 0 to k - 1 do
+        let dst = base + (p * nr) in
+        let src = ((row0 + p) * ldb) + col0 + j0 in
+        if full then begin
+          bpack.!(dst) <- bd.!(src);
+          bpack.!(dst + 1) <- bd.!(src + 1);
+          bpack.!(dst + 2) <- bd.!(src + 2);
+          bpack.!(dst + 3) <- bd.!(src + 3)
+        end
+        else
+          for j = 0 to nr - 1 do
+            bpack.!(dst + j) <- (if j0 + j < n then bd.!(src + j) else 0.0)
+          done
+      done
+    else
+      (* walk B's rows (contiguous) rather than its columns: for each of the
+         NR B-rows in this strip, scatter its KC slice down the strip *)
+      for j = 0 to nr - 1 do
+        if j0 + j < n then begin
+          let src = ((col0 + j0 + j) * ldb) + row0 in
+          for p = 0 to k - 1 do
+            bpack.!(base + (p * nr) + j) <- bd.!(src + p)
+          done
+        end
+        else
+          for p = 0 to k - 1 do
+            bpack.!(base + (p * nr) + j) <- 0.0
+          done
+      done
+  done
+
+(* The MRxNR = 4x4 microkernel: 16 accumulators live in registers across
+   the whole k loop, so the inner iteration is 8 loads and 16 multiply-adds
+   with zero C traffic. C is touched exactly once, at the end, masked to
+   the valid fringe. *)
+let micro apack abase bpack bbase ~k cd ~ldc ~ci ~cj ~mrem ~nrem ~alpha =
+  let c00 = ref 0.0 and c01 = ref 0.0 and c02 = ref 0.0 and c03 = ref 0.0 in
+  let c10 = ref 0.0 and c11 = ref 0.0 and c12 = ref 0.0 and c13 = ref 0.0 in
+  let c20 = ref 0.0 and c21 = ref 0.0 and c22 = ref 0.0 and c23 = ref 0.0 in
+  let c30 = ref 0.0 and c31 = ref 0.0 and c32 = ref 0.0 and c33 = ref 0.0 in
+  for p = 0 to k - 1 do
+    let ab = abase + (p * mr) and bb = bbase + (p * nr) in
+    let a0 = apack.!(ab)
+    and a1 = apack.!(ab + 1)
+    and a2 = apack.!(ab + 2)
+    and a3 = apack.!(ab + 3) in
+    let b0 = bpack.!(bb)
+    and b1 = bpack.!(bb + 1)
+    and b2 = bpack.!(bb + 2)
+    and b3 = bpack.!(bb + 3) in
+    c00 := !c00 +. (a0 *. b0);
+    c01 := !c01 +. (a0 *. b1);
+    c02 := !c02 +. (a0 *. b2);
+    c03 := !c03 +. (a0 *. b3);
+    c10 := !c10 +. (a1 *. b0);
+    c11 := !c11 +. (a1 *. b1);
+    c12 := !c12 +. (a1 *. b2);
+    c13 := !c13 +. (a1 *. b3);
+    c20 := !c20 +. (a2 *. b0);
+    c21 := !c21 +. (a2 *. b1);
+    c22 := !c22 +. (a2 *. b2);
+    c23 := !c23 +. (a2 *. b3);
+    c30 := !c30 +. (a3 *. b0);
+    c31 := !c31 +. (a3 *. b1);
+    c32 := !c32 +. (a3 *. b2);
+    c33 := !c33 +. (a3 *. b3)
+  done;
+  let store i j v =
+    if i < mrem && j < nrem then begin
+      let idx = ((ci + i) * ldc) + cj + j in
+      cd.!(idx) <- cd.!(idx) +. (alpha *. v)
+    end
+  in
+  store 0 0 !c00;
+  store 0 1 !c01;
+  store 0 2 !c02;
+  store 0 3 !c03;
+  store 1 0 !c10;
+  store 1 1 !c11;
+  store 1 2 !c12;
+  store 1 3 !c13;
+  store 2 0 !c20;
+  store 2 1 !c21;
+  store 2 2 !c22;
+  store 2 3 !c23;
+  store 3 0 !c30;
+  store 3 1 !c31;
+  store 3 2 !c32;
+  store 3 3 !c33
+
+let add_matmul ~trans_b ~alpha (a : Mat.t) (b : Mat.t) (c : Mat.t) =
+  let m = a.Mat.rows and k = a.Mat.cols in
+  let kb, n = if trans_b then (b.Mat.cols, b.Mat.rows) else (b.Mat.rows, b.Mat.cols) in
+  if kb <> k then invalid_arg "Kernel.add_matmul: inner dimension mismatch";
+  if c.Mat.rows <> m || c.Mat.cols <> n then
+    invalid_arg "Kernel.add_matmul: output dimension mismatch";
+  if m = 0 || n = 0 || k = 0 || alpha = 0.0 then ()
+  else begin
+    let ad = a.Mat.data and bd = b.Mat.data and cd = c.Mat.data in
+    let lda = a.Mat.cols and ldb = b.Mat.cols and ldc = c.Mat.cols in
+    let apack = buffer apack_key (((min m mc + mr - 1) / mr * mr) * min k kc) in
+    let bpack = buffer bpack_key (((min n nc + nr - 1) / nr * nr) * min k kc) in
+    let jc = ref 0 in
+    while !jc < n do
+      let nn = min nc (n - !jc) in
+      let pc = ref 0 in
+      while !pc < k do
+        let kk = min kc (k - !pc) in
+        pack_b bd ~ldb ~trans:trans_b ~row0:!pc ~col0:!jc ~k:kk ~n:nn bpack;
+        let ic = ref 0 in
+        while !ic < m do
+          let mm = min mc (m - !ic) in
+          pack_a ad ~lda ~row0:!ic ~col0:!pc ~m:mm ~k:kk apack;
+          let nstrips_m = (mm + mr - 1) / mr and nstrips_n = (nn + nr - 1) / nr in
+          for sj = 0 to nstrips_n - 1 do
+            let bbase = sj * kk * nr in
+            for si = 0 to nstrips_m - 1 do
+              micro apack (si * kk * mr) bpack bbase ~k:kk cd ~ldc
+                ~ci:(!ic + (si * mr))
+                ~cj:(!jc + (sj * nr))
+                ~mrem:(mm - (si * mr))
+                ~nrem:(nn - (sj * nr))
+                ~alpha
+            done
+          done;
+          ic := !ic + mc
+        done;
+        pc := !pc + kc
+      done;
+      jc := !jc + nc
+    done
+  end

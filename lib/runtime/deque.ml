@@ -1,0 +1,79 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA'05), in the formulation
+   of Lê et al., PPoPP'13, with OCaml [Atomic]s providing the (stronger
+   than required) SC orderings.
+
+   Invariants that make the unsynchronised buffer reads safe:
+   - [top] is monotonically non-decreasing; an index is consumed exactly
+     once, by whoever wins the CAS on [top] (a thief, or the owner racing
+     for the last element).
+   - the owner writes slot [b land mask] only while [b - top < capacity]
+     (guaranteed by growing first), so a pending thief's read of slot
+     [t land mask] can never be overwritten before its CAS decides;
+   - growth copies the live range into a fresh array and publishes it with
+     an atomic store; thieves that still hold the old array read values the
+     copy preserved, and the GC keeps the old array alive for them. *)
+
+type t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : int array Atomic.t;
+}
+
+type steal_result = Stolen of int | Empty | Abort
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Deque.create: capacity < 1";
+  let cap = next_pow2 capacity 1 in
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (Array.make cap 0) }
+
+let size d = max 0 (Atomic.get d.bottom - Atomic.get d.top)
+
+(* Owner only: double the buffer, copying the live range [t, b). *)
+let grow d t b a =
+  let cap = Array.length a in
+  let na = Array.make (2 * cap) 0 in
+  for i = t to b - 1 do
+    na.(i land ((2 * cap) - 1)) <- a.(i land (cap - 1))
+  done;
+  Atomic.set d.buf na;
+  na
+
+let push d v =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let a = Atomic.get d.buf in
+  let a = if b - t >= Array.length a - 1 then grow d t b a else a in
+  a.(b land (Array.length a - 1)) <- v;
+  Atomic.set d.bottom (b + 1)
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  let a = Atomic.get d.buf in
+  (* publish the claim on slot b before reading top: thieves racing for the
+     same slot now must win their CAS against us *)
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else if b > t then Some a.(b land (Array.length a - 1))
+  else begin
+    (* single element left: race thieves for it via top *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then Some a.(b land (Array.length a - 1)) else None
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if b - t <= 0 then Empty
+  else begin
+    let a = Atomic.get d.buf in
+    let v = a.(t land (Array.length a - 1)) in
+    if Atomic.compare_and_set d.top t (t + 1) then Stolen v else Abort
+  end

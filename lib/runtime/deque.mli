@@ -1,0 +1,35 @@
+(** Chase–Lev work-stealing deque of task ids.
+
+    Single-owner discipline: exactly one domain may call {!push} and {!pop}
+    (the owner, operating LIFO on the bottom); any number of other domains
+    may call {!steal} (thieves, operating FIFO on the top). The
+    implementation is the classic Chase–Lev circular-array algorithm on
+    OCaml [Atomic]s: the owner's fast path is two atomic reads and one
+    atomic write, thieves serialise only on a compare-and-set of the top
+    index. The buffer grows geometrically; old buffers are reclaimed by the
+    GC, which sidesteps the memory-reclamation subtlety of the original
+    C algorithm. *)
+
+type t
+
+type steal_result =
+  | Stolen of int  (** the oldest task id, removed exactly once *)
+  | Empty  (** the deque looked empty — try another victim *)
+  | Abort  (** lost a race with the owner or another thief — retry is fine *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 64) is rounded up to a power of two. The deque
+    grows on demand, so this is only the initial allocation. *)
+
+val push : t -> int -> unit
+(** Owner only: push onto the bottom. *)
+
+val pop : t -> int option
+(** Owner only: pop the most recently pushed id (LIFO), [None] if empty. *)
+
+val steal : t -> steal_result
+(** Any domain: take the oldest id (FIFO). *)
+
+val size : t -> int
+(** Racy estimate of the current length; safe from any domain. Used for
+    idle-worker heuristics, never for correctness. *)

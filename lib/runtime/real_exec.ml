@@ -2,6 +2,8 @@ type stats = {
   elapsed : float;
   tasks : int;
   workers : int;
+  steals : int;
+  parks : int;
 }
 
 let now () = Unix.gettimeofday ()
@@ -11,97 +13,239 @@ let closure_of (task : Task.t) =
   | Some f -> f
   | None -> invalid_arg ("Real_exec: task without closure: " ^ task.Task.name)
 
+let check_closures (dag : Dag.t) =
+  Array.iter (fun t -> ignore (closure_of t : unit -> unit)) dag.Dag.tasks
+
 let run_sequential (dag : Dag.t) =
+  check_closures dag;
   let t0 = now () in
   Array.iter (fun task -> closure_of task ()) dag.Dag.tasks;
-  { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers = 1 }
+  { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers = 1; steals = 0; parks = 0 }
 
-let run_dataflow ~workers (dag : Dag.t) =
+(* How many failed steal sweeps before a worker parks. Parking is the slow
+   path: steals are one CAS, a park is a mutex + condvar round trip, so we
+   spin over the victims a few times first. *)
+let spin_sweeps = 32
+
+let run_dataflow ?priority ~workers (dag : Dag.t) =
   if workers < 1 then invalid_arg "Real_exec.run_dataflow: workers < 1";
   let n = Dag.n_tasks dag in
-  Array.iter (fun t -> ignore (closure_of t : unit -> unit)) dag.Dag.tasks;
-  if n = 0 then { elapsed = 0.0; tasks = 0; workers }
+  check_closures dag;
+  if n = 0 then { elapsed = 0.0; tasks = 0; workers; steals = 0; parks = 0 }
   else begin
     let remaining = Array.map Atomic.make dag.Dag.indegree in
     let completed = Atomic.make 0 in
-    let mutex = Mutex.create () in
-    let nonempty = Condition.create () in
-    let ready : int Queue.t = Queue.create () in
-    let push id =
-      Mutex.lock mutex;
-      Queue.push id ready;
-      Condition.signal nonempty;
-      Mutex.unlock mutex
-    in
     let finished () = Atomic.get completed >= n in
-    (* Blocking pop; returns None once every task has completed. *)
-    let pop () =
-      Mutex.lock mutex;
-      let rec wait () =
-        if not (Queue.is_empty ready) then Some (Queue.pop ready)
-        else if finished () then None
-        else begin
-          Condition.wait nonempty mutex;
-          wait ()
-        end
-      in
-      let r = wait () in
-      Mutex.unlock mutex;
-      r
-    in
-    let complete id =
-      List.iter
-        (fun s -> if Atomic.fetch_and_add remaining.(s) (-1) = 1 then push s)
-        dag.Dag.succs.(id);
-      if Atomic.fetch_and_add completed 1 = n - 1 then begin
-        (* everything done: wake all sleepers so they can exit *)
-        Mutex.lock mutex;
-        Condition.broadcast nonempty;
-        Mutex.unlock mutex
+    (* Per-worker deques: a worker pushes the successors it makes ready onto
+       its own bottom (their input tiles are warm in this core's cache), pops
+       LIFO, and steals FIFO from the top of a random victim — stolen tasks
+       are the oldest, hence the coldest, so stealing them costs the least
+       locality. Sized so no deque can ever grow mid-run. *)
+    let deques = Array.init workers (fun _ -> Deque.create ~capacity:(n + 1) ()) in
+    let steal_count = Array.make workers 0 in
+    let park_count = Array.make workers 0 in
+    (* Spin-then-park idling: [parked] is the Dekker-style handshake with
+       producers — a parker increments it *before* rescanning the deques, a
+       producer pushes *before* reading it, so (with SC atomics) either the
+       producer sees the parker and broadcasts, or the parker sees the new
+       work and never sleeps. The condvar is hit only when the whole system
+       runs dry, not on every push like a global-queue executor. *)
+    let parked = Atomic.make 0 in
+    let park_mutex = Mutex.create () in
+    let park_cond = Condition.create () in
+    let some_work () = Array.exists (fun d -> Deque.size d > 0) deques in
+    let wake_parked () =
+      if Atomic.get parked > 0 then begin
+        Mutex.lock park_mutex;
+        Condition.broadcast park_cond;
+        Mutex.unlock park_mutex
       end
     in
-    let rec worker_loop () =
-      match pop () with
-      | None -> ()
-      | Some id ->
-        (Option.get dag.Dag.tasks.(id).Task.run) ();
-        complete id;
-        worker_loop ()
+    (* Newly-ready successors are pushed in ascending priority so the
+       highest-priority child is on top of the LIFO end — it runs next,
+       on this worker, while its parent's output is still in cache. *)
+    let ordered ids =
+      match priority with
+      | None -> ids
+      | Some p -> List.stable_sort (fun a b -> compare (p a) (p b)) ids
     in
+    let complete wid id =
+      let ready =
+        List.filter
+          (fun s -> Atomic.fetch_and_add remaining.(s) (-1) = 1)
+          dag.Dag.succs.(id)
+      in
+      (match ready with
+      | [] -> ()
+      | ready ->
+        List.iter (Deque.push deques.(wid)) (ordered ready);
+        wake_parked ());
+      if Atomic.fetch_and_add completed 1 = n - 1 then begin
+        (* everything done: wake all sleepers so they can exit *)
+        Mutex.lock park_mutex;
+        Condition.broadcast park_cond;
+        Mutex.unlock park_mutex
+      end
+    in
+    let run_task wid id =
+      closure_of dag.Dag.tasks.(id) ();
+      complete wid id
+    in
+    let worker wid =
+      let my = deques.(wid) in
+      (* per-worker xorshift for victim selection; no shared RNG state *)
+      let rand_state = ref ((wid * 0x9E3779B1) lor 1) in
+      let rand_victim () =
+        let x = !rand_state in
+        let x = x lxor (x lsl 13) in
+        let x = x lxor (x lsr 17) in
+        let x = x lxor (x lsl 5) in
+        rand_state := x;
+        let v = x land max_int mod (workers - 1) in
+        if v >= wid then v + 1 else v
+      in
+      let park () =
+        Mutex.lock park_mutex;
+        Atomic.incr parked;
+        (* recheck under the lock: a producer that missed our increment
+           published its push before reading [parked], so we see it here *)
+        if not (finished ()) && not (some_work ()) then begin
+          park_count.(wid) <- park_count.(wid) + 1;
+          Condition.wait park_cond park_mutex
+        end;
+        Atomic.decr parked;
+        Mutex.unlock park_mutex
+      in
+      let rec local () =
+        match Deque.pop my with
+        | Some id ->
+          run_task wid id;
+          local ()
+        | None -> if not (finished ()) then hunt 0
+      and hunt sweeps =
+        if finished () then ()
+        else if workers = 1 then begin
+          (* no victims to steal from: wait for the last closure to finish *)
+          park ();
+          hunt 0
+        end
+        else if sweeps >= spin_sweeps then begin
+          park ();
+          hunt 0
+        end
+        else begin
+          let rec sweep attempts =
+            if attempts >= workers - 1 then begin
+              Domain.cpu_relax ();
+              hunt (sweeps + 1)
+            end
+            else
+              match Deque.steal deques.(rand_victim ()) with
+              | Deque.Stolen id ->
+                steal_count.(wid) <- steal_count.(wid) + 1;
+                run_task wid id;
+                local ()
+              | Deque.Empty | Deque.Abort -> sweep (attempts + 1)
+          in
+          sweep 0
+        end
+      in
+      local ()
+    in
+    (* Seed the sources round-robin across the deques (pre-spawn, so no
+       ownership races), each deque's share in ascending priority so its
+       best task sits at the LIFO end. *)
+    let sources = ordered (Dag.sources dag) in
+    List.iteri (fun i id -> Deque.push deques.(i mod workers) id) sources;
     let t0 = now () in
-    List.iter push (Dag.sources dag);
-    let domains = List.init (workers - 1) (fun _ -> Domain.spawn worker_loop) in
-    worker_loop ();
+    let domains = List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+    worker 0;
     List.iter Domain.join domains;
+    let elapsed = now () -. t0 in
     assert (Atomic.get completed = n);
-    { elapsed = now () -. t0; tasks = n; workers }
+    {
+      elapsed;
+      tasks = n;
+      workers;
+      steals = Array.fold_left ( + ) 0 steal_count;
+      parks = Array.fold_left ( + ) 0 park_count;
+    }
   end
+
+(* Sense-reversing barrier for the fork-join pool. Its cost *is* the
+   phenomenon run_forkjoin measures, so a plain mutex + condvar is the
+   honest implementation of the classical BSP barrier. *)
+type barrier = {
+  bar_mutex : Mutex.t;
+  bar_cond : Condition.t;
+  mutable bar_count : int;
+  mutable bar_sense : bool;
+  bar_parties : int;
+}
+
+let barrier_make parties =
+  {
+    bar_mutex = Mutex.create ();
+    bar_cond = Condition.create ();
+    bar_count = 0;
+    bar_sense = false;
+    bar_parties = parties;
+  }
+
+let barrier_wait b =
+  Mutex.lock b.bar_mutex;
+  let my_sense = not b.bar_sense in
+  b.bar_count <- b.bar_count + 1;
+  if b.bar_count = b.bar_parties then begin
+    b.bar_count <- 0;
+    b.bar_sense <- my_sense;
+    Condition.broadcast b.bar_cond
+  end
+  else
+    while b.bar_sense <> my_sense do
+      Condition.wait b.bar_cond b.bar_mutex
+    done;
+  Mutex.unlock b.bar_mutex
 
 let run_forkjoin ~workers (dag : Dag.t) =
   if workers < 1 then invalid_arg "Real_exec.run_forkjoin: workers < 1";
-  Array.iter (fun t -> ignore (closure_of t : unit -> unit)) dag.Dag.tasks;
-  let t0 = now () in
-  Array.iter
-    (fun level ->
-      let tasks = Array.of_list level in
-      let ntasks = Array.length tasks in
-      let nworkers = min workers ntasks in
-      if nworkers <= 1 then
-        Array.iter (fun id -> (Option.get dag.Dag.tasks.(id).Task.run) ()) tasks
-      else begin
-        (* static block partition of the level across fresh domains — the
-           spawn/join cost is the fork-join overhead being measured *)
-        let chunk w =
-          let lo = w * ntasks / nworkers and hi = (w + 1) * ntasks / nworkers in
-          for i = lo to hi - 1 do
-            (Option.get dag.Dag.tasks.(tasks.(i)).Task.run) ()
-          done
-        in
-        let domains = List.init (nworkers - 1) (fun w -> Domain.spawn (fun () -> chunk (w + 1))) in
-        chunk 0;
-        List.iter Domain.join domains
-      end)
-    dag.Dag.levels;
-  { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers }
+  check_closures dag;
+  let levels = Array.map Array.of_list dag.Dag.levels in
+  let nlevels = Array.length levels in
+  if Dag.n_tasks dag = 0 || workers = 1 then begin
+    let t0 = now () in
+    Array.iter (Array.iter (fun id -> closure_of dag.Dag.tasks.(id) ())) levels;
+    { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers; steals = 0; parks = 0 }
+  end
+  else begin
+    (* One fixed pool of domains, one barrier per level: the BSP-vs-DAG gap
+       then measures barrier idle time, not repeated domain spawn cost. *)
+    let barrier = barrier_make workers in
+    let worker w =
+      for l = 0 to nlevels - 1 do
+        let tasks = levels.(l) in
+        let ntasks = Array.length tasks in
+        let lo = w * ntasks / workers and hi = (w + 1) * ntasks / workers in
+        for i = lo to hi - 1 do
+          closure_of dag.Dag.tasks.(tasks.(i)) ()
+        done;
+        barrier_wait barrier
+      done
+    in
+    let domains =
+      List.init (workers - 1) (fun w ->
+          Domain.spawn (fun () ->
+              (* start barrier: the timed region excludes the one-off spawns *)
+              barrier_wait barrier;
+              worker (w + 1)))
+    in
+    barrier_wait barrier;
+    let t0 = now () in
+    worker 0;
+    (* worker 0 passed the final barrier, so every task has completed *)
+    let elapsed = now () -. t0 in
+    List.iter Domain.join domains;
+    { elapsed; tasks = Dag.n_tasks dag; workers; steals = 0; parks = 0 }
+  end
 
 let default_workers () = min 8 (Domain.recommended_domain_count ())

@@ -2,13 +2,19 @@
 
     Two executors embody the paper's comparison on real cores:
 
-    - {!run_dataflow} — a dynamic superscalar executor: a task is enqueued
-      the instant its dependence counter reaches zero, workers pull from a
-      shared ready queue, no global synchronisation anywhere;
+    - {!run_dataflow} — a dynamic superscalar executor on per-domain
+      work-stealing deques ({!Deque}): a worker that completes a task pushes
+      the successors it made ready onto its *own* deque (the child's input
+      tiles are warm in that core's cache), pops LIFO locally, and steals
+      FIFO from a random victim only when its own deque runs dry; idle
+      workers spin over the victims briefly and then park on a condvar, so
+      there is no global queue and no global broadcast on the task fast
+      path;
     - {!run_forkjoin} — a bulk-synchronous executor: dependence levels are
-      executed one at a time, each level fanned out across fresh domains and
-      joined (the classical loop-parallel style, with its real barrier and
-      spawn costs).
+      executed one at a time over a fixed pool of domains with a real
+      barrier between levels (the classical loop-parallel style; the pool
+      is reused across levels so the comparison measures barrier idle time,
+      not domain spawn cost).
 
     Tasks must carry [run] closures. Closures of independent tasks must be
     safe to run from different domains — the tile kernels are, as they write
@@ -18,10 +24,16 @@ type stats = {
   elapsed : float;  (** wall-clock seconds *)
   tasks : int;
   workers : int;
+  steals : int;  (** successful steals (dataflow; 0 for the others) *)
+  parks : int;  (** condvar waits by idle workers (dataflow; 0 otherwise) *)
 }
 
-val run_dataflow : workers:int -> Dag.t -> stats
-(** Raises [Invalid_argument] if a task lacks a closure or [workers < 1]. *)
+val run_dataflow : ?priority:(int -> int) -> workers:int -> Dag.t -> stats
+(** [priority] ranks ready tasks (higher runs sooner on the worker that
+    made them ready — e.g. a bottom-level rank for critical-path-first, or
+    [fun id -> -id] for FIFO program order); omitted, successors run in
+    discovery order. Raises [Invalid_argument] if a task lacks a closure or
+    [workers < 1]. *)
 
 val run_forkjoin : workers:int -> Dag.t -> stats
 

@@ -151,6 +151,65 @@ let test_gemm_dim_check () =
   Alcotest.check_raises "inner" (Invalid_argument "Blas.gemm: inner dimension mismatch")
     (fun () -> Blas.gemm ~alpha:1.0 a b ~beta:0.0 c)
 
+(* ---- blocked gemm (Kernel) against the unblocked oracle ---- *)
+
+let blocked_vs_unblocked ~m ~n ~k transb =
+  let rng = Rng.create ((m * 100003) + (n * 1009) + k) in
+  let a = Mat.random rng m k in
+  let b =
+    match transb with Blas.NoTrans -> Mat.random rng k n | Blas.Trans -> Mat.random rng n k
+  in
+  let c0 = Mat.random rng m n in
+  let c_ref = Mat.copy c0 and c_blk = Mat.copy c0 in
+  Blas.gemm_unblocked ~transb ~alpha:(-1.0) a b ~beta:1.0 c_ref;
+  Blas.gemm ~transb ~alpha:(-1.0) a b ~beta:1.0 c_blk;
+  Mat.dist_max c_ref c_blk
+
+let test_gemm_blocked_shapes () =
+  (* shapes chosen to straddle the blocking parameters: just under/over the
+     cutoff, exact MR/NR/KC multiples, ragged fringes in every dimension,
+     the nb=72 tile size, and k crossing a KC panel boundary *)
+  List.iter
+    (fun (m, n, k) ->
+      List.iter
+        (fun transb ->
+          let d = blocked_vs_unblocked ~m ~n ~k transb in
+          Alcotest.(check bool)
+            (Printf.sprintf "blocked=naive m=%d n=%d k=%d %s (dist %g)" m n k
+               (match transb with Blas.NoTrans -> "NN" | Blas.Trans -> "NT")
+               d)
+            true (d <= 1e-12))
+        [ Blas.NoTrans; Blas.Trans ])
+    [
+      (47, 47, 47);
+      (48, 48, 48);
+      (49, 50, 51);
+      (64, 64, 64);
+      (72, 72, 72);
+      (61, 130, 48);
+      (130, 61, 53);
+      (97, 101, 259);
+      (128, 128, 256);
+      (129, 133, 300);
+    ]
+
+let prop_gemm_blocked_matches_unblocked =
+  QCheck.Test.make ~name:"blocked gemm matches unblocked to 1e-12 on random shapes"
+    ~count:30
+    QCheck.(triple (int_range 1 140) (int_range 1 140) (int_range 1 140))
+    (fun (m, n, k) ->
+      blocked_vs_unblocked ~m ~n ~k Blas.NoTrans <= 1e-12
+      && blocked_vs_unblocked ~m ~n ~k Blas.Trans <= 1e-12)
+
+let test_kernel_dim_check () =
+  let a = Mat.create 4 5 and b = Mat.create 4 5 and c = Mat.create 4 5 in
+  Alcotest.check_raises "inner"
+    (Invalid_argument "Kernel.add_matmul: inner dimension mismatch") (fun () ->
+      Kernel.add_matmul ~trans_b:false ~alpha:1.0 a b c);
+  Alcotest.(check bool) "cutoff positive" true (Kernel.cutoff > 0);
+  Alcotest.(check bool) "microkernel fits panels" true
+    (Kernel.mc mod Kernel.mr = 0 && Kernel.nc mod Kernel.nr = 0)
+
 let test_gemv () =
   let rng = Rng.create 4 in
   let a = Mat.random rng 5 3 in
@@ -661,6 +720,9 @@ let () =
         [
           qcheck prop_gemm_all_transposes;
           Alcotest.test_case "gemm dim check" `Quick test_gemm_dim_check;
+          Alcotest.test_case "blocked gemm boundary shapes" `Quick test_gemm_blocked_shapes;
+          qcheck prop_gemm_blocked_matches_unblocked;
+          Alcotest.test_case "kernel checks" `Quick test_kernel_dim_check;
           Alcotest.test_case "gemv" `Quick test_gemv;
           Alcotest.test_case "gemv trans" `Quick test_gemv_trans;
           Alcotest.test_case "ger" `Quick test_ger;

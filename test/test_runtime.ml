@@ -1,10 +1,11 @@
 (* Tests for Xsc_runtime: task accesses, DAG dependence inference, schedule
-   simulation, real multicore execution, traces. *)
+   simulation, the work-stealing deque, real multicore execution, traces. *)
 
 module Task = Xsc_runtime.Task
 module Dag = Xsc_runtime.Dag
 module Sim_exec = Xsc_runtime.Sim_exec
 module Real_exec = Xsc_runtime.Real_exec
+module Deque = Xsc_runtime.Deque
 module Trace = Xsc_runtime.Trace
 module Rng = Xsc_util.Rng
 
@@ -207,6 +208,92 @@ let test_work_stealing_deterministic_per_seed () =
   let r2 = Sim_exec.run cfg (Sim_exec.Work_stealing 5) dag in
   Alcotest.(check (float 0.0)) "same seed same makespan" r1.Sim_exec.makespan r2.Sim_exec.makespan
 
+(* ---- Deque ---- *)
+
+let test_deque_owner_lifo () =
+  (* capacity 4 forces several growths along the way *)
+  let d = Deque.create ~capacity:4 () in
+  for i = 0 to 99 do
+    Deque.push d i
+  done;
+  Alcotest.(check int) "size" 100 (Deque.size d);
+  let popped = List.init 100 (fun _ -> Option.get (Deque.pop d)) in
+  Alcotest.(check (list int)) "LIFO order" (List.init 100 (fun i -> 99 - i)) popped;
+  Alcotest.(check bool) "drained" true (Deque.pop d = None)
+
+let test_deque_steal_fifo () =
+  let d = Deque.create () in
+  for i = 0 to 49 do
+    Deque.push d i
+  done;
+  let stolen =
+    List.init 50 (fun _ ->
+        match Deque.steal d with Deque.Stolen v -> v | Deque.Empty | Deque.Abort -> -1)
+  in
+  Alcotest.(check (list int)) "FIFO order" (List.init 50 (fun i -> i)) stolen;
+  Alcotest.(check bool) "empty after" true (Deque.steal d = Deque.Empty)
+
+let test_deque_mixed_ends () =
+  let d = Deque.create ~capacity:2 () in
+  Deque.push d 1;
+  Deque.push d 2;
+  Deque.push d 3;
+  Alcotest.(check (option int)) "pop takes newest" (Some 3) (Deque.pop d);
+  (match Deque.steal d with
+  | Deque.Stolen v -> Alcotest.(check int) "steal takes oldest" 1 v
+  | Deque.Empty | Deque.Abort -> Alcotest.fail "steal failed on non-empty deque");
+  Alcotest.(check (option int)) "pop takes the survivor" (Some 2) (Deque.pop d);
+  Alcotest.(check (option int)) "drained" None (Deque.pop d);
+  Alcotest.(check bool) "empty to thieves too" true (Deque.steal d = Deque.Empty)
+
+(* Concurrency property: with an owner pushing/popping and several thief
+   domains stealing, every pushed id is consumed exactly once — nothing
+   lost, nothing duplicated. *)
+let prop_deque_concurrent_thieves =
+  QCheck.Test.make ~name:"deque: no lost or duplicated items under concurrent thieves"
+    ~count:5
+    QCheck.(pair (int_range 200 2000) (int_range 1 4))
+    (fun (n, nthieves) ->
+      let d = Deque.create ~capacity:8 () in
+      let stop = Atomic.make false in
+      let thief () =
+        let acc = ref [] in
+        let rec go () =
+          match Deque.steal d with
+          | Deque.Stolen v ->
+            acc := v :: !acc;
+            go ()
+          | Deque.Abort -> go ()
+          | Deque.Empty ->
+            if Atomic.get stop then !acc
+            else begin
+              Domain.cpu_relax ();
+              go ()
+            end
+        in
+        go ()
+      in
+      let thieves = List.init nthieves (fun _ -> Domain.spawn thief) in
+      let owner_acc = ref [] in
+      for i = 0 to n - 1 do
+        Deque.push d i;
+        (* interleave pops so the owner also races thieves for the bottom *)
+        if i land 3 = 0 then
+          match Deque.pop d with Some v -> owner_acc := v :: !owner_acc | None -> ()
+      done;
+      let rec drain () =
+        match Deque.pop d with
+        | Some v ->
+          owner_acc := v :: !owner_acc;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      Atomic.set stop true;
+      let stolen = List.concat_map Domain.join thieves in
+      let all = List.sort compare (!owner_acc @ stolen) in
+      all = List.init n (fun i -> i))
+
 (* ---- Real executor ---- *)
 
 (* build a DAG of tasks with real closures: each task appends its id to a
@@ -277,6 +364,98 @@ let test_real_empty_dag () =
 let test_default_workers () =
   let w = Real_exec.default_workers () in
   Alcotest.(check bool) "1..8" true (w >= 1 && w <= 8)
+
+(* qcheck oracle over random accumulation DAGs: the work-stealing executor
+   (with and without a priority hook) must reproduce sequential results
+   bit-for-bit at any worker count. *)
+let prop_dataflow_bitwise_oracle =
+  QCheck.Test.make ~name:"dataflow = sequential bitwise on random DAGs" ~count:15
+    QCheck.(triple (int_range 8 80) (int_range 1 8) bool)
+    (fun (n, workers, with_priority) ->
+      let dag_seq, cells_seq = accumulation_dag n in
+      ignore (Real_exec.run_sequential dag_seq);
+      let dag_par, cells_par = accumulation_dag n in
+      let priority = if with_priority then Some (fun id -> n - id) else None in
+      let stats = Real_exec.run_dataflow ?priority ~workers dag_par in
+      stats.Real_exec.tasks = n && cells_seq = cells_par)
+
+(* ---- oracle: tiled factorizations on real domains ---- *)
+
+module Tile = Xsc_tile.Tile
+module Mat = Xsc_linalg.Mat
+
+let tiles_bitwise_equal (a : Tile.t) (b : Tile.t) =
+  a.Tile.mt = b.Tile.mt && a.Tile.nt = b.Tile.nt
+  &&
+  let ok = ref true in
+  for i = 0 to a.Tile.mt - 1 do
+    for j = 0 to a.Tile.nt - 1 do
+      (* structural equality on the float arrays: bit-for-bit, not approx *)
+      if (Tile.tile a i j).Mat.data <> (Tile.tile b i j).Mat.data then ok := false
+    done
+  done;
+  !ok
+
+(* For each factorization, run the sequential oracle once, then check every
+   executor variant at workers in {1, 2, 4, 8} reproduces the exact same
+   tiles: the dependence edges serialise every numerically non-commuting
+   pair of kernels, so any scheduling bug shows up as a bitwise diff. *)
+let factorization_oracle ~name ~dag_of ~make_input sizes =
+  List.iter
+    (fun (nt, nb) ->
+      let input = make_input ~nt ~nb in
+      let seq_tiles = Tile.of_mat ~nb input in
+      ignore (Real_exec.run_sequential (dag_of seq_tiles));
+      let check_variant variant_name run =
+        let tiles = Tile.of_mat ~nb input in
+        ignore (run (dag_of tiles));
+        Alcotest.(check bool)
+          (Printf.sprintf "%s nt=%d nb=%d %s" name nt nb variant_name)
+          true
+          (tiles_bitwise_equal seq_tiles tiles)
+      in
+      List.iter
+        (fun workers ->
+          let w = string_of_int workers in
+          check_variant ("dataflow w=" ^ w) (Real_exec.run_dataflow ~workers);
+          check_variant
+            ("dataflow+cp w=" ^ w)
+            (fun dag ->
+              Real_exec.run_dataflow
+                ~priority:(Xsc_core.Runtime_api.critical_path_priority dag)
+                ~workers dag);
+          check_variant ("forkjoin w=" ^ w) (Real_exec.run_forkjoin ~workers))
+        [ 1; 2; 4; 8 ])
+    sizes
+
+let test_oracle_cholesky () =
+  let rng = Rng.create 42 in
+  factorization_oracle ~name:"cholesky"
+    ~dag_of:(fun t -> Xsc_core.Cholesky.dag t)
+    ~make_input:(fun ~nt ~nb -> Mat.random_spd rng (nt * nb))
+    [ (4, 8); (6, 4) ]
+
+let test_oracle_lu () =
+  let rng = Rng.create 43 in
+  factorization_oracle ~name:"lu"
+    ~dag_of:(fun t -> Xsc_core.Lu.dag t)
+    ~make_input:(fun ~nt ~nb -> Mat.random_diag_dominant rng (nt * nb))
+    [ (4, 8); (6, 4) ]
+
+let test_dataflow_stats_reported () =
+  (* a wide independent DAG at 4 workers: the run must report non-negative
+     steal/park counters and complete every task *)
+  let counter = Atomic.make 0 in
+  let tasks =
+    List.init 64 (fun id ->
+        Task.make ~id ~name:"inc" ~flops:1.0
+          ~run:(fun () -> Atomic.incr counter)
+          [ Task.Write id ])
+  in
+  let stats = Real_exec.run_dataflow ~workers:4 (Dag.build tasks) in
+  Alcotest.(check int) "all ran" 64 (Atomic.get counter);
+  Alcotest.(check bool) "steals >= 0" true (stats.Real_exec.steals >= 0);
+  Alcotest.(check bool) "parks >= 0" true (stats.Real_exec.parks >= 0)
 
 (* ---- Trace ---- *)
 
@@ -420,6 +599,13 @@ let () =
           Alcotest.test_case "work stealing deterministic" `Quick
             test_work_stealing_deterministic_per_seed;
         ] );
+      ( "deque",
+        [
+          Alcotest.test_case "owner LIFO" `Quick test_deque_owner_lifo;
+          Alcotest.test_case "steal FIFO" `Quick test_deque_steal_fifo;
+          Alcotest.test_case "mixed ends" `Quick test_deque_mixed_ends;
+          qcheck prop_deque_concurrent_thieves;
+        ] );
       ( "real_exec",
         [
           Alcotest.test_case "sequential" `Quick test_real_sequential;
@@ -432,6 +618,10 @@ let () =
           Alcotest.test_case "missing closure" `Quick test_real_missing_closure;
           Alcotest.test_case "empty dag" `Quick test_real_empty_dag;
           Alcotest.test_case "default workers" `Quick test_default_workers;
+          qcheck prop_dataflow_bitwise_oracle;
+          Alcotest.test_case "oracle: tiled cholesky" `Quick test_oracle_cholesky;
+          Alcotest.test_case "oracle: tiled LU" `Quick test_oracle_lu;
+          Alcotest.test_case "scheduler stats" `Quick test_dataflow_stats_reported;
         ] );
       ( "trace",
         [
