@@ -1,23 +1,27 @@
 (* Machine-readable benchmark mode: `bench/main.exe --json FILE` emits one
-   JSON record with GEMM kernel rates (naive vs blocked) and real-domain
-   scheduler results (dataflow vs fork-join, with steal/park counts). This
-   seeds the BENCH_*.json perf trajectory: each PR can append a record and
-   diff GFLOP/s and speedups against the previous ones. *)
+   JSON record with GEMM kernel rates (naive vs blocked), real-domain
+   scheduler results (dataflow vs fork-join, with steal/park telemetry) and
+   a metrics object: per-kernel achieved GFLOP/s from a traced run plus the
+   full Xsc_obs.Metrics registry snapshot. This seeds the BENCH_*.json perf
+   trajectory: each PR can append a record and diff GFLOP/s and speedups
+   against the previous ones. *)
 
 open Xsc_linalg
 module Tile = Xsc_tile.Tile
 module Cholesky = Xsc_core.Cholesky
 module Real_exec = Xsc_runtime.Real_exec
+module Trace = Xsc_runtime.Trace
 module Rng = Xsc_util.Rng
+module Clock = Xsc_obs.Clock
 
 let time f reps =
   f ();
   (* warm-up: first call touches cold caches and packing buffers *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   for _ = 1 to reps do
     f ()
   done;
-  (Unix.gettimeofday () -. t0) /. float_of_int reps
+  (Clock.now_s () -. t0) /. float_of_int reps
 
 let gemm_record ~n ~reps =
   let rng = Rng.create n in
@@ -30,6 +34,9 @@ let gemm_record ~n ~reps =
     "{\"n\": %d, \"naive_gflops\": %.4f, \"blocked_gflops\": %.4f, \"speedup\": %.3f}" n
     naive blocked (blocked /. naive)
 
+(* Scheduler comparison plus one extra traced dataflow run (outside the
+   timed medians, so the trace cannot perturb them) for the per-kernel
+   achieved rates. *)
 let sched_record ~nt ~nb ~workers =
   let n = nt * nb in
   let rng = Rng.create 7 in
@@ -53,23 +60,49 @@ let sched_record ~nt ~nb ~workers =
   let seq_t, _ = median `Seq in
   let fj_t, _ = median `Forkjoin in
   let df_t, df = median `Dataflow in
-  Printf.sprintf
-    "{\"n\": %d, \"nb\": %d, \"workers\": %d, \"sequential_s\": %.6f, \"forkjoin_s\": \
-     %.6f, \"dataflow_s\": %.6f, \"forkjoin_speedup\": %.3f, \"dataflow_speedup\": \
-     %.3f, \"dataflow_over_forkjoin\": %.3f, \"steals\": %d, \"parks\": %d}"
-    n nb workers seq_t fj_t df_t (seq_t /. fj_t) (seq_t /. df_t) (fj_t /. df_t)
-    df.Real_exec.steals df.Real_exec.parks
+  let sched =
+    Printf.sprintf
+      "{\"n\": %d, \"nb\": %d, \"workers\": %d, \"sequential_s\": %.6f, \"forkjoin_s\": \
+       %.6f, \"dataflow_s\": %.6f, \"forkjoin_speedup\": %.3f, \"dataflow_speedup\": \
+       %.3f, \"dataflow_over_forkjoin\": %.3f, \"steals\": %d, \"steal_attempts\": %d, \
+       \"parks\": %d, \"park_time_s\": %.6f}"
+      n nb workers seq_t fj_t df_t (seq_t /. fj_t) (seq_t /. df_t) (fj_t /. df_t)
+      df.Real_exec.steals df.Real_exec.steal_attempts df.Real_exec.parks
+      df.Real_exec.park_time
+  in
+  let per_kernel =
+    let tiles = Tile.of_mat ~nb a in
+    let dag = Cholesky.dag tiles in
+    let traced =
+      Real_exec.run_dataflow
+        ~priority:(Xsc_core.Runtime_api.critical_path_priority dag)
+        ~trace:true ~workers dag
+    in
+    match traced.Real_exec.trace with
+    | None -> []
+    | Some tr ->
+      let flops_of id = dag.Xsc_runtime.Dag.tasks.(id).Xsc_runtime.Task.flops in
+      List.map
+        (fun (family, busy, count, rate) ->
+          Printf.sprintf
+            "{\"kernel\": \"%s\", \"busy_s\": %.6f, \"tasks\": %d, \"gflops\": %.4f}"
+            (Xsc_util.Json.escape family) busy count (rate /. 1e9))
+        (Trace.by_kernel_rates tr ~flops_of)
+  in
+  (sched, per_kernel)
 
 let run ~file =
   let gemm_sizes = [ (128, 20); (256, 5); (512, 3) ] in
   let gemms = List.map (fun (n, reps) -> "    " ^ gemm_record ~n ~reps) gemm_sizes in
   let workers = max 2 (Real_exec.default_workers ()) in
-  let sched = sched_record ~nt:6 ~nb:72 ~workers in
+  let sched, per_kernel = sched_record ~nt:6 ~nb:72 ~workers in
   let json =
     String.concat "\n"
       ([ "{"; "  \"gemm\": [" ]
       @ [ String.concat ",\n" gemms ]
-      @ [ "  ],"; "  \"sched\": " ^ sched; "}" ])
+      @ [ "  ],"; "  \"sched\": " ^ sched ^ ","; "  \"metrics\": {"; "    \"per_kernel\": [" ]
+      @ [ String.concat ",\n" (List.map (fun s -> "      " ^ s) per_kernel) ]
+      @ [ "    ],"; "    \"registry\": " ^ Xsc_obs.Metrics.to_json (); "  }"; "}" ])
   in
   let oc = open_out file in
   output_string oc json;

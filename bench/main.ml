@@ -5,7 +5,9 @@
      dune exec bench/main.exe                 # run everything
      dune exec bench/main.exe -- fig3 tab1    # run a subset
      dune exec bench/main.exe -- --list       # show experiment ids
-     dune exec bench/main.exe -- --json FILE  # machine-readable perf record *)
+     dune exec bench/main.exe -- --json FILE  # machine-readable perf record
+     dune exec bench/main.exe -- --trace FILE # Chrome trace of a real DAG run
+     dune exec bench/main.exe -- --overhead [PCT]  # tracing cost (gate if PCT) *)
 
 let experiments =
   [
@@ -34,6 +36,17 @@ let () =
   | [ "--json" ] ->
     Printf.eprintf "--json requires an output file argument\n";
     exit 1
+  | [ "--trace"; file ] -> Trace_run.run ~file
+  | [ "--trace" ] ->
+    Printf.eprintf "--trace requires an output file argument\n";
+    exit 1
+  | [ "--overhead" ] -> Overhead.run ~threshold:None
+  | [ "--overhead"; pct ] -> (
+    match float_of_string_opt pct with
+    | Some t -> Overhead.run ~threshold:(Some t)
+    | None ->
+      Printf.eprintf "--overhead: %S is not a number\n" pct;
+      exit 1)
   | [] ->
     Printf.printf "reproduction benchmarks: %d experiments (see DESIGN.md)\n" (List.length experiments);
     List.iter (fun (_, _, run) -> run ()) experiments

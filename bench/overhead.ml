@@ -1,0 +1,47 @@
+(* `bench/main.exe -- --overhead [PCT]`: measure what tracing costs on the
+   scheduler smoke (6x6 tiles of 72, dataflow executor). Runs the same
+   Cholesky with tracing off and on, median of 7 each, and prints the
+   relative difference; with a PCT argument, exits 1 when the overhead
+   exceeds it — the CI regression gate for the "tracing must stay cheap"
+   budget. *)
+
+open Xsc_linalg
+module Tile = Xsc_tile.Tile
+module Cholesky = Xsc_core.Cholesky
+module Real_exec = Xsc_runtime.Real_exec
+
+let median_elapsed ~trace ~workers ~nt ~nb ~reps =
+  let n = nt * nb in
+  let rng = Xsc_util.Rng.create 7 in
+  let a = Mat.random_spd rng n in
+  let once () =
+    let tiles = Tile.of_mat ~nb a in
+    let dag = Cholesky.dag tiles in
+    let s =
+      Real_exec.run_dataflow
+        ~priority:(Xsc_core.Runtime_api.critical_path_priority dag)
+        ~trace ~workers dag
+    in
+    s.Real_exec.elapsed
+  in
+  ignore (once ());
+  (* warm-up *)
+  Xsc_util.Stats.median (Array.init reps (fun _ -> once ()))
+
+let run ~threshold =
+  let workers = max 2 (Real_exec.default_workers ()) in
+  let nt = 6 and nb = 72 and reps = 7 in
+  let off = median_elapsed ~trace:false ~workers ~nt ~nb ~reps in
+  let on = median_elapsed ~trace:true ~workers ~nt ~nb ~reps in
+  let pct = (on -. off) /. off *. 100.0 in
+  Printf.printf "sched smoke (%d workers, median of %d):\n" workers reps;
+  Printf.printf "  tracing off  %.6f s\n" off;
+  Printf.printf "  tracing on   %.6f s\n" on;
+  Printf.printf "  overhead     %+.2f%%\n" pct;
+  match threshold with
+  | None -> ()
+  | Some t ->
+    if pct > t then begin
+      Printf.eprintf "tracing overhead %.2f%% exceeds the %.2f%% budget\n" pct t;
+      exit 1
+    end

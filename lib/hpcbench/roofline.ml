@@ -36,3 +36,32 @@ let standard_points ?(nb = 256) node =
   ]
 
 let ridge_point node = Xsc_simmachine.Node.machine_balance node
+
+type achieved = {
+  point : point;
+  measured : float;
+  roof_fraction : float;
+}
+
+let achieved_point node ~kernel ~intensity ~measured =
+  let p = point node ~kernel ~intensity in
+  let roof_fraction = if p.attainable > 0.0 then measured /. p.attainable else 0.0 in
+  { point = p; measured; roof_fraction }
+
+let render_achieved points =
+  let tbl =
+    Xsc_util.Table.create
+      ~headers:[ "kernel"; "intensity"; "roof"; "achieved"; "% of roof" ]
+  in
+  List.iter
+    (fun a ->
+      Xsc_util.Table.add_row tbl
+        [
+          a.point.kernel;
+          Printf.sprintf "%.2f" a.point.intensity;
+          Xsc_util.Units.flops a.point.attainable;
+          Xsc_util.Units.flops a.measured;
+          Xsc_util.Units.percent a.roof_fraction;
+        ])
+    points;
+  Xsc_util.Table.render tbl

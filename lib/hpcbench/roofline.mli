@@ -29,3 +29,19 @@ val standard_points : ?nb:int -> Xsc_simmachine.Node.t -> point list
 val ridge_point : Xsc_simmachine.Node.t -> float
 (** Intensity at which the node transitions from bandwidth- to
     compute-bound ([peak / BW], the machine balance). *)
+
+type achieved = {
+  point : point;  (** the model side: intensity and its roof *)
+  measured : float;  (** flop/s actually observed for the kernel *)
+  roof_fraction : float;  (** [measured / point.attainable] *)
+}
+
+val achieved_point :
+  Xsc_simmachine.Node.t -> kernel:string -> intensity:float -> measured:float -> achieved
+(** Pair a measured rate (e.g. from {!Xsc_runtime.Trace.by_kernel_rates} or
+    the [blas.*.flops] registry counters) with the model roof at the
+    kernel's intensity — the "achieved vs roof" comparison that turns a
+    roofline chart from a bound into a diagnosis. *)
+
+val render_achieved : achieved list -> string
+(** ASCII table: kernel, intensity, roof, achieved, % of roof. *)

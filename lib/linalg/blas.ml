@@ -6,6 +6,36 @@ type diag = Unit | NonUnit
 let op_dims trans (m : Mat.t) =
   match trans with NoTrans -> (m.rows, m.cols) | Trans -> (m.cols, m.rows)
 
+(* FLOP/byte accounting: every level-2/3 call tallies its arithmetic and
+   (modelled) memory traffic into the process-wide registry, so achieved
+   GFLOP/s and arithmetic intensity of a real run can be read back without
+   re-deriving them from the algorithm. The cost is three sharded atomic
+   adds per kernel call — O(1) against the O(n^3) (or O(n^2)) work of the
+   call itself. Counter names: blas.<kernel>.{calls,flops,bytes}. *)
+module Metrics = Xsc_obs.Metrics
+
+type tally = { calls : Metrics.counter; flops : Metrics.counter; bytes : Metrics.counter }
+
+let make_tally kernel =
+  {
+    calls = Metrics.counter (Printf.sprintf "blas.%s.calls" kernel);
+    flops = Metrics.counter (Printf.sprintf "blas.%s.flops" kernel);
+    bytes = Metrics.counter (Printf.sprintf "blas.%s.bytes" kernel);
+  }
+
+let t_gemm = make_tally "gemm"
+let t_syrk = make_tally "syrk"
+let t_trsm = make_tally "trsm"
+let t_gemv = make_tally "gemv"
+
+let[@inline] tally t ~flops ~bytes =
+  Metrics.incr t.calls;
+  Metrics.add t.flops (int_of_float flops);
+  Metrics.add t.bytes (int_of_float bytes)
+
+(* operands read once, C read and written: the cold-cache traffic bound *)
+let gemm_traffic m n k = 8.0 *. float_of_int ((m * k) + (k * n) + (2 * m * n))
+
 (* C <- alpha op(A) op(B) + beta C, reference loop nests.
 
    Each transpose combination gets its own loop nest so the inner loop walks
@@ -13,8 +43,7 @@ let op_dims trans (m : Mat.t) =
    both B and C rows for the NoTrans/NoTrans case). [gemm] proper routes
    large NoTrans cases to the packed {!Kernel} instead; this unblocked
    version stays the oracle the blocked path is tested against. *)
-let gemm_unblocked ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t)
-    ~beta (c : Mat.t) =
+let gemm_unblocked_raw ~transa ~transb ~alpha (a : Mat.t) (b : Mat.t) ~beta (c : Mat.t) =
   let ma, ka = op_dims transa a in
   let kb, nb = op_dims transb b in
   if ka <> kb then invalid_arg "Blas.gemm: inner dimension mismatch";
@@ -78,6 +107,14 @@ let gemm_unblocked ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b
         done
       done
 
+let gemm_unblocked ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t)
+    ~beta (c : Mat.t) =
+  gemm_unblocked_raw ~transa ~transb ~alpha a b ~beta c;
+  let m, k = op_dims transa a and _, n = op_dims transb b in
+  tally t_gemm
+    ~flops:(2.0 *. float_of_int m *. float_of_int n *. float_of_int k)
+    ~bytes:(gemm_traffic m n k)
+
 let gemm ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t) ~beta
     (c : Mat.t) =
   let ma, ka = op_dims transa a in
@@ -88,7 +125,7 @@ let gemm ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t) 
   (* Blocked path for the shapes the tile kernels hit: packing pays for
      itself once every dimension clears the cutoff. *)
   let blocked = m >= Kernel.cutoff && n >= Kernel.cutoff && k >= Kernel.cutoff in
-  match (transa, transb) with
+  (match (transa, transb) with
   | NoTrans, NoTrans when blocked ->
     if beta <> 1.0 then
       for i = 0 to (m * n) - 1 do
@@ -101,7 +138,10 @@ let gemm ?(transa = NoTrans) ?(transb = NoTrans) ~alpha (a : Mat.t) (b : Mat.t) 
         c.data.(i) <- beta *. c.data.(i)
       done;
     Kernel.add_matmul ~trans_b:true ~alpha a b c
-  | _ -> gemm_unblocked ~transa ~transb ~alpha a b ~beta c
+  | _ -> gemm_unblocked_raw ~transa ~transb ~alpha a b ~beta c);
+  tally t_gemm
+    ~flops:(2.0 *. float_of_int m *. float_of_int n *. float_of_int k)
+    ~bytes:(gemm_traffic m n k)
 
 let gemm_new ?(transa = NoTrans) ?(transb = NoTrans) a b =
   let m, _ = op_dims transa a and _, n = op_dims transb b in
@@ -136,7 +176,10 @@ let gemv ?(trans = NoTrans) ~alpha (a : Mat.t) x ~beta y =
         for i = 0 to m - 1 do
           y.(i) <- y.(i) +. (xv *. ad.(base + i))
         done
-    done)
+    done);
+  tally t_gemv
+    ~flops:(2.0 *. float_of_int m *. float_of_int n)
+    ~bytes:(8.0 *. float_of_int ((m * n) + n + (2 * m)))
 
 let ger ~alpha x y (a : Mat.t) =
   if Array.length x <> a.rows || Array.length y <> a.cols then
@@ -184,7 +227,12 @@ let syrk ?(uplo = Lower) ?(trans = NoTrans) ~alpha (a : Mat.t) ~beta (c : Mat.t)
         done;
         cd.(crow + j) <- (alpha *. !acc) +. (beta *. cd.(crow + j))
       done
-  done
+  done;
+  (* n(n+1)/2 triangle entries, 2k flops each; A streamed once, the
+     triangle of C read and written *)
+  tally t_syrk
+    ~flops:(float_of_int n *. float_of_int (n + 1) *. float_of_int k)
+    ~bytes:(8.0 *. float_of_int ((n * k) + (n * (n + 1))))
 
 let diag_value diag a i = match diag with Unit -> 1.0 | NonUnit -> Mat.get a i i
 
@@ -214,7 +262,7 @@ let trsm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~al
     | Lower, NoTrans | Upper, Trans -> Lower
     | Upper, NoTrans | Lower, Trans -> Upper
   in
-  match (side, eff_uplo) with
+  (match (side, eff_uplo) with
   | Left, Lower ->
     (* forward substitution on block rows of B *)
     for i = 0 to n - 1 do
@@ -284,7 +332,12 @@ let trsm ?(side = Left) ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) ~al
         for i = 0 to b.rows - 1 do
           bd.((i * ldb) + j) <- bd.((i * ldb) + j) /. d
         done
-    done
+    done);
+  (* one triangular solve of size n per right-hand side *)
+  let nrhs = match side with Left -> b.cols | Right -> b.rows in
+  tally t_trsm
+    ~flops:(float_of_int n *. float_of_int n *. float_of_int nrhs)
+    ~bytes:(8.0 *. float_of_int ((n * (n + 1) / 2) + (2 * b.rows * b.cols)))
 
 let trsv ?(uplo = Lower) ?(trans = NoTrans) ?(diag = NonUnit) (a : Mat.t) x =
   if a.rows <> a.cols then invalid_arg "Blas.trsv: A not square";

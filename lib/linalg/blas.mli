@@ -2,7 +2,14 @@
 
     These are the hot kernels of the tile algorithms; they operate in place
     on {!Mat.t} storage with explicit transpose/side/uplo flags following
-    BLAS conventions. Dimension mismatches raise [Invalid_argument]. *)
+    BLAS conventions. Dimension mismatches raise [Invalid_argument].
+
+    Every level-2/3 call tallies its flop count and modelled memory traffic
+    into the {!Xsc_obs.Metrics} registry under
+    [blas.<kernel>.{calls,flops,bytes}] (three sharded atomic adds per call
+    — negligible next to the O(n²)–O(n³) arithmetic). Dividing a run's
+    flops delta by its wall time gives achieved GFLOP/s; flops/bytes gives
+    the arithmetic intensity placing the kernel on the roofline. *)
 
 type trans = NoTrans | Trans
 type side = Left | Right

@@ -1,0 +1,5 @@
+external monotonic_ns : unit -> int = "xsc_obs_monotonic_ns" [@@noalloc]
+
+let now_ns () = monotonic_ns ()
+let ns_to_s ns = float_of_int ns *. 1e-9
+let now_s () = ns_to_s (monotonic_ns ())

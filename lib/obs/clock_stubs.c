@@ -1,0 +1,42 @@
+/* Monotonic clock for the telemetry layer.
+ *
+ * Returns nanoseconds since an arbitrary origin as an OCaml immediate int
+ * (Val_long, so the [@@noalloc] external never touches the GC).  A 63-bit
+ * nanosecond counter wraps after ~146 years of uptime, which is enough.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and settimeofday; wall-clock
+ * (gettimeofday) is only the fallback on platforms without it. */
+
+#include <caml/mlvalues.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value xsc_obs_monotonic_ns(value unit)
+{
+  static LARGE_INTEGER freq;
+  LARGE_INTEGER now;
+  if (freq.QuadPart == 0)
+    QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&now);
+  return Val_long((intnat)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value xsc_obs_monotonic_ns(value unit)
+{
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, 0);
+    return Val_long((intnat)tv.tv_sec * 1000000000 + (intnat)tv.tv_usec * 1000);
+  }
+}
+#endif

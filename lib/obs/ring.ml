@@ -1,0 +1,48 @@
+(* Structure-of-arrays so [record] is three unboxed int stores — no per-
+   event allocation, hence no GC pressure from a traced hot loop. *)
+type t = {
+  kinds : int array;
+  times : int array;
+  args : int array;
+  cap : int;
+  mutable len : int;
+  mutable lost : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    kinds = Array.make capacity 0;
+    times = Array.make capacity 0;
+    args = Array.make capacity 0;
+    cap = capacity;
+    len = 0;
+    lost = 0;
+  }
+
+let record r ~kind ~t_ns ~arg =
+  let i = r.len in
+  if i >= r.cap then r.lost <- r.lost + 1
+  else begin
+    Array.unsafe_set r.kinds i kind;
+    Array.unsafe_set r.times i t_ns;
+    Array.unsafe_set r.args i arg;
+    r.len <- i + 1
+  end
+
+let length r = r.len
+let capacity r = r.cap
+let dropped r = r.lost
+
+let get r i =
+  if i < 0 || i >= r.len then invalid_arg "Ring.get: index out of range";
+  (r.kinds.(i), r.times.(i), r.args.(i))
+
+let iter r ~f =
+  for i = 0 to r.len - 1 do
+    f ~kind:r.kinds.(i) ~t_ns:r.times.(i) ~arg:r.args.(i)
+  done
+
+let clear r =
+  r.len <- 0;
+  r.lost <- 0

@@ -1,0 +1,35 @@
+(** Preallocated single-writer event ring.
+
+    One ring per domain: the owning worker records with three plain array
+    stores and no allocation; readers walk it only after the owning domain
+    has been joined, so no synchronisation is needed on the hot path.
+
+    When full the ring stops recording and counts what it dropped
+    (drop-newest): early events — the ones that pair task starts with
+    finishes — survive, and [dropped] tells the consumer the trace is
+    partial rather than silently truncating. *)
+
+type t
+
+val create : capacity:int -> t
+(** All storage is allocated up front; [record] never allocates.
+    Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val record : t -> kind:int -> t_ns:int -> arg:int -> unit
+(** Append one event (a small-integer kind tag, a monotonic nanosecond
+    timestamp and one payload word). Single writer only. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val dropped : t -> int
+(** Events discarded because the ring was full. *)
+
+val get : t -> int -> int * int * int
+(** [get r i] is the [i]-th recorded event as [(kind, t_ns, arg)], in
+    record order. Raises [Invalid_argument] out of range. *)
+
+val iter : t -> f:(kind:int -> t_ns:int -> arg:int -> unit) -> unit
+(** In record order. *)
+
+val clear : t -> unit

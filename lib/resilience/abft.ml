@@ -1,5 +1,10 @@
 open Xsc_linalg
 
+(* detected/corrected tallies pair with resilience.faults_injected from
+   {!Inject} to give coverage ratios across a whole experiment run *)
+let faults_detected = Xsc_obs.Metrics.counter "resilience.faults_detected"
+let faults_corrected = Xsc_obs.Metrics.counter "resilience.faults_corrected"
+
 type protected_product = {
   full : Mat.t;
   m : int;
@@ -62,22 +67,25 @@ let checksum_mismatches ?tol p =
 
 let verify_product ?tol p =
   let rows, cols = checksum_mismatches ?tol p in
-  List.concat_map (fun i -> List.map (fun j -> (i, j)) cols) rows
+  let corrupt = List.concat_map (fun i -> List.map (fun j -> (i, j)) cols) rows in
+  Xsc_obs.Metrics.add faults_detected (List.length corrupt);
+  corrupt
 
 let correct_product ?tol p =
   let corrupt = verify_product ?tol p in
-  match corrupt with
-  | [] -> 0
-  | [ (i, j) ] ->
+  let corrected =
+    match corrupt with
+    | [] -> 0
+    | [ (i, j) ] ->
     (* single error: the row checksum discrepancy is exactly the delta *)
     let acc = ref 0.0 in
     for jj = 0 to p.n - 1 do
       acc := !acc +. Mat.get p.full i jj
     done;
-    let delta = !acc -. Mat.get p.full i p.n in
-    Mat.set p.full i j (Mat.get p.full i j -. delta);
-    1
-  | multiple ->
+      let delta = !acc -. Mat.get p.full i p.n in
+      Mat.set p.full i j (Mat.get p.full i j -. delta);
+      1
+    | multiple ->
     (* several candidate intersections: correct only when unambiguous,
        i.e. exactly one bad row and one bad column pair remains after each
        fix. Fix greedily row by row. *)
@@ -106,8 +114,11 @@ let correct_product ?tol p =
           Mat.set p.full i j (Mat.get p.full i j -. row_mismatch);
           incr fixed
         end)
-      multiple;
-    !fixed
+        multiple;
+      !fixed
+  in
+  Xsc_obs.Metrics.add faults_corrected corrected;
+  corrected
 
 let decode_product p = Mat.sub_block p.full ~row:0 ~col:0 ~rows:p.m ~cols:p.n
 
@@ -153,9 +164,9 @@ let verify_cholesky ?tol ~l a =
   in
   let ones = Array.make n 1.0 in
   let weighted = Array.init n (fun i -> 1.0 +. (float_of_int i /. float_of_int n)) in
-  match check ones with
-  | Some i -> Some i
-  | None -> check weighted
+  let bad = match check ones with Some i -> Some i | None -> check weighted in
+  if bad <> None then Xsc_obs.Metrics.incr faults_detected;
+  bad
 
 let recover_row ~a ~l ~row =
   let n = a.Mat.rows in
@@ -223,7 +234,9 @@ let verify_lu ?tol ~lu a =
   in
   let ones = Array.make n 1.0 in
   let weighted = Array.init n (fun i -> 1.0 +. (float_of_int i /. float_of_int n)) in
-  match check ones with Some i -> Some i | None -> check weighted
+  let bad = match check ones with Some i -> Some i | None -> check weighted in
+  if bad <> None then Xsc_obs.Metrics.incr faults_detected;
+  bad
 
 let recover_lu_rows ~a ~lu ~from =
   let n = a.Mat.rows in

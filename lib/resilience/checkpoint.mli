@@ -23,9 +23,20 @@ val expected_time : params -> interval:float -> float
 (** Daly's closed-form expected completion time with checkpoints every
     [interval] seconds of useful work. *)
 
+val save : string -> Xsc_linalg.Mat.t -> int
+(** Write a real checkpoint of a matrix to [path] (Marshal format) and
+    return its size in bytes. Tallies [checkpoint.writes],
+    [checkpoint.bytes_written] and the [checkpoint.write_seconds] histogram
+    in the {!Xsc_obs.Metrics} registry — measuring [save] on representative
+    state gives a defensible [checkpoint_cost] for the interval analysis. *)
+
+val load : string -> Xsc_linalg.Mat.t
+(** Read back a checkpoint written by {!save}. *)
+
 val simulate : Xsc_util.Rng.t -> params -> interval:float -> float
 (** One stochastic run: exponential failures, work lost back to the last
-    checkpoint, restart cost paid per failure. Returns total wall time. *)
+    checkpoint, restart cost paid per failure. Returns total wall time.
+    Tallies [checkpoint.sim_failures] and [checkpoint.sim_checkpoints]. *)
 
 val simulate_mean : ?runs:int -> Xsc_util.Rng.t -> params -> interval:float -> float
 (** Mean of [runs] (default 200) independent simulations. *)

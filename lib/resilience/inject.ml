@@ -1,6 +1,12 @@
 open Xsc_linalg
 
-let corrupt_entry m i j ~delta = Mat.set m i j (Mat.get m i j +. delta)
+(* every injected fault is tallied so experiments can cross-check the
+   detection rate: resilience.faults_detected / resilience.faults_injected *)
+let faults_injected = Xsc_obs.Metrics.counter "resilience.faults_injected"
+
+let corrupt_entry m i j ~delta =
+  Xsc_obs.Metrics.incr faults_injected;
+  Mat.set m i j (Mat.get m i j +. delta)
 
 let corrupt_random_entry rng (m : Mat.t) ~magnitude =
   let i = Xsc_util.Rng.int rng m.rows and j = Xsc_util.Rng.int rng m.cols in
@@ -13,6 +19,7 @@ let flip_mantissa_bit rng (m : Mat.t) =
   let bit = Xsc_util.Rng.int rng 51 in
   let bits = Int64.bits_of_float (Mat.get m i j) in
   let flipped = Int64.logxor bits (Int64.shift_left 1L bit) in
+  Xsc_obs.Metrics.incr faults_injected;
   Mat.set m i j (Int64.float_of_bits flipped);
   (i, j)
 

@@ -1,12 +1,37 @@
+module Clock = Xsc_obs.Clock
+module Metrics = Xsc_obs.Metrics
+module Tracer = Xsc_obs.Tracer
+
 type stats = {
   elapsed : float;
   tasks : int;
   workers : int;
   steals : int;
+  steal_attempts : int;
   parks : int;
+  park_time : float;
+  trace : Trace.t option;
 }
 
-let now () = Unix.gettimeofday ()
+(* Scheduler counters live in the process-wide registry (cumulative);
+   per-run stats are before/after deltas. Shards are indexed by worker id,
+   so a pool of up to 16 workers never contends on a shard. *)
+let m_tasks = Metrics.counter "runtime.tasks_executed"
+let m_steals = Metrics.counter "runtime.steals"
+let m_steal_attempts = Metrics.counter "runtime.steal_attempts"
+let m_parks = Metrics.counter "runtime.parks"
+let m_park_ns = Metrics.counter "runtime.park_ns"
+let m_barrier_ns = Metrics.counter "runtime.barrier_wait_ns"
+
+type baseline = { b_steals : int; b_attempts : int; b_parks : int; b_park_ns : int }
+
+let read_baseline () =
+  {
+    b_steals = Metrics.counter_value m_steals;
+    b_attempts = Metrics.counter_value m_steal_attempts;
+    b_parks = Metrics.counter_value m_parks;
+    b_park_ns = Metrics.counter_value m_park_ns;
+  }
 
 let closure_of (task : Task.t) =
   match task.Task.run with
@@ -16,23 +41,105 @@ let closure_of (task : Task.t) =
 let check_closures (dag : Dag.t) =
   Array.iter (fun t -> ignore (closure_of t : unit -> unit)) dag.Dag.tasks
 
-let run_sequential (dag : Dag.t) =
+let want_trace = function Some b -> b | None -> Tracer.enabled_by_env ()
+
+(* Every event site is a [match] on the option, so with tracing off the
+   executors pay one branch per site and no clock reads — that is the whole
+   <2% disabled-overhead budget. *)
+let[@inline] event tracer ~domain kind ~arg =
+  match tracer with None -> () | Some t -> Tracer.record t ~domain kind ~arg
+
+(* Ring capacity per worker: every task contributes at most 2 events to one
+   ring, steals at most 1, and park/sweep events are rare by construction
+   (a park costs a condvar round trip). The slack covers pathological
+   starvation; if it ever overflows, Tracer.dropped reports it and the
+   merged trace is marked partial rather than wrong. *)
+let ring_capacity n = (4 * n) + 4096
+
+(* Merge per-domain rings into a Trace.t: pair each Task_start with the
+   following Task_finish of the same id (task bodies never nest within a
+   worker), timestamps rebased to [t0_ns] so the Gantt starts at zero. *)
+let trace_of_tracer (dag : Dag.t) ~workers ~t0_ns tracer =
+  let tr = Trace.create ~workers in
+  for d = 0 to workers - 1 do
+    let pending_id = ref (-1) and pending_ns = ref 0 in
+    List.iter
+      (fun (e : Tracer.event) ->
+        match e.Tracer.kind with
+        | Tracer.Task_start ->
+          pending_id := e.arg;
+          pending_ns := e.t_ns
+        | Tracer.Task_finish when !pending_id = e.arg ->
+          (* clamp to the timed region: a fork-join worker can start its
+             first task a hair before worker 0 records t0 *)
+          let start = Float.max 0.0 (Clock.ns_to_s (!pending_ns - t0_ns)) in
+          let finish = Float.max start (Clock.ns_to_s (e.t_ns - t0_ns)) in
+          Trace.add tr
+            {
+              Trace.task = e.arg;
+              name = dag.Dag.tasks.(e.arg).Task.name;
+              worker = d;
+              start;
+              finish;
+            };
+          pending_id := -1
+        | _ -> ())
+      (Tracer.events tracer ~domain:d)
+  done;
+  tr
+
+let run_sequential ?trace (dag : Dag.t) =
   check_closures dag;
-  let t0 = now () in
-  Array.iter (fun task -> closure_of task ()) dag.Dag.tasks;
-  { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers = 1; steals = 0; parks = 0 }
+  let n = Dag.n_tasks dag in
+  let tracer =
+    if want_trace trace && n > 0 then Some (Tracer.create ~domains:1 ~capacity:(ring_capacity n))
+    else None
+  in
+  let t0 = Clock.now_ns () in
+  Array.iter
+    (fun task ->
+      event tracer ~domain:0 Tracer.Task_start ~arg:task.Task.id;
+      closure_of task ();
+      event tracer ~domain:0 Tracer.Task_finish ~arg:task.Task.id)
+    dag.Dag.tasks;
+  let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
+  Metrics.add m_tasks n;
+  {
+    elapsed;
+    tasks = n;
+    workers = 1;
+    steals = 0;
+    steal_attempts = 0;
+    parks = 0;
+    park_time = 0.0;
+    trace = Option.map (trace_of_tracer dag ~workers:1 ~t0_ns:t0) tracer;
+  }
 
 (* How many failed steal sweeps before a worker parks. Parking is the slow
    path: steals are one CAS, a park is a mutex + condvar round trip, so we
    spin over the victims a few times first. *)
 let spin_sweeps = 32
 
-let run_dataflow ?priority ~workers (dag : Dag.t) =
+let run_dataflow ?priority ?trace ~workers (dag : Dag.t) =
   if workers < 1 then invalid_arg "Real_exec.run_dataflow: workers < 1";
   let n = Dag.n_tasks dag in
   check_closures dag;
-  if n = 0 then { elapsed = 0.0; tasks = 0; workers; steals = 0; parks = 0 }
+  if n = 0 then
+    {
+      elapsed = 0.0;
+      tasks = 0;
+      workers;
+      steals = 0;
+      steal_attempts = 0;
+      parks = 0;
+      park_time = 0.0;
+      trace = None;
+    }
   else begin
+    let tracer =
+      if want_trace trace then Some (Tracer.create ~domains:workers ~capacity:(ring_capacity n))
+      else None
+    in
     let remaining = Array.map Atomic.make dag.Dag.indegree in
     let completed = Atomic.make 0 in
     let finished () = Atomic.get completed >= n in
@@ -42,8 +149,6 @@ let run_dataflow ?priority ~workers (dag : Dag.t) =
        are the oldest, hence the coldest, so stealing them costs the least
        locality. Sized so no deque can ever grow mid-run. *)
     let deques = Array.init workers (fun _ -> Deque.create ~capacity:(n + 1) ()) in
-    let steal_count = Array.make workers 0 in
-    let park_count = Array.make workers 0 in
     (* Spin-then-park idling: [parked] is the Dekker-style handshake with
        producers — a parker increments it *before* rescanning the deques, a
        producer pushes *before* reading it, so (with SC atomics) either the
@@ -88,11 +193,19 @@ let run_dataflow ?priority ~workers (dag : Dag.t) =
       end
     in
     let run_task wid id =
+      event tracer ~domain:wid Tracer.Task_start ~arg:id;
       closure_of dag.Dag.tasks.(id) ();
+      (* finish marks the closure only: the per-kernel profile measures
+         kernel time, successor release is scheduler time *)
+      event tracer ~domain:wid Tracer.Task_finish ~arg:id;
       complete wid id
     in
     let worker wid =
       let my = deques.(wid) in
+      (* worker-local statistics, flushed once to the registry at exit; the
+         hot loop touches no shared counter *)
+      let l_steals = ref 0 and l_attempts = ref 0 in
+      let l_parks = ref 0 and l_park_ns = ref 0 and l_tasks = ref 0 in
       (* per-worker xorshift for victim selection; no shared RNG state *)
       let rand_state = ref ((wid * 0x9E3779B1) lor 1) in
       let rand_victim () =
@@ -110,8 +223,12 @@ let run_dataflow ?priority ~workers (dag : Dag.t) =
         (* recheck under the lock: a producer that missed our increment
            published its push before reading [parked], so we see it here *)
         if not (finished ()) && not (some_work ()) then begin
-          park_count.(wid) <- park_count.(wid) + 1;
-          Condition.wait park_cond park_mutex
+          incr l_parks;
+          event tracer ~domain:wid Tracer.Park ~arg:0;
+          let t0 = Clock.now_ns () in
+          Condition.wait park_cond park_mutex;
+          l_park_ns := !l_park_ns + (Clock.now_ns () - t0);
+          event tracer ~domain:wid Tracer.Unpark ~arg:0
         end;
         Atomic.decr parked;
         Mutex.unlock park_mutex
@@ -119,6 +236,7 @@ let run_dataflow ?priority ~workers (dag : Dag.t) =
       let rec local () =
         match Deque.pop my with
         | Some id ->
+          incr l_tasks;
           run_task wid id;
           local ()
         | None -> if not (finished ()) then hunt 0
@@ -136,39 +254,54 @@ let run_dataflow ?priority ~workers (dag : Dag.t) =
         else begin
           let rec sweep attempts =
             if attempts >= workers - 1 then begin
+              event tracer ~domain:wid Tracer.Steal_fail ~arg:sweeps;
               Domain.cpu_relax ();
               hunt (sweeps + 1)
             end
-            else
-              match Deque.steal deques.(rand_victim ()) with
+            else begin
+              let victim = rand_victim () in
+              incr l_attempts;
+              match Deque.steal deques.(victim) with
               | Deque.Stolen id ->
-                steal_count.(wid) <- steal_count.(wid) + 1;
+                incr l_steals;
+                incr l_tasks;
+                event tracer ~domain:wid Tracer.Steal ~arg:victim;
                 run_task wid id;
                 local ()
               | Deque.Empty | Deque.Abort -> sweep (attempts + 1)
+            end
           in
           sweep 0
         end
       in
-      local ()
+      local ();
+      Metrics.add_to_shard m_steals ~shard:wid !l_steals;
+      Metrics.add_to_shard m_steal_attempts ~shard:wid !l_attempts;
+      Metrics.add_to_shard m_parks ~shard:wid !l_parks;
+      Metrics.add_to_shard m_park_ns ~shard:wid !l_park_ns;
+      Metrics.add_to_shard m_tasks ~shard:wid !l_tasks
     in
     (* Seed the sources round-robin across the deques (pre-spawn, so no
        ownership races), each deque's share in ascending priority so its
        best task sits at the LIFO end. *)
     let sources = ordered (Dag.sources dag) in
     List.iteri (fun i id -> Deque.push deques.(i mod workers) id) sources;
-    let t0 = now () in
+    let before = read_baseline () in
+    let t0 = Clock.now_ns () in
     let domains = List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
     worker 0;
     List.iter Domain.join domains;
-    let elapsed = now () -. t0 in
+    let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
     assert (Atomic.get completed = n);
     {
       elapsed;
       tasks = n;
       workers;
-      steals = Array.fold_left ( + ) 0 steal_count;
-      parks = Array.fold_left ( + ) 0 park_count;
+      steals = Metrics.counter_value m_steals - before.b_steals;
+      steal_attempts = Metrics.counter_value m_steal_attempts - before.b_attempts;
+      parks = Metrics.counter_value m_parks - before.b_parks;
+      park_time = Clock.ns_to_s (Metrics.counter_value m_park_ns - before.b_park_ns);
+      trace = Option.map (trace_of_tracer dag ~workers ~t0_ns:t0) tracer;
     }
   end
 
@@ -207,29 +340,64 @@ let barrier_wait b =
     done;
   Mutex.unlock b.bar_mutex
 
-let run_forkjoin ~workers (dag : Dag.t) =
+let run_forkjoin ?trace ~workers (dag : Dag.t) =
   if workers < 1 then invalid_arg "Real_exec.run_forkjoin: workers < 1";
   check_closures dag;
+  let n = Dag.n_tasks dag in
   let levels = Array.map Array.of_list dag.Dag.levels in
   let nlevels = Array.length levels in
-  if Dag.n_tasks dag = 0 || workers = 1 then begin
-    let t0 = now () in
-    Array.iter (Array.iter (fun id -> closure_of dag.Dag.tasks.(id) ())) levels;
-    { elapsed = now () -. t0; tasks = Dag.n_tasks dag; workers; steals = 0; parks = 0 }
+  if n = 0 || workers = 1 then begin
+    let tracer =
+      if want_trace trace && n > 0 then Some (Tracer.create ~domains:1 ~capacity:(ring_capacity n))
+      else None
+    in
+    let t0 = Clock.now_ns () in
+    Array.iter
+      (Array.iter (fun id ->
+           event tracer ~domain:0 Tracer.Task_start ~arg:id;
+           closure_of dag.Dag.tasks.(id) ();
+           event tracer ~domain:0 Tracer.Task_finish ~arg:id))
+      levels;
+    let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
+    Metrics.add m_tasks n;
+    {
+      elapsed;
+      tasks = n;
+      workers;
+      steals = 0;
+      steal_attempts = 0;
+      parks = 0;
+      park_time = 0.0;
+      trace = Option.map (trace_of_tracer dag ~workers:1 ~t0_ns:t0) tracer;
+    }
   end
   else begin
+    let tracer =
+      if want_trace trace then
+        Some (Tracer.create ~domains:workers ~capacity:((2 * n) + (4 * nlevels) + 1024))
+      else None
+    in
     (* One fixed pool of domains, one barrier per level: the BSP-vs-DAG gap
        then measures barrier idle time, not repeated domain spawn cost. *)
     let barrier = barrier_make workers in
+    let barrier_ns = Array.make workers 0 in
     let worker w =
       for l = 0 to nlevels - 1 do
         let tasks = levels.(l) in
         let ntasks = Array.length tasks in
         let lo = w * ntasks / workers and hi = (w + 1) * ntasks / workers in
         for i = lo to hi - 1 do
-          closure_of dag.Dag.tasks.(tasks.(i)) ()
+          let id = tasks.(i) in
+          event tracer ~domain:w Tracer.Task_start ~arg:id;
+          closure_of dag.Dag.tasks.(id) ();
+          event tracer ~domain:w Tracer.Task_finish ~arg:id
         done;
-        barrier_wait barrier
+        (* the wait below *is* the BSP idle time the trace should show *)
+        event tracer ~domain:w Tracer.Barrier_enter ~arg:l;
+        let t0 = Clock.now_ns () in
+        barrier_wait barrier;
+        barrier_ns.(w) <- barrier_ns.(w) + (Clock.now_ns () - t0);
+        event tracer ~domain:w Tracer.Barrier_exit ~arg:l
       done
     in
     let domains =
@@ -240,12 +408,24 @@ let run_forkjoin ~workers (dag : Dag.t) =
               worker (w + 1)))
     in
     barrier_wait barrier;
-    let t0 = now () in
+    let t0 = Clock.now_ns () in
     worker 0;
     (* worker 0 passed the final barrier, so every task has completed *)
-    let elapsed = now () -. t0 in
+    let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
     List.iter Domain.join domains;
-    { elapsed; tasks = Dag.n_tasks dag; workers; steals = 0; parks = 0 }
+    let total_barrier_ns = Array.fold_left ( + ) 0 barrier_ns in
+    Metrics.add m_tasks n;
+    Metrics.add m_barrier_ns total_barrier_ns;
+    {
+      elapsed;
+      tasks = n;
+      workers;
+      steals = 0;
+      steal_attempts = 0;
+      parks = 0;
+      park_time = Clock.ns_to_s total_barrier_ns;
+      trace = Option.map (trace_of_tracer dag ~workers ~t0_ns:t0) tracer;
+    }
   end
 
 let default_workers () = min 8 (Domain.recommended_domain_count ())

@@ -18,28 +18,60 @@
 
     Tasks must carry [run] closures. Closures of independent tasks must be
     safe to run from different domains — the tile kernels are, as they write
-    disjoint tiles. *)
+    disjoint tiles.
+
+    {2 Telemetry}
+
+    All timing uses the monotonic {!Xsc_obs.Clock} (wall-clock is not
+    monotonic; an NTP step mid-run would corrupt [elapsed]). Scheduler
+    counters feed the {!Xsc_obs.Metrics} registry ([runtime.steals],
+    [runtime.steal_attempts], [runtime.parks], [runtime.park_ns],
+    [runtime.barrier_wait_ns], [runtime.tasks_executed]); the per-run
+    figures in {!stats} are before/after registry deltas, which assumes
+    executor runs within one process do not overlap (true for the bench
+    harness and tests).
+
+    With [~trace:true] (or [XSC_TRACE=1] in the environment) each worker
+    records task start/finish, steal, park/unpark and barrier events into a
+    preallocated domain-local ring ({!Xsc_obs.Tracer}); after the join the
+    rings are merged into the returned {!Trace.t}, so {!Trace.gantt},
+    {!Trace.to_chrome_json} and {!Trace.by_kernel} work on real runs. With
+    tracing off the executors skip recording entirely — the disabled
+    overhead is one predictable branch per event site (measured < 2% on the
+    scheduler smoke). *)
 
 type stats = {
-  elapsed : float;  (** wall-clock seconds *)
+  elapsed : float;  (** monotonic seconds *)
   tasks : int;
   workers : int;
   steals : int;  (** successful steals (dataflow; 0 for the others) *)
+  steal_attempts : int;
+      (** all steal attempts, successful + failed (dataflow; 0 otherwise).
+          [steal_attempts - steals] failed probes distinguishes contention
+          (many failures, few parks) from starvation (few attempts, long
+          parks). *)
   parks : int;  (** condvar waits by idle workers (dataflow; 0 otherwise) *)
+  park_time : float;
+      (** cumulative seconds workers spent blocked: on the idle condvar
+          (dataflow) or in level barriers (fork-join) *)
+  trace : Trace.t option;  (** present iff tracing was enabled for the run *)
 }
 
-val run_dataflow : ?priority:(int -> int) -> workers:int -> Dag.t -> stats
+val run_dataflow : ?priority:(int -> int) -> ?trace:bool -> workers:int -> Dag.t -> stats
 (** [priority] ranks ready tasks (higher runs sooner on the worker that
     made them ready — e.g. a bottom-level rank for critical-path-first, or
     [fun id -> -id] for FIFO program order); omitted, successors run in
-    discovery order. Raises [Invalid_argument] if a task lacks a closure or
-    [workers < 1]. *)
+    discovery order. [trace] defaults to [XSC_TRACE] in the environment.
+    Raises [Invalid_argument] if a task lacks a closure or [workers < 1]. *)
 
-val run_forkjoin : workers:int -> Dag.t -> stats
+val run_forkjoin : ?trace:bool -> workers:int -> Dag.t -> stats
+(** [park_time] reports the cumulative level-barrier wait — the BSP idle
+    time the paper's DAG-scheduling argument is about. *)
 
-val run_sequential : Dag.t -> stats
+val run_sequential : ?trace:bool -> Dag.t -> stats
 (** Program-order execution on the calling domain (baseline and test
-    oracle). *)
+    oracle). A trace of a sequential run is the per-kernel time breakdown
+    with zero scheduling noise. *)
 
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count], capped at 8 to stay polite on shared

@@ -52,20 +52,39 @@ let to_chrome_json t =
   Buffer.add_string buf "]";
   Buffer.contents buf
 
+let family_of name =
+  match String.index_opt name '(' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
 let by_kernel t =
   let tbl : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun e ->
-      let family =
-        match String.index_opt e.name '(' with
-        | Some i -> String.sub e.name 0 i
-        | None -> e.name
-      in
+      let family = family_of e.name in
       let time, count = Option.value ~default:(0.0, 0) (Hashtbl.find_opt tbl family) in
       Hashtbl.replace tbl family (time +. (e.finish -. e.start), count + 1))
     t.entries;
   Hashtbl.fold (fun name (time, count) acc -> (name, time, count) :: acc) tbl []
   |> List.sort (fun (_, t1, _) (_, t2, _) -> compare t2 t1)
+
+let by_kernel_rates t ~flops_of =
+  let tbl : (string, float * int * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let family = family_of e.name in
+      let time, count, flops =
+        Option.value ~default:(0.0, 0, 0.0) (Hashtbl.find_opt tbl family)
+      in
+      Hashtbl.replace tbl family
+        (time +. (e.finish -. e.start), count + 1, flops +. flops_of e.task))
+    t.entries;
+  Hashtbl.fold
+    (fun name (time, count, flops) acc ->
+      let rate = if time > 0.0 then flops /. time else 0.0 in
+      (name, time, count, rate) :: acc)
+    tbl []
+  |> List.sort (fun (_, t1, _, _) (_, t2, _, _) -> compare t2 t1)
 
 let gantt ?(width = 72) t =
   if t.makespan <= 0.0 then "(empty trace)"
@@ -74,6 +93,7 @@ let gantt ?(width = 72) t =
     List.iter
       (fun e ->
         let c0 = int_of_float (e.start /. t.makespan *. float_of_int width) in
+        let c0 = min (width - 1) (max 0 c0) in
         let c1 = int_of_float (e.finish /. t.makespan *. float_of_int width) in
         let c1 = min (width - 1) (max c0 c1) in
         for c = c0 to c1 do

@@ -29,3 +29,10 @@ val by_kernel : t -> (string * float * int) list
 (** Profile summary: per kernel family (the task-name prefix before ['(']),
     total busy time and task count, sorted by descending time — "where did
     the time go". *)
+
+val by_kernel_rates : t -> flops_of:(int -> float) -> (string * float * int * float) list
+(** {!by_kernel} extended with achieved flop/s per family:
+    [(family, busy_seconds, count, flops_per_second)], where the flops of
+    each traced task come from [flops_of task_id] (typically
+    [dag.tasks.(id).flops]). This is the measured side of the roofline's
+    "achieved vs roof" comparison. *)

@@ -1,0 +1,26 @@
+(** Minimal JSON: escaping for emitters and a strict recursive-descent
+    parser for validating what we emit (Chrome traces, bench records,
+    metrics snapshots) without an external dependency.
+
+    Numbers are parsed as [float]; strings must be valid JSON strings
+    (the [\uXXXX] escapes we never emit above the ASCII range decode only
+    for code points < 128, others become ['?']). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> t
+(** Raises [Failure] with a position message on malformed input, including
+    trailing garbage after the first value. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON output
+    (quotes, backslashes, control characters). *)

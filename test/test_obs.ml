@@ -1,0 +1,204 @@
+(* Tests for Xsc_obs: the monotonic clock, the per-domain event rings, the
+   tracer and the metrics registry (exactness under concurrent domains). *)
+
+module Clock = Xsc_obs.Clock
+module Ring = Xsc_obs.Ring
+module Tracer = Xsc_obs.Tracer
+module Metrics = Xsc_obs.Metrics
+module Json = Xsc_util.Json
+
+(* ---- Clock ---- *)
+
+let test_clock_monotonic () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  let c = Clock.now_ns () in
+  Alcotest.(check bool) "never goes backwards" true (a <= b && b <= c);
+  Alcotest.(check bool) "positive" true (a > 0)
+
+let test_clock_advances () =
+  let t0 = Clock.now_ns () in
+  (* ~1 ms of real work so even a coarse clock must tick *)
+  let acc = ref 0.0 in
+  while Clock.now_ns () - t0 < 1_000_000 do
+    acc := !acc +. 1.0
+  done;
+  Alcotest.(check bool) "advanced by >= 1ms" true (Clock.now_ns () - t0 >= 1_000_000)
+
+let test_clock_seconds () =
+  let s = Clock.now_s () in
+  Alcotest.(check bool) "seconds positive" true (s > 0.0);
+  Alcotest.(check (float 1e-9)) "ns_to_s" 1.5 (Clock.ns_to_s 1_500_000_000)
+
+(* ---- Ring ---- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:8 in
+  Alcotest.(check int) "capacity" 8 (Ring.capacity r);
+  Ring.record r ~kind:1 ~t_ns:100 ~arg:7;
+  Ring.record r ~kind:2 ~t_ns:200 ~arg:8;
+  Alcotest.(check int) "length" 2 (Ring.length r);
+  let k, t, a = Ring.get r 0 in
+  Alcotest.(check (triple int int int)) "first record" (1, 100, 7) (k, t, a);
+  let k, t, a = Ring.get r 1 in
+  Alcotest.(check (triple int int int)) "second record" (2, 200, 8) (k, t, a)
+
+let test_ring_overflow_drops_newest () =
+  let r = Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    Ring.record r ~kind:0 ~t_ns:i ~arg:i
+  done;
+  Alcotest.(check int) "full" 4 (Ring.length r);
+  Alcotest.(check int) "dropped the overflow" 6 (Ring.dropped r);
+  (* drop-newest: the oldest records survive, so the prefix is intact *)
+  let _, t0, _ = Ring.get r 0 in
+  let _, t3, _ = Ring.get r 3 in
+  Alcotest.(check int) "oldest kept" 0 t0;
+  Alcotest.(check int) "prefix kept" 3 t3
+
+let test_ring_iter_clear () =
+  let r = Ring.create ~capacity:8 in
+  for i = 0 to 4 do
+    Ring.record r ~kind:i ~t_ns:(10 * i) ~arg:0
+  done;
+  let seen = ref [] in
+  Ring.iter r ~f:(fun ~kind ~t_ns:_ ~arg:_ -> seen := kind :: !seen);
+  Alcotest.(check (list int)) "iter in order" [ 0; 1; 2; 3; 4 ] (List.rev !seen);
+  Ring.clear r;
+  Alcotest.(check int) "cleared" 0 (Ring.length r);
+  Alcotest.(check int) "dropped reset" 0 (Ring.dropped r)
+
+(* ---- Tracer ---- *)
+
+let test_tracer_records_events () =
+  let t = Tracer.create ~domains:2 ~capacity:16 in
+  Tracer.record t ~domain:0 Tracer.Task_start ~arg:5;
+  Tracer.record t ~domain:0 Tracer.Task_finish ~arg:5;
+  Tracer.record t ~domain:1 Tracer.Steal ~arg:0;
+  let e0 = Tracer.events t ~domain:0 in
+  let e1 = Tracer.events t ~domain:1 in
+  Alcotest.(check int) "domain 0 events" 2 (List.length e0);
+  Alcotest.(check int) "domain 1 events" 1 (List.length e1);
+  (match e0 with
+  | [ a; b ] ->
+    Alcotest.(check bool) "kinds" true
+      (a.Tracer.kind = Tracer.Task_start && b.Tracer.kind = Tracer.Task_finish);
+    Alcotest.(check int) "arg" 5 a.Tracer.arg;
+    Alcotest.(check bool) "timestamps ordered" true (a.Tracer.t_ns <= b.Tracer.t_ns);
+    Alcotest.(check bool) "after origin" true (a.Tracer.t_ns >= Tracer.origin_ns t)
+  | _ -> Alcotest.fail "expected two events");
+  Alcotest.(check int) "domains" 2 (Tracer.domains t);
+  Alcotest.(check int) "nothing dropped" 0 (Tracer.dropped t)
+
+let test_tracer_env_toggle () =
+  (* only the documented truthy values enable tracing *)
+  Alcotest.(check bool) "unset -> off" true
+    (match Sys.getenv_opt "XSC_TRACE" with None -> not (Tracer.enabled_by_env ()) | Some _ -> true)
+
+(* ---- Metrics ---- *)
+
+let test_counter_exact_concurrent () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.concurrent" in
+  let domains =
+    Array.init 8 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Metrics.incr c
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "8 domains x 10000 incr" 80_000 (Metrics.counter_value c)
+
+let test_counter_find_or_create () =
+  let a = Metrics.counter "test.same" in
+  let b = Metrics.counter "test.same" in
+  Metrics.add a 3;
+  Metrics.add b 4;
+  Alcotest.(check int) "one underlying counter" 7 (Metrics.counter_value a)
+
+let test_counter_shard_addressing () =
+  let c = Metrics.counter ~shards:4 "test.sharded" in
+  Metrics.add_to_shard c ~shard:0 5;
+  Metrics.add_to_shard c ~shard:3 7;
+  Metrics.add_to_shard c ~shard:4 1;
+  (* wraps modulo shard count *)
+  Alcotest.(check int) "sum over shards" 13 (Metrics.counter_value c)
+
+let test_gauge () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.0)) "set/get" 2.5 (Metrics.gauge_value g)
+
+let test_histogram () =
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 0.1 ];
+  Alcotest.(check int) "count" 4 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "sum" 0.107 (Metrics.histogram_sum h);
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool) "p50 bracketed" true (p50 >= 0.002 && p50 <= 0.008);
+  Alcotest.(check bool) "p100 >= max bucket lower bound" true (Metrics.quantile h 1.0 >= 0.1)
+
+let test_name_type_clash () =
+  ignore (Metrics.counter "test.clash");
+  Alcotest.check_raises "counter vs gauge"
+    (Invalid_argument "Metrics: \"test.clash\" already registered as another type")
+    (fun () -> ignore (Metrics.gauge "test.clash"))
+
+let test_snapshot_and_json () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.json.counter" in
+  Metrics.add c 42;
+  let g = Metrics.gauge "test.json.gauge" in
+  Metrics.set_gauge g 1.5;
+  let h = Metrics.histogram "test.json.hist" in
+  Metrics.observe h 0.25;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check bool) "counter in snapshot" true
+    (List.exists
+       (fun (n, v) -> n = "test.json.counter" && v = Metrics.Counter 42)
+       snap);
+  (* the JSON export must be valid JSON with our values in place *)
+  let json = Json.parse (Metrics.to_json ()) in
+  (match Json.member "counters" json with
+  | Some (Json.Obj fields) ->
+    Alcotest.(check bool) "counter exported" true
+      (List.mem_assoc "test.json.counter" fields
+      && List.assoc "test.json.counter" fields = Json.Num 42.0)
+  | _ -> Alcotest.fail "no counters object");
+  match Json.member "histograms" json with
+  | Some (Json.Obj fields) ->
+    Alcotest.(check bool) "histogram exported" true (List.mem_assoc "test.json.hist" fields)
+  | _ -> Alcotest.fail "no histograms object"
+
+let () =
+  Alcotest.run "xsc_obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "advances" `Quick test_clock_advances;
+          Alcotest.test_case "seconds" `Quick test_clock_seconds;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "basic" `Quick test_ring_basic;
+          Alcotest.test_case "overflow drops newest" `Quick test_ring_overflow_drops_newest;
+          Alcotest.test_case "iter/clear" `Quick test_ring_iter_clear;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "records events" `Quick test_tracer_records_events;
+          Alcotest.test_case "env toggle" `Quick test_tracer_env_toggle;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "exact under 8 domains" `Quick test_counter_exact_concurrent;
+          Alcotest.test_case "find-or-create" `Quick test_counter_find_or_create;
+          Alcotest.test_case "shard addressing" `Quick test_counter_shard_addressing;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "name/type clash" `Quick test_name_type_clash;
+          Alcotest.test_case "snapshot and JSON" `Quick test_snapshot_and_json;
+        ] );
+    ]

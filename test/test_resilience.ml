@@ -9,6 +9,11 @@ module Rng = Xsc_util.Rng
 
 let qcheck tc = QCheck_alcotest.to_alcotest tc
 
+let counter_value name =
+  match List.assoc_opt name (Xsc_obs.Metrics.snapshot ()) with
+  | Some (Xsc_obs.Metrics.Counter n) -> n
+  | _ -> 0
+
 let params = { Checkpoint.work = 7200.0; checkpoint_cost = 15.0; restart_cost = 60.0; mtbf = 1800.0 }
 
 (* ---- Checkpoint ---- *)
@@ -26,6 +31,26 @@ let test_daly_close_to_young_when_c_small () =
 let test_expected_time_exceeds_work () =
   let t = Checkpoint.expected_time params ~interval:(Checkpoint.daly_interval params) in
   Alcotest.(check bool) "overhead positive" true (t > params.Checkpoint.work)
+
+let test_checkpoint_save_load_roundtrip () =
+  let rng = Rng.create 31 in
+  let m = Mat.random rng 17 23 in
+  let path = Filename.temp_file "xsc_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let writes0 = counter_value "checkpoint.writes" in
+      let bytes = Checkpoint.save path m in
+      Alcotest.(check bool) "non-trivial size" true (bytes > 17 * 23 * 8 / 2);
+      Alcotest.(check int) "size matches the file" bytes
+        (let ic = open_in_bin path in
+         let n = in_channel_length ic in
+         close_in ic;
+         n);
+      let m' = Checkpoint.load path in
+      Alcotest.(check bool) "round-trips bitwise" true
+        (m'.Mat.rows = m.Mat.rows && m'.Mat.cols = m.Mat.cols && m'.Mat.data = m.Mat.data);
+      Alcotest.(check int) "write counted" (writes0 + 1) (counter_value "checkpoint.writes"))
 
 let test_expected_time_convex_minimum () =
   (* the optimum beats both a too-short and a too-long interval *)
@@ -238,6 +263,7 @@ let () =
           Alcotest.test_case "daly ~ young for small C" `Quick
             test_daly_close_to_young_when_c_small;
           Alcotest.test_case "expected time > work" `Quick test_expected_time_exceeds_work;
+          Alcotest.test_case "save/load round-trip" `Quick test_checkpoint_save_load_roundtrip;
           Alcotest.test_case "model convex minimum" `Quick test_expected_time_convex_minimum;
           Alcotest.test_case "simulation matches model" `Quick test_simulation_matches_model;
           Alcotest.test_case "simulated minimum near Daly" `Quick

@@ -516,6 +516,128 @@ let test_trace_by_kernel () =
   | other ->
     Alcotest.failf "unexpected profile (%d families)" (List.length other))
 
+let test_trace_utilization_zero_makespan () =
+  (* regression: a trace whose entries all have zero duration must not
+     divide by zero *)
+  let t = Trace.create ~workers:4 in
+  Alcotest.(check (float 0.0)) "empty trace" 0.0 (Trace.utilization t);
+  Trace.add t { Trace.task = 0; name = "x"; worker = 0; start = 0.0; finish = 0.0 };
+  Alcotest.(check (float 0.0)) "zero-makespan trace" 0.0 (Trace.utilization t);
+  Alcotest.(check bool) "gantt survives too" true
+    (String.length (Trace.gantt t) > 0)
+
+let test_trace_by_kernel_rates () =
+  let t = Trace.create ~workers:1 in
+  Trace.add t { Trace.task = 0; name = "gemm(0)"; worker = 0; start = 0.0; finish = 2.0 };
+  Trace.add t { Trace.task = 1; name = "gemm(1)"; worker = 0; start = 2.0; finish = 4.0 };
+  let flops_of = function 0 -> 6.0 | 1 -> 2.0 | _ -> 0.0 in
+  match Trace.by_kernel_rates t ~flops_of with
+  | [ ("gemm", busy, 2, rate) ] ->
+    Alcotest.(check (float 0.0)) "busy" 4.0 busy;
+    Alcotest.(check (float 1e-12)) "rate = flops / busy" 2.0 rate
+  | other -> Alcotest.failf "unexpected rates (%d families)" (List.length other)
+
+(* ---- Telemetry on real runs ---- *)
+
+module Json = Xsc_util.Json
+
+let traced_cholesky ~seed ~executor () =
+  let rng = Rng.create seed in
+  let a = Mat.random_spd rng 32 in
+  let tiles = Tile.of_mat ~nb:8 a in
+  let dag = Xsc_core.Cholesky.dag tiles in
+  let stats =
+    match executor with
+    | `Dataflow -> Real_exec.run_dataflow ~trace:true ~workers:4 dag
+    | `Forkjoin -> Real_exec.run_forkjoin ~trace:true ~workers:4 dag
+  in
+  (dag, stats)
+
+let test_traced_run_bitwise_identical () =
+  (* tracing must observe, never perturb: the traced factorization is
+     bit-for-bit the untraced one *)
+  let rng = Rng.create 11 in
+  let a = Mat.random_spd rng 32 in
+  let t_off = Tile.of_mat ~nb:8 a in
+  let t_on = Tile.of_mat ~nb:8 a in
+  ignore (Real_exec.run_dataflow ~trace:false ~workers:4 (Xsc_core.Cholesky.dag t_off));
+  let s = Real_exec.run_dataflow ~trace:true ~workers:4 (Xsc_core.Cholesky.dag t_on) in
+  Alcotest.(check bool) "trace present when asked" true (s.Real_exec.trace <> None);
+  Alcotest.(check bool) "factorization bitwise identical" true
+    (tiles_bitwise_equal t_off t_on)
+
+let test_untraced_has_no_trace () =
+  let rng = Rng.create 13 in
+  let a = Mat.random_spd rng 16 in
+  let s = Real_exec.run_dataflow ~workers:2 (Xsc_core.Cholesky.dag (Tile.of_mat ~nb:8 a)) in
+  match Sys.getenv_opt "XSC_TRACE" with
+  | None -> Alcotest.(check bool) "no trace by default" true (s.Real_exec.trace = None)
+  | Some _ -> ()
+
+let test_real_trace_contents () =
+  let dag, stats = traced_cholesky ~seed:12 ~executor:`Dataflow () in
+  match stats.Real_exec.trace with
+  | None -> Alcotest.fail "expected a trace"
+  | Some tr ->
+    Alcotest.(check int) "one entry per task" (Dag.n_tasks dag)
+      (List.length (Trace.entries tr));
+    Alcotest.(check bool) "positive makespan" true (Trace.makespan tr > 0.0);
+    let u = Trace.utilization tr in
+    Alcotest.(check bool) "utilization in (0,1]" true (u > 0.0 && u <= 1.0)
+
+let test_real_chrome_json_roundtrip () =
+  (* the emitted Chrome trace must parse as JSON: an array with one complete
+     ("ph":"X") event per task, each with name/ts/dur and a worker tid *)
+  let dag, stats = traced_cholesky ~seed:14 ~executor:`Dataflow () in
+  let tr = Option.get stats.Real_exec.trace in
+  match Json.parse (Trace.to_chrome_json tr) with
+  | Json.List events ->
+    Alcotest.(check int) "one event per task" (Dag.n_tasks dag) (List.length events);
+    List.iter
+      (fun ev ->
+        let str k =
+          match Json.member k ev with
+          | Some (Json.Str s) -> s
+          | _ -> Alcotest.failf "event missing string %S" k
+        in
+        let num k =
+          match Json.member k ev with
+          | Some (Json.Num f) -> f
+          | _ -> Alcotest.failf "event missing number %S" k
+        in
+        Alcotest.(check string) "complete event" "X" (str "ph");
+        Alcotest.(check bool) "has a kernel name" true (String.length (str "name") > 0);
+        Alcotest.(check bool) "ts >= 0" true (num "ts" >= 0.0);
+        Alcotest.(check bool) "dur >= 0" true (num "dur" >= 0.0);
+        let tid = int_of_float (num "tid") in
+        Alcotest.(check bool) "tid is a worker" true (tid >= 0 && tid < 4))
+      events
+  | _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+let test_steal_attempts_and_park_time () =
+  let counter = Atomic.make 0 in
+  let tasks =
+    List.init 64 (fun id ->
+        Task.make ~id ~name:"inc" ~flops:1.0
+          ~run:(fun () -> Atomic.incr counter)
+          [ Task.Write id ])
+  in
+  let s = Real_exec.run_dataflow ~workers:4 (Dag.build tasks) in
+  Alcotest.(check bool) "attempts cover successes" true
+    (s.Real_exec.steal_attempts >= s.Real_exec.steals);
+  Alcotest.(check bool) "park time non-negative" true (s.Real_exec.park_time >= 0.0);
+  Alcotest.(check bool) "park time consistent with parks" true
+    (s.Real_exec.parks > 0 || s.Real_exec.park_time = 0.0)
+
+let test_forkjoin_trace_and_barrier_wait () =
+  let dag, stats = traced_cholesky ~seed:15 ~executor:`Forkjoin () in
+  (match stats.Real_exec.trace with
+  | None -> Alcotest.fail "expected a trace"
+  | Some tr ->
+    Alcotest.(check int) "one entry per task" (Dag.n_tasks dag)
+      (List.length (Trace.entries tr)));
+  Alcotest.(check bool) "barrier wait accounted" true (stats.Real_exec.park_time >= 0.0)
+
 (* ---- Hetero ---- *)
 
 module Hetero = Xsc_runtime.Hetero
@@ -630,6 +752,22 @@ let () =
           Alcotest.test_case "validation" `Quick test_trace_validation;
           Alcotest.test_case "chrome json" `Quick test_trace_chrome_json;
           Alcotest.test_case "by_kernel profile" `Quick test_trace_by_kernel;
+          Alcotest.test_case "utilization zero makespan" `Quick
+            test_trace_utilization_zero_makespan;
+          Alcotest.test_case "by_kernel rates" `Quick test_trace_by_kernel_rates;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "traced run bitwise identical" `Quick
+            test_traced_run_bitwise_identical;
+          Alcotest.test_case "untraced has no trace" `Quick test_untraced_has_no_trace;
+          Alcotest.test_case "real trace contents" `Quick test_real_trace_contents;
+          Alcotest.test_case "chrome json round-trip" `Quick
+            test_real_chrome_json_roundtrip;
+          Alcotest.test_case "steal attempts and park time" `Quick
+            test_steal_attempts_and_park_time;
+          Alcotest.test_case "forkjoin trace and barrier wait" `Quick
+            test_forkjoin_trace_and_barrier_wait;
         ] );
       ( "hetero",
         [

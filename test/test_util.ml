@@ -1,9 +1,10 @@
-(* Tests for Xsc_util: RNG, statistics, tables, unit formatting. *)
+(* Tests for Xsc_util: RNG, statistics, tables, unit formatting, JSON. *)
 
 module Rng = Xsc_util.Rng
 module Stats = Xsc_util.Stats
 module Table = Xsc_util.Table
 module Units = Xsc_util.Units
+module Json = Xsc_util.Json
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -202,6 +203,46 @@ let test_units_misc () =
   Alcotest.(check string) "percent" "12.3%" (Units.percent 0.123);
   Alcotest.(check string) "watts" "2.00 MW" (Units.watts 2e6)
 
+(* ---- Json ---- *)
+
+let test_json_parse_scalars () =
+  Alcotest.(check bool) "null" true (Json.parse "null" = Json.Null);
+  Alcotest.(check bool) "true" true (Json.parse "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (Json.parse " false " = Json.Bool false);
+  Alcotest.(check bool) "number" true (Json.parse "-1.5e2" = Json.Num (-150.0));
+  Alcotest.(check bool) "string escapes" true
+    (Json.parse {|"a\"b\\c\nd"|} = Json.Str "a\"b\\c\nd")
+
+let test_json_parse_structures () =
+  match Json.parse {|{"a": [1, 2], "b": {"c": false}, "empty": []}|} with
+  | Json.Obj
+      [
+        ("a", Json.List [ Json.Num 1.0; Json.Num 2.0 ]);
+        ("b", Json.Obj [ ("c", Json.Bool false) ]);
+        ("empty", Json.List []);
+      ] -> ()
+  | _ -> Alcotest.fail "unexpected parse result"
+
+let test_json_member () =
+  let j = Json.parse {|{"x": 3}|} in
+  Alcotest.(check bool) "member hit" true (Json.member "x" j = Some (Json.Num 3.0));
+  Alcotest.(check bool) "member miss" true (Json.member "y" j = None);
+  Alcotest.(check bool) "member of non-object" true (Json.member "x" Json.Null = None)
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" s)
+    [ ""; "{"; "[1,]"; "1 2"; {|{"a":}|}; "nul"; {|"unterminated|} ]
+
+let test_json_escape_roundtrip () =
+  let s = "quote\" backslash\\ newline\n tab\t bell\007" in
+  match Json.parse (Printf.sprintf "\"%s\"" (Json.escape s)) with
+  | Json.Str s' -> Alcotest.(check string) "escape then parse is identity" s s'
+  | _ -> Alcotest.fail "escaped string did not parse as a string"
+
 let () =
   Alcotest.run "xsc_util"
     [
@@ -234,6 +275,14 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity_check;
           Alcotest.test_case "float row" `Quick test_table_float_row;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_parse_scalars;
+          Alcotest.test_case "structures" `Quick test_json_parse_structures;
+          Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
+          Alcotest.test_case "escape round-trip" `Quick test_json_escape_roundtrip;
         ] );
       ( "units",
         [
