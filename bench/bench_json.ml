@@ -1,14 +1,23 @@
 (* Machine-readable benchmark mode: `bench/main.exe --json FILE` emits one
-   JSON record with GEMM kernel rates (naive vs blocked), real-domain
-   scheduler results (dataflow vs fork-join, with steal/park telemetry) and
+   JSON record with GEMM kernel rates (naive vs blocked vs packed-tile),
+   float32-vs-float64 packed kernel rates, a measured real-f32 iterative
+   refinement solve, real-domain scheduler results over the packed
+   closure-free DAG (dataflow vs fork-join, with steal/park telemetry) and
    a metrics object: per-kernel achieved GFLOP/s from a traced run plus the
    full Xsc_obs.Metrics registry snapshot. This seeds the BENCH_*.json perf
    trajectory: each PR can append a record and diff GFLOP/s and speedups
-   against the previous ones. *)
+   against the previous ones.
+
+   `--smoke FILE` is the CI perf-sanity subset: one scheduler record
+   (n=432, 2 workers) plus the registry, record-only — the shared CI
+   container gives no stable core count, so numbers are archived, not
+   gated. *)
 
 open Xsc_linalg
 module Tile = Xsc_tile.Tile
+module Packed = Xsc_tile.Packed
 module Cholesky = Xsc_core.Cholesky
+module Ir = Xsc_precision.Ir
 module Real_exec = Xsc_runtime.Real_exec
 module Trace = Xsc_runtime.Trace
 module Rng = Xsc_util.Rng
@@ -23,6 +32,11 @@ let time f reps =
   done;
   (Clock.now_s () -. t0) /. float_of_int reps
 
+(* Tile size for the packed-layout records: big enough that the contiguous
+   inner loops amortise the loop nest, small enough that three tiles sit in
+   L2 — and it divides every benchmarked n. *)
+let packed_nb = 64
+
 let gemm_record ~n ~reps =
   let rng = Rng.create n in
   let a = Mat.random rng n n and b = Mat.random rng n n in
@@ -30,27 +44,116 @@ let gemm_record ~n ~reps =
   let flops = Blas.gemm_flops n n n in
   let naive = flops /. time (fun () -> Blas.gemm_unblocked ~alpha:1.0 a b ~beta:0.0 c) reps /. 1e9 in
   let blocked = flops /. time (fun () -> Blas.gemm ~alpha:1.0 a b ~beta:0.0 c) reps /. 1e9 in
+  (* packed: operands already tile-major (the layout's contract is pack
+     once, run many kernels), so the timed region is pure kernel *)
+  let pa = Packed.D.of_mat ~nb:packed_nb a and pb = Packed.D.of_mat ~nb:packed_nb b in
+  let pc = Packed.D.create ~n ~nb:packed_nb in
+  let packed =
+    flops /. time (fun () -> Packed.D.gemm ~alpha:1.0 pa pb ~beta:0.0 pc) reps /. 1e9
+  in
   Printf.sprintf
-    "{\"n\": %d, \"naive_gflops\": %.4f, \"blocked_gflops\": %.4f, \"speedup\": %.3f}" n
-    naive blocked (blocked /. naive)
+    "{\"n\": %d, \"naive_gflops\": %.4f, \"blocked_gflops\": %.4f, \"packed_gflops\": \
+     %.4f, \"speedup\": %.3f, \"packed_vs_blocked\": %.3f}"
+    n naive blocked packed (blocked /. naive) (packed /. blocked)
 
-(* Scheduler comparison plus one extra traced dataflow run (outside the
-   timed medians, so the trace cannot perturb them) for the per-kernel
-   achieved rates. *)
+(* Float32 vs float64 packed kernel rates: same tile algorithm, half the
+   bytes per element (paper rule 4 — flops are free, bandwidth is not) and
+   twice the SIMD lanes. POTRF rates time a buffer restore + factor; the
+   restore is an O(n²) memcpy against the O(n³/3) factorization. The two
+   precisions are timed in interleaved pairs and reported as per-run
+   medians, so clock/load drift on a shared machine cancels out of the
+   ratio instead of landing on whichever precision ran last. *)
+let f32_record ~n ~reps =
+  let nb = packed_nb in
+  let rng = Rng.create 19 in
+  let a = Mat.random_spd rng n in
+  let potrf_flops = Cholesky.flops ~nt:(n / nb) ~nb in
+  let pd0 = Packed.D.of_mat ~nb a in
+  let pd = Packed.D.copy pd0 in
+  let ps0 = Packed.S.of_mat ~nb a in
+  let ps = Packed.S.create ~n ~nb in
+  let run_d () =
+    Bigarray.Array1.blit pd0.Packed.D.buf pd.Packed.D.buf;
+    Packed.D.potrf pd
+  in
+  let run_s () =
+    Bigarray.Array1.blit ps0.Packed.S.buf ps.Packed.S.buf;
+    Packed.S.potrf ps
+  in
+  run_d ();
+  run_s ();
+  let runs = max 15 reps in
+  let td = Array.make runs 0.0 and ts = Array.make runs 0.0 in
+  for r = 0 to runs - 1 do
+    let t0 = Clock.now_s () in
+    run_d ();
+    td.(r) <- Clock.now_s () -. t0;
+    let t0 = Clock.now_s () in
+    run_s ();
+    ts.(r) <- Clock.now_s () -. t0
+  done;
+  let f64 = potrf_flops /. Xsc_util.Stats.median td /. 1e9 in
+  let f32 = potrf_flops /. Xsc_util.Stats.median ts /. 1e9 in
+  (* single-tile GEMM rates at the same nb, NT shape (the Cholesky update) *)
+  let gnb = 128 in
+  let grng = Rng.create 23 in
+  let ga = Mat.random grng gnb gnb and gb = Mat.random grng gnb gnb in
+  let gflops = Blas.gemm_flops gnb gnb gnb in
+  let da = Packed.D.of_mat ~nb:gnb ga and db = Packed.D.of_mat ~nb:gnb gb in
+  let dc = Packed.D.create ~n:gnb ~nb:gnb in
+  let g64 =
+    gflops
+    /. time (fun () -> Pblas.D.gemm_nt ~alpha:1.0 da.Packed.D.buf 0 db.Packed.D.buf 0 dc.Packed.D.buf 0 ~nb:gnb) (8 * reps)
+    /. 1e9
+  in
+  let sa = Packed.S.of_mat ~nb:gnb ga and sb = Packed.S.of_mat ~nb:gnb gb in
+  let sc = Packed.S.create ~n:gnb ~nb:gnb in
+  let g32 =
+    gflops
+    /. time (fun () -> Pblas.S.gemm_nt ~alpha:1.0 sa.Packed.S.buf 0 sb.Packed.S.buf 0 sc.Packed.S.buf 0 ~nb:gnb) (8 * reps)
+    /. 1e9
+  in
+  Printf.sprintf
+    "{\"n\": %d, \"nb\": %d, \"potrf_f64_gflops\": %.4f, \"potrf_f32_gflops\": %.4f, \
+     \"potrf_f32_over_f64\": %.3f, \"gemm_nb\": %d, \"gemm_f64_gflops\": %.4f, \
+     \"gemm_f32_gflops\": %.4f, \"gemm_f32_over_f64\": %.3f}"
+    n nb f64 f32 (f32 /. f64) gnb g64 g32 (g32 /. g64)
+
+(* Measured mixed-precision solve through the real float32 factorization:
+   the accuracy story (converges to double) next to the speed story (the
+   f32 rates above). *)
+let ir_record ~n =
+  let rng = Rng.create 29 in
+  let a = Mat.random_spd rng n in
+  let x_true = Vec.random rng n in
+  let b = Mat.mul_vec a x_true in
+  let t0 = Clock.now_s () in
+  let r = Ir.chol_ir32 ~nb:packed_nb a b in
+  let elapsed = Clock.now_s () -. t0 in
+  let err = Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true in
+  Printf.sprintf
+    "{\"n\": %d, \"iterations\": %d, \"converged\": %b, \"backward_error\": %.3e, \
+     \"forward_error\": %.3e, \"solve_s\": %.4f}"
+    n r.Ir.iterations r.Ir.converged r.Ir.backward_error err elapsed
+
+(* Scheduler comparison over the packed closure-free DAG (op-encoded tasks,
+   Pblas kernels) plus one extra traced dataflow run (outside the timed
+   medians, so the trace cannot perturb them) for the per-kernel achieved
+   rates. The DAG shape is storage-independent, so it is built once and
+   reused across runs and executors. *)
 let sched_record ~nt ~nb ~workers =
   let n = nt * nb in
   let rng = Rng.create 7 in
   let a = Mat.random_spd rng n in
+  let dag = Cholesky.dag_ops ~nt ~nb in
+  let priority = Xsc_core.Runtime_api.critical_path_priority dag in
   let run exec =
-    let tiles = Tile.of_mat ~nb a in
-    let dag = Cholesky.dag tiles in
+    let p = Packed.D.of_mat ~nb a in
+    let interp = Cholesky.packed_interp p in
     match exec with
-    | `Seq -> Real_exec.run_sequential dag
-    | `Forkjoin -> Real_exec.run_forkjoin ~workers dag
-    | `Dataflow ->
-      Real_exec.run_dataflow
-        ~priority:(Xsc_core.Runtime_api.critical_path_priority dag)
-        ~workers dag
+    | `Seq -> Real_exec.run_sequential ~interp dag
+    | `Forkjoin -> Real_exec.run_forkjoin ~interp ~workers dag
+    | `Dataflow -> Real_exec.run_dataflow ~interp ~priority ~workers dag
   in
   let median exec =
     let rs = Array.init 5 (fun _ -> run exec) in
@@ -60,23 +163,27 @@ let sched_record ~nt ~nb ~workers =
   let seq_t, _ = median `Seq in
   let fj_t, _ = median `Forkjoin in
   let df_t, df = median `Dataflow in
+  let attempts_per_steal =
+    if df.Real_exec.steals = 0 then 0.0
+    else float_of_int df.Real_exec.steal_attempts /. float_of_int df.Real_exec.steals
+  in
   let sched =
     Printf.sprintf
       "{\"n\": %d, \"nb\": %d, \"workers\": %d, \"sequential_s\": %.6f, \"forkjoin_s\": \
        %.6f, \"dataflow_s\": %.6f, \"forkjoin_speedup\": %.3f, \"dataflow_speedup\": \
-       %.3f, \"dataflow_over_forkjoin\": %.3f, \"steals\": %d, \"steal_attempts\": %d, \
-       \"parks\": %d, \"park_time_s\": %.6f}"
+       %.3f, \"dataflow_over_forkjoin\": %.3f, \"seq_gflops\": %.4f, \"steals\": %d, \
+       \"steal_attempts\": %d, \"attempts_per_steal\": %.1f, \"parks\": %d, \
+       \"park_time_s\": %.6f}"
       n nb workers seq_t fj_t df_t (seq_t /. fj_t) (seq_t /. df_t) (fj_t /. df_t)
-      df.Real_exec.steals df.Real_exec.steal_attempts df.Real_exec.parks
-      df.Real_exec.park_time
+      (Cholesky.flops ~nt ~nb /. seq_t /. 1e9)
+      df.Real_exec.steals df.Real_exec.steal_attempts attempts_per_steal
+      df.Real_exec.parks df.Real_exec.park_time
   in
   let per_kernel =
-    let tiles = Tile.of_mat ~nb a in
-    let dag = Cholesky.dag tiles in
+    let p = Packed.D.of_mat ~nb a in
     let traced =
-      Real_exec.run_dataflow
-        ~priority:(Xsc_core.Runtime_api.critical_path_priority dag)
-        ~trace:true ~workers dag
+      Real_exec.run_dataflow ~interp:(Cholesky.packed_interp p) ~priority ~trace:true
+        ~workers dag
     in
     match traced.Real_exec.trace with
     | None -> []
@@ -91,19 +198,8 @@ let sched_record ~nt ~nb ~workers =
   in
   (sched, per_kernel)
 
-let run ~file =
-  let gemm_sizes = [ (128, 20); (256, 5); (512, 3) ] in
-  let gemms = List.map (fun (n, reps) -> "    " ^ gemm_record ~n ~reps) gemm_sizes in
-  let workers = max 2 (Real_exec.default_workers ()) in
-  let sched, per_kernel = sched_record ~nt:6 ~nb:72 ~workers in
-  let json =
-    String.concat "\n"
-      ([ "{"; "  \"gemm\": [" ]
-      @ [ String.concat ",\n" gemms ]
-      @ [ "  ],"; "  \"sched\": " ^ sched ^ ","; "  \"metrics\": {"; "    \"per_kernel\": [" ]
-      @ [ String.concat ",\n" (List.map (fun s -> "      " ^ s) per_kernel) ]
-      @ [ "    ],"; "    \"registry\": " ^ Xsc_obs.Metrics.to_json (); "  }"; "}" ])
-  in
+let write_json ~file lines =
+  let json = String.concat "\n" lines in
   let oc = open_out file in
   output_string oc json;
   output_char oc '\n';
@@ -111,3 +207,35 @@ let run ~file =
   Printf.printf "wrote %s\n" file;
   print_string json;
   print_newline ()
+
+let run ~file =
+  let gemm_sizes = [ (128, 20); (256, 5); (512, 3) ] in
+  let gemms = List.map (fun (n, reps) -> "    " ^ gemm_record ~n ~reps) gemm_sizes in
+  let f32 = f32_record ~n:768 ~reps:2 in
+  let ir = ir_record ~n:256 in
+  let workers = max 2 (Real_exec.default_workers ()) in
+  let scheds, per_kernel =
+    let s1, pk = sched_record ~nt:6 ~nb:72 ~workers in
+    let s2, _ = sched_record ~nt:8 ~nb:96 ~workers in
+    ([ "    " ^ s1; "    " ^ s2 ], pk)
+  in
+  write_json ~file
+    ([ "{"; "  \"gemm\": [" ]
+    @ [ String.concat ",\n" gemms ]
+    @ [ "  ],"; "  \"f32\": " ^ f32 ^ ","; "  \"ir\": " ^ ir ^ ","; "  \"sched\": [" ]
+    @ [ String.concat ",\n" scheds ]
+    @ [ "  ],"; "  \"metrics\": {"; "    \"per_kernel\": [" ]
+    @ [ String.concat ",\n" (List.map (fun s -> "      " ^ s) per_kernel) ]
+    @ [ "    ],"; "    \"registry\": " ^ Xsc_obs.Metrics.to_json (); "  }"; "}" ])
+
+(* CI perf-sanity subset: the n=432 Cholesky on 2 workers, record-only. *)
+let smoke ~file =
+  let sched, _ = sched_record ~nt:6 ~nb:72 ~workers:2 in
+  write_json ~file
+    [
+      "{";
+      "  \"smoke\": true,";
+      "  \"sched\": " ^ sched ^ ",";
+      "  \"registry\": " ^ Xsc_obs.Metrics.to_json ();
+      "}";
+    ]

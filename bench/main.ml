@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- fig3 tab1    # run a subset
      dune exec bench/main.exe -- --list       # show experiment ids
      dune exec bench/main.exe -- --json FILE  # machine-readable perf record
+     dune exec bench/main.exe -- --smoke FILE # CI perf-sanity subset (record-only)
      dune exec bench/main.exe -- --trace FILE # Chrome trace of a real DAG run
      dune exec bench/main.exe -- --overhead [PCT]  # tracing cost (gate if PCT) *)
 
@@ -35,6 +36,10 @@ let () =
   | [ "--json"; file ] -> Bench_json.run ~file
   | [ "--json" ] ->
     Printf.eprintf "--json requires an output file argument\n";
+    exit 1
+  | [ "--smoke"; file ] -> Bench_json.smoke ~file
+  | [ "--smoke" ] ->
+    Printf.eprintf "--smoke requires an output file argument\n";
     exit 1
   | [ "--trace"; file ] -> Trace_run.run ~file
   | [ "--trace" ] ->

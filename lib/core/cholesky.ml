@@ -68,6 +68,63 @@ let dag ?with_closures t = Dag.build (tasks ?with_closures t)
 let factor ?(exec = Runtime_api.Sequential) t =
   ignore (Runtime_api.execute exec (dag t))
 
+(* Closure-free task list: same program order, accesses and weights as
+   [tasks], but each body is a Task.op variant — one immediate-tagged word
+   instead of a closure capturing tile views. Storage is bound only at
+   execution time by the interpreter, so one DAG shape serves any backing
+   layout. *)
+let tasks_ops ~nt ~nb =
+  let potrf_f, trsm_f, syrk_f, gemm_f = kernel_flops nb in
+  let bytes = Runtime_api.tile_bytes ~nb in
+  let datum i j = Task.datum i j ~stride:nt in
+  let acc = ref [] in
+  let next_id = ref 0 in
+  let emit op flops accesses =
+    let id = !next_id in
+    incr next_id;
+    acc := Task.make ~id ~name:(Task.op_name op) ~flops ~bytes ~op accesses :: !acc
+  in
+  for k = 0 to nt - 1 do
+    emit (Task.Potrf k) potrf_f [ Task.Read_write (datum k k) ];
+    for i = k + 1 to nt - 1 do
+      emit (Task.Trsm (k, i)) trsm_f [ Task.Read (datum k k); Task.Read_write (datum i k) ]
+    done;
+    for i = k + 1 to nt - 1 do
+      emit (Task.Syrk (i, k)) syrk_f [ Task.Read (datum i k); Task.Read_write (datum i i) ];
+      for j = k + 1 to i - 1 do
+        emit
+          (Task.Gemm (i, j, k))
+          gemm_f
+          [ Task.Read (datum i k); Task.Read (datum j k); Task.Read_write (datum i j) ]
+      done
+    done
+  done;
+  List.rev !acc
+
+let dag_ops ~nt ~nb = Dag.build (tasks_ops ~nt ~nb)
+
+(* Interpreter binding the op coordinates to packed tile storage: the
+   kernels are the Pblas C microkernels, whose operation order matches the
+   strided Blas/Lapack reference bitwise. *)
+let packed_interp (p : Xsc_tile.Packed.D.t) =
+  let module P = Xsc_tile.Packed.D in
+  let nb = p.P.nb in
+  let buf = p.P.buf in
+  let off = P.off p in
+  fun (op : Task.op) ->
+    match op with
+    | Task.Potrf k -> Pblas.D.potrf buf (off k k) ~nb
+    | Task.Trsm (k, i) -> Pblas.D.trsm_rlt buf (off k k) buf (off i k) ~nb
+    | Task.Syrk (i, k) ->
+      Pblas.D.syrk_ln ~alpha:(-1.0) buf (off i k) ~beta:1.0 buf (off i i) ~nb
+    | Task.Gemm (i, j, k) ->
+      Pblas.D.gemm_nt ~alpha:(-1.0) buf (off i k) buf (off j k) buf (off i j) ~nb
+    | op -> invalid_arg ("Cholesky.packed_interp: unexpected op " ^ Task.op_name op)
+
+let factor_packed ?(exec = Runtime_api.Sequential) (p : Xsc_tile.Packed.D.t) =
+  let dag = dag_ops ~nt:p.Xsc_tile.Packed.D.nt ~nb:p.Xsc_tile.Packed.D.nb in
+  ignore (Runtime_api.execute ~interp:(packed_interp p) exec dag)
+
 let solve (t : Tile.t) b =
   let nt = t.Tile.nt and nb = t.Tile.nb in
   if Array.length b <> t.Tile.rows then invalid_arg "Cholesky.solve: dimension mismatch";

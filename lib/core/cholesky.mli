@@ -27,6 +27,22 @@ val solve : Xsc_tile.Tile.t -> Vec.t -> Vec.t
 val factor_mat : ?exec:Runtime_api.exec -> nb:int -> Mat.t -> Xsc_tile.Tile.t
 (** Convenience: tile a dense SPD matrix and factor it. *)
 
+val tasks_ops : nt:int -> nb:int -> Runtime_api.task list
+(** Closure-free task list: same program order, accesses and flop/byte
+    weights as {!tasks}, with {!Xsc_runtime.Task.op} bodies instead of
+    closures. Storage-independent — bind it with an interpreter. *)
+
+val dag_ops : nt:int -> nb:int -> Runtime_api.dag
+
+val packed_interp : Xsc_tile.Packed.D.t -> Xsc_runtime.Task.op -> unit
+(** Interpreter binding op coordinates to packed tile storage via the
+    {!Xsc_linalg.Pblas} C kernels (bitwise-faithful to the strided path). *)
+
+val factor_packed : ?exec:Runtime_api.exec -> Xsc_tile.Packed.D.t -> unit
+(** Factor a packed matrix in place through the op-encoded DAG; bitwise
+    identical to {!factor} on the same input for every executor. Raises
+    [Pblas.Singular] if the matrix is not positive definite. *)
+
 val flops : nt:int -> nb:int -> float
 (** Total flops of the tiled algorithm (matches [n³/3] to leading order). *)
 

@@ -71,6 +71,57 @@ let dag ?with_closures t = Dag.build (tasks ?with_closures t)
 let factor ?(exec = Runtime_api.Sequential) t =
   ignore (Runtime_api.execute exec (dag t))
 
+(* Closure-free op-encoded task list; see Cholesky.tasks_ops. *)
+let tasks_ops ~nt ~nb =
+  let getrf_f, trsm_f, gemm_f = kernel_flops nb in
+  let bytes = Runtime_api.tile_bytes ~nb in
+  let datum i j = Task.datum i j ~stride:nt in
+  let acc = ref [] in
+  let next_id = ref 0 in
+  let emit op flops accesses =
+    let id = !next_id in
+    incr next_id;
+    acc := Task.make ~id ~name:(Task.op_name op) ~flops ~bytes ~op accesses :: !acc
+  in
+  for k = 0 to nt - 1 do
+    emit (Task.Getrf k) getrf_f [ Task.Read_write (datum k k) ];
+    for j = k + 1 to nt - 1 do
+      emit (Task.Trsm_l (k, j)) trsm_f [ Task.Read (datum k k); Task.Read_write (datum k j) ]
+    done;
+    for i = k + 1 to nt - 1 do
+      emit (Task.Trsm_u (i, k)) trsm_f [ Task.Read (datum k k); Task.Read_write (datum i k) ]
+    done;
+    for i = k + 1 to nt - 1 do
+      for j = k + 1 to nt - 1 do
+        emit
+          (Task.Gemm (i, j, k))
+          gemm_f
+          [ Task.Read (datum i k); Task.Read (datum k j); Task.Read_write (datum i j) ]
+      done
+    done
+  done;
+  List.rev !acc
+
+let dag_ops ~nt ~nb = Dag.build (tasks_ops ~nt ~nb)
+
+let packed_interp (p : Xsc_tile.Packed.D.t) =
+  let module P = Xsc_tile.Packed.D in
+  let nb = p.P.nb in
+  let buf = p.P.buf in
+  let off = P.off p in
+  fun (op : Task.op) ->
+    match op with
+    | Task.Getrf k -> Pblas.D.getrf_nopiv buf (off k k) ~nb
+    | Task.Trsm_l (k, j) -> Pblas.D.trsm_llu buf (off k k) buf (off k j) ~nb
+    | Task.Trsm_u (i, k) -> Pblas.D.trsm_ru buf (off k k) buf (off i k) ~nb
+    | Task.Gemm (i, j, k) ->
+      Pblas.D.gemm_nn ~alpha:(-1.0) buf (off i k) buf (off k j) buf (off i j) ~nb
+    | op -> invalid_arg ("Lu.packed_interp: unexpected op " ^ Task.op_name op)
+
+let factor_packed ?(exec = Runtime_api.Sequential) (p : Xsc_tile.Packed.D.t) =
+  let dag = dag_ops ~nt:p.Xsc_tile.Packed.D.nt ~nb:p.Xsc_tile.Packed.D.nb in
+  ignore (Runtime_api.execute ~interp:(packed_interp p) exec dag)
+
 let solve (t : Tile.t) b =
   let nt = t.Tile.nt and nb = t.Tile.nb in
   if Array.length b <> t.Tile.rows then invalid_arg "Lu.solve: dimension mismatch";

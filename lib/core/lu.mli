@@ -22,5 +22,18 @@ val solve : Xsc_tile.Tile.t -> Vec.t -> Vec.t
 
 val factor_mat : ?exec:Runtime_api.exec -> nb:int -> Mat.t -> Xsc_tile.Tile.t
 
+val tasks_ops : nt:int -> nb:int -> Runtime_api.task list
+(** Closure-free task list (op bodies); see {!Cholesky.tasks_ops}. *)
+
+val dag_ops : nt:int -> nb:int -> Runtime_api.dag
+
+val packed_interp : Xsc_tile.Packed.D.t -> Xsc_runtime.Task.op -> unit
+(** Interpreter binding op coordinates to packed tile storage. *)
+
+val factor_packed : ?exec:Runtime_api.exec -> Xsc_tile.Packed.D.t -> unit
+(** Unpivoted LU of a packed matrix in place through the op-encoded DAG;
+    bitwise identical to {!factor} on the same input for every executor.
+    Raises [Pblas.Singular] on a zero pivot. *)
+
 val flops : nt:int -> nb:int -> float
 val task_count : nt:int -> int

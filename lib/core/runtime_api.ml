@@ -18,12 +18,13 @@ let critical_path_priority dag =
   if cp <= 0.0 then fun _ -> 0
   else fun id -> int_of_float (1e6 *. bl.(id) /. cp)
 
-let execute exec dag =
+let execute ?interp exec dag =
   match exec with
-  | Sequential -> Xsc_runtime.Real_exec.run_sequential dag
+  | Sequential -> Xsc_runtime.Real_exec.run_sequential ?interp dag
   | Dataflow workers ->
-    Xsc_runtime.Real_exec.run_dataflow ~priority:(critical_path_priority dag) ~workers dag
-  | Forkjoin workers -> Xsc_runtime.Real_exec.run_forkjoin ~workers dag
+    Xsc_runtime.Real_exec.run_dataflow ?interp ~priority:(critical_path_priority dag)
+      ~workers dag
+  | Forkjoin workers -> Xsc_runtime.Real_exec.run_forkjoin ?interp ~workers dag
 
 let tile_bytes ~nb = 8.0 *. float_of_int (nb * nb)
 

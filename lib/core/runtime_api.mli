@@ -8,10 +8,12 @@ type exec =
   | Dataflow of int  (** dynamic superscalar executor on [n] domains *)
   | Forkjoin of int  (** level-synchronous executor on [n] domains *)
 
-val execute : exec -> dag -> Xsc_runtime.Real_exec.stats
+val execute : ?interp:(Xsc_runtime.Task.op -> unit) -> exec -> dag -> Xsc_runtime.Real_exec.stats
 (** [Dataflow] runs with {!critical_path_priority} as its scheduling hint,
     so every tiled factorization (Cholesky, LU, QR, ...) gets
-    critical-path-first ordering on real domains for free. *)
+    critical-path-first ordering on real domains for free. [interp]
+    dispatches closure-free op-encoded tasks (see {!Xsc_runtime.Task.op});
+    without it, tasks must carry [run] closures. *)
 
 val critical_path_priority : dag -> int -> int
 (** Flops-weighted bottom level of each task, scaled to an int rank —

@@ -11,7 +11,10 @@ let op_dims trans (m : Mat.t) =
    GFLOP/s and arithmetic intensity of a real run can be read back without
    re-deriving them from the algorithm. The cost is three sharded atomic
    adds per kernel call — O(1) against the O(n^3) (or O(n^2)) work of the
-   call itself. Counter names: blas.<kernel>.{calls,flops,bytes}. *)
+   call itself. Counter names: blas.<kernel>.{calls,flops,bytes}.
+
+   Tallies are created on first use, not at module init: a kernel that is
+   never called leaves no zero-valued counters in the registry export. *)
 module Metrics = Xsc_obs.Metrics
 
 type tally = { calls : Metrics.counter; flops : Metrics.counter; bytes : Metrics.counter }
@@ -23,12 +26,40 @@ let make_tally kernel =
     bytes = Metrics.counter (Printf.sprintf "blas.%s.bytes" kernel);
   }
 
-let t_gemm = make_tally "gemm"
-let t_syrk = make_tally "syrk"
-let t_trsm = make_tally "trsm"
-let t_gemv = make_tally "gemv"
+let t_gemm = lazy (make_tally "gemm")
+let t_syrk = lazy (make_tally "syrk")
+let t_trsm = lazy (make_tally "trsm")
+let t_gemv = lazy (make_tally "gemv")
 
-let[@inline] tally t ~flops ~bytes =
+let[@inline] tally lt ~flops ~bytes =
+  let t = Lazy.force lt in
+  Metrics.incr t.calls;
+  Metrics.add t.flops (int_of_float flops);
+  Metrics.add t.bytes (int_of_float bytes)
+
+(* Find-or-create tally for out-of-module kernels (the packed-tile kernels
+   in Pblas route their accounting through here so roofline reports see one
+   unified blas.* namespace). Guarded by a lock only on the miss path. *)
+let tally_tbl : (string, tally) Hashtbl.t = Hashtbl.create 16
+let tally_mu = Mutex.create ()
+
+let tally_kernel kernel ~flops ~bytes =
+  let t =
+    match Hashtbl.find_opt tally_tbl kernel with
+    | Some t -> t
+    | None ->
+      Mutex.lock tally_mu;
+      let t =
+        match Hashtbl.find_opt tally_tbl kernel with
+        | Some t -> t
+        | None ->
+          let t = make_tally kernel in
+          Hashtbl.add tally_tbl kernel t;
+          t
+      in
+      Mutex.unlock tally_mu;
+      t
+  in
   Metrics.incr t.calls;
   Metrics.add t.flops (int_of_float flops);
   Metrics.add t.bytes (int_of_float bytes)
@@ -57,16 +88,18 @@ let gemm_unblocked_raw ~transa ~transb ~alpha (a : Mat.t) (b : Mat.t) ~beta (c :
   if alpha <> 0.0 then
     match (transa, transb) with
     | NoTrans, NoTrans ->
+      (* Dot-product form (accumulate over k, then one update of C): the
+         same per-element operation order as the NoTrans/Trans branch, the
+         blocked {!Kernel.micro} and the packed {!Pblas} kernels, so every
+         NN gemm path in the library rounds identically. *)
       for i = 0 to m - 1 do
         let arow = i * a.cols and crow = i * n in
-        for l = 0 to k - 1 do
-          let aik = alpha *. ad.(arow + l) in
-          if aik <> 0.0 then begin
-            let brow = l * b.cols in
-            for j = 0 to n - 1 do
-              cd.(crow + j) <- cd.(crow + j) +. (aik *. bd.(brow + j))
-            done
-          end
+        for j = 0 to n - 1 do
+          let acc = ref 0.0 in
+          for l = 0 to k - 1 do
+            acc := !acc +. (ad.(arow + l) *. bd.((l * b.cols) + j))
+          done;
+          cd.(crow + j) <- cd.(crow + j) +. (alpha *. !acc)
         done
       done
     | NoTrans, Trans ->

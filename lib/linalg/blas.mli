@@ -56,3 +56,9 @@ val trmm : ?side:side -> ?uplo:uplo -> ?trans:trans -> ?diag:diag -> alpha:float
 val gemm_flops : int -> int -> int -> float
 (** Flop count of an [m x k] by [k x n] multiply ([2 m n k]), used by the
     simulator's task weights and the Gflop/s reports. *)
+
+val tally_kernel : string -> flops:float -> bytes:float -> unit
+(** Find-or-create flop/byte accounting for a kernel outside this module:
+    increments [blas.<kernel>.{calls,flops,bytes}] in the metrics registry.
+    Counters are created on first call, so kernels that never run leave no
+    zero-valued entries in the registry export. Used by {!Pblas}. *)

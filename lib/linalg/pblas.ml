@@ -1,0 +1,137 @@
+(* Packed-tile kernels: thin bindings over the C microkernels in
+   pblas_stubs.c, operating on contiguous nb x nb tiles addressed as
+   (buffer, element offset) pairs inside one Bigarray.Array1.
+
+   Each wrapper routes its flop count and cold-cache byte traffic through
+   Blas.tally_kernel so packed runs appear in the same blas.* roofline
+   namespace as the strided kernels — under distinct names (pgemm, ...,
+   sgemm, ...) so packed and strided rates can be compared side by side. *)
+
+open Bigarray
+
+type f64 = (float, float64_elt, c_layout) Array1.t
+type f32 = (float, float32_elt, c_layout) Array1.t
+
+exception Singular of int
+
+let gemm_flops nb = 2.0 *. float_of_int nb *. float_of_int nb *. float_of_int nb
+let syrk_flops nb = float_of_int nb *. float_of_int (nb + 1) *. float_of_int nb
+let trsm_flops nb = float_of_int nb *. float_of_int nb *. float_of_int nb
+
+let potrf_flops nb =
+  let n = float_of_int nb in
+  (n *. n *. n /. 3.0) +. (n *. n /. 2.0) +. (n /. 6.0)
+
+let getrf_flops nb =
+  let n = float_of_int nb in
+  2.0 *. n *. n *. n /. 3.0
+
+(* three tiles touched; C read and written *)
+let gemm_bytes w nb = float_of_int w *. float_of_int (4 * nb * nb)
+let syrk_bytes w nb = float_of_int w *. float_of_int ((nb * nb) + (nb * (nb + 1)))
+let trsm_bytes w nb = float_of_int w *. float_of_int ((nb * (nb + 1) / 2) + (2 * nb * nb))
+let fact_bytes w nb = float_of_int w *. float_of_int (2 * nb * nb)
+
+module D = struct
+  type buf = f64
+
+  external gemm_nn_raw : buf -> int -> buf -> int -> buf -> int -> int -> float -> unit
+    = "xsc_pk_gemm_nn_d_byte" "xsc_pk_gemm_nn_d"
+    [@@noalloc]
+
+  external gemm_nt_raw : buf -> int -> buf -> int -> buf -> int -> int -> float -> unit
+    = "xsc_pk_gemm_nt_d_byte" "xsc_pk_gemm_nt_d"
+    [@@noalloc]
+
+  external syrk_ln_raw : buf -> int -> buf -> int -> int -> float -> float -> unit
+    = "xsc_pk_syrk_ln_d_byte" "xsc_pk_syrk_ln_d"
+    [@@noalloc]
+
+  external trsm_rlt_raw : buf -> int -> buf -> int -> int -> unit = "xsc_pk_trsm_rlt_d"
+    [@@noalloc]
+
+  external trsm_llu_raw : buf -> int -> buf -> int -> int -> unit = "xsc_pk_trsm_llu_d"
+    [@@noalloc]
+
+  external trsm_ru_raw : buf -> int -> buf -> int -> int -> unit = "xsc_pk_trsm_ru_d"
+    [@@noalloc]
+
+  external potrf_raw : buf -> int -> int -> int = "xsc_pk_potrf_d" [@@noalloc]
+  external getrf_nopiv_raw : buf -> int -> int -> int = "xsc_pk_getrf_nopiv_d" [@@noalloc]
+
+  let gemm_nn ~alpha a oa b ob c oc ~nb =
+    gemm_nn_raw a oa b ob c oc nb alpha;
+    Blas.tally_kernel "pgemm" ~flops:(gemm_flops nb) ~bytes:(gemm_bytes 8 nb)
+
+  let gemm_nt ~alpha a oa b ob c oc ~nb =
+    gemm_nt_raw a oa b ob c oc nb alpha;
+    Blas.tally_kernel "pgemm" ~flops:(gemm_flops nb) ~bytes:(gemm_bytes 8 nb)
+
+  let syrk_ln ~alpha a oa ~beta c oc ~nb =
+    syrk_ln_raw a oa c oc nb alpha beta;
+    Blas.tally_kernel "psyrk" ~flops:(syrk_flops nb) ~bytes:(syrk_bytes 8 nb)
+
+  let trsm_rlt a oa b ob ~nb =
+    trsm_rlt_raw a oa b ob nb;
+    Blas.tally_kernel "ptrsm" ~flops:(trsm_flops nb) ~bytes:(trsm_bytes 8 nb)
+
+  let trsm_llu a oa b ob ~nb =
+    trsm_llu_raw a oa b ob nb;
+    Blas.tally_kernel "ptrsm" ~flops:(trsm_flops nb) ~bytes:(trsm_bytes 8 nb)
+
+  let trsm_ru a oa b ob ~nb =
+    trsm_ru_raw a oa b ob nb;
+    Blas.tally_kernel "ptrsm" ~flops:(trsm_flops nb) ~bytes:(trsm_bytes 8 nb)
+
+  let potrf a oa ~nb =
+    let st = potrf_raw a oa nb in
+    if st >= 0 then raise (Singular st);
+    Blas.tally_kernel "ppotrf" ~flops:(potrf_flops nb) ~bytes:(fact_bytes 8 nb)
+
+  let getrf_nopiv a oa ~nb =
+    let st = getrf_nopiv_raw a oa nb in
+    if st >= 0 then raise (Singular st);
+    Blas.tally_kernel "pgetrf" ~flops:(getrf_flops nb) ~bytes:(fact_bytes 8 nb)
+end
+
+module S = struct
+  type buf = f32
+
+  external gemm_nn_raw : buf -> int -> buf -> int -> buf -> int -> int -> float -> unit
+    = "xsc_pk_gemm_nn_s_byte" "xsc_pk_gemm_nn_s"
+    [@@noalloc]
+
+  external gemm_nt_raw : buf -> int -> buf -> int -> buf -> int -> int -> float -> unit
+    = "xsc_pk_gemm_nt_s_byte" "xsc_pk_gemm_nt_s"
+    [@@noalloc]
+
+  external syrk_ln_raw : buf -> int -> buf -> int -> int -> float -> float -> unit
+    = "xsc_pk_syrk_ln_s_byte" "xsc_pk_syrk_ln_s"
+    [@@noalloc]
+
+  external trsm_rlt_raw : buf -> int -> buf -> int -> int -> unit = "xsc_pk_trsm_rlt_s"
+    [@@noalloc]
+
+  external potrf_raw : buf -> int -> int -> int = "xsc_pk_potrf_s" [@@noalloc]
+
+  let gemm_nn ~alpha a oa b ob c oc ~nb =
+    gemm_nn_raw a oa b ob c oc nb alpha;
+    Blas.tally_kernel "sgemm" ~flops:(gemm_flops nb) ~bytes:(gemm_bytes 4 nb)
+
+  let gemm_nt ~alpha a oa b ob c oc ~nb =
+    gemm_nt_raw a oa b ob c oc nb alpha;
+    Blas.tally_kernel "sgemm" ~flops:(gemm_flops nb) ~bytes:(gemm_bytes 4 nb)
+
+  let syrk_ln ~alpha a oa ~beta c oc ~nb =
+    syrk_ln_raw a oa c oc nb alpha beta;
+    Blas.tally_kernel "ssyrk" ~flops:(syrk_flops nb) ~bytes:(syrk_bytes 4 nb)
+
+  let trsm_rlt a oa b ob ~nb =
+    trsm_rlt_raw a oa b ob nb;
+    Blas.tally_kernel "strsm" ~flops:(trsm_flops nb) ~bytes:(trsm_bytes 4 nb)
+
+  let potrf a oa ~nb =
+    let st = potrf_raw a oa nb in
+    if st >= 0 then raise (Singular st);
+    Blas.tally_kernel "spotrf" ~flops:(potrf_flops nb) ~bytes:(fact_bytes 4 nb)
+end

@@ -1,0 +1,70 @@
+(** Packed-tile BLAS/LAPACK microkernels (C stubs, unit-stride).
+
+    Every kernel operates on one contiguous [nb x nb] row-major tile inside
+    a flat Bigarray buffer, addressed as a (buffer, element-offset) pair.
+    Contiguity is the point: the inner loops are unit-stride with
+    independent accumulator chains, so the C compiler vectorizes them
+    without gathers and — because the build passes [-ffp-contract=off] and
+    no [-ffast-math] — without changing any rounding.
+
+    Bitwise contract (float64): each kernel performs the same floating-point
+    operations in the same order as its OCaml counterpart in {!Blas} /
+    {!Lapack} (gemm: per-element k-ascending accumulate then one
+    [c += alpha*acc]; syrk: [c = alpha*acc + beta*c]; trsm / potrf /
+    getrf_nopiv: literal transcriptions), so packed factorizations are
+    bit-identical to the strided reference. The float32 kernels compute in
+    genuine single precision — half the bytes moved per flop, double the
+    SIMD lanes — and feed the real mixed-precision path in [Precision.Ir].
+
+    All wrappers tally flops/bytes through {!Blas.tally_kernel} under
+    [blas.{pgemm,psyrk,ptrsm,ppotrf,pgetrf}] (f64) and
+    [blas.{sgemm,ssyrk,strsm,spotrf}] (f32). *)
+
+type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+type f32 = (float, Bigarray.float32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+exception Singular of int
+(** Raised by [potrf] (non-positive pivot) and [getrf_nopiv] (zero pivot)
+    with the failing index within the tile. *)
+
+(** Double-precision kernels. Offsets are element (not byte) offsets of the
+    tile's first element; all tiles are [nb x nb] row-major. *)
+module D : sig
+  type buf = f64
+
+  val gemm_nn : alpha:float -> buf -> int -> buf -> int -> buf -> int -> nb:int -> unit
+  (** [gemm_nn ~alpha a oa b ob c oc ~nb]: [C += alpha A B]. *)
+
+  val gemm_nt : alpha:float -> buf -> int -> buf -> int -> buf -> int -> nb:int -> unit
+  (** [C += alpha A Bᵀ] (the Cholesky update shape). *)
+
+  val syrk_ln : alpha:float -> buf -> int -> beta:float -> buf -> int -> nb:int -> unit
+  (** Lower triangle only: [C <- alpha A Aᵀ + beta C]. *)
+
+  val trsm_rlt : buf -> int -> buf -> int -> nb:int -> unit
+  (** [B <- B A⁻ᵀ], [A] lower triangular non-unit (Cholesky panel). *)
+
+  val trsm_llu : buf -> int -> buf -> int -> nb:int -> unit
+  (** [B <- A⁻¹ B], [A] unit lower triangular (LU row panel). *)
+
+  val trsm_ru : buf -> int -> buf -> int -> nb:int -> unit
+  (** [B <- B A⁻¹], [A] upper triangular non-unit (LU column panel). *)
+
+  val potrf : buf -> int -> nb:int -> unit
+  (** In-place lower Cholesky of one tile; raises {!Singular}. *)
+
+  val getrf_nopiv : buf -> int -> nb:int -> unit
+  (** In-place unpivoted LU of one tile; raises {!Singular}. *)
+end
+
+(** Single-precision kernels: genuine C [float] arithmetic end to end. The
+    subset needed by the packed float32 Cholesky. *)
+module S : sig
+  type buf = f32
+
+  val gemm_nn : alpha:float -> buf -> int -> buf -> int -> buf -> int -> nb:int -> unit
+  val gemm_nt : alpha:float -> buf -> int -> buf -> int -> buf -> int -> nb:int -> unit
+  val syrk_ln : alpha:float -> buf -> int -> beta:float -> buf -> int -> nb:int -> unit
+  val trsm_rlt : buf -> int -> buf -> int -> nb:int -> unit
+  val potrf : buf -> int -> nb:int -> unit
+end

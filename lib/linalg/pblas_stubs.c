@@ -1,0 +1,556 @@
+/* Packed-tile BLAS kernels over contiguous nb x nb tiles.
+ *
+ * Every kernel here operates on one (or a few) tiles of a tile-major packed
+ * matrix: a single Bigarray buffer in which tile (i, j) occupies the
+ * contiguous slice [off, off + nb*nb) in row-major order.  Contiguity is the
+ * whole point — the inner loops below are unit-stride, so the compiler can
+ * keep them in SIMD registers without gather/scatter.
+ *
+ * Bitwise contract (float64): each kernel performs exactly the same
+ * floating-point operations in exactly the same order as its OCaml
+ * counterpart in Blas/Lapack:
+ *
+ *   - gemm:  per element, a k-ascending accumulation into a fresh
+ *            accumulator followed by ONE update c += alpha * acc
+ *            (the order shared by Blas.gemm_unblocked and Kernel.micro);
+ *   - syrk:  per element, k-ascending acc, then c = alpha*acc + beta*c;
+ *   - trsm:  sequential axpy-style substitution in the same l-order as
+ *            the corresponding Blas.trsm branch;
+ *   - potrf / getrf_nopiv: literal transcriptions of Lapack.potrf and
+ *            Lapack.getrf_nopiv.
+ *
+ * The j-blocked loops keep tiers of 32 / 8 INDEPENDENT accumulator chains
+ * (32 fills multiple 512-bit vectors, breaking the add-latency chain that a
+ * single vector accumulator would serialize on); vectorizing across chains
+ * never reassociates any single chain, so -O3 auto-vectorization preserves
+ * results bitwise.  The build passes -ffp-contract=off so no multiply-add
+ * is contracted into an FMA (an FMA rounds once where the OCaml code rounds
+ * twice).  No -ffast-math.
+ *
+ * The float32 kernels compute in genuine C `float` arithmetic — this is the
+ * real reduced-precision path (half the bytes moved per element, twice the
+ * SIMD lanes), not double arithmetic rounded on store.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+#include <math.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* Per-thread scratch for transposed operands (gemm_nt / syrk read their
+ * second operand along k; transposing it once, O(nb^2), turns the O(nb^3)
+ * inner loops unit-stride).  Domains are threads, so __thread gives each
+ * worker its own buffer with no locking; the buffer only grows and is
+ * reused across calls, so steady-state cost is zero allocation. */
+static __thread double *tbuf_d = NULL;
+static __thread long tbuf_d_len = 0;
+static __thread float *tbuf_s = NULL;
+static __thread long tbuf_s_len = 0;
+
+static double *scratch_d(long n)
+{
+  if (tbuf_d_len < n) {
+    free(tbuf_d);
+    tbuf_d = (double *)malloc((size_t)n * sizeof(double));
+    tbuf_d_len = tbuf_d ? n : 0;
+  }
+  return tbuf_d;
+}
+
+static float *scratch_s(long n)
+{
+  if (tbuf_s_len < n) {
+    free(tbuf_s);
+    tbuf_s = (float *)malloc((size_t)n * sizeof(float));
+    tbuf_s_len = tbuf_s ? n : 0;
+  }
+  return tbuf_s;
+}
+
+/* ---------------- float64 kernels ---------------- */
+
+/* c += alpha * a * b, all nb x nb row-major contiguous. */
+static void nn_body_d(const double *a, const double *b, double *c, long nb,
+                      double alpha)
+{
+  for (long i = 0; i < nb; i++) {
+    const double *ai = a + i * nb;
+    double *ci = c + i * nb;
+    long j = 0;
+    for (; j + 32 <= nb; j += 32) {
+      double s[32];
+      for (int q = 0; q < 32; q++) s[q] = 0.0;
+      const double *bj = b + j;
+      for (long k = 0; k < nb; k++) {
+        double av = ai[k];
+        const double *bk = bj + k * nb;
+        for (int q = 0; q < 32; q++) s[q] += av * bk[q];
+      }
+      for (int q = 0; q < 32; q++) ci[j + q] += alpha * s[q];
+    }
+    for (; j + 8 <= nb; j += 8) {
+      double s[8];
+      for (int q = 0; q < 8; q++) s[q] = 0.0;
+      const double *bj = b + j;
+      for (long k = 0; k < nb; k++) {
+        double av = ai[k];
+        const double *bk = bj + k * nb;
+        for (int q = 0; q < 8; q++) s[q] += av * bk[q];
+      }
+      for (int q = 0; q < 8; q++) ci[j + q] += alpha * s[q];
+    }
+    for (; j < nb; j++) {
+      double s = 0.0;
+      for (long k = 0; k < nb; k++) s += ai[k] * b[k * nb + j];
+      ci[j] += alpha * s;
+    }
+  }
+}
+
+CAMLprim value xsc_pk_gemm_nn_d(value va, value voa, value vb, value vob,
+                                value vc, value voc, value vnb, value valpha)
+{
+  long nb = Long_val(vnb);
+  const double *a = (const double *)Caml_ba_data_val(va) + Long_val(voa);
+  const double *b = (const double *)Caml_ba_data_val(vb) + Long_val(vob);
+  double *c = (double *)Caml_ba_data_val(vc) + Long_val(voc);
+  nn_body_d(a, b, c, nb, Double_val(valpha));
+  return Val_unit;
+}
+
+CAMLprim value xsc_pk_gemm_nn_d_byte(value *argv, int argn)
+{
+  (void)argn;
+  return xsc_pk_gemm_nn_d(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                          argv[6], argv[7]);
+}
+
+/* c += alpha * a * b^T: transpose b once, then run the unit-stride body.
+ * Each element still accumulates a[i][k] * b[j][k] in k-ascending order. */
+CAMLprim value xsc_pk_gemm_nt_d(value va, value voa, value vb, value vob,
+                                value vc, value voc, value vnb, value valpha)
+{
+  long nb = Long_val(vnb);
+  const double *a = (const double *)Caml_ba_data_val(va) + Long_val(voa);
+  const double *b = (const double *)Caml_ba_data_val(vb) + Long_val(vob);
+  double *c = (double *)Caml_ba_data_val(vc) + Long_val(voc);
+  double *bt = scratch_d(nb * nb);
+  if (bt == NULL) return Val_long(-2); /* allocation failure: caller raises */
+  for (long j = 0; j < nb; j++) {
+    const double *bj = b + j * nb;
+    for (long k = 0; k < nb; k++) bt[k * nb + j] = bj[k];
+  }
+  nn_body_d(a, bt, c, nb, Double_val(valpha));
+  return Val_unit;
+}
+
+CAMLprim value xsc_pk_gemm_nt_d_byte(value *argv, int argn)
+{
+  (void)argn;
+  return xsc_pk_gemm_nt_d(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                          argv[6], argv[7]);
+}
+
+/* Lower triangle of c: c = alpha * a a^T + beta * c (Blas.syrk NoTrans). */
+CAMLprim value xsc_pk_syrk_ln_d(value va, value voa, value vc, value voc,
+                                value vnb, value valpha, value vbeta)
+{
+  long nb = Long_val(vnb);
+  const double *a = (const double *)Caml_ba_data_val(va) + Long_val(voa);
+  double *c = (double *)Caml_ba_data_val(vc) + Long_val(voc);
+  double alpha = Double_val(valpha), beta = Double_val(vbeta);
+  double *at = scratch_d(nb * nb);
+  if (at == NULL) return Val_long(-2);
+  for (long j = 0; j < nb; j++) {
+    const double *aj = a + j * nb;
+    for (long k = 0; k < nb; k++) at[k * nb + j] = aj[k];
+  }
+  /* The triangular store boundary does not shrink the compute tier: a full
+   * 32-wide block is accumulated whenever it fits in the row (reads stay
+   * in-bounds), and only the j <= i columns are stored.  Stored elements
+   * see exactly their own k-ascending chain; the discarded accumulators
+   * are independent, so this wastes a few flops but keeps the wide-SIMD
+   * rate on every row — without it, rows below the tier width fall back
+   * to latency-bound narrow blocks. */
+  for (long i = 0; i < nb; i++) {
+    const double *ai = a + i * nb;
+    double *ci = c + i * nb;
+    long j = 0;
+    for (; j <= i && j + 32 <= nb; j += 32) {
+      double s[32];
+      for (int q = 0; q < 32; q++) s[q] = 0.0;
+      const double *atj = at + j;
+      for (long k = 0; k < nb; k++) {
+        double av = ai[k];
+        const double *atk = atj + k * nb;
+        for (int q = 0; q < 32; q++) s[q] += av * atk[q];
+      }
+      long m = i - j + 1;
+      if (m > 32) m = 32;
+      for (long q = 0; q < m; q++) ci[j + q] = alpha * s[q] + beta * ci[j + q];
+    }
+    for (; j <= i && j + 8 <= nb; j += 8) {
+      double s[8];
+      for (int q = 0; q < 8; q++) s[q] = 0.0;
+      const double *atj = at + j;
+      for (long k = 0; k < nb; k++) {
+        double av = ai[k];
+        const double *atk = atj + k * nb;
+        for (int q = 0; q < 8; q++) s[q] += av * atk[q];
+      }
+      long m = i - j + 1;
+      if (m > 8) m = 8;
+      for (long q = 0; q < m; q++) ci[j + q] = alpha * s[q] + beta * ci[j + q];
+    }
+    for (; j <= i; j++) {
+      double s = 0.0;
+      for (long k = 0; k < nb; k++) s += ai[k] * at[k * nb + j];
+      ci[j] = alpha * s + beta * ci[j];
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value xsc_pk_syrk_ln_d_byte(value *argv, int argn)
+{
+  (void)argn;
+  return xsc_pk_syrk_ln_d(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                          argv[6]);
+}
+
+/* b <- b * a^-T with a lower triangular, alpha = 1 (Cholesky trsm).
+ * Mirrors the Right/effective-Upper branch of Blas.trsm.  The substitution
+ * chain of one element runs over its row's earlier columns, but the rows
+ * themselves are independent — so b is transposed into scratch, the column
+ * sweep becomes a unit-stride axpy across rows (vectorizable without
+ * touching any element's own chain), and the result is transposed back.
+ * Element b[i][j] sees the same sequential l-ascending subtractions and
+ * final divide, on the same operand values: bitwise identical. */
+CAMLprim value xsc_pk_trsm_rlt_d(value va, value voa, value vb, value vob,
+                                 value vnb)
+{
+  long nb = Long_val(vnb);
+  const double *a = (const double *)Caml_ba_data_val(va) + Long_val(voa);
+  double *b = (double *)Caml_ba_data_val(vb) + Long_val(vob);
+  double *bt = scratch_d(nb * nb);
+  if (bt == NULL) return Val_long(-2);
+  for (long i = 0; i < nb; i++)
+    for (long j = 0; j < nb; j++) bt[j * nb + i] = b[i * nb + j];
+  for (long j = 0; j < nb; j++) {
+    const double *aj = a + j * nb;
+    double *btj = bt + j * nb;
+    for (long l = 0; l < j; l++) {
+      double alj = aj[l];
+      if (alj != 0.0) {
+        const double *btl = bt + l * nb;
+        for (long i = 0; i < nb; i++) btj[i] -= btl[i] * alj;
+      }
+    }
+    double d = aj[j];
+    if (d != 1.0)
+      for (long i = 0; i < nb; i++) btj[i] /= d;
+  }
+  for (long i = 0; i < nb; i++)
+    for (long j = 0; j < nb; j++) b[i * nb + j] = bt[j * nb + i];
+  return Val_unit;
+}
+
+/* b <- a^-1 b with a unit lower triangular (LU panel trsm, Left/Lower/Unit). */
+CAMLprim value xsc_pk_trsm_llu_d(value va, value voa, value vb, value vob,
+                                 value vnb)
+{
+  long nb = Long_val(vnb);
+  const double *a = (const double *)Caml_ba_data_val(va) + Long_val(voa);
+  double *b = (double *)Caml_ba_data_val(vb) + Long_val(vob);
+  for (long i = 0; i < nb; i++) {
+    const double *ai = a + i * nb;
+    double *bi = b + i * nb;
+    for (long l = 0; l < i; l++) {
+      double ail = ai[l];
+      if (ail != 0.0) {
+        const double *bl = b + l * nb;
+        for (long j = 0; j < nb; j++) bi[j] -= ail * bl[j];
+      }
+    }
+  }
+  return Val_unit;
+}
+
+/* b <- b * a^-1 with a upper triangular (LU panel trsm, Right/Upper).
+ * Same transposed column-sweep as trsm_rlt above, same bitwise argument. */
+CAMLprim value xsc_pk_trsm_ru_d(value va, value voa, value vb, value vob,
+                                value vnb)
+{
+  long nb = Long_val(vnb);
+  const double *a = (const double *)Caml_ba_data_val(va) + Long_val(voa);
+  double *b = (double *)Caml_ba_data_val(vb) + Long_val(vob);
+  double *bt = scratch_d(nb * nb);
+  if (bt == NULL) return Val_long(-2);
+  for (long i = 0; i < nb; i++)
+    for (long j = 0; j < nb; j++) bt[j * nb + i] = b[i * nb + j];
+  for (long j = 0; j < nb; j++) {
+    double *btj = bt + j * nb;
+    for (long l = 0; l < j; l++) {
+      double alj = a[l * nb + j];
+      if (alj != 0.0) {
+        const double *btl = bt + l * nb;
+        for (long i = 0; i < nb; i++) btj[i] -= btl[i] * alj;
+      }
+    }
+    double d = a[j * nb + j];
+    if (d != 1.0)
+      for (long i = 0; i < nb; i++) btj[i] /= d;
+  }
+  for (long i = 0; i < nb; i++)
+    for (long j = 0; j < nb; j++) b[i * nb + j] = bt[j * nb + i];
+  return Val_unit;
+}
+
+/* In-place lower Cholesky of one tile; literal Lapack.potrf.
+ * Returns -1 on success, the failing column index on a non-positive pivot. */
+CAMLprim value xsc_pk_potrf_d(value va, value voa, value vnb)
+{
+  long nb = Long_val(vnb);
+  double *a = (double *)Caml_ba_data_val(va) + Long_val(voa);
+  for (long j = 0; j < nb; j++) {
+    double *aj = a + j * nb;
+    double d = aj[j];
+    for (long k = 0; k < j; k++) {
+      double l = aj[k];
+      d -= l * l;
+    }
+    if (d <= 0.0) return Val_long(j);
+    double ljj = sqrt(d);
+    aj[j] = ljj;
+    for (long i = j + 1; i < nb; i++) {
+      double *ai = a + i * nb;
+      double acc = ai[j];
+      for (long k = 0; k < j; k++) acc -= ai[k] * aj[k];
+      ai[j] = acc / ljj;
+    }
+  }
+  return Val_long(-1);
+}
+
+/* In-place LU without pivoting; literal Lapack.getrf_nopiv.
+ * Returns -1 on success, the failing column on a zero pivot. */
+CAMLprim value xsc_pk_getrf_nopiv_d(value va, value voa, value vnb)
+{
+  long nb = Long_val(vnb);
+  double *a = (double *)Caml_ba_data_val(va) + Long_val(voa);
+  for (long k = 0; k < nb; k++) {
+    const double *ak = a + k * nb;
+    double akk = ak[k];
+    if (akk == 0.0) return Val_long(k);
+    for (long i = k + 1; i < nb; i++) {
+      double *ai = a + i * nb;
+      double lik = ai[k] / akk;
+      ai[k] = lik;
+      if (lik != 0.0)
+        for (long j = k + 1; j < nb; j++) ai[j] -= lik * ak[j];
+    }
+  }
+  return Val_long(-1);
+}
+
+/* ---------------- float32 kernels ---------------- */
+
+/* Genuine single-precision arithmetic: every operation rounds to float.
+ * Same 32 / 8 accumulator tiers as the double kernels — at equal tier
+ * width that is twice the lanes per vector at half the memory traffic,
+ * which is exactly the "rule 4" advantage the mixed-precision path
+ * measures. */
+
+static void nn_body_s(const float *a, const float *b, float *c, long nb,
+                      float alpha)
+{
+  for (long i = 0; i < nb; i++) {
+    const float *ai = a + i * nb;
+    float *ci = c + i * nb;
+    long j = 0;
+    for (; j + 32 <= nb; j += 32) {
+      float s[32];
+      for (int q = 0; q < 32; q++) s[q] = 0.0f;
+      const float *bj = b + j;
+      for (long k = 0; k < nb; k++) {
+        float av = ai[k];
+        const float *bk = bj + k * nb;
+        for (int q = 0; q < 32; q++) s[q] += av * bk[q];
+      }
+      for (int q = 0; q < 32; q++) ci[j + q] += alpha * s[q];
+    }
+    for (; j + 8 <= nb; j += 8) {
+      float s[8];
+      for (int q = 0; q < 8; q++) s[q] = 0.0f;
+      const float *bj = b + j;
+      for (long k = 0; k < nb; k++) {
+        float av = ai[k];
+        const float *bk = bj + k * nb;
+        for (int q = 0; q < 8; q++) s[q] += av * bk[q];
+      }
+      for (int q = 0; q < 8; q++) ci[j + q] += alpha * s[q];
+    }
+    for (; j < nb; j++) {
+      float s = 0.0f;
+      for (long k = 0; k < nb; k++) s += ai[k] * b[k * nb + j];
+      ci[j] += alpha * s;
+    }
+  }
+}
+
+CAMLprim value xsc_pk_gemm_nt_s(value va, value voa, value vb, value vob,
+                                value vc, value voc, value vnb, value valpha)
+{
+  long nb = Long_val(vnb);
+  const float *a = (const float *)Caml_ba_data_val(va) + Long_val(voa);
+  const float *b = (const float *)Caml_ba_data_val(vb) + Long_val(vob);
+  float *c = (float *)Caml_ba_data_val(vc) + Long_val(voc);
+  float *bt = scratch_s(nb * nb);
+  if (bt == NULL) return Val_long(-2);
+  for (long j = 0; j < nb; j++) {
+    const float *bj = b + j * nb;
+    for (long k = 0; k < nb; k++) bt[k * nb + j] = bj[k];
+  }
+  nn_body_s(a, bt, c, nb, (float)Double_val(valpha));
+  return Val_unit;
+}
+
+CAMLprim value xsc_pk_gemm_nt_s_byte(value *argv, int argn)
+{
+  (void)argn;
+  return xsc_pk_gemm_nt_s(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                          argv[6], argv[7]);
+}
+
+CAMLprim value xsc_pk_gemm_nn_s(value va, value voa, value vb, value vob,
+                                value vc, value voc, value vnb, value valpha)
+{
+  long nb = Long_val(vnb);
+  const float *a = (const float *)Caml_ba_data_val(va) + Long_val(voa);
+  const float *b = (const float *)Caml_ba_data_val(vb) + Long_val(vob);
+  float *c = (float *)Caml_ba_data_val(vc) + Long_val(voc);
+  nn_body_s(a, b, c, nb, (float)Double_val(valpha));
+  return Val_unit;
+}
+
+CAMLprim value xsc_pk_gemm_nn_s_byte(value *argv, int argn)
+{
+  (void)argn;
+  return xsc_pk_gemm_nn_s(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                          argv[6], argv[7]);
+}
+
+CAMLprim value xsc_pk_syrk_ln_s(value va, value voa, value vc, value voc,
+                                value vnb, value valpha, value vbeta)
+{
+  long nb = Long_val(vnb);
+  const float *a = (const float *)Caml_ba_data_val(va) + Long_val(voa);
+  float *c = (float *)Caml_ba_data_val(vc) + Long_val(voc);
+  float alpha = (float)Double_val(valpha), beta = (float)Double_val(vbeta);
+  float *at = scratch_s(nb * nb);
+  if (at == NULL) return Val_long(-2);
+  for (long j = 0; j < nb; j++) {
+    const float *aj = a + j * nb;
+    for (long k = 0; k < nb; k++) at[k * nb + j] = aj[k];
+  }
+  /* Full-width compute tier with triangular masked store — see the f64
+   * syrk above for the bitwise argument. */
+  for (long i = 0; i < nb; i++) {
+    const float *ai = a + i * nb;
+    float *ci = c + i * nb;
+    long j = 0;
+    for (; j <= i && j + 32 <= nb; j += 32) {
+      float s[32];
+      for (int q = 0; q < 32; q++) s[q] = 0.0f;
+      const float *atj = at + j;
+      for (long k = 0; k < nb; k++) {
+        float av = ai[k];
+        const float *atk = atj + k * nb;
+        for (int q = 0; q < 32; q++) s[q] += av * atk[q];
+      }
+      long m = i - j + 1;
+      if (m > 32) m = 32;
+      for (long q = 0; q < m; q++) ci[j + q] = alpha * s[q] + beta * ci[j + q];
+    }
+    for (; j <= i && j + 8 <= nb; j += 8) {
+      float s[8];
+      for (int q = 0; q < 8; q++) s[q] = 0.0f;
+      const float *atj = at + j;
+      for (long k = 0; k < nb; k++) {
+        float av = ai[k];
+        const float *atk = atj + k * nb;
+        for (int q = 0; q < 8; q++) s[q] += av * atk[q];
+      }
+      long m = i - j + 1;
+      if (m > 8) m = 8;
+      for (long q = 0; q < m; q++) ci[j + q] = alpha * s[q] + beta * ci[j + q];
+    }
+    for (; j <= i; j++) {
+      float s = 0.0f;
+      for (long k = 0; k < nb; k++) s += ai[k] * at[k * nb + j];
+      ci[j] = alpha * s + beta * ci[j];
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value xsc_pk_syrk_ln_s_byte(value *argv, int argn)
+{
+  (void)argn;
+  return xsc_pk_syrk_ln_s(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                          argv[6]);
+}
+
+CAMLprim value xsc_pk_trsm_rlt_s(value va, value voa, value vb, value vob,
+                                 value vnb)
+{
+  long nb = Long_val(vnb);
+  const float *a = (const float *)Caml_ba_data_val(va) + Long_val(voa);
+  float *b = (float *)Caml_ba_data_val(vb) + Long_val(vob);
+  float *bt = scratch_s(nb * nb);
+  if (bt == NULL) return Val_long(-2);
+  for (long i = 0; i < nb; i++)
+    for (long j = 0; j < nb; j++) bt[j * nb + i] = b[i * nb + j];
+  for (long j = 0; j < nb; j++) {
+    const float *aj = a + j * nb;
+    float *btj = bt + j * nb;
+    for (long l = 0; l < j; l++) {
+      float alj = aj[l];
+      if (alj != 0.0f) {
+        const float *btl = bt + l * nb;
+        for (long i = 0; i < nb; i++) btj[i] -= btl[i] * alj;
+      }
+    }
+    float d = aj[j];
+    if (d != 1.0f)
+      for (long i = 0; i < nb; i++) btj[i] /= d;
+  }
+  for (long i = 0; i < nb; i++)
+    for (long j = 0; j < nb; j++) b[i * nb + j] = bt[j * nb + i];
+  return Val_unit;
+}
+
+CAMLprim value xsc_pk_potrf_s(value va, value voa, value vnb)
+{
+  long nb = Long_val(vnb);
+  float *a = (float *)Caml_ba_data_val(va) + Long_val(voa);
+  for (long j = 0; j < nb; j++) {
+    float *aj = a + j * nb;
+    float d = aj[j];
+    for (long k = 0; k < j; k++) {
+      float l = aj[k];
+      d -= l * l;
+    }
+    if (d <= 0.0f) return Val_long(j);
+    float ljj = sqrtf(d);
+    aj[j] = ljj;
+    for (long i = j + 1; i < nb; i++) {
+      float *ai = a + i * nb;
+      float acc = ai[j];
+      for (long k = 0; k < j; k++) acc -= ai[k] * aj[k];
+      ai[j] = acc / ljj;
+    }
+  }
+  return Val_long(-1);
+}

@@ -92,6 +92,40 @@ let chol_ir ?(max_iter = 50) ?(tol = default_tol) ~precision a b =
   let per_iter_flops = (2.0 *. float_of_int (n * n)) +. (2.0 *. float_of_int (n * n)) in
   refine ~max_iter ~tol ~factor_flops:(Lapack.potrf_flops n) ~per_iter_flops a b x0 solve
 
+(* The real float32 pipeline: pad to a tile multiple, pack into float32
+   tile-major storage (quantizing once), run the genuinely single-precision
+   packed tiled Cholesky (Pblas C kernels — the one that measures ~2x the
+   double rate from halved memory traffic and doubled SIMD lanes), then
+   refine in double against the original matrix. Contrast with [chol_ir
+   ~precision:fp32], which simulates reduced precision by rounding every
+   double operation — correct for accuracy studies, useless for speed. *)
+let chol_ir32 ?(max_iter = 50) ?(tol = default_tol) ?(nb = 64) a b =
+  let module Packed = Xsc_tile.Packed in
+  let n = a.Mat.rows in
+  if n <> a.Mat.cols || Array.length b <> n then
+    invalid_arg "Ir.chol_ir32: dimension mismatch";
+  let padded, _ = Xsc_tile.Tile.pad_to ~nb a in
+  let np = padded.Mat.rows in
+  let f = Packed.S.of_mat ~nb padded in
+  Packed.S.potrf f;
+  (* Scale the residual to O(1) before the f32-factor solve and scale the
+     correction back (HPL-AI recipe): converged residuals fall below
+     float32's representable range otherwise. The solve itself reads the
+     f32 factor with double accumulation. *)
+  let solve r =
+    let scale = Vec.norm_inf r in
+    if scale = 0.0 then Array.make (Array.length r) 0.0
+    else begin
+      let rp = Array.make np 0.0 in
+      Array.iteri (fun i x -> rp.(i) <- x /. scale) r;
+      let d = Packed.S.potrs f rp in
+      Array.init n (fun i -> d.(i) *. scale)
+    end
+  in
+  let x0 = solve b in
+  let per_iter_flops = (2.0 *. float_of_int (n * n)) +. (2.0 *. float_of_int (n * n)) in
+  refine ~max_iter ~tol ~factor_flops:(Lapack.potrf_flops n) ~per_iter_flops a b x0 solve
+
 (* Dense GMRES on an operator closure (MGS Arnoldi + Givens), used to solve
    the preconditioned correction equation of gmres_ir. Returns the iterate
    after at most [restart] steps or when the implied residual passes [tol]

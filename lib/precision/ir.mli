@@ -32,6 +32,15 @@ val chol_ir :
   ?max_iter:int -> ?tol:float -> precision:(module Scalar.S) -> Mat.t -> Vec.t -> report
 (** Same for SPD systems with Cholesky. *)
 
+val chol_ir32 : ?max_iter:int -> ?tol:float -> ?nb:int -> Mat.t -> Vec.t -> report
+(** SPD solve through the {e real} float32 path: the matrix is packed into
+    float32 tile-major storage ({!Xsc_tile.Packed.S}, quantizing once) and
+    factored by the genuinely single-precision packed tiled Cholesky — the
+    C kernel path whose ~2x rate over double the bench measures — then
+    refined in double to full accuracy. [nb] is the tile size (default 64;
+    the matrix is identity-padded to a multiple). Raises
+    [Xsc_linalg.Pblas.Singular] if the float32 factorization breaks down. *)
+
 val gmres_ir :
   ?max_iter:int -> ?tol:float -> ?restart:int -> precision:(module Scalar.S) -> Mat.t ->
   Vec.t -> report

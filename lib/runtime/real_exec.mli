@@ -16,9 +16,19 @@
       is reused across levels so the comparison measures barrier idle time,
       not domain spawn cost).
 
-    Tasks must carry [run] closures. Closures of independent tasks must be
-    safe to run from different domains — the tile kernels are, as they write
-    disjoint tiles.
+    Tasks must carry a body: a [run] closure, or a closure-free {!Task.op}
+    when the caller passes an [interp] interpreter (the op wins if both are
+    present, so an op-encoded DAG can also carry oracle closures). Bodies of
+    independent tasks must be safe to run from different domains — the tile
+    kernels are, as they write disjoint tiles. Op dispatch is one branch on
+    an immediate tag: no per-task closure allocation, nothing for the GC to
+    scan in the steal loop.
+
+    Idle dataflow workers retry failed steal sweeps with bounded exponential
+    backoff ({!Domain.cpu_relax} pauses doubling per failed sweep) and park
+    on a condvar after [max_sweeps] dry sweeps — the probe budget per idle
+    episode is bounded, so steal_attempts stays proportional to steals
+    rather than to idle time.
 
     {2 Telemetry}
 
@@ -57,18 +67,22 @@ type stats = {
   trace : Trace.t option;  (** present iff tracing was enabled for the run *)
 }
 
-val run_dataflow : ?priority:(int -> int) -> ?trace:bool -> workers:int -> Dag.t -> stats
-(** [priority] ranks ready tasks (higher runs sooner on the worker that
+val run_dataflow :
+  ?interp:(Task.op -> unit) -> ?priority:(int -> int) -> ?trace:bool ->
+  workers:int -> Dag.t -> stats
+(** [interp] executes closure-free op-encoded tasks (see {!Task.op});
+    [priority] ranks ready tasks (higher runs sooner on the worker that
     made them ready — e.g. a bottom-level rank for critical-path-first, or
     [fun id -> -id] for FIFO program order); omitted, successors run in
     discovery order. [trace] defaults to [XSC_TRACE] in the environment.
-    Raises [Invalid_argument] if a task lacks a closure or [workers < 1]. *)
+    Raises [Invalid_argument] if a task lacks a body or [workers < 1]. *)
 
-val run_forkjoin : ?trace:bool -> workers:int -> Dag.t -> stats
+val run_forkjoin :
+  ?interp:(Task.op -> unit) -> ?trace:bool -> workers:int -> Dag.t -> stats
 (** [park_time] reports the cumulative level-barrier wait — the BSP idle
     time the paper's DAG-scheduling argument is about. *)
 
-val run_sequential : ?trace:bool -> Dag.t -> stats
+val run_sequential : ?interp:(Task.op -> unit) -> ?trace:bool -> Dag.t -> stats
 (** Program-order execution on the calling domain (baseline and test
     oracle). A trace of a sequential run is the per-kernel time breakdown
     with zero scheduling noise. *)

@@ -3,6 +3,21 @@ type access =
   | Write of int
   | Read_write of int
 
+(* Closure-free task encoding: the dense-factorization kernels as plain
+   variants over tile coordinates. A DAG built from ops carries no per-task
+   closure — one word per task instead of a closure block capturing tile
+   views — and the executor dispatches every task through a single
+   interpreter function (one branch on an immediate tag), so the steal loop
+   allocates nothing and the GC never scans task bodies. *)
+type op =
+  | Potrf of int  (** Cholesky: factor diagonal tile [k] *)
+  | Trsm of int * int  (** Cholesky panel: [A(i,k) <- A(i,k) L(k,k)^-T] *)
+  | Syrk of int * int  (** Cholesky update: [A(i,i) -= A(i,k) A(i,k)^T] *)
+  | Gemm of int * int * int  (** update: [A(i,j) -= A(i,k) op(A(.,k))] *)
+  | Getrf of int  (** LU: factor diagonal tile [k] (no pivoting) *)
+  | Trsm_l of int * int  (** LU row panel: [A(k,j) <- L(k,k)^-1 A(k,j)] *)
+  | Trsm_u of int * int  (** LU column panel: [A(i,k) <- A(i,k) U(k,k)^-1] *)
+
 type t = {
   id : int;
   name : string;
@@ -10,11 +25,21 @@ type t = {
   bytes : float;
   accesses : access list;
   run : (unit -> unit) option;
+  op : op option;
 }
 
-let make ~id ~name ~flops ?(bytes = 0.0) ?run accesses =
+let make ~id ~name ~flops ?(bytes = 0.0) ?run ?op accesses =
   if flops < 0.0 || bytes < 0.0 then invalid_arg "Task.make: negative weight";
-  { id; name; flops; bytes; accesses; run }
+  { id; name; flops; bytes; accesses; run; op }
+
+let op_name = function
+  | Potrf k -> Printf.sprintf "potrf(%d,%d)" k k
+  | Trsm (k, i) -> Printf.sprintf "trsm(%d,%d)" i k
+  | Syrk (i, k) -> Printf.sprintf "syrk(%d,%d)" i k
+  | Gemm (i, j, k) -> Printf.sprintf "gemm(%d,%d,%d)" i j k
+  | Getrf k -> Printf.sprintf "getrf(%d,%d)" k k
+  | Trsm_l (k, j) -> Printf.sprintf "trsm_l(%d,%d)" k j
+  | Trsm_u (i, k) -> Printf.sprintf "trsm_u(%d,%d)" i k
 
 let reads t =
   List.filter_map

@@ -1,0 +1,83 @@
+(** Tile-major packed matrix storage.
+
+    One flat Bigarray holds the whole [n x n] matrix; tile [(i, j)] is the
+    contiguous slice starting at element [((i*nt)+j) * nb*nb], row-major
+    inside the tile. Kernels run unit-stride over operand tiles — the data
+    layout the strided {!Tile.t} (array-of-row-major-views) cannot offer.
+
+    The float64 sequential drivers replay the exact program order of the
+    lib/core task generators using {!Xsc_linalg.Pblas} kernels, so packed
+    factorizations are bitwise identical to the strided reference. The
+    float32 module is the real reduced-precision storage feeding
+    [Precision.Ir]: quantization happens on pack (store rounds to nearest
+    single), and [potrs] reads the f32 factor with double accumulation. *)
+
+(** Double-precision packed matrix. *)
+module D : sig
+  type t = { n : int; nb : int; nt : int; buf : Xsc_linalg.Pblas.f64 }
+
+  val create : n:int -> nb:int -> t
+  (** Zero-filled packed matrix; [n] must be a multiple of [nb]. *)
+
+  val copy : t -> t
+
+  val off : t -> int -> int -> int
+  (** Element offset of tile [(i, j)]'s first element in [buf]. *)
+
+  val get : t -> int -> int -> float
+  (** Element access by global (row, col) index. *)
+
+  val set : t -> int -> int -> float -> unit
+
+  val of_mat : nb:int -> Xsc_linalg.Mat.t -> t
+  (** Pack a square dense matrix. Exact (a copy, no rounding). *)
+
+  val to_mat : t -> Xsc_linalg.Mat.t
+  (** Unpack; [to_mat (of_mat ~nb a)] round-trips bitwise. *)
+
+  val of_tiled : Tile.t -> t
+  (** Pack from strided tile storage (square only). Exact. *)
+
+  val to_tiled : t -> Tile.t
+
+  val potrf : t -> unit
+  (** Sequential packed tiled Cholesky (lower), bitwise identical to the
+      strided [Cholesky.factor] reference. Raises
+      {!Xsc_linalg.Pblas.Singular} on a non-positive pivot. *)
+
+  val getrf_nopiv : t -> unit
+  (** Sequential packed tiled unpivoted LU, bitwise identical to the
+      strided [Lu.factor] reference. Raises {!Xsc_linalg.Pblas.Singular}
+      on a zero pivot. *)
+
+  val gemm : alpha:float -> t -> t -> beta:float -> t -> unit
+  (** Whole-matrix [C <- alpha A B + beta C] over packed tiles (all three
+      matrices same [n] and [nb]). *)
+end
+
+(** Single-precision packed matrix — the real float32 path. *)
+module S : sig
+  type t = { n : int; nb : int; nt : int; buf : Xsc_linalg.Pblas.f32 }
+
+  val create : n:int -> nb:int -> t
+
+  val off : t -> int -> int -> int
+
+  val of_mat : nb:int -> Xsc_linalg.Mat.t -> t
+  (** Pack with rounding to nearest float32 (the quantization step of the
+      mixed-precision pipeline). *)
+
+  val to_mat : t -> Xsc_linalg.Mat.t
+  (** Unpack, widening exactly (every float32 is a float64). *)
+
+  val get : t -> int -> int -> float
+  (** Element by global index, widened to double. *)
+
+  val potrf : t -> unit
+  (** Sequential packed tiled Cholesky in genuine float32 arithmetic.
+      Raises {!Xsc_linalg.Pblas.Singular} on a non-positive pivot. *)
+
+  val potrs : t -> Xsc_linalg.Vec.t -> Xsc_linalg.Vec.t
+  (** [potrs l b] solves [L Lᵀ x = b] reading the float32 factor with
+      double-precision accumulation; returns a fresh solution vector. *)
+end

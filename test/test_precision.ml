@@ -29,6 +29,30 @@ let test_chol_ir_fp32_converges () =
   Alcotest.(check bool) "few iterations" true (r.Ir.iterations <= 5);
   Alcotest.(check bool) "did refine" true (r.Ir.iterations >= 1)
 
+let test_chol_ir32_real_f32_converges () =
+  (* the real packed float32 factorization (C kernels, genuine single
+     precision), not the Gblas simulated path *)
+  let a, x_true, b = spd_system 11 96 in
+  let r = Ir.chol_ir32 ~nb:32 a b in
+  Alcotest.(check bool) "converged" true r.Ir.converged;
+  Alcotest.(check bool) "double accuracy" true
+    (Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true < 1e-12);
+  Alcotest.(check bool) "did refine" true (r.Ir.iterations >= 1);
+  Alcotest.(check bool) "few iterations" true (r.Ir.iterations <= 6)
+
+let test_chol_ir32_padded () =
+  (* n not a multiple of nb: identity padding must not disturb the solve *)
+  let a, x_true, b = spd_system 12 50 in
+  let r = Ir.chol_ir32 ~nb:32 a b in
+  Alcotest.(check bool) "converged" true r.Ir.converged;
+  Alcotest.(check bool) "double accuracy" true
+    (Vec.dist_inf r.Ir.x x_true /. Vec.norm_inf x_true < 1e-12)
+
+let test_chol_ir32_dimension_check () =
+  let a = Mat.create 4 4 in
+  Alcotest.check_raises "dims" (Invalid_argument "Ir.chol_ir32: dimension mismatch")
+    (fun () -> ignore (Ir.chol_ir32 a [| 1.0 |]))
+
 let test_lu_ir_fp32_converges () =
   let a, x_true, b = general_system 2 48 in
   let r = Ir.lu_ir ~precision:(module Scalar.Fp32) a b in
@@ -139,6 +163,11 @@ let () =
       ( "iterative refinement",
         [
           Alcotest.test_case "chol fp32 converges" `Quick test_chol_ir_fp32_converges;
+          Alcotest.test_case "chol_ir32 real f32 converges" `Quick
+            test_chol_ir32_real_f32_converges;
+          Alcotest.test_case "chol_ir32 padded size" `Quick test_chol_ir32_padded;
+          Alcotest.test_case "chol_ir32 dimension check" `Quick
+            test_chol_ir32_dimension_check;
           Alcotest.test_case "lu fp32 converges" `Quick test_lu_ir_fp32_converges;
           Alcotest.test_case "IR beats plain fp32" `Quick test_ir_beats_plain_low_precision;
           Alcotest.test_case "history" `Quick test_ir_history;

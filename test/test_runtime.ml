@@ -354,8 +354,55 @@ let test_real_dataflow_parallel_independent () =
 
 let test_real_missing_closure () =
   let dag = Dag.build [ Task.make ~id:0 ~name:"bare" ~flops:1.0 [ Task.Write 0 ] ] in
-  Alcotest.check_raises "no closure" (Invalid_argument "Real_exec: task without closure: bare")
+  Alcotest.check_raises "no body" (Invalid_argument "Real_exec: task without body: bare")
     (fun () -> ignore (Real_exec.run_dataflow ~workers:2 dag))
+
+(* Closure-free dispatch: op-encoded tasks run through a single interpreter
+   with no per-task closures, on every executor. The Gemm coordinates are
+   folded non-commutatively so ordering violations would change the sum. *)
+let op_dag n =
+  List.init n (fun id ->
+      let d = id mod 4 in
+      Task.make ~id ~name:(Task.op_name (Task.Gemm (id, d, 0))) ~flops:1.0
+        ~op:(Task.Gemm (id, d, 0))
+        [ Task.Read_write d ])
+  |> Dag.build
+
+let run_op_dag run =
+  let cells = Array.make 4 0.0 in
+  let interp = function
+    | Task.Gemm (i, d, _) -> cells.(d) <- (cells.(d) *. 1.000001) +. float_of_int i
+    | op -> invalid_arg (Task.op_name op)
+  in
+  let stats = run ~interp (op_dag 60) in
+  (stats, cells)
+
+let test_op_dispatch_all_executors () =
+  let seq, cells_seq = run_op_dag (fun ~interp d -> Real_exec.run_sequential ~interp d) in
+  Alcotest.(check int) "sequential ran all" 60 seq.Real_exec.tasks;
+  let df, cells_df =
+    run_op_dag (fun ~interp d -> Real_exec.run_dataflow ~interp ~workers:4 d)
+  in
+  Alcotest.(check int) "dataflow ran all" 60 df.Real_exec.tasks;
+  Alcotest.(check (array (float 0.0))) "dataflow matches sequential" cells_seq cells_df;
+  let fj, cells_fj =
+    run_op_dag (fun ~interp d -> Real_exec.run_forkjoin ~interp ~workers:4 d)
+  in
+  Alcotest.(check int) "forkjoin ran all" 60 fj.Real_exec.tasks;
+  Alcotest.(check (array (float 0.0))) "forkjoin matches sequential" cells_seq cells_fj
+
+let test_op_without_interp_rejected () =
+  (* an op-encoded task has no closure: running without an interpreter must
+     fail up front, not mid-flight *)
+  let dag = Dag.build [ Task.make ~id:0 ~name:"op" ~flops:1.0 ~op:(Task.Potrf 0) [ Task.Write 0 ] ] in
+  Alcotest.check_raises "no interp" (Invalid_argument "Real_exec: task without body: op")
+    (fun () -> ignore (Real_exec.run_dataflow ~workers:2 dag))
+
+let test_op_name () =
+  Alcotest.(check string) "potrf" "potrf(2,2)" (Task.op_name (Task.Potrf 2));
+  Alcotest.(check string) "trsm" "trsm(3,1)" (Task.op_name (Task.Trsm (1, 3)));
+  Alcotest.(check string) "gemm" "gemm(3,2,1)" (Task.op_name (Task.Gemm (3, 2, 1)));
+  Alcotest.(check string) "trsm_l" "trsm_l(0,2)" (Task.op_name (Task.Trsm_l (0, 2)))
 
 let test_real_empty_dag () =
   let stats = Real_exec.run_dataflow ~workers:4 (Dag.build []) in
@@ -738,6 +785,11 @@ let () =
           Alcotest.test_case "parallel independent" `Quick
             test_real_dataflow_parallel_independent;
           Alcotest.test_case "missing closure" `Quick test_real_missing_closure;
+          Alcotest.test_case "op dispatch all executors" `Quick
+            test_op_dispatch_all_executors;
+          Alcotest.test_case "op without interp rejected" `Quick
+            test_op_without_interp_rejected;
+          Alcotest.test_case "op names" `Quick test_op_name;
           Alcotest.test_case "empty dag" `Quick test_real_empty_dag;
           Alcotest.test_case "default workers" `Quick test_default_workers;
           qcheck prop_dataflow_bitwise_oracle;
