@@ -4,9 +4,10 @@
    refinement solve, real-domain scheduler results over the packed
    closure-free DAG (dataflow vs fork-join, with steal/park telemetry) and
    a metrics object: per-kernel achieved GFLOP/s from a traced run plus the
-   full Xsc_obs.Metrics registry snapshot. This seeds the BENCH_*.json perf
-   trajectory: each PR can append a record and diff GFLOP/s and speedups
-   against the previous ones.
+   full Xsc_obs.Metrics registry snapshot, and a resilience record (ABFT
+   overhead vs model, seeded corruption storm — see Faults_run). This seeds
+   the BENCH_*.json perf trajectory: each PR can append a record and diff
+   GFLOP/s and speedups against the previous ones.
 
    `--smoke FILE` is the CI perf-sanity subset: one scheduler record
    (n=432, 2 workers) plus the registry, record-only — the shared CI
@@ -219,23 +220,33 @@ let run ~file =
     let s2, _ = sched_record ~nt:8 ~nb:96 ~workers in
     ([ "    " ^ s1; "    " ^ s2 ], pk)
   in
+  let resilience = Faults_run.record () in
   write_json ~file
     ([ "{"; "  \"gemm\": [" ]
     @ [ String.concat ",\n" gemms ]
-    @ [ "  ],"; "  \"f32\": " ^ f32 ^ ","; "  \"ir\": " ^ ir ^ ","; "  \"sched\": [" ]
+    @ [
+        "  ],";
+        "  \"f32\": " ^ f32 ^ ",";
+        "  \"ir\": " ^ ir ^ ",";
+        "  \"resilience\": " ^ resilience ^ ",";
+        "  \"sched\": [";
+      ]
     @ [ String.concat ",\n" scheds ]
     @ [ "  ],"; "  \"metrics\": {"; "    \"per_kernel\": [" ]
     @ [ String.concat ",\n" (List.map (fun s -> "      " ^ s) per_kernel) ]
     @ [ "    ],"; "    \"registry\": " ^ Xsc_obs.Metrics.to_json (); "  }"; "}" ])
 
-(* CI perf-sanity subset: the n=432 Cholesky on 2 workers, record-only. *)
+(* CI perf-sanity subset: the n=432 Cholesky on 2 workers plus a reduced
+   resilience record (fewer timing pairs and storm seeds), record-only. *)
 let smoke ~file =
   let sched, _ = sched_record ~nt:6 ~nb:72 ~workers:2 in
+  let resilience = Faults_run.record ~runs:3 ~storm_seeds:4 () in
   write_json ~file
     [
       "{";
       "  \"smoke\": true,";
       "  \"sched\": " ^ sched ^ ",";
+      "  \"resilience\": " ^ resilience ^ ",";
       "  \"registry\": " ^ Xsc_obs.Metrics.to_json ();
       "}";
     ]

@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- --json FILE  # machine-readable perf record
      dune exec bench/main.exe -- --smoke FILE # CI perf-sanity subset (record-only)
      dune exec bench/main.exe -- --trace FILE # Chrome trace of a real DAG run
-     dune exec bench/main.exe -- --overhead [PCT]  # tracing cost (gate if PCT) *)
+     dune exec bench/main.exe -- --overhead [PCT]  # tracing cost (gate if PCT)
+     dune exec bench/main.exe -- --faults [SEED]   # seeded fault storm + recovery *)
 
 let experiments =
   [
@@ -51,6 +52,13 @@ let () =
     | Some t -> Overhead.run ~threshold:(Some t)
     | None ->
       Printf.eprintf "--overhead: %S is not a number\n" pct;
+      exit 1)
+  | [ "--faults" ] -> Faults_run.run ~seed:1
+  | [ "--faults"; seed ] -> (
+    match int_of_string_opt seed with
+    | Some s -> Faults_run.run ~seed:s
+    | None ->
+      Printf.eprintf "--faults: %S is not an integer seed\n" seed;
       exit 1)
   | [] ->
     Printf.printf "reproduction benchmarks: %d experiments (see DESIGN.md)\n" (List.length experiments);

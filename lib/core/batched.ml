@@ -18,7 +18,7 @@ let run_batch ?(exec = Runtime_api.Sequential) kernels =
         Task.make ~id ~name:(Printf.sprintf "batch(%d)" id) ~flops:1.0 ~run
           [ Task.Write id ])
   in
-  ignore (Runtime_api.execute exec (Dag.build tasks));
+  ignore (Runtime_api.execute_exn exec (Dag.build tasks));
   match Atomic.get failure with Some e -> raise e | None -> ()
 
 let potrf_batch ?exec batch =

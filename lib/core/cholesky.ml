@@ -66,7 +66,7 @@ let tasks ?(with_closures = true) (t : Tile.t) =
 let dag ?with_closures t = Dag.build (tasks ?with_closures t)
 
 let factor ?(exec = Runtime_api.Sequential) t =
-  ignore (Runtime_api.execute exec (dag t))
+  ignore (Runtime_api.execute_exn exec (dag t))
 
 (* Closure-free task list: same program order, accesses and weights as
    [tasks], but each body is a Task.op variant — one immediate-tagged word
@@ -123,7 +123,7 @@ let packed_interp (p : Xsc_tile.Packed.D.t) =
 
 let factor_packed ?(exec = Runtime_api.Sequential) (p : Xsc_tile.Packed.D.t) =
   let dag = dag_ops ~nt:p.Xsc_tile.Packed.D.nt ~nb:p.Xsc_tile.Packed.D.nb in
-  ignore (Runtime_api.execute ~interp:(packed_interp p) exec dag)
+  ignore (Runtime_api.execute_exn ~interp:(packed_interp p) exec dag)
 
 let solve (t : Tile.t) b =
   let nt = t.Tile.nt and nb = t.Tile.nb in

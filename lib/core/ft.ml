@@ -1,0 +1,694 @@
+(* Fault-tolerant tiled factorizations: in-DAG ABFT detection, dependence-cone
+   replay repair, and online checkpoint/restart over packed storage.
+
+   The design is step-synchronised: each outer step k runs its panel sub-DAG
+   (diagonal factorization + triangular solves + the checksum solve) through
+   the real executor, verifies the checksum invariant for panel k, and only
+   then releases the update sub-DAG. A corrupted tile in column j is read by
+   no other task before panel j's verification (trailing tiles are consumed
+   only once they become the panel), so damage is always detected before it
+   can propagate — the verification point doubles as the propagation fence.
+
+   Checksum scheme (Cholesky): one extra row of tiles C with
+   C0(j) = sum_bi A(bi,j) over the full symmetric matrix. The row rides the
+   factorization as two extra task kinds — C(k) <- C(k) L(k,k)^-T at panel k
+   and C(j) -= C(k) L(j,k)^T at update k — which is algebraically a right
+   multiplication by L^-T, so after panel k the invariant is
+
+     C(k) = sum_bi L(bi,k)
+
+   (the diagonal tile contributes its lower triangle only; tiles above the
+   diagonal are zero in L). Cost is one trsm + (nt-1-k) gemms per step —
+   ~1/nt of the factorization, the Abft.overhead_model budget.
+
+   Repair is dependence-cone replay, not refactorization: column k is
+   recomputed from the pristine input plus the already-verified final panels
+   < k, in the exact program order of the original kernels, so the replayed
+   tiles are bitwise identical to a fault-free run. Bitwise comparison
+   against the stored column then locates the damaged tiles exactly, and
+   only those are overwritten.
+
+   LU carries two borders: a row R protecting L (R(k) = sum_bi L(bi,k),
+   unit-lower diagonal contribution) and a column C protecting U
+   (C(k) = sum_bj U(k,bj), upper-including-diagonal contribution).
+
+   Task-body exceptions surface from the executors as
+   [Real_exec.Task_failed] after a clean abort; the driver rolls the matrix
+   and checksums back to the last snapshot (the pristine input when no
+   checkpoint policy is given) and replays the remaining steps. Snapshots
+   are taken every [every] completed steps and optionally persisted through
+   {!Xsc_resilience.Checkpoint} (atomic, CRC-validated), so a fresh process
+   handed the same input matrix resumes mid-factorization. *)
+
+open Xsc_linalg
+module Task = Xsc_runtime.Task
+module Dag = Xsc_runtime.Dag
+module Real_exec = Xsc_runtime.Real_exec
+module PD = Xsc_tile.Packed.D
+module Harness = Xsc_resilience.Harness
+module Checkpoint = Xsc_resilience.Checkpoint
+module Metrics = Xsc_obs.Metrics
+
+let m_detected = Metrics.counter "resilience.ft.detected"
+let m_repaired = Metrics.counter "resilience.ft.repaired_tiles"
+let m_replayed = Metrics.counter "resilience.ft.replayed_kernels"
+let m_restarts = Metrics.counter "resilience.ft.restarts"
+let m_ckpts = Metrics.counter "resilience.ft.checkpoints"
+let m_resumes = Metrics.counter "resilience.ft.resumes"
+let m_faults_detected = Metrics.counter "resilience.faults_detected"
+
+type report = {
+  steps : int;
+  detected : int;
+  repaired_tiles : int;
+  replayed_kernels : int;
+  restarts : int;
+  checkpoints_written : int;
+  resumed : bool;
+}
+
+type ckpt_policy = { path : string option; every : int }
+
+exception Unrecoverable of int
+
+let () =
+  Printexc.register_printer (function
+    | Unrecoverable k ->
+      Some (Printf.sprintf "Ft.Unrecoverable(panel %d still fails verification after replay)" k)
+    | _ -> None)
+
+(* Persisted snapshot: matrix buffer + checksum borders + step frontier,
+   fingerprinted against the pristine input so a checkpoint can never be
+   resumed against a different matrix. *)
+type snapshot = {
+  ck_kind : int;  (* 0 = cholesky, 1 = lu *)
+  ck_n : int;
+  ck_nb : int;
+  ck_step : int;
+  ck_fp : int64;
+  ck_buf : Pblas.f64;
+  ck_sums : Pblas.f64 array;
+}
+
+let f64_create len =
+  Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+
+(* The checksum-border construction and per-panel verification are O(n²)
+   streaming passes squeezed between O(nb³) kernels; bounds checks double
+   their cost, so they use unsafe access like the kernel layer itself.
+   The externals must be fully applied at a known element type to compile
+   to direct loads — never bind them to a value. *)
+module A1 = Bigarray.Array1
+
+(* FNV-1a over the float bit patterns: cheap identity for "same input
+   matrix", not a cryptographic claim. *)
+let fingerprint (buf : Pblas.f64) =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Bigarray.Array1.dim buf - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.bits_of_float buf.{i})) 0x100000001b3L
+  done;
+  !h
+
+let auto_every ~step_seconds ~checkpoint_seconds ~mtbf =
+  if step_seconds <= 0.0 then invalid_arg "Ft.auto_every: step_seconds must be positive";
+  let tau =
+    Checkpoint.young_interval
+      { Checkpoint.work = 1.0; checkpoint_cost = checkpoint_seconds; restart_cost = 0.0; mtbf }
+  in
+  max 1 (int_of_float (Float.round (tau /. step_seconds)))
+
+(* ---- shared step-synchronised driver ---- *)
+
+let drive ~kind ~n ~nb ~nt ~fp ~(buf : Pblas.f64) ~(sums : Pblas.f64 array)
+    ~(pristine : Pblas.f64 * Pblas.f64 array) ~panel ~update ~verify ~repair ~exec_dag
+    ~checkpoint ~max_restarts =
+  (match checkpoint with
+  | Some { every; _ } when every < 1 -> invalid_arg "Ft: checkpoint every must be >= 1"
+  | _ -> ());
+  (* Until the first checkpoint, rollback restores the caller's pristine
+     copies directly (they already exist for replay), so the fault-free fast
+     path allocates and copies nothing extra; [fp] is likewise forced only
+     when a checkpoint file is read or written. *)
+  let pristine_buf, pristine_sums = pristine in
+  let snap = ref None in
+  let snap_step = ref 0 in
+  let save_mem step =
+    let snap_buf, snap_sums =
+      match !snap with
+      | Some s -> s
+      | None ->
+        let s =
+          ( f64_create (Bigarray.Array1.dim buf),
+            Array.map (fun s -> f64_create (Bigarray.Array1.dim s)) sums )
+        in
+        snap := Some s;
+        s
+    in
+    snap_step := step;
+    Bigarray.Array1.blit buf snap_buf;
+    Array.iteri (fun i s -> Bigarray.Array1.blit s snap_sums.(i)) sums;
+    (snap_buf, snap_sums)
+  in
+  let rollback () =
+    match !snap with
+    | Some (snap_buf, snap_sums) ->
+      Bigarray.Array1.blit snap_buf buf;
+      Array.iteri (fun i s -> Bigarray.Array1.blit snap_sums.(i) s) sums
+    | None ->
+      Bigarray.Array1.blit pristine_buf buf;
+      Array.iteri (fun i s -> Bigarray.Array1.blit pristine_sums.(i) s) sums
+  in
+  let resumed = ref false in
+  (match checkpoint with
+  | Some { path = Some path; _ } -> begin
+    match Checkpoint.load_value path with
+    | Ok ck
+      when ck.ck_kind = kind && ck.ck_n = n && ck.ck_nb = nb
+           && Int64.equal ck.ck_fp (Lazy.force fp)
+           && Array.length ck.ck_sums = Array.length sums
+           && ck.ck_step >= 0 && ck.ck_step <= nt ->
+      Bigarray.Array1.blit ck.ck_buf buf;
+      Array.iteri (fun i s -> Bigarray.Array1.blit ck.ck_sums.(i) s) sums;
+      ignore (save_mem ck.ck_step);
+      resumed := true;
+      Metrics.incr m_resumes
+    | Ok _ | Error _ -> ()  (* missing, torn, or foreign checkpoint: start fresh *)
+  end
+  | _ -> ());
+  let restarts = ref 0 and written = ref 0 in
+  let maybe_ckpt step =
+    match checkpoint with
+    | Some { every; path } when step mod every = 0 && step < nt ->
+      let snap_buf, snap_sums = save_mem step in
+      (match path with
+      | Some path ->
+        let ck =
+          { ck_kind = kind; ck_n = n; ck_nb = nb; ck_step = step; ck_fp = Lazy.force fp;
+            ck_buf = snap_buf; ck_sums = snap_sums }
+        in
+        ignore (Checkpoint.save_value path ck);
+        incr written;
+        Metrics.incr m_ckpts
+      | None -> ())
+    | _ -> ()
+  in
+  let step = ref !snap_step in
+  while !step < nt do
+    match
+      let k = !step in
+      exec_dag (panel k);
+      if not (verify k) then repair k;
+      match update k with [] -> () | ts -> exec_dag ts
+    with
+    | () ->
+      incr step;
+      maybe_ckpt !step
+    | exception (Real_exec.Task_failed _ as e) ->
+      incr restarts;
+      Metrics.incr m_restarts;
+      if !restarts > max_restarts then raise e;
+      rollback ();
+      step := !snap_step
+  done;
+  (* the job is done; a stale file would otherwise be resumed by the next
+     run on the same input *)
+  (match checkpoint with
+  | Some { path = Some path; _ } when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  (!restarts, !written, !resumed)
+
+(* ---- Cholesky ---- *)
+
+let potrf_ft ?(exec = Runtime_api.Sequential) ?harness ?(abft = true) ?(tol = 1e-6)
+    ?checkpoint ?(max_restarts = 64) (p : PD.t) =
+  let nt = p.PD.nt and nb = p.PD.nb and n = p.PD.n in
+  let buf = p.PD.buf in
+  let off = PD.off p in
+  let tsz = nb * nb in
+  let p0 = PD.copy p in
+  let buf0 = p0.PD.buf in
+  let fp = lazy (fingerprint buf0) in
+  (* checksum row over the full symmetric matrix, built from the lower
+     triangle (the only part the kernels ever read); skipped entirely in
+     restart-only mode (abft = false) *)
+  let cbuf = f64_create (nt * tsz) in
+  Bigarray.Array1.fill cbuf 0.0;
+  if abft then
+    for j = 0 to nt - 1 do
+      let base = j * tsz in
+      for bi = 0 to nt - 1 do
+        if bi > j then begin
+          let o = off bi j in
+          for e = 0 to tsz - 1 do
+            A1.unsafe_set cbuf (base + e) (A1.unsafe_get cbuf (base + e) +. A1.unsafe_get buf (o + e))
+          done
+        end
+        else if bi = j then begin
+          (* symmetrise the stored lower triangle of the diagonal tile *)
+          let o = off j j in
+          for r = 0 to nb - 1 do
+            for c = 0 to r do
+              A1.unsafe_set cbuf (base + (r * nb) + c)
+                (A1.unsafe_get cbuf (base + (r * nb) + c) +. A1.unsafe_get buf (o + (r * nb) + c))
+            done;
+            for c = r + 1 to nb - 1 do
+              A1.unsafe_set cbuf (base + (r * nb) + c)
+                (A1.unsafe_get cbuf (base + (r * nb) + c) +. A1.unsafe_get buf (o + (c * nb) + r))
+            done
+          done
+        end
+        else begin
+          (* tile (bi, j) of the symmetric matrix with bi < j is the
+             transpose of stored tile (j, bi); fixed c gives unit-stride
+             reads in r *)
+          let o = off j bi in
+          for c = 0 to nb - 1 do
+            for r = 0 to nb - 1 do
+              A1.unsafe_set cbuf (base + (r * nb) + c)
+                (A1.unsafe_get cbuf (base + (r * nb) + c) +. A1.unsafe_get buf (o + (c * nb) + r))
+            done
+          done
+        end
+      done
+    done;
+  let c0 = f64_create (nt * tsz) in
+  Bigarray.Array1.blit cbuf c0;
+  let interp0 = Cholesky.packed_interp p in
+  let interp =
+    match harness with Some h -> Harness.wrap_packed h p interp0 | None -> interp0
+  in
+  let exec_dag tasks = ignore (Runtime_api.execute ~interp exec (Dag.build tasks)) in
+  let fnb = float_of_int nb in
+  let potrf_f = fnb *. fnb *. fnb /. 3.0 in
+  let trsm_f = fnb *. fnb *. fnb in
+  let syrk_f = fnb *. fnb *. (fnb +. 1.0) in
+  let gemm_f = 2.0 *. fnb *. fnb *. fnb in
+  let bytes = Runtime_api.tile_bytes ~nb in
+  let datum i j = Task.datum i j ~stride:nt in
+  let cdatum k = (nt * nt) + k in
+  let make_tasks build =
+    let acc = ref [] and next = ref 0 in
+    let emit ?run ?op name flops accesses =
+      let id = !next in
+      incr next;
+      acc := Task.make ~id ~name ~flops ~bytes ?run ?op accesses :: !acc
+    in
+    build emit;
+    List.rev !acc
+  in
+  let panel k =
+    make_tasks (fun emit ->
+        emit ~op:(Task.Potrf k) (Task.op_name (Task.Potrf k)) potrf_f
+          [ Task.Read_write (datum k k) ];
+        for i = k + 1 to nt - 1 do
+          emit ~op:(Task.Trsm (k, i)) (Task.op_name (Task.Trsm (k, i))) trsm_f
+            [ Task.Read (datum k k); Task.Read_write (datum i k) ]
+        done;
+        if abft then
+          emit
+            ~run:(fun () -> Pblas.D.trsm_rlt buf (off k k) cbuf (k * tsz) ~nb)
+            (Printf.sprintf "csum_trsm(%d)" k)
+            trsm_f
+            [ Task.Read (datum k k); Task.Read_write (cdatum k) ])
+  in
+  let update k =
+    if k = nt - 1 then []
+    else
+      make_tasks (fun emit ->
+          for i = k + 1 to nt - 1 do
+            emit ~op:(Task.Syrk (i, k)) (Task.op_name (Task.Syrk (i, k))) syrk_f
+              [ Task.Read (datum i k); Task.Read_write (datum i i) ];
+            for j = k + 1 to i - 1 do
+              emit ~op:(Task.Gemm (i, j, k)) (Task.op_name (Task.Gemm (i, j, k))) gemm_f
+                [ Task.Read (datum i k); Task.Read (datum j k); Task.Read_write (datum i j) ]
+            done
+          done;
+          if abft then
+            for j = k + 1 to nt - 1 do
+              emit
+                ~run:(fun () ->
+                  Pblas.D.gemm_nt ~alpha:(-1.0) cbuf (k * tsz) buf (off j k) cbuf (j * tsz) ~nb)
+                (Printf.sprintf "csum_gemm(%d,%d)" k j)
+                gemm_f
+                [ Task.Read (datum j k); Task.Read (cdatum k); Task.Read_write (cdatum j) ]
+            done)
+  in
+  let vsum = Array.make tsz 0.0 in
+  let verify k =
+    Array.fill vsum 0 tsz 0.0;
+    for bi = k to nt - 1 do
+      let o = off bi k in
+      if bi = k then
+        for r = 0 to nb - 1 do
+          for c = 0 to r do
+            let e = (r * nb) + c in
+            Array.unsafe_set vsum e (Array.unsafe_get vsum e +. A1.unsafe_get buf (o + e))
+          done
+        done
+      else
+        for e = 0 to tsz - 1 do
+          Array.unsafe_set vsum e (Array.unsafe_get vsum e +. A1.unsafe_get buf (o + e))
+        done
+    done;
+    let base = k * tsz in
+    let err = ref 0.0 and scale = ref 1.0 in
+    for e = 0 to tsz - 1 do
+      let cv = A1.unsafe_get cbuf (base + e) and sv = Array.unsafe_get vsum e in
+      let ac = abs_float cv and asv = abs_float sv in
+      if ac > !scale then scale := ac;
+      if asv > !scale then scale := asv;
+      let d = abs_float (cv -. sv) in
+      if d > !err then err := d
+    done;
+    !err <= tol *. !scale
+  in
+  let verify = if abft then verify else fun _ -> true in
+  let detected = ref 0 and repaired = ref 0 and replayed = ref 0 in
+  let scratch = f64_create tsz in
+  let sub b o = Bigarray.Array1.sub b o tsz in
+  let copy_tile src so dst dst_off = Bigarray.Array1.blit (sub src so) (sub dst dst_off) in
+  let tiles_equal (a : Pblas.f64) ao (b : Pblas.f64) bo =
+    let rec go e =
+      e >= tsz
+      || (Int64.equal (Int64.bits_of_float a.{ao + e}) (Int64.bits_of_float b.{bo + e})
+          && go (e + 1))
+    in
+    go 0
+  in
+  (* Replay the dependence cone of column k — pristine input tiles plus the
+     verified final panels < k, applied in original program order, so every
+     recomputed tile is bitwise what a fault-free run produced. Bitwise
+     comparison locates the damaged tiles; only those are overwritten. *)
+  let replay k =
+    let kernel f =
+      f ();
+      incr replayed;
+      Metrics.incr m_replayed
+    in
+    copy_tile buf0 (off k k) scratch 0;
+    for k' = 0 to k - 1 do
+      kernel (fun () -> Pblas.D.syrk_ln ~alpha:(-1.0) buf (off k k') ~beta:1.0 scratch 0 ~nb)
+    done;
+    kernel (fun () -> Pblas.D.potrf scratch 0 ~nb);
+    if not (tiles_equal buf (off k k) scratch 0) then begin
+      copy_tile scratch 0 buf (off k k);
+      incr repaired;
+      Metrics.incr m_repaired
+    end;
+    for i = k + 1 to nt - 1 do
+      copy_tile buf0 (off i k) scratch 0;
+      for k' = 0 to k - 1 do
+        kernel (fun () ->
+            Pblas.D.gemm_nt ~alpha:(-1.0) buf (off i k') buf (off k k') scratch 0 ~nb)
+      done;
+      kernel (fun () -> Pblas.D.trsm_rlt buf (off k k) scratch 0 ~nb);
+      if not (tiles_equal buf (off i k) scratch 0) then begin
+        copy_tile scratch 0 buf (off i k);
+        incr repaired;
+        Metrics.incr m_repaired
+      end
+    done;
+    (* rebuild the checksum tile along the same clean trajectory (its inputs
+       C(k') are stationary after their own panel steps) *)
+    copy_tile c0 (k * tsz) scratch 0;
+    for k' = 0 to k - 1 do
+      kernel (fun () ->
+          Pblas.D.gemm_nt ~alpha:(-1.0) cbuf (k' * tsz) buf (off k k') scratch 0 ~nb)
+    done;
+    kernel (fun () -> Pblas.D.trsm_rlt buf (off k k) scratch 0 ~nb);
+    copy_tile scratch 0 cbuf (k * tsz)
+  in
+  let repair k =
+    incr detected;
+    Metrics.incr m_detected;
+    Metrics.incr m_faults_detected;
+    replay k;
+    if not (verify k) then raise (Unrecoverable k)
+  in
+  let restarts, written, resumed =
+    drive ~kind:0 ~n ~nb ~nt ~fp ~buf ~sums:[| cbuf |] ~pristine:(buf0, [| c0 |]) ~panel
+      ~update ~verify ~repair ~exec_dag ~checkpoint ~max_restarts
+  in
+  {
+    steps = nt;
+    detected = !detected;
+    repaired_tiles = !repaired;
+    replayed_kernels = !replayed;
+    restarts;
+    checkpoints_written = written;
+    resumed;
+  }
+
+(* ---- LU (no pivoting) ---- *)
+
+let getrf_ft ?(exec = Runtime_api.Sequential) ?harness ?(abft = true) ?(tol = 1e-6)
+    ?checkpoint ?(max_restarts = 64) (p : PD.t) =
+  let nt = p.PD.nt and nb = p.PD.nb and n = p.PD.n in
+  let buf = p.PD.buf in
+  let off = PD.off p in
+  let tsz = nb * nb in
+  let p0 = PD.copy p in
+  let buf0 = p0.PD.buf in
+  let fp = lazy (fingerprint buf0) in
+  (* row border R protects L (tile-column sums), column border C protects U
+     (tile-row sums) — LU needs both because the two factors live on
+     opposite sides of the diagonal *)
+  let rbuf = f64_create (nt * tsz) in
+  let ubuf = f64_create (nt * tsz) in
+  Bigarray.Array1.fill rbuf 0.0;
+  Bigarray.Array1.fill ubuf 0.0;
+  if abft then
+    for a = 0 to nt - 1 do
+      let rb = a * tsz in
+      for b = 0 to nt - 1 do
+        let oc = off b a and orr = off a b in
+        for e = 0 to tsz - 1 do
+          A1.unsafe_set rbuf (rb + e)
+            (A1.unsafe_get rbuf (rb + e) +. A1.unsafe_get buf (oc + e));
+          A1.unsafe_set ubuf (rb + e)
+            (A1.unsafe_get ubuf (rb + e) +. A1.unsafe_get buf (orr + e))
+        done
+      done
+    done;
+  let r0 = f64_create (nt * tsz) in
+  let u0 = f64_create (nt * tsz) in
+  Bigarray.Array1.blit rbuf r0;
+  Bigarray.Array1.blit ubuf u0;
+  let interp0 = Lu.packed_interp p in
+  let interp =
+    match harness with Some h -> Harness.wrap_packed h p interp0 | None -> interp0
+  in
+  let exec_dag tasks = ignore (Runtime_api.execute ~interp exec (Dag.build tasks)) in
+  let fnb = float_of_int nb in
+  let getrf_f = 2.0 *. fnb *. fnb *. fnb /. 3.0 in
+  let trsm_f = fnb *. fnb *. fnb in
+  let gemm_f = 2.0 *. fnb *. fnb *. fnb in
+  let bytes = Runtime_api.tile_bytes ~nb in
+  let datum i j = Task.datum i j ~stride:nt in
+  let rdatum k = (nt * nt) + k in
+  let udatum k = (nt * nt) + nt + k in
+  let make_tasks build =
+    let acc = ref [] and next = ref 0 in
+    let emit ?run ?op name flops accesses =
+      let id = !next in
+      incr next;
+      acc := Task.make ~id ~name ~flops ~bytes ?run ?op accesses :: !acc
+    in
+    build emit;
+    List.rev !acc
+  in
+  let panel k =
+    make_tasks (fun emit ->
+        emit ~op:(Task.Getrf k) (Task.op_name (Task.Getrf k)) getrf_f
+          [ Task.Read_write (datum k k) ];
+        for j = k + 1 to nt - 1 do
+          emit ~op:(Task.Trsm_l (k, j)) (Task.op_name (Task.Trsm_l (k, j))) trsm_f
+            [ Task.Read (datum k k); Task.Read_write (datum k j) ]
+        done;
+        for i = k + 1 to nt - 1 do
+          emit ~op:(Task.Trsm_u (i, k)) (Task.op_name (Task.Trsm_u (i, k))) trsm_f
+            [ Task.Read (datum k k); Task.Read_write (datum i k) ]
+        done;
+        if abft then begin
+          emit
+            ~run:(fun () -> Pblas.D.trsm_ru buf (off k k) rbuf (k * tsz) ~nb)
+            (Printf.sprintf "csum_r_trsm(%d)" k)
+            trsm_f
+            [ Task.Read (datum k k); Task.Read_write (rdatum k) ];
+          emit
+            ~run:(fun () -> Pblas.D.trsm_llu buf (off k k) ubuf (k * tsz) ~nb)
+            (Printf.sprintf "csum_u_trsm(%d)" k)
+            trsm_f
+            [ Task.Read (datum k k); Task.Read_write (udatum k) ]
+        end)
+  in
+  let update k =
+    if k = nt - 1 then []
+    else
+      make_tasks (fun emit ->
+          for i = k + 1 to nt - 1 do
+            for j = k + 1 to nt - 1 do
+              emit ~op:(Task.Gemm (i, j, k)) (Task.op_name (Task.Gemm (i, j, k))) gemm_f
+                [ Task.Read (datum i k); Task.Read (datum k j); Task.Read_write (datum i j) ]
+            done
+          done;
+          if abft then begin
+            for j = k + 1 to nt - 1 do
+              emit
+                ~run:(fun () ->
+                  Pblas.D.gemm_nn ~alpha:(-1.0) rbuf (k * tsz) buf (off k j) rbuf (j * tsz)
+                    ~nb)
+                (Printf.sprintf "csum_r_gemm(%d,%d)" k j)
+                gemm_f
+                [ Task.Read (datum k j); Task.Read (rdatum k); Task.Read_write (rdatum j) ]
+            done;
+            for i = k + 1 to nt - 1 do
+              emit
+                ~run:(fun () ->
+                  Pblas.D.gemm_nn ~alpha:(-1.0) buf (off i k) ubuf (k * tsz) ubuf (i * tsz)
+                    ~nb)
+                (Printf.sprintf "csum_u_gemm(%d,%d)" k i)
+                gemm_f
+                [ Task.Read (datum i k); Task.Read (udatum k); Task.Read_write (udatum i) ]
+            done
+          end)
+  in
+  let check (cb : Pblas.f64) base (s : float array) =
+    let err = ref 0.0 and scale = ref 1.0 in
+    for e = 0 to tsz - 1 do
+      let cv = A1.unsafe_get cb (base + e) and sv = Array.unsafe_get s e in
+      let ac = abs_float cv and asv = abs_float sv in
+      if ac > !scale then scale := ac;
+      if asv > !scale then scale := asv;
+      let d = abs_float (cv -. sv) in
+      if d > !err then err := d
+    done;
+    !err <= tol *. !scale
+  in
+  let vsum = Array.make tsz 0.0 in
+  let verify k =
+    (* R(k) = sum_bi L(bi,k): unit-lower diagonal contribution *)
+    let s = vsum in
+    Array.fill s 0 tsz 0.0;
+    let o = off k k in
+    for r = 0 to nb - 1 do
+      s.((r * nb) + r) <- 1.0;
+      for c = 0 to r - 1 do
+        let e = (r * nb) + c in
+        Array.unsafe_set s e (A1.unsafe_get buf (o + e))
+      done
+    done;
+    for bi = k + 1 to nt - 1 do
+      let ob = off bi k in
+      for e = 0 to tsz - 1 do
+        Array.unsafe_set s e (Array.unsafe_get s e +. A1.unsafe_get buf (ob + e))
+      done
+    done;
+    let r_ok = check rbuf (k * tsz) s in
+    (* C(k) = sum_bj U(k,bj): upper-including-diagonal contribution *)
+    Array.fill s 0 tsz 0.0;
+    for r = 0 to nb - 1 do
+      for c = r to nb - 1 do
+        let e = (r * nb) + c in
+        Array.unsafe_set s e (A1.unsafe_get buf (o + e))
+      done
+    done;
+    for bj = k + 1 to nt - 1 do
+      let ob = off k bj in
+      for e = 0 to tsz - 1 do
+        Array.unsafe_set s e (Array.unsafe_get s e +. A1.unsafe_get buf (ob + e))
+      done
+    done;
+    let u_ok = check ubuf (k * tsz) s in
+    r_ok && u_ok
+  in
+  let verify = if abft then verify else fun _ -> true in
+  let detected = ref 0 and repaired = ref 0 and replayed = ref 0 in
+  let scratch = f64_create tsz in
+  let sub b o = Bigarray.Array1.sub b o tsz in
+  let copy_tile src so dst dst_off = Bigarray.Array1.blit (sub src so) (sub dst dst_off) in
+  let tiles_equal (a : Pblas.f64) ao (b : Pblas.f64) bo =
+    let rec go e =
+      e >= tsz
+      || (Int64.equal (Int64.bits_of_float a.{ao + e}) (Int64.bits_of_float b.{bo + e})
+          && go (e + 1))
+    in
+    go 0
+  in
+  let replay k =
+    let kernel f =
+      f ();
+      incr replayed;
+      Metrics.incr m_replayed
+    in
+    let repair_if_differs o =
+      if not (tiles_equal buf o scratch 0) then begin
+        copy_tile scratch 0 buf o;
+        incr repaired;
+        Metrics.incr m_repaired
+      end
+    in
+    (* diagonal first: the whole cross depends on it *)
+    copy_tile buf0 (off k k) scratch 0;
+    for k' = 0 to k - 1 do
+      kernel (fun () ->
+          Pblas.D.gemm_nn ~alpha:(-1.0) buf (off k k') buf (off k' k) scratch 0 ~nb)
+    done;
+    kernel (fun () -> Pblas.D.getrf_nopiv scratch 0 ~nb);
+    repair_if_differs (off k k);
+    (* column panel: L(i,k) *)
+    for i = k + 1 to nt - 1 do
+      copy_tile buf0 (off i k) scratch 0;
+      for k' = 0 to k - 1 do
+        kernel (fun () ->
+            Pblas.D.gemm_nn ~alpha:(-1.0) buf (off i k') buf (off k' k) scratch 0 ~nb)
+      done;
+      kernel (fun () -> Pblas.D.trsm_ru buf (off k k) scratch 0 ~nb);
+      repair_if_differs (off i k)
+    done;
+    (* row panel: U(k,j) *)
+    for j = k + 1 to nt - 1 do
+      copy_tile buf0 (off k j) scratch 0;
+      for k' = 0 to k - 1 do
+        kernel (fun () ->
+            Pblas.D.gemm_nn ~alpha:(-1.0) buf (off k k') buf (off k' j) scratch 0 ~nb)
+      done;
+      kernel (fun () -> Pblas.D.trsm_llu buf (off k k) scratch 0 ~nb);
+      repair_if_differs (off k j)
+    done;
+    (* rebuild both border tiles along the clean trajectory *)
+    copy_tile r0 (k * tsz) scratch 0;
+    for k' = 0 to k - 1 do
+      kernel (fun () ->
+          Pblas.D.gemm_nn ~alpha:(-1.0) rbuf (k' * tsz) buf (off k' k) scratch 0 ~nb)
+    done;
+    kernel (fun () -> Pblas.D.trsm_ru buf (off k k) scratch 0 ~nb);
+    copy_tile scratch 0 rbuf (k * tsz);
+    copy_tile u0 (k * tsz) scratch 0;
+    for k' = 0 to k - 1 do
+      kernel (fun () ->
+          Pblas.D.gemm_nn ~alpha:(-1.0) buf (off k k') ubuf (k' * tsz) scratch 0 ~nb)
+    done;
+    kernel (fun () -> Pblas.D.trsm_llu buf (off k k) scratch 0 ~nb);
+    copy_tile scratch 0 ubuf (k * tsz)
+  in
+  let repair k =
+    incr detected;
+    Metrics.incr m_detected;
+    Metrics.incr m_faults_detected;
+    replay k;
+    if not (verify k) then raise (Unrecoverable k)
+  in
+  let restarts, written, resumed =
+    drive ~kind:1 ~n ~nb ~nt ~fp ~buf ~sums:[| rbuf; ubuf |] ~pristine:(buf0, [| r0; u0 |])
+      ~panel ~update ~verify ~repair ~exec_dag ~checkpoint ~max_restarts
+  in
+  {
+    steps = nt;
+    detected = !detected;
+    repaired_tiles = !repaired;
+    replayed_kernels = !replayed;
+    restarts;
+    checkpoints_written = written;
+    resumed;
+  }

@@ -69,7 +69,7 @@ let tasks ?(with_closures = true) (t : Tile.t) =
 let dag ?with_closures t = Dag.build (tasks ?with_closures t)
 
 let factor ?(exec = Runtime_api.Sequential) t =
-  ignore (Runtime_api.execute exec (dag t))
+  ignore (Runtime_api.execute_exn exec (dag t))
 
 (* Closure-free op-encoded task list; see Cholesky.tasks_ops. *)
 let tasks_ops ~nt ~nb =
@@ -120,7 +120,7 @@ let packed_interp (p : Xsc_tile.Packed.D.t) =
 
 let factor_packed ?(exec = Runtime_api.Sequential) (p : Xsc_tile.Packed.D.t) =
   let dag = dag_ops ~nt:p.Xsc_tile.Packed.D.nt ~nb:p.Xsc_tile.Packed.D.nb in
-  ignore (Runtime_api.execute ~interp:(packed_interp p) exec dag)
+  ignore (Runtime_api.execute_exn ~interp:(packed_interp p) exec dag)
 
 let solve (t : Tile.t) b =
   let nt = t.Tile.nt and nb = t.Tile.nb in

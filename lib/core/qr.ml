@@ -124,7 +124,7 @@ let dag ?with_closures f = Dag.build (tasks ?with_closures f)
 
 let factor ?(exec = Runtime_api.Sequential) t =
   let f = create t in
-  ignore (Runtime_api.execute exec (dag f));
+  ignore (Runtime_api.execute_exn exec (dag f));
   f
 
 let apply_qt f b =

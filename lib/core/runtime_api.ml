@@ -26,6 +26,14 @@ let execute ?interp exec dag =
       ~workers dag
   | Forkjoin workers -> Xsc_runtime.Real_exec.run_forkjoin ?interp ~workers dag
 
+(* High-level drivers (Cholesky.factor & co.) surface the task body's own
+   exception — Singular from a non-SPD matrix is the caller's contract,
+   the Task_failed wrapper an executor detail. Fault-aware callers
+   (Ft.drive) use [execute] and handle Task_failed themselves. *)
+let execute_exn ?interp exec dag =
+  try execute ?interp exec dag
+  with Xsc_runtime.Real_exec.Task_failed f -> raise f.Xsc_runtime.Real_exec.error
+
 let tile_bytes ~nb = 8.0 *. float_of_int (nb * nb)
 
 let datum = Xsc_runtime.Task.datum

@@ -15,6 +15,13 @@ val execute : ?interp:(Xsc_runtime.Task.op -> unit) -> exec -> dag -> Xsc_runtim
     dispatches closure-free op-encoded tasks (see {!Xsc_runtime.Task.op});
     without it, tasks must carry [run] closures. *)
 
+val execute_exn :
+  ?interp:(Xsc_runtime.Task.op -> unit) -> exec -> dag -> Xsc_runtime.Real_exec.stats
+(** Like {!execute}, but a {!Xsc_runtime.Real_exec.Task_failed} abort
+    re-raises the task body's original exception: [Cholesky.factor] on a
+    non-SPD matrix raises [Singular], not the executor wrapper. Use
+    {!execute} directly to observe task failures (as {!Ft} does). *)
+
 val critical_path_priority : dag -> int -> int
 (** Flops-weighted bottom level of each task, scaled to an int rank —
     higher means closer to the critical path. Suitable for

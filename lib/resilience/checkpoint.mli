@@ -23,15 +23,41 @@ val expected_time : params -> interval:float -> float
 (** Daly's closed-form expected completion time with checkpoints every
     [interval] seconds of useful work. *)
 
-val save : string -> Xsc_linalg.Mat.t -> int
-(** Write a real checkpoint of a matrix to [path] (Marshal format) and
-    return its size in bytes. Tallies [checkpoint.writes],
-    [checkpoint.bytes_written] and the [checkpoint.write_seconds] histogram
-    in the {!Xsc_obs.Metrics} registry — measuring [save] on representative
-    state gives a defensible [checkpoint_cost] for the interval analysis. *)
+(** {1 Real checkpoint files}
 
-val load : string -> Xsc_linalg.Mat.t
-(** Read back a checkpoint written by {!save}. *)
+    Checkpoints are written atomically (to [path ^ ".tmp"], then renamed
+    into place) with a self-validating header: magic, format version,
+    payload length and a CRC-32 of the Marshal payload. A crash mid-write
+    can therefore never leave a half-written file under the checkpoint
+    name, and a file torn after the fact (truncation, bit rot) is rejected
+    with a typed error instead of crashing [Marshal] on garbage. *)
+
+type load_error =
+  | No_such_file
+  | Truncated  (** file shorter than the header, or than the declared payload *)
+  | Bad_magic  (** not a checkpoint file *)
+  | Bad_version of int  (** written by an incompatible format version *)
+  | Bad_crc  (** payload does not match its checksum: corrupt checkpoint *)
+
+val describe_error : load_error -> string
+
+val save_value : string -> 'a -> int
+(** Write any marshallable value (Bigarray-backed state included) as an
+    atomic, checksummed checkpoint; returns the file size in bytes.
+    Tallies [checkpoint.writes], [checkpoint.bytes_written] and the
+    [checkpoint.write_seconds] histogram in the {!Xsc_obs.Metrics}
+    registry — measuring saves on representative state gives a defensible
+    [checkpoint_cost] for the interval analysis. *)
+
+val load_value : string -> ('a, load_error) result
+(** Read back a value written by {!save_value}, validating the header and
+    CRC first. The type is the caller's claim, as with [Marshal]. *)
+
+val save : string -> Xsc_linalg.Mat.t -> int
+(** [save_value] specialised to a matrix. *)
+
+val load : string -> (Xsc_linalg.Mat.t, load_error) result
+(** [load_value] specialised to a matrix. *)
 
 val simulate : Xsc_util.Rng.t -> params -> interval:float -> float
 (** One stochastic run: exponential failures, work lost back to the last

@@ -1,0 +1,156 @@
+(* Runtime fault harness: wraps a task interpreter so faults fire *during*
+   execution of a real DAG run, per a seeded policy.
+
+   Determinism is the whole design: the fault decision for a task is a pure
+   hash of (seed, op) — not a draw from shared mutable RNG state — so a
+   given seed injects the same faults at the same tasks regardless of how
+   the work-stealing executor interleaves them, and a storm of N seeded
+   runs is exactly reproducible. (A shared RNG would make the fault set
+   depend on the racey order workers reach the draw.) *)
+
+module Task = Xsc_runtime.Task
+module PD = Xsc_tile.Packed.D
+module Metrics = Xsc_obs.Metrics
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected op -> Some (Printf.sprintf "Harness.Injected(%s)" op)
+    | _ -> None)
+
+let m_raised = Metrics.counter "resilience.harness.raised"
+let m_corrupted = Metrics.counter "resilience.harness.corrupted"
+
+type policy = {
+  seed : int;
+  p_raise : float;
+  p_corrupt : float;
+  magnitude : float;
+  transient : bool;
+}
+
+let default =
+  { seed = 1; p_raise = 0.0; p_corrupt = 0.0; magnitude = 1.0; transient = true }
+
+type t = {
+  policy : policy;
+  fired : (Task.op, unit) Hashtbl.t;
+  lock : Mutex.t;
+  raised : int Atomic.t;
+  corrupted : int Atomic.t;
+}
+
+let create policy =
+  if policy.p_raise < 0.0 || policy.p_corrupt < 0.0
+     || policy.p_raise +. policy.p_corrupt > 1.0
+  then invalid_arg "Harness.create: probabilities must be >= 0 and sum to <= 1";
+  {
+    policy;
+    fired = Hashtbl.create 16;
+    lock = Mutex.create ();
+    raised = Atomic.make 0;
+    corrupted = Atomic.make 0;
+  }
+
+let raised t = Atomic.get t.raised
+let corrupted t = Atomic.get t.corrupted
+
+(* splitmix64 finalizer: a well-mixed 64-bit hash of (seed, op). *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let op_code = function
+  | Task.Potrf k -> (1, k, 0, 0)
+  | Task.Trsm (k, i) -> (2, k, i, 0)
+  | Task.Syrk (i, k) -> (3, i, k, 0)
+  | Task.Gemm (i, j, k) -> (4, i, j, k)
+  | Task.Getrf k -> (5, k, 0, 0)
+  | Task.Trsm_l (k, j) -> (6, k, j, 0)
+  | Task.Trsm_u (i, k) -> (7, i, k, 0)
+
+let hash_op seed op =
+  let tag, a, b, c = op_code op in
+  let h = mix64 (Int64.of_int seed) in
+  let h = mix64 (Int64.add h (Int64.of_int ((tag lsl 24) lxor a))) in
+  let h = mix64 (Int64.add h (Int64.of_int ((b lsl 12) lxor c))) in
+  h
+
+(* uniform in [0,1) from the top 52 bits *)
+let uniform_of h =
+  Int64.to_float (Int64.shift_right_logical h 12) *. (1.0 /. 9007199254740992.0)
+
+(* The tile an op writes — where silent corruption lands, so the fault is
+   always on freshly produced (and therefore consumed-downstream) data. *)
+let write_tile = function
+  | Task.Potrf k | Task.Getrf k -> (k, k)
+  | Task.Trsm (k, i) -> (i, k)
+  | Task.Syrk (i, _) -> (i, i)
+  | Task.Gemm (i, j, _) -> (i, j)
+  | Task.Trsm_l (k, j) -> (k, j)
+  | Task.Trsm_u (i, k) -> (i, k)
+
+type decision = Clean | Raise | Corrupt
+
+let decide t op =
+  let p = t.policy in
+  let u = uniform_of (hash_op p.seed op) in
+  if u < p.p_raise then Raise
+  else if u < p.p_raise +. p.p_corrupt then Corrupt
+  else Clean
+
+(* Deterministic in-tile target and delta, drawn from an independent hash
+   stream. Diagonal tiles are corrupted in their lower triangle only: the
+   Cholesky kernels never read a diagonal tile's strictly-upper entries, so
+   damage there is dead — undetectable by construction and irrelevant to
+   the result. The delta magnitude is spread over [m, 2m) so two faults in
+   one tile column cannot cancel below detection tolerance. *)
+let corrupt_packed t (p : PD.t) op =
+  let ti, tj = write_tile op in
+  let nb = p.PD.nb in
+  let h = mix64 (Int64.add (hash_op t.policy.seed op) 0x9E3779B97F4A7C15L) in
+  let r = Int64.to_int (Int64.logand h 0xFFFFL) mod nb in
+  let h2 = mix64 h in
+  let c0 = Int64.to_int (Int64.logand h2 0xFFFFL) mod nb in
+  let c = if ti = tj && c0 > r then c0 mod (r + 1) else c0 in
+  let h3 = mix64 h2 in
+  let sign = if Int64.logand h3 1L = 0L then 1.0 else -1.0 in
+  let spread = 1.0 +. uniform_of h3 in
+  let delta = sign *. t.policy.magnitude *. spread in
+  Inject.corrupt_packed_entry p ((ti * nb) + r) ((tj * nb) + c) ~delta;
+  (ti, tj)
+
+let wrap_packed t (p : PD.t) interp (op : Task.op) =
+  match decide t op with
+  | Clean -> interp op
+  | Raise ->
+    let fire =
+      (not t.policy.transient)
+      ||
+      (Mutex.lock t.lock;
+       let seen = Hashtbl.mem t.fired op in
+       if not seen then Hashtbl.add t.fired op ();
+       Mutex.unlock t.lock;
+       not seen)
+    in
+    if fire then begin
+      Atomic.incr t.raised;
+      Metrics.incr m_raised;
+      raise (Injected (Task.op_name op))
+    end
+    else interp op
+  | Corrupt ->
+    interp op;
+    ignore (corrupt_packed t p op);
+    Atomic.incr t.corrupted;
+    Metrics.incr m_corrupted
+
+let reset t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.fired;
+  Mutex.unlock t.lock;
+  Atomic.set t.raised 0;
+  Atomic.set t.corrupted 0

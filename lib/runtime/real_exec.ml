@@ -13,6 +13,23 @@ type stats = {
   trace : Trace.t option;
 }
 
+type failure = {
+  failed_task : int;
+  failed_name : string;
+  failed_worker : int;
+  error : exn;
+}
+
+exception Task_failed of failure
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed f ->
+      Some
+        (Printf.sprintf "Real_exec.Task_failed(task %d %s on worker %d: %s)"
+           f.failed_task f.failed_name f.failed_worker (Printexc.to_string f.error))
+    | _ -> None)
+
 (* Scheduler counters live in the process-wide registry (cumulative);
    per-run stats are before/after deltas. Shards are indexed by worker id,
    so a pool of up to 16 workers never contends on a shard. *)
@@ -22,6 +39,7 @@ let m_steal_attempts = Metrics.counter "runtime.steal_attempts"
 let m_parks = Metrics.counter "runtime.parks"
 let m_park_ns = Metrics.counter "runtime.park_ns"
 let m_barrier_ns = Metrics.counter "runtime.barrier_wait_ns"
+let m_failures = Metrics.counter "runtime.task_failures"
 
 type baseline = { b_steals : int; b_attempts : int; b_parks : int; b_park_ns : int }
 
@@ -119,7 +137,18 @@ let run_sequential ?interp ?trace (dag : Dag.t) =
   Array.iter
     (fun task ->
       event tracer ~domain:0 Tracer.Task_start ~arg:task.Task.id;
-      exec_body interp task;
+      (match exec_body interp task with
+      | () -> ()
+      | exception e ->
+        Metrics.incr m_failures;
+        raise
+          (Task_failed
+             {
+               failed_task = task.Task.id;
+               failed_name = task.Task.name;
+               failed_worker = 0;
+               error = e;
+             }));
       event tracer ~domain:0 Tracer.Task_finish ~arg:task.Task.id)
     dag.Dag.tasks;
   let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
@@ -174,7 +203,16 @@ let run_dataflow ?interp ?priority ?trace ~workers (dag : Dag.t) =
     in
     let remaining = Array.map Atomic.make dag.Dag.indegree in
     let completed = Atomic.make 0 in
-    let finished () = Atomic.get completed >= n in
+    (* Abort protocol: the first task body that raises CASes its failure in,
+       sets [aborted] and broadcasts the idle condvar. [aborted] folds into
+       [finished ()], so every worker — popping locally, mid-steal-sweep or
+       waking from a park — observes the abort on its next check and falls
+       through to the joins; leftover deque entries are simply dropped. The
+       run then re-raises [Task_failed] after every domain has joined, so no
+       worker is left parked on a condvar that nobody will signal. *)
+    let aborted = Atomic.make false in
+    let failure = Atomic.make None in
+    let finished () = Atomic.get completed >= n || Atomic.get aborted in
     (* Per-worker deques: a worker pushes the successors it makes ready onto
        its own bottom (their input tiles are warm in this core's cache), pops
        LIFO, and steals FIFO from the top of a random victim — stolen tasks
@@ -224,13 +262,36 @@ let run_dataflow ?interp ?priority ?trace ~workers (dag : Dag.t) =
         Mutex.unlock park_mutex
       end
     in
+    let fail wid id e =
+      let f =
+        {
+          failed_task = id;
+          failed_name = dag.Dag.tasks.(id).Task.name;
+          failed_worker = wid;
+          error = e;
+        }
+      in
+      ignore (Atomic.compare_and_set failure None (Some f));
+      Metrics.incr m_failures;
+      Atomic.set aborted true;
+      (* wake every parked worker so it observes the abort and exits; the
+         broadcast cannot be lost — a parker holds the mutex from its
+         [finished] recheck until Condition.wait releases it *)
+      Mutex.lock park_mutex;
+      Condition.broadcast park_cond;
+      Mutex.unlock park_mutex
+    in
     let run_task wid id =
       event tracer ~domain:wid Tracer.Task_start ~arg:id;
-      exec_body interp dag.Dag.tasks.(id);
-      (* finish marks the closure only: the per-kernel profile measures
-         kernel time, successor release is scheduler time *)
-      event tracer ~domain:wid Tracer.Task_finish ~arg:id;
-      complete wid id
+      match exec_body interp dag.Dag.tasks.(id) with
+      | () ->
+        (* finish marks the closure only: the per-kernel profile measures
+           kernel time, successor release is scheduler time *)
+        event tracer ~domain:wid Tracer.Task_finish ~arg:id;
+        complete wid id
+      | exception e ->
+        event tracer ~domain:wid Tracer.Task_finish ~arg:id;
+        fail wid id e
     in
     let worker wid =
       let my = deques.(wid) in
@@ -266,12 +327,14 @@ let run_dataflow ?interp ?priority ?trace ~workers (dag : Dag.t) =
         Mutex.unlock park_mutex
       in
       let rec local () =
-        match Deque.pop my with
-        | Some id ->
-          incr l_tasks;
-          run_task wid id;
-          local ()
-        | None -> if not (finished ()) then hunt 0
+        if Atomic.get aborted then ()
+        else
+          match Deque.pop my with
+          | Some id ->
+            incr l_tasks;
+            run_task wid id;
+            local ()
+          | None -> if not (finished ()) then hunt 0
       and hunt sweeps =
         if finished () then ()
         else if workers = 1 then begin
@@ -324,6 +387,7 @@ let run_dataflow ?interp ?priority ?trace ~workers (dag : Dag.t) =
     worker 0;
     List.iter Domain.join domains;
     let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
+    (match Atomic.get failure with Some f -> raise (Task_failed f) | None -> ());
     assert (Atomic.get completed = n);
     {
       elapsed;
@@ -387,7 +451,18 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
     Array.iter
       (Array.iter (fun id ->
            event tracer ~domain:0 Tracer.Task_start ~arg:id;
-           exec_body interp dag.Dag.tasks.(id);
+           (match exec_body interp dag.Dag.tasks.(id) with
+           | () -> ()
+           | exception e ->
+             Metrics.incr m_failures;
+             raise
+               (Task_failed
+                  {
+                    failed_task = id;
+                    failed_name = dag.Dag.tasks.(id).Task.name;
+                    failed_worker = 0;
+                    error = e;
+                  }));
            event tracer ~domain:0 Tracer.Task_finish ~arg:id))
       levels;
     let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
@@ -413,6 +488,13 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
        then measures barrier idle time, not repeated domain spawn cost. *)
     let barrier = barrier_make workers in
     let barrier_ns = Array.make workers 0 in
+    (* On a task-body exception the failing worker records the failure and
+       raises the [aborted] flag, but every worker — including the failing
+       one — keeps attending every remaining level barrier (skipping the
+       task bodies): peers are never left waiting on a barrier that will
+       not fill, and the joins below always complete. *)
+    let aborted = Atomic.make false in
+    let failure = Atomic.make None in
     let worker w =
       for l = 0 to nlevels - 1 do
         let tasks = levels.(l) in
@@ -420,9 +502,24 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
         let lo = w * ntasks / workers and hi = (w + 1) * ntasks / workers in
         for i = lo to hi - 1 do
           let id = tasks.(i) in
-          event tracer ~domain:w Tracer.Task_start ~arg:id;
-          exec_body interp dag.Dag.tasks.(id);
-          event tracer ~domain:w Tracer.Task_finish ~arg:id
+          if not (Atomic.get aborted) then begin
+            event tracer ~domain:w Tracer.Task_start ~arg:id;
+            (match exec_body interp dag.Dag.tasks.(id) with
+            | () -> ()
+            | exception e ->
+              let f =
+                {
+                  failed_task = id;
+                  failed_name = dag.Dag.tasks.(id).Task.name;
+                  failed_worker = w;
+                  error = e;
+                }
+              in
+              ignore (Atomic.compare_and_set failure None (Some f));
+              Metrics.incr m_failures;
+              Atomic.set aborted true);
+            event tracer ~domain:w Tracer.Task_finish ~arg:id
+          end
         done;
         (* the wait below *is* the BSP idle time the trace should show *)
         event tracer ~domain:w Tracer.Barrier_enter ~arg:l;
@@ -445,6 +542,7 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
     (* worker 0 passed the final barrier, so every task has completed *)
     let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
     List.iter Domain.join domains;
+    (match Atomic.get failure with Some f -> raise (Task_failed f) | None -> ());
     let total_barrier_ns = Array.fold_left ( + ) 0 barrier_ns in
     Metrics.add m_tasks n;
     Metrics.add m_barrier_ns total_barrier_ns;

@@ -67,6 +67,22 @@ type stats = {
   trace : Trace.t option;  (** present iff tracing was enabled for the run *)
 }
 
+type failure = {
+  failed_task : int;  (** id of the task whose body raised *)
+  failed_name : string;
+  failed_worker : int;  (** worker (domain index) that ran it *)
+  error : exn;  (** the original exception from the task body *)
+}
+
+exception Task_failed of failure
+(** Raised by every executor when a task body raises, after the run has
+    been aborted cleanly: remaining ready tasks are dropped, parked
+    workers are woken and drained, and every spawned domain is joined
+    before the exception propagates — a fault can never leave a worker
+    blocked on a condvar or barrier. Only the first failure is reported
+    (concurrent failures race on a CAS; the winner's is kept). The
+    [runtime.task_failures] counter tallies every captured failure. *)
+
 val run_dataflow :
   ?interp:(Task.op -> unit) -> ?priority:(int -> int) -> ?trace:bool ->
   workers:int -> Dag.t -> stats
@@ -75,7 +91,9 @@ val run_dataflow :
     made them ready — e.g. a bottom-level rank for critical-path-first, or
     [fun id -> -id] for FIFO program order); omitted, successors run in
     discovery order. [trace] defaults to [XSC_TRACE] in the environment.
-    Raises [Invalid_argument] if a task lacks a body or [workers < 1]. *)
+    Raises [Invalid_argument] if a task lacks a body or [workers < 1], and
+    {!Task_failed} (after aborting and joining all workers) if a body
+    raises. *)
 
 val run_forkjoin :
   ?interp:(Task.op -> unit) -> ?trace:bool -> workers:int -> Dag.t -> stats

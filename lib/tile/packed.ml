@@ -226,6 +226,11 @@ module S = struct
     let nb = t.nb in
     t.buf.{off t (i / nb) (j / nb) + ((i mod nb) * nb) + (j mod nb)}
 
+  (* Stores round to nearest float32, like of_mat. *)
+  let set t i j x =
+    let nb = t.nb in
+    t.buf.{off t (i / nb) (j / nb) + ((i mod nb) * nb) + (j mod nb)} <- x
+
   (* Single-precision tiled Cholesky, same program order as D.potrf. All
      arithmetic is genuine float32 in the C kernels. *)
   let potrf t =

@@ -73,6 +73,10 @@ module S : sig
   val get : t -> int -> int -> float
   (** Element by global index, widened to double. *)
 
+  val set : t -> int -> int -> float -> unit
+  (** Store by global index, rounding to nearest float32 (used by the
+      resilience fault injector to corrupt f32 state in place). *)
+
   val potrf : t -> unit
   (** Sequential packed tiled Cholesky in genuine float32 arithmetic.
       Raises {!Xsc_linalg.Pblas.Singular} on a non-positive pivot. *)

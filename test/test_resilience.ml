@@ -1,10 +1,14 @@
 (* Tests for Xsc_resilience: Young/Daly checkpointing, ABFT checksums,
-   fault injection. *)
+   fault injection, the runtime fault harness, checkpoint file hardening. *)
 
 open Xsc_linalg
 module Checkpoint = Xsc_resilience.Checkpoint
 module Abft = Xsc_resilience.Abft
 module Inject = Xsc_resilience.Inject
+module Harness = Xsc_resilience.Harness
+module Task = Xsc_runtime.Task
+module PkD = Xsc_tile.Packed.D
+module PkS = Xsc_tile.Packed.S
 module Rng = Xsc_util.Rng
 
 let qcheck tc = QCheck_alcotest.to_alcotest tc
@@ -47,9 +51,11 @@ let test_checkpoint_save_load_roundtrip () =
          let n = in_channel_length ic in
          close_in ic;
          n);
-      let m' = Checkpoint.load path in
-      Alcotest.(check bool) "round-trips bitwise" true
-        (m'.Mat.rows = m.Mat.rows && m'.Mat.cols = m.Mat.cols && m'.Mat.data = m.Mat.data);
+      (match Checkpoint.load path with
+      | Error e -> Alcotest.failf "load failed: %s" (Checkpoint.describe_error e)
+      | Ok m' ->
+        Alcotest.(check bool) "round-trips bitwise" true
+          (m'.Mat.rows = m.Mat.rows && m'.Mat.cols = m.Mat.cols && m'.Mat.data = m.Mat.data));
       Alcotest.(check int) "write counted" (writes0 + 1) (counter_value "checkpoint.writes"))
 
 let test_expected_time_convex_minimum () =
@@ -254,6 +260,322 @@ let test_flip_mantissa_changes_value () =
   Alcotest.(check bool) "value changed, still finite" true
     (Mat.get m i j <> 1.234 && Float.is_finite (Mat.get m i j))
 
+(* ---- ABFT recovery edge cases ---- *)
+
+(* Recover until verification passes; [recover_*_rows ~from] recomputes a
+   suffix of rows, so one pass from the first bad row should suffice — the
+   budgeted loop keeps the test honest either way. *)
+let recover_until_clean ~budget verify recover =
+  let rec go budget =
+    match verify () with
+    | None -> ()
+    | Some row ->
+      if budget = 0 then Alcotest.fail "recovery did not converge";
+      recover row;
+      go (budget - 1)
+  in
+  go budget
+
+let test_recover_cholesky_last_row () =
+  let a, l = chol_fixture 13 16 in
+  let damaged = Mat.copy l in
+  Inject.corrupt_entry damaged 15 15 ~delta:3.0;
+  recover_until_clean ~budget:2
+    (fun () -> Abft.verify_cholesky ~l:damaged a)
+    (fun row -> Abft.recover_cholesky_rows ~a ~l:damaged ~from:row);
+  Alcotest.(check bool) "last diagonal entry recovered" true
+    (Mat.approx_equal ~tol:1e-8 l damaged)
+
+let test_recover_cholesky_multiple_rows () =
+  let a, l = chol_fixture 17 20 in
+  let damaged = Mat.copy l in
+  Inject.corrupt_entry damaged 4 2 ~delta:2.0;
+  Inject.corrupt_entry damaged 11 9 ~delta:(-4.0);
+  Inject.corrupt_entry damaged 19 16 ~delta:1.5;
+  recover_until_clean ~budget:4
+    (fun () -> Abft.verify_cholesky ~l:damaged a)
+    (fun row -> Abft.recover_cholesky_rows ~a ~l:damaged ~from:row);
+  Alcotest.(check bool) "all three rows recovered" true
+    (Mat.approx_equal ~tol:1e-8 l damaged)
+
+let test_recover_lu_last_row () =
+  let a, lu = lu_fixture 43 16 in
+  let damaged = Mat.copy lu in
+  Inject.corrupt_entry damaged 15 15 ~delta:2.0;
+  recover_until_clean ~budget:2
+    (fun () -> Abft.verify_lu ~lu:damaged a)
+    (fun row -> Abft.recover_lu_rows ~a ~lu:damaged ~from:row);
+  Alcotest.(check bool) "last row recovered" true
+    (Mat.approx_equal ~tol:1e-8 lu damaged)
+
+let test_recover_lu_multiple_rows () =
+  let a, lu = lu_fixture 47 20 in
+  let damaged = Mat.copy lu in
+  Inject.corrupt_entry damaged 3 7 ~delta:1.0;
+  Inject.corrupt_entry damaged 10 2 ~delta:(-2.0);
+  Inject.corrupt_entry damaged 19 19 ~delta:0.5;
+  recover_until_clean ~budget:4
+    (fun () -> Abft.verify_lu ~lu:damaged a)
+    (fun row -> Abft.recover_lu_rows ~a ~lu:damaged ~from:row);
+  Alcotest.(check bool) "all three rows recovered" true
+    (Mat.approx_equal ~tol:1e-8 lu damaged)
+
+(* ---- packed-storage inject ---- *)
+
+let test_packed_inject_entry () =
+  let p = PkD.create ~n:18 ~nb:6 in
+  let injected0 = counter_value "resilience.faults_injected" in
+  Inject.corrupt_packed_entry p 7 11 ~delta:2.5;
+  Alcotest.(check (float 0.0)) "entry bumped in place" 2.5 (PkD.get p 7 11);
+  Alcotest.(check int) "fault tallied" (injected0 + 1)
+    (counter_value "resilience.faults_injected")
+
+let test_packed_inject_random_entry () =
+  let rng = Rng.create 61 in
+  let p = PkD.create ~n:18 ~nb:6 in
+  let i, j = Inject.corrupt_random_packed_entry rng p ~magnitude:3.0 in
+  Alcotest.(check bool) "coords in range" true (i >= 0 && i < 18 && j >= 0 && j < 18);
+  Alcotest.(check (float 0.0)) "changed by +-magnitude" 3.0 (abs_float (PkD.get p i j))
+
+let test_packed_inject_random_tile () =
+  let rng = Rng.create 63 in
+  let p = PkD.create ~n:18 ~nb:6 in
+  let ti, tj = Inject.corrupt_random_packed_tile rng p ~magnitude:1.0 in
+  Alcotest.(check bool) "tile coords in range" true
+    (ti >= 0 && ti < p.PkD.nt && tj >= 0 && tj < p.PkD.nt);
+  (* exactly one entry of that tile changed *)
+  let changed = ref 0 in
+  for r = ti * 6 to (ti * 6) + 5 do
+    for c = tj * 6 to (tj * 6) + 5 do
+      if PkD.get p r c <> 0.0 then incr changed
+    done
+  done;
+  Alcotest.(check int) "one entry inside the tile" 1 !changed
+
+let test_packed_flip_mantissa () =
+  let p = PkD.create ~n:8 ~nb:4 in
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      PkD.set p i j 1.234
+    done
+  done;
+  let rng = Rng.create 65 in
+  let i, j = Inject.flip_packed_mantissa_bit rng p in
+  let v = PkD.get p i j in
+  Alcotest.(check bool) "value changed, still finite" true
+    (v <> 1.234 && Float.is_finite v)
+
+let test_packed32_inject () =
+  let p = PkS.create ~n:8 ~nb:4 in
+  Inject.corrupt_packed32_entry p 3 5 ~delta:1.5;
+  Alcotest.(check (float 0.0)) "f32 entry bumped (1.5 is exact)" 1.5 (PkS.get p 3 5);
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      PkS.set p i j 1.25
+    done
+  done;
+  let rng = Rng.create 67 in
+  let i, j = Inject.flip_packed32_mantissa_bit rng p in
+  let v = PkS.get p i j in
+  Alcotest.(check bool) "f32 flip changed, still finite" true
+    (v <> 1.25 && Float.is_finite v);
+  let ti, tj = Inject.corrupt_random_packed32_tile rng p ~magnitude:0.5 in
+  Alcotest.(check bool) "f32 tile coords in range" true
+    (ti >= 0 && ti < 2 && tj >= 0 && tj < 2);
+  let i, j = Inject.corrupt_random_packed32_entry rng p ~magnitude:2.0 in
+  Alcotest.(check bool) "f32 entry coords in range" true (i >= 0 && i < 8 && j >= 0 && j < 8)
+
+(* ---- fault harness ---- *)
+
+(* The packed tiled Cholesky op stream, in program order. *)
+let cholesky_ops nt =
+  let acc = ref [] in
+  for k = 0 to nt - 1 do
+    acc := Task.Potrf k :: !acc;
+    for i = k + 1 to nt - 1 do
+      acc := Task.Trsm (k, i) :: !acc
+    done;
+    for i = k + 1 to nt - 1 do
+      acc := Task.Syrk (i, k) :: !acc;
+      for j = k + 1 to i - 1 do
+        acc := Task.Gemm (i, j, k) :: !acc
+      done
+    done
+  done;
+  List.rev !acc
+
+let run_harness_storm ~seed ~nt ~nb =
+  let h =
+    Harness.create
+      { Harness.default with seed; p_raise = 0.1; p_corrupt = 0.2; magnitude = 0.5 }
+  in
+  let p = PkD.create ~n:(nt * nb) ~nb in
+  let executed = ref [] in
+  let interp op = executed := Task.op_name op :: !executed in
+  List.iter
+    (fun op ->
+      match Harness.wrap_packed h p interp op with
+      | () -> ()
+      | exception Harness.Injected _ -> ())
+    (cholesky_ops nt);
+  (Harness.raised h, Harness.corrupted h, List.rev !executed)
+
+let test_harness_deterministic () =
+  (* same (seed, op) -> same decision: two fresh harnesses over the same op
+     stream fire identical faults, independent of any shared RNG state *)
+  let a = run_harness_storm ~seed:7 ~nt:6 ~nb:4 in
+  let b = run_harness_storm ~seed:7 ~nt:6 ~nb:4 in
+  Alcotest.(check bool) "identical decisions across runs" true (a = b);
+  let raised, corrupted, _ = a in
+  Alcotest.(check bool) "storm actually fired" true (raised > 0 && corrupted > 0);
+  let raised', _, _ = run_harness_storm ~seed:8 ~nt:6 ~nb:4 in
+  Alcotest.(check bool) "a different seed differs somewhere" true
+    (run_harness_storm ~seed:8 ~nt:6 ~nb:4 <> a || raised' <> raised)
+
+let test_harness_transient_vs_permanent () =
+  let p = PkD.create ~n:4 ~nb:4 in
+  let interp _ = () in
+  let h = Harness.create { Harness.default with seed = 3; p_raise = 1.0 } in
+  (match Harness.wrap_packed h p interp (Task.Potrf 0) with
+  | () -> Alcotest.fail "expected an injected raise"
+  | exception Harness.Injected _ -> ());
+  (* transient (default): the same op runs clean on replay *)
+  Harness.wrap_packed h p interp (Task.Potrf 0);
+  Alcotest.(check int) "raised exactly once" 1 (Harness.raised h);
+  let hp =
+    Harness.create { Harness.default with seed = 3; p_raise = 1.0; transient = false }
+  in
+  let expect_raise () =
+    match Harness.wrap_packed hp p interp (Task.Potrf 0) with
+    | () -> Alcotest.fail "permanent fault must re-raise"
+    | exception Harness.Injected _ -> ()
+  in
+  expect_raise ();
+  expect_raise ();
+  Alcotest.(check int) "permanent raised twice" 2 (Harness.raised hp)
+
+let test_harness_zero_policy_is_noop () =
+  let p = PkD.create ~n:8 ~nb:4 in
+  let h = Harness.create Harness.default in
+  let ran = ref 0 in
+  List.iter (fun op -> Harness.wrap_packed h p (fun _ -> incr ran) op) (cholesky_ops 2);
+  Alcotest.(check int) "every op executed" (List.length (cholesky_ops 2)) !ran;
+  Alcotest.(check int) "nothing raised" 0 (Harness.raised h);
+  Alcotest.(check int) "nothing corrupted" 0 (Harness.corrupted h);
+  for i = 0 to 7 do
+    for j = 0 to 7 do
+      Alcotest.(check (float 0.0)) "matrix untouched" 0.0 (PkD.get p i j)
+    done
+  done
+
+let test_harness_validation () =
+  Alcotest.check_raises "probabilities must sum <= 1"
+    (Invalid_argument "Harness.create: probabilities must be >= 0 and sum to <= 1")
+    (fun () ->
+      ignore (Harness.create { Harness.default with p_raise = 0.7; p_corrupt = 0.5 }))
+
+(* ---- checkpoint file hardening ---- *)
+
+(* Header layout: 7-byte magic, 1 version byte, 8-byte LE payload length,
+   4-byte LE CRC-32, then the Marshal payload at offset 20. *)
+let ckpt_payload_offset = 20
+
+let with_temp_ckpt f =
+  let path = Filename.temp_file "xsc_ckpt_hard" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  b
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let check_load_error name expected path =
+  match Checkpoint.load path with
+  | Error e when e = expected -> ()
+  | Error e ->
+    Alcotest.failf "%s: expected %s, got %s" name
+      (Checkpoint.describe_error expected)
+      (Checkpoint.describe_error e)
+  | Ok _ -> Alcotest.failf "%s: damaged checkpoint was accepted" name
+
+let test_load_missing_file () =
+  check_load_error "missing" Checkpoint.No_such_file "/nonexistent/xsc_nope.bin"
+
+let test_load_torn_write () =
+  let rng = Rng.create 51 in
+  let m = Mat.random rng 12 12 in
+  with_temp_ckpt (fun path ->
+      let bytes = Checkpoint.save path m in
+      (* a crash mid-write: the file ends before the declared payload *)
+      let b = read_file path in
+      write_file path (Bytes.sub b 0 (bytes - 7));
+      check_load_error "torn payload" Checkpoint.Truncated path;
+      (* torn even earlier: shorter than the header itself *)
+      write_file path (Bytes.sub b 0 5);
+      check_load_error "torn header" Checkpoint.Truncated path)
+
+let test_load_bad_magic () =
+  with_temp_ckpt (fun path ->
+      write_file path (Bytes.of_string "NOTCKPT0aaaaaaaabbbbpayloadpayload");
+      check_load_error "garbage file" Checkpoint.Bad_magic path)
+
+let test_load_bad_version () =
+  let rng = Rng.create 53 in
+  let m = Mat.random rng 6 6 in
+  with_temp_ckpt (fun path ->
+      ignore (Checkpoint.save path m);
+      let b = read_file path in
+      Bytes.set b 7 (Char.chr 9);
+      write_file path b;
+      check_load_error "future version" (Checkpoint.Bad_version 9) path)
+
+let test_load_bad_crc () =
+  let rng = Rng.create 55 in
+  let m = Mat.random rng 10 10 in
+  with_temp_ckpt (fun path ->
+      ignore (Checkpoint.save path m);
+      let b = read_file path in
+      (* flip one payload bit: bit rot on disk *)
+      let pos = Bytes.length b - 3 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      write_file path b;
+      check_load_error "bit rot" Checkpoint.Bad_crc path;
+      (* damage inside the Marshal header region of the payload too *)
+      let b2 = read_file path in
+      Bytes.set b2 ckpt_payload_offset
+        (Char.chr (Char.code (Bytes.get b2 ckpt_payload_offset) lxor 0xFF));
+      write_file path b2;
+      check_load_error "payload head damaged" Checkpoint.Bad_crc path)
+
+let test_save_value_generic_roundtrip () =
+  with_temp_ckpt (fun path ->
+      let v = (42, [| "alpha"; "beta" |], 3.25) in
+      let bytes = Checkpoint.save_value path v in
+      Alcotest.(check bool) "no tmp residue after atomic rename" false
+        (Sys.file_exists (path ^ ".tmp"));
+      Alcotest.(check bool) "header + payload" true (bytes > ckpt_payload_offset);
+      match Checkpoint.load_value path with
+      | Ok v' -> Alcotest.(check bool) "round-trips structurally" true (v = v')
+      | Error e -> Alcotest.failf "load_value: %s" (Checkpoint.describe_error e))
+
+let test_save_overwrites_atomically () =
+  with_temp_ckpt (fun path ->
+      ignore (Checkpoint.save_value path "first");
+      ignore (Checkpoint.save_value path "second");
+      match Checkpoint.load_value path with
+      | Ok s -> Alcotest.(check string) "latest value wins" "second" s
+      | Error e -> Alcotest.failf "load_value: %s" (Checkpoint.describe_error e))
+
 let () =
   Alcotest.run "xsc_resilience"
     [
@@ -287,6 +609,9 @@ let () =
           Alcotest.test_case "bit flip detected" `Quick test_cholesky_bitflip_detected;
           Alcotest.test_case "recover from row 0 = refactor" `Quick
             test_recover_rows_full_refactor;
+          Alcotest.test_case "recover last row" `Quick test_recover_cholesky_last_row;
+          Alcotest.test_case "recover multiple rows" `Quick
+            test_recover_cholesky_multiple_rows;
           Alcotest.test_case "overhead model" `Quick test_overhead_model;
         ] );
       ( "abft lu",
@@ -295,11 +620,39 @@ let () =
           qcheck prop_lu_corruption_detected_and_recovered;
           Alcotest.test_case "recover from row 0 = refactor" `Quick
             test_recover_lu_full_refactor;
+          Alcotest.test_case "recover last row" `Quick test_recover_lu_last_row;
+          Alcotest.test_case "recover multiple rows" `Quick test_recover_lu_multiple_rows;
         ] );
       ( "inject",
         [
           Alcotest.test_case "corrupt random entry" `Quick test_corrupt_random_entry;
           Alcotest.test_case "corrupt lower entry" `Quick test_corrupt_lower_entry;
           Alcotest.test_case "flip mantissa" `Quick test_flip_mantissa_changes_value;
+          Alcotest.test_case "packed entry" `Quick test_packed_inject_entry;
+          Alcotest.test_case "packed random entry" `Quick test_packed_inject_random_entry;
+          Alcotest.test_case "packed random tile" `Quick test_packed_inject_random_tile;
+          Alcotest.test_case "packed flip mantissa" `Quick test_packed_flip_mantissa;
+          Alcotest.test_case "packed float32 variants" `Quick test_packed32_inject;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "seeded storm is deterministic" `Quick
+            test_harness_deterministic;
+          Alcotest.test_case "transient vs permanent" `Quick
+            test_harness_transient_vs_permanent;
+          Alcotest.test_case "zero policy is a no-op" `Quick
+            test_harness_zero_policy_is_noop;
+          Alcotest.test_case "validation" `Quick test_harness_validation;
+        ] );
+      ( "checkpoint files",
+        [
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+          Alcotest.test_case "torn write rejected" `Quick test_load_torn_write;
+          Alcotest.test_case "bad magic rejected" `Quick test_load_bad_magic;
+          Alcotest.test_case "bad version rejected" `Quick test_load_bad_version;
+          Alcotest.test_case "bad crc rejected" `Quick test_load_bad_crc;
+          Alcotest.test_case "generic value round-trip" `Quick
+            test_save_value_generic_roundtrip;
+          Alcotest.test_case "atomic overwrite" `Quick test_save_overwrites_atomically;
         ] );
     ]

@@ -412,6 +412,87 @@ let test_default_workers () =
   let w = Real_exec.default_workers () in
   Alcotest.(check bool) "1..8" true (w >= 1 && w <= 8)
 
+(* ---- executor fault paths: a raising task body must abort the run
+   cleanly (ready queues dropped, parked workers woken, domains joined) and
+   surface as Task_failed carrying the task's identity ---- *)
+
+let failing_chain n fail_at =
+  let counter = Atomic.make 0 in
+  let tasks =
+    List.init n (fun id ->
+        let run () = if id = fail_at then failwith "boom" else Atomic.incr counter in
+        Task.make ~id ~name:(Printf.sprintf "t%d" id) ~flops:1.0 ~run [ Task.Read_write 0 ])
+  in
+  (Dag.build tasks, counter)
+
+let check_task_failed name run =
+  let dag, counter = failing_chain 50 25 in
+  match run dag with
+  | (_ : Real_exec.stats) -> Alcotest.failf "%s: expected Task_failed" name
+  | exception Real_exec.Task_failed f ->
+    Alcotest.(check int) (name ^ ": failing task id") 25 f.Real_exec.failed_task;
+    Alcotest.(check string) (name ^ ": failing task name") "t25" f.Real_exec.failed_name;
+    (match f.Real_exec.error with
+    | Failure m -> Alcotest.(check string) (name ^ ": original exn kept") "boom" m
+    | e -> Alcotest.failf "%s: unexpected error %s" name (Printexc.to_string e));
+    (* the chain serialises everything, so exactly the 25 predecessors ran
+       and no dependent of the failed task ever started *)
+    Alcotest.(check int) (name ^ ": frontier stopped at the fault") 25 (Atomic.get counter)
+
+let test_task_failed_sequential () =
+  check_task_failed "sequential" (fun d -> Real_exec.run_sequential d)
+
+let test_task_failed_dataflow () =
+  (* repeated runs shake out lost-wakeup races in the abort path: the chain
+     keeps at most one task ready, so three of the four workers are parked
+     on the idle condvar when the failure fires — a missed broadcast would
+     deadlock the join *)
+  for _ = 1 to 20 do
+    check_task_failed "dataflow" (fun d -> Real_exec.run_dataflow ~workers:4 d)
+  done
+
+let test_task_failed_forkjoin () =
+  for _ = 1 to 20 do
+    check_task_failed "forkjoin" (fun d -> Real_exec.run_forkjoin ~workers:4 d)
+  done
+
+let test_task_failed_wide_dataflow () =
+  (* failure while independent work is genuinely in flight on other
+     workers: the run must still terminate and report the failure *)
+  for _ = 1 to 10 do
+    let tasks =
+      List.init 64 (fun id ->
+          let run () = if id = 40 then failwith "mid" else () in
+          Task.make ~id ~name:(Printf.sprintf "w%d" id) ~flops:1.0 ~run [ Task.Write id ])
+    in
+    match Real_exec.run_dataflow ~workers:4 (Dag.build tasks) with
+    | _ -> Alcotest.fail "expected Task_failed"
+    | exception Real_exec.Task_failed f ->
+      Alcotest.(check int) "failed id" 40 f.Real_exec.failed_task
+  done
+
+let test_executor_reusable_after_failure () =
+  (* an aborted run must leave no residue that breaks the next run *)
+  let dag, _ = failing_chain 20 10 in
+  (try ignore (Real_exec.run_dataflow ~workers:4 dag) with Real_exec.Task_failed _ -> ());
+  let dag_ok, cells = accumulation_dag 40 in
+  let stats = Real_exec.run_dataflow ~workers:4 dag_ok in
+  Alcotest.(check int) "clean run completes" 40 stats.Real_exec.tasks;
+  let dag_ref, cells_ref = accumulation_dag 40 in
+  ignore (Real_exec.run_sequential dag_ref);
+  Alcotest.(check (array (float 0.0))) "clean run correct" cells_ref cells
+
+let test_task_failures_counted () =
+  let value () =
+    match List.assoc_opt "runtime.task_failures" (Xsc_obs.Metrics.snapshot ()) with
+    | Some (Xsc_obs.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let before = value () in
+  let dag, _ = failing_chain 10 5 in
+  (try ignore (Real_exec.run_sequential dag) with Real_exec.Task_failed _ -> ());
+  Alcotest.(check int) "failure tallied" (before + 1) (value ())
+
 (* qcheck oracle over random accumulation DAGs: the work-stealing executor
    (with and without a priority hook) must reproduce sequential results
    bit-for-bit at any worker count. *)
@@ -792,6 +873,15 @@ let () =
           Alcotest.test_case "op names" `Quick test_op_name;
           Alcotest.test_case "empty dag" `Quick test_real_empty_dag;
           Alcotest.test_case "default workers" `Quick test_default_workers;
+          Alcotest.test_case "task failure: sequential" `Quick test_task_failed_sequential;
+          Alcotest.test_case "task failure: dataflow (parked workers)" `Quick
+            test_task_failed_dataflow;
+          Alcotest.test_case "task failure: forkjoin" `Quick test_task_failed_forkjoin;
+          Alcotest.test_case "task failure: dataflow in flight" `Quick
+            test_task_failed_wide_dataflow;
+          Alcotest.test_case "executor reusable after failure" `Quick
+            test_executor_reusable_after_failure;
+          Alcotest.test_case "task failures counted" `Quick test_task_failures_counted;
           qcheck prop_dataflow_bitwise_oracle;
           Alcotest.test_case "oracle: tiled cholesky" `Quick test_oracle_cholesky;
           Alcotest.test_case "oracle: tiled LU" `Quick test_oracle_lu;
