@@ -221,6 +221,7 @@ let run ~file =
     ([ "    " ^ s1; "    " ^ s2 ], pk)
   in
   let resilience = Faults_run.record () in
+  let serve, _, _ = Serve_run.record () in
   write_json ~file
     ([ "{"; "  \"gemm\": [" ]
     @ [ String.concat ",\n" gemms ]
@@ -229,6 +230,7 @@ let run ~file =
         "  \"f32\": " ^ f32 ^ ",";
         "  \"ir\": " ^ ir ^ ",";
         "  \"resilience\": " ^ resilience ^ ",";
+        "  \"serve\": " ^ serve ^ ",";
         "  \"sched\": [";
       ]
     @ [ String.concat ",\n" scheds ]
@@ -241,12 +243,23 @@ let run ~file =
 let smoke ~file =
   let sched, _ = sched_record ~nt:6 ~nb:72 ~workers:2 in
   let resilience = Faults_run.record ~runs:3 ~storm_seeds:4 () in
+  let serve, serve_ok, _ =
+    Serve_run.record ~nominal_count:60 ~burst_count:120 ~storm_count:40 ()
+  in
   write_json ~file
     [
       "{";
       "  \"smoke\": true,";
       "  \"sched\": " ^ sched ^ ",";
       "  \"resilience\": " ^ resilience ^ ",";
+      "  \"serve\": " ^ serve ^ ",";
       "  \"registry\": " ^ Xsc_obs.Metrics.to_json ();
       "}";
-    ]
+    ];
+  (* the serve record self-checks (typed rejects at overload, storm
+     reconciliation, bitwise correctness) are hard invariants, not perf —
+     gate on them even in the record-only smoke *)
+  if not serve_ok then begin
+    Printf.eprintf "smoke: serve record self-checks FAILED\n";
+    exit 1
+  end

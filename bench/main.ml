@@ -9,7 +9,8 @@
      dune exec bench/main.exe -- --smoke FILE # CI perf-sanity subset (record-only)
      dune exec bench/main.exe -- --trace FILE # Chrome trace of a real DAG run
      dune exec bench/main.exe -- --overhead [PCT]  # tracing cost (gate if PCT)
-     dune exec bench/main.exe -- --faults [SEED]   # seeded fault storm + recovery *)
+     dune exec bench/main.exe -- --faults [SEED]   # seeded fault storm + recovery
+     dune exec bench/main.exe -- --serve FILE # solver-service load/latency record *)
 
 let experiments =
   [
@@ -53,6 +54,10 @@ let () =
     | None ->
       Printf.eprintf "--overhead: %S is not a number\n" pct;
       exit 1)
+  | [ "--serve"; file ] -> Serve_run.run ~file
+  | [ "--serve" ] ->
+    Printf.eprintf "--serve requires an output file argument\n";
+    exit 1
   | [ "--faults" ] -> Faults_run.run ~seed:1
   | [ "--faults"; seed ] -> (
     match int_of_string_opt seed with

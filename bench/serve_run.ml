@@ -1,0 +1,176 @@
+(* Serving-layer benchmark (`bench/main.exe --serve FILE`) and the serve
+   record for `--json` / `--smoke`.
+
+   Three parts, every one seeded and reproducible:
+
+   - offered-load points: a nominal open-loop Poisson run the pool keeps up
+     with, and a pre-generated burst (Loadgen.run_burst) far beyond the
+     admission window, where backpressure must engage — reject rate > 0 is
+     part of the record's self-check, not just a reported number.
+   - a transient fault storm: every injected fault retried to success,
+     zero failures, every solution bitwise-identical to the direct kernel
+     call on the same seeded instance.
+   - a permanent fault storm: the injected set (predicted exactly by
+     Harness.targets_key, since request ids are submission-ordered) fails
+     typed with retries exhausted; everything else lands bitwise-correct.
+
+   Each part also checks the counter reconciliation invariant
+   (admitted = completed + failed, offered = admitted + rejected, nothing
+   left in flight). `run ~file` exits non-zero if any self-check fails, so
+   the CI smoke step gates on unexplained failures for free. *)
+
+module Server = Xsc_serve.Server
+module Loadgen = Xsc_serve.Loadgen
+module Request = Xsc_serve.Request
+module Harness = Xsc_resilience.Harness
+
+let reconciles srv ~offered =
+  let c = Server.counters srv in
+  Server.in_flight srv = 0
+  && c.Server.admitted = c.Server.completed + c.Server.failed
+  && offered = c.Server.admitted + c.Server.rejected
+
+(* ---- offered-load points ---- *)
+
+type point = { label : string; burst : bool; server : Server.config; load : Loadgen.config }
+
+let nominal ~count =
+  {
+    label = "nominal";
+    burst = false;
+    server = { Server.default_config with workers = 2; capacity = 64 };
+    load = { Loadgen.default with seed = 42; rate_hz = 300.0; count; n = 48 };
+  }
+
+(* An instantaneous burst of [count] against an 8-slot window on one
+   worker: offered >> capacity by construction, so rejects are guaranteed
+   on any host — the demonstrably-engaged backpressure point. *)
+let overload ~count =
+  {
+    label = "overload";
+    burst = true;
+    server =
+      { Server.default_config with workers = 1; capacity = 8; max_batch = 4 };
+    load =
+      { Loadgen.default with seed = 43; rate_hz = 1.0e6; count; n = 48; deadline_s = 1.0 };
+  }
+
+let run_point p =
+  let srv = Server.start p.server in
+  let r = (if p.burst then Loadgen.run_burst else Loadgen.run_open) srv p.load in
+  Server.stop srv;
+  let recon = reconciles srv ~offered:p.load.Loadgen.count in
+  let ok =
+    recon && r.Loadgen.failed = 0
+    && (not p.burst || r.Loadgen.reject_rate > 0.0)
+  in
+  let json =
+    Printf.sprintf
+      "{\"label\": \"%s\", \"workers\": %d, \"capacity\": %d, \"max_batch\": %d, \
+       \"n\": %d, \"burst\": %b, \"report\": %s, \"counters_reconcile\": %b}"
+      p.label p.server.Server.workers p.server.Server.capacity p.server.Server.max_batch
+      p.load.Loadgen.n p.burst (Loadgen.report_json r) recon
+  in
+  (json, ok, r)
+
+(* ---- fault storms ---- *)
+
+let storm_load ~count =
+  { Loadgen.default with seed = 31; count; rate_hz = 5000.0; n = 10; deadline_s = 5.0 }
+
+(* Submit the whole seeded schedule, await every ticket, and check each
+   completion against the direct kernel call on the same instance. Request
+   ids are assigned in submission order (0..count-1), so the harness's
+   per-key decision predicts exactly which requests were injected. *)
+let run_storm ~transient ~count =
+  let cfg = storm_load ~count in
+  let h = Harness.create { Harness.default with seed = 9; p_raise = 0.25; transient } in
+  let max_retries = if transient then 4 else 2 in
+  let srv =
+    Server.start ~harness:h
+      { Server.default_config with workers = 2; capacity = 2 * count; max_retries }
+  in
+  let arrivals = Loadgen.schedule cfg in
+  let tickets =
+    Array.map
+      (fun a ->
+        match Server.submit srv ~deadline_s:cfg.Loadgen.deadline_s (Loadgen.payload_of cfg a) with
+        | Ok tk -> tk
+        | Error e -> failwith ("storm submit rejected: " ^ Request.error_message e))
+      arrivals
+  in
+  let completions = Array.map (Server.await srv) tickets in
+  Server.stop srv;
+  let injected_requests = ref 0
+  and typed_failures = ref 0
+  and wrong = ref 0
+  and completed = ref 0
+  and retried = ref 0 in
+  Array.iteri
+    (fun i c ->
+      retried := !retried + c.Request.retries;
+      let should_fail = (not transient) && Harness.targets_key h i in
+      if should_fail then incr injected_requests;
+      match c.Request.outcome with
+      | Ok sol ->
+        incr completed;
+        if should_fail
+           || not (Loadgen.solutions_bitwise_equal sol (Loadgen.reference cfg arrivals.(i)))
+        then incr wrong
+      | Error (Request.Failed { attempts; _ }) ->
+        incr typed_failures;
+        if (not should_fail) || attempts <> max_retries + 1 then incr wrong
+      | Error _ -> incr wrong)
+    completions;
+  let recon = reconciles srv ~offered:count in
+  let ok =
+    recon && !wrong = 0 && Harness.raised h > 0
+    && (if transient then !typed_failures = 0 && !retried = Harness.raised h
+        else !injected_requests > 0 && !typed_failures = !injected_requests)
+  in
+  let json =
+    Printf.sprintf
+      "{\"mode\": \"%s\", \"count\": %d, \"p_raise\": 0.25, \"seed\": 9, \
+       \"max_retries\": %d, \"injected_raises\": %d, \"injected_requests\": %d, \
+       \"completed\": %d, \"typed_failures\": %d, \"retried\": %d, \
+       \"mismatches\": %d, \"counters_reconcile\": %b}"
+      (if transient then "transient" else "permanent")
+      count max_retries (Harness.raised h) !injected_requests !completed !typed_failures
+      !retried !wrong recon
+  in
+  (json, ok)
+
+(* ---- the record ---- *)
+
+let record ?(nominal_count = 150) ?(burst_count = 240) ?(storm_count = 80) () =
+  let pts = [ nominal ~count:nominal_count; overload ~count:burst_count ] in
+  let loads = List.map run_point pts in
+  let st_json, st_ok = run_storm ~transient:true ~count:storm_count in
+  let sp_json, sp_ok = run_storm ~transient:false ~count:storm_count in
+  let ok = List.for_all (fun (_, ok, _) -> ok) loads && st_ok && sp_ok in
+  let json =
+    Printf.sprintf
+      "{\"loads\": [%s],\n\
+      \    \"storm_transient\": %s,\n\
+      \    \"storm_permanent\": %s,\n\
+      \    \"checks_passed\": %b}"
+      (String.concat ",\n    " (List.map (fun (j, _, _) -> j) loads))
+      st_json sp_json ok
+  in
+  (json, ok, List.map (fun (_, _, r) -> r) loads)
+
+let run ~file =
+  let json, ok, reports = record () in
+  let oc = open_out file in
+  output_string oc ("{\n  \"serve\": " ^ json ^ "\n}\n");
+  close_out oc;
+  Printf.printf "wrote %s\n" file;
+  List.iter2
+    (fun label r -> Printf.printf "-- %s --\n%s\n" label (Loadgen.report_human r))
+    [ "nominal (open loop, 300 req/s)"; "overload (burst vs 8-slot window)" ]
+    reports;
+  if not ok then begin
+    Printf.eprintf "serve record self-checks FAILED (see %s)\n" file;
+    exit 1
+  end;
+  print_endline "serve record self-checks passed"

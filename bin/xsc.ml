@@ -8,7 +8,8 @@
      hpcg        run the HPCG-like benchmark on this host or a model
      top500      print the Top500 trend and exaflop projection
      checkpoint  Young/Daly checkpoint planning for a machine preset
-     tune        autotune the tile size on this host *)
+     tune        autotune the tile size on this host
+     serve-demo  run the concurrent solver service under a seeded load *)
 
 open Cmdliner
 open Xsc_linalg
@@ -397,6 +398,75 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Autotune the Cholesky tile size on this host")
     Term.(const run $ n_arg 512 $ seed_arg)
 
+(* ---- serve-demo ---- *)
+
+let serve_demo_cmd =
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"C" ~doc:"Requests to offer.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 400.0 & info [ "rate" ] ~docv:"HZ"
+           ~doc:"Poisson arrival rate (requests per second).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"K"
+           ~doc:"Admission window: max requests in-system at once.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 0.05 & info [ "deadline" ] ~docv:"S" ~doc:"Per-request deadline.")
+  in
+  let storm_arg =
+    Arg.(value & opt (some float) None & info [ "storm" ] ~docv:"P"
+           ~doc:"Inject transient faults with probability $(docv) per request \
+                 (retried with backoff).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
+           ~doc:"Write per-request queue-wait and service spans as Chrome \
+                 trace-event JSON (chrome://tracing).")
+  in
+  let run n workers seed count rate capacity deadline storm trace_json =
+    let workers = if workers <= 0 then 2 else workers in
+    let module Server = Xsc_serve.Server in
+    let module Loadgen = Xsc_serve.Loadgen in
+    let harness =
+      Option.map
+        (fun p ->
+          Xsc_resilience.Harness.create
+            { Xsc_resilience.Harness.default with seed; p_raise = p; transient = true })
+        storm
+    in
+    let srv = Server.start ?harness { Server.default_config with workers; capacity } in
+    let cfg =
+      { Loadgen.seed; count; rate_hz = rate; n;
+        kinds = [| Loadgen.Spd; Loadgen.General; Loadgen.Product |];
+        deadline_s = deadline }
+    in
+    Printf.printf
+      "serving %d mixed requests (n=%d) at %.0f req/s on %d workers, window %d:\n" count n
+      rate workers capacity;
+    let r = Loadgen.run_open srv cfg in
+    Server.stop srv;
+    print_endline (Loadgen.report_human r);
+    (match harness with
+    | Some h ->
+      Printf.printf "fault storm: %d injected raises, all retried transparently\n"
+        (Xsc_resilience.Harness.raised h)
+    | None -> ());
+    match trace_json with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Xsc_runtime.Trace.to_chrome_json (Server.trace srv));
+      close_out oc;
+      Printf.printf "trace written to %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve-demo"
+       ~doc:"Run the concurrent solver service under a seeded Poisson load")
+    Term.(const run $ n_arg 48 $ workers_arg $ seed_arg $ count_arg $ rate_arg
+          $ capacity_arg $ deadline_arg $ storm_arg $ trace_arg)
+
 let () =
   let info =
     Cmd.info "xsc" ~version:"1.0.0"
@@ -405,6 +475,6 @@ let () =
   let group =
     Cmd.group info
       [ machines_cmd; solve_cmd; simulate_cmd; hpl_cmd; hpcg_cmd; top500_cmd; checkpoint_cmd;
-        krylov_cmd; scaling_cmd; tune_cmd ]
+        krylov_cmd; scaling_cmd; tune_cmd; serve_demo_cmd ]
   in
   exit (Cmd.eval group)

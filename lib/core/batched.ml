@@ -2,27 +2,37 @@ open Xsc_linalg
 module Task = Xsc_runtime.Task
 module Dag = Xsc_runtime.Dag
 
-(* Batched kernels are embarrassingly parallel: task i writes datum i. Any
-   kernel exception must not vanish inside a worker domain, so failures are
-   stashed and re-raised on the caller. *)
+(* Batched kernels are embarrassingly parallel: task i writes datum i. A
+   kernel exception must not vanish inside a worker domain — and must not
+   poison the siblings: the results variants capture each problem's outcome
+   in its own slot, so one singular matrix fails one slot while the rest of
+   the batch completes. The raising wrappers (the historical interface)
+   re-raise the first failure in index order after the whole batch ran. *)
 
-let run_batch ?(exec = Runtime_api.Sequential) kernels =
+let run_batch_results ?(exec = Runtime_api.Sequential) kernels =
   let n = Array.length kernels in
-  let failure = Atomic.make None in
+  let out = Array.make n (Error Not_found) in
   let tasks =
     List.init n (fun id ->
-        let run () =
-          try kernels.(id) ()
-          with e -> Atomic.set failure (Some e)
-        in
+        let run () = out.(id) <- (try Ok (kernels.(id) ()) with e -> Error e) in
         Task.make ~id ~name:(Printf.sprintf "batch(%d)" id) ~flops:1.0 ~run
           [ Task.Write id ])
   in
   ignore (Runtime_api.execute_exn exec (Dag.build tasks));
-  match Atomic.get failure with Some e -> raise e | None -> ()
+  out
+
+let run_batch ?exec kernels =
+  run_batch_results ?exec kernels
+  |> Array.iter (function Ok () -> () | Error e -> raise e)
+
+let potrf_batch_results ?exec batch =
+  run_batch_results ?exec (Array.map (fun m () -> Lapack.potrf m) batch)
 
 let potrf_batch ?exec batch =
   run_batch ?exec (Array.map (fun m () -> Lapack.potrf m) batch)
+
+let getrf_batch_results ?exec batch =
+  run_batch_results ?exec (Array.map (fun m () -> Lapack.getrf m) batch)
 
 let getrf_batch ?exec batch =
   let pivots = Array.map (fun (m : Mat.t) -> Array.make m.rows 0) batch in

@@ -4,13 +4,37 @@
     tensor contractions, block preconditioners) need thousands of
     *independent tiny* factorizations, where per-call overhead and idle
     cores — not flops — dominate. Batched interfaces expose the whole batch
-    to the runtime as one task set. *)
+    to the runtime as one task set.
+
+    Fault blast-radius: the [_results] variants capture each problem's
+    outcome in its own slot — one singular matrix fails one slot, never the
+    batch — which is what a serving layer ({!Xsc_serve.Server}) needs for
+    per-request isolation. The raising wrappers keep the historical
+    contract: the whole batch still runs, then the first failure (in index
+    order) is re-raised. *)
 
 open Xsc_linalg
 
+val run_batch_results :
+  ?exec:Runtime_api.exec -> (unit -> 'a) array -> ('a, exn) result array
+(** Run every thunk as an independent task; slot [i] holds thunk [i]'s
+    value or the exception it raised. All slots are filled — no failure
+    aborts the batch. *)
+
+val potrf_batch_results :
+  ?exec:Runtime_api.exec -> Mat.t array -> (unit, exn) result array
+(** Cholesky-factor every (small SPD) matrix in place; slot [i] is
+    [Error (Lapack.Singular _)] if matrix [i] fails, and the remaining
+    matrices are still factored. *)
+
+val getrf_batch_results :
+  ?exec:Runtime_api.exec -> Mat.t array -> (int array, exn) result array
+(** Partial-pivoting LU of every matrix; per-problem pivots or failure. *)
+
 val potrf_batch : ?exec:Runtime_api.exec -> Mat.t array -> unit
 (** Cholesky-factor every (small SPD) matrix in place, as independent
-    tasks. Raises [Lapack.Singular] if any matrix fails. *)
+    tasks. Raises [Lapack.Singular] if any matrix fails (after the whole
+    batch has run). *)
 
 val getrf_batch : ?exec:Runtime_api.exec -> Mat.t array -> int array array
 (** Partial-pivoting LU of every matrix; returns per-problem pivots. *)

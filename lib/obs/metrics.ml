@@ -112,7 +112,14 @@ let quantile h q =
     !result
   end
 
-type hist_summary = { count : int; sum : float; p50 : float; p95 : float }
+type hist_summary = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+}
 
 type value =
   | Counter of int
@@ -136,6 +143,8 @@ let snapshot () =
                  sum = histogram_sum h;
                  p50 = quantile h 0.5;
                  p95 = quantile h 0.95;
+                 p99 = quantile h 0.99;
+                 p999 = quantile h 0.999;
                }
          in
          (name, v))
@@ -160,10 +169,11 @@ let to_json () =
       (function Histogram h -> Some h | _ -> None)
       (fun h ->
         Printf.sprintf
-          {|{"count": %d, "sum": %s, "mean": %s, "p50": %s, "p95": %s}|}
+          {|{"count": %d, "sum": %s, "mean": %s, "p50": %s, "p95": %s, "p99": %s, "p999": %s}|}
           h.count (json_float h.sum)
           (json_float (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count))
-          (json_float h.p50) (json_float h.p95))
+          (json_float h.p50) (json_float h.p95) (json_float h.p99)
+          (json_float h.p999))
   in
   Printf.sprintf {|{"counters": {%s}, "gauges": {%s}, "histograms": {%s}}|} counters gauges
     histograms

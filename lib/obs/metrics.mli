@@ -51,9 +51,26 @@ val histogram_sum : histogram -> float
 
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0,1]: upper bound of the bucket containing
-    the [q]-th observation (0.0 for an empty histogram). *)
+    the [q]-th observation (0.0 for an empty histogram).
 
-type hist_summary = { count : int; sum : float; p50 : float; p95 : float }
+    Bucket-resolution error: buckets are powers of two, so the true
+    quantile lies in [(v/2, v]] where [v] is the reported value — the
+    estimate overstates by at most 2x and never understates. That is the
+    right bias for latency SLOs (a reported p999 under the budget
+    guarantees the true p999 is too) at the price of up to one octave of
+    pessimism; consumers needing exact tail values must keep raw samples
+    (as {!Xsc_serve.Loadgen} does for its report). *)
+
+type hist_summary = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  p999 : float;
+}
+(** Quantiles carry the bucket-resolution error documented at
+    {!quantile}. *)
 
 type value =
   | Counter of int
@@ -65,7 +82,8 @@ val snapshot : unit -> (string * value) list
 
 val to_json : unit -> string
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] — parses
-    with [Xsc_util.Json.parse]. *)
+    with [Xsc_util.Json.parse]. Histogram objects carry [count], [sum],
+    [mean], and the [p50]/[p95]/[p99]/[p999] bucket-quantile estimates. *)
 
 val reset : unit -> unit
 (** Zero every instrument (registration survives). For benches and tests;

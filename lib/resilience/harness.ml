@@ -36,6 +36,7 @@ let default =
 type t = {
   policy : policy;
   fired : (Task.op, unit) Hashtbl.t;
+  fired_keys : (int, unit) Hashtbl.t;
   lock : Mutex.t;
   raised : int Atomic.t;
   corrupted : int Atomic.t;
@@ -48,6 +49,7 @@ let create policy =
   {
     policy;
     fired = Hashtbl.create 16;
+    fired_keys = Hashtbl.create 16;
     lock = Mutex.create ();
     raised = Atomic.make 0;
     corrupted = Atomic.make 0;
@@ -81,7 +83,7 @@ let hash_op seed op =
 
 (* uniform in [0,1) from the top 52 bits *)
 let uniform_of h =
-  Int64.to_float (Int64.shift_right_logical h 12) *. (1.0 /. 9007199254740992.0)
+  Int64.to_float (Int64.shift_right_logical h 12) *. (1.0 /. 4503599627370496.0)
 
 (* The tile an op writes — where silent corruption lands, so the fault is
    always on freshly produced (and therefore consumed-downstream) data. *)
@@ -148,9 +150,43 @@ let wrap_packed t (p : PD.t) interp (op : Task.op) =
     Atomic.incr t.corrupted;
     Metrics.incr m_corrupted
 
+(* Request-level injection for the serving layer: the same pure-hash
+   determinism as [wrap_packed], but keyed by an integer (a request id)
+   instead of a task op, and raise-only — corruption is a tile-storage
+   concept, meaningless at whole-request granularity, so p_corrupt is
+   folded into the clean mass here. *)
+
+let hash_key seed key =
+  let h = mix64 (Int64.of_int seed) in
+  mix64 (Int64.add h (Int64.of_int (key lxor 0x5E41)))
+
+let targets_key t key =
+  uniform_of (hash_key t.policy.seed key) < t.policy.p_raise
+
+let wrap_thunk t ~key thunk =
+  if not (targets_key t key) then thunk ()
+  else begin
+    let fire =
+      (not t.policy.transient)
+      ||
+      (Mutex.lock t.lock;
+       let seen = Hashtbl.mem t.fired_keys key in
+       if not seen then Hashtbl.add t.fired_keys key ();
+       Mutex.unlock t.lock;
+       not seen)
+    in
+    if fire then begin
+      Atomic.incr t.raised;
+      Metrics.incr m_raised;
+      raise (Injected (Printf.sprintf "req(%d)" key))
+    end
+    else thunk ()
+  end
+
 let reset t =
   Mutex.lock t.lock;
   Hashtbl.reset t.fired;
+  Hashtbl.reset t.fired_keys;
   Mutex.unlock t.lock;
   Atomic.set t.raised 0;
   Atomic.set t.corrupted 0

@@ -50,6 +50,20 @@ val wrap_packed :
     read by any kernel, so damage there would be dead by construction).
     Safe to call from any number of executor domains. *)
 
+val targets_key : t -> int -> bool
+(** Whether the policy selects integer key [key] for a raise — a pure
+    hash of [(seed, key)], so a seeded load run injects the same faults
+    at the same request ids on every run. Lets a caller predict the
+    injected set without executing anything. *)
+
+val wrap_thunk : t -> key:int -> (unit -> 'a) -> 'a
+(** Request-level injection for the serving layer: runs the thunk, but
+    raises {!Injected} first when [targets_key] selects [key]. Transient
+    policy means a key that raised once runs clean on the next attempt
+    (retry-with-backoff converges); permanent means every attempt
+    re-raises. Raise-only — [p_corrupt] has no effect at whole-request
+    granularity. Safe from any number of domains. *)
+
 val raised : t -> int
 (** Task-body exceptions fired through this harness so far. *)
 
@@ -57,5 +71,5 @@ val corrupted : t -> int
 (** Silent corruptions injected through this harness so far. *)
 
 val reset : t -> unit
-(** Clear the per-harness counters and the transient fired-set (registry
+(** Clear the per-harness counters and the transient fired-sets (registry
     counters are not touched). *)

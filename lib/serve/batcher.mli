@@ -1,0 +1,51 @@
+(** Dynamic request batching (continuous-batching style).
+
+    Requests of one compatibility class ({!Request.class_key}: same kernel,
+    same size) coalesce into a batch so one dispatch amortises per-call
+    overhead — the {!Xsc_core.Batched} argument applied to live traffic.
+    A class flushes when it reaches [max_batch] (size trigger) or when its
+    oldest member has lingered [linger_ns] / its most urgent member's
+    deadline is within [linger_ns] (time trigger), so a lone request is
+    delayed by at most the linger, never indefinitely.
+
+    Not thread-safe: the owning {!Server} calls it under its state lock. *)
+
+type config = {
+  max_batch : int;  (** size-triggered flush threshold *)
+  linger_ns : int;  (** max time a request waits for batch company *)
+}
+
+val default : config
+(** [max_batch = 8], [linger_ns = 2ms]. *)
+
+type batch = {
+  seq : int;  (** formation order — the EDF tie-break, so equal-deadline
+                  batches dispatch FIFO *)
+  class_key : string;
+  requests : Request.t array;  (** arrival order within the class *)
+  deadline_ns : int;  (** min member deadline: the EDF key *)
+  opened_ns : int;
+}
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] if [max_batch <= 0] or [linger_ns < 0]. *)
+
+val add : t -> now_ns:int -> Request.t -> batch option
+(** Stage a request; returns the flushed batch when this add fills the
+    class to [max_batch]. *)
+
+val flush_due : t -> now_ns:int -> batch list
+(** Time-triggered flushes (linger expired or a member deadline within the
+    linger), oldest class first. Call periodically. *)
+
+val flush_all : t -> batch list
+(** Drain everything (shutdown path), oldest class first. *)
+
+val pending : t -> int
+(** Requests staged and not yet flushed. *)
+
+val next_due_ns : t -> int option
+(** Earliest future time-trigger among open classes ([None] when empty) —
+    lets an idle dispatcher size its sleep instead of guessing. *)

@@ -1,0 +1,82 @@
+(** Seeded load generation and SLO reporting for the solver service.
+
+    The arrival schedule (Poisson inter-arrival gaps) and every problem
+    instance are pure functions of the seed, so a load run is exactly
+    repeatable: same seed, same arrival times, same matrices, same request
+    ids — which is what lets a seeded fault storm assert exactly which
+    requests were injected.
+
+    Report quantiles are exact sample percentiles over the run's completed
+    requests (not the metrics registry's log2-bucket estimates — see
+    {!Xsc_obs.Metrics.quantile} for that tradeoff). *)
+
+type kind =
+  | Spd  (** SPD solve via Cholesky *)
+  | General  (** general solve via partial-pivoting LU *)
+  | Product  (** dense GEMM *)
+
+type config = {
+  seed : int;
+  rate_hz : float;  (** Poisson arrival rate *)
+  count : int;  (** total requests offered *)
+  n : int;  (** problem size *)
+  kinds : kind array;  (** drawn uniformly per arrival *)
+  deadline_s : float;  (** per-request deadline *)
+}
+
+val default : config
+(** seed 42, 500 req/s, 100 requests, n=48 SPD solves, 50 ms deadline. *)
+
+type arrival = { at_s : float; kind : kind; problem_seed : int }
+
+val schedule : config -> arrival array
+(** Deterministic: equal configs yield element-wise equal schedules.
+    Raises [Invalid_argument] on non-positive [count]/[rate_hz] or empty
+    [kinds]. *)
+
+val payload_of : config -> arrival -> Request.payload
+(** The problem instance for an arrival — deterministic from
+    [problem_seed]. *)
+
+val reference : config -> arrival -> Request.solution
+(** Direct (unserved) solution of the same instance through the same
+    kernels: a fault-free served answer must be bitwise identical. *)
+
+val solutions_bitwise_equal : Request.solution -> Request.solution -> bool
+
+type report = {
+  offered : int;
+  admitted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  retried : int;
+  wall_s : float;
+  offered_rate : float;  (** offered / wall, req/s *)
+  throughput : float;  (** completed / wall, req/s *)
+  goodput : float;  (** completed within deadline / wall, req/s *)
+  reject_rate : float;  (** rejected / offered *)
+  p50_ms : float;  (** exact sample percentiles of total latency *)
+  p99_ms : float;
+  p999_ms : float;
+  mean_batch : float;  (** admitted / batches dispatched during the run *)
+}
+
+val run_open : Server.t -> config -> report
+(** Open loop: submit at the scheduled arrival times whether or not the
+    server keeps up (the honest overload model), await everything
+    admitted. *)
+
+val run_burst : Server.t -> config -> report
+(** Every payload pre-generated, then offered back-to-back with no pacing:
+    an effectively infinite arrival rate against the admission window. The
+    deterministic overload point — backpressure must engage whenever
+    [count] well exceeds the server's capacity, regardless of host
+    speed. *)
+
+val run_closed : Server.t -> outstanding:int -> config -> report
+(** Closed loop: at most [outstanding] requests in flight; arrival times
+    are ignored. Raises [Invalid_argument] if [outstanding <= 0]. *)
+
+val report_json : report -> string
+val report_human : report -> string

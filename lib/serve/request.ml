@@ -1,0 +1,75 @@
+open Xsc_linalg
+
+type payload =
+  | Spd_solve of Mat.t * Vec.t
+  | Lu_solve of Mat.t * Vec.t
+  | Gemm of Mat.t * Mat.t
+
+type solution =
+  | Vector of Vec.t
+  | Matrix of Mat.t
+
+type reject_reason =
+  | Queue_full
+  | Shutting_down
+
+type error =
+  | Rejected of reject_reason
+  | Failed of { attempts : int; error : string }
+
+type t = {
+  id : int;
+  payload : payload;
+  submit_ns : int;
+  deadline_ns : int;
+}
+
+let validate payload =
+  let square name (a : Mat.t) =
+    let rows, cols = Mat.dims a in
+    if rows <> cols then
+      invalid_arg (Printf.sprintf "Request.%s: matrix must be square" name);
+    rows
+  in
+  match payload with
+  | Spd_solve (a, b) | Lu_solve (a, b) ->
+    let n = square "solve" a in
+    if Array.length b <> n then invalid_arg "Request.solve: rhs length mismatch"
+  | Gemm (a, b) ->
+    let _, k = Mat.dims a and rows_b, _ = Mat.dims b in
+    if k <> rows_b then invalid_arg "Request.gemm: inner dimensions mismatch"
+
+let kind_name = function
+  | Spd_solve _ -> "spd"
+  | Lu_solve _ -> "lu"
+  | Gemm _ -> "gemm"
+
+let size payload =
+  match payload with
+  | Spd_solve (a, _) | Lu_solve (a, _) | Gemm (a, _) -> fst (Mat.dims a)
+
+(* Batching-compatibility class: same kernel and same problem size share
+   per-call overhead; mixing sizes in one batch would let one big member
+   stall the small ones. *)
+let class_key payload = Printf.sprintf "%s:%d" (kind_name payload) (size payload)
+
+let reject_reason_name = function
+  | Queue_full -> "queue full"
+  | Shutting_down -> "shutting down"
+
+let error_message = function
+  | Rejected r -> Printf.sprintf "rejected (%s)" (reject_reason_name r)
+  | Failed { attempts; error } ->
+    Printf.sprintf "failed after %d attempt%s: %s" attempts
+      (if attempts = 1 then "" else "s")
+      error
+
+type completion = {
+  request : t;
+  outcome : (solution, error) result;
+  retries : int;
+  queue_wait_s : float;
+  service_s : float;
+  total_s : float;
+  met_deadline : bool;
+}

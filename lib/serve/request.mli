@@ -1,0 +1,60 @@
+(** Solve requests and their typed outcomes.
+
+    A request is one independent small dense problem — the unit the serving
+    layer admits, batches, schedules and isolates faults around. Payloads
+    reuse the library's strided kernels; the solution types own fresh
+    storage, so a caller's inputs are never mutated by the service. *)
+
+open Xsc_linalg
+
+type payload =
+  | Spd_solve of Mat.t * Vec.t  (** [x] with [A x = b], [A] SPD (Cholesky) *)
+  | Lu_solve of Mat.t * Vec.t  (** [x] with [A x = b] (partial-pivoting LU) *)
+  | Gemm of Mat.t * Mat.t  (** the product [A B] *)
+
+type solution =
+  | Vector of Vec.t
+  | Matrix of Mat.t
+
+type reject_reason =
+  | Queue_full  (** admission window full — backpressure engaged *)
+  | Shutting_down
+
+type error =
+  | Rejected of reject_reason
+      (** refused at admission; the request was never queued *)
+  | Failed of { attempts : int; error : string }
+      (** the kernel failed on every attempt (e.g. a singular matrix, or a
+          permanent injected fault); [error] is the final exception *)
+
+type t = {
+  id : int;  (** server-assigned, unique per server *)
+  payload : payload;
+  submit_ns : int;  (** monotonic admission timestamp *)
+  deadline_ns : int;  (** absolute monotonic deadline (EDF key) *)
+}
+
+val validate : payload -> unit
+(** Raises [Invalid_argument] on dimension mismatches (checked at submit,
+    so a malformed request can never reach a worker). *)
+
+val kind_name : payload -> string
+val size : payload -> int
+
+val class_key : payload -> string
+(** Batching-compatibility class ([spd:64], [lu:48], …): only requests of
+    one class coalesce into a batch — same kernel, same size, so no member
+    stalls behind a much larger sibling. *)
+
+val reject_reason_name : reject_reason -> string
+val error_message : error -> string
+
+type completion = {
+  request : t;
+  outcome : (solution, error) result;
+  retries : int;  (** re-executions after transient injected faults *)
+  queue_wait_s : float;  (** admission to batch dispatch *)
+  service_s : float;  (** dispatch to completion (includes retries) *)
+  total_s : float;
+  met_deadline : bool;
+}

@@ -1,0 +1,22 @@
+(** Earliest-deadline-first batch scheduler.
+
+    A binary min-heap of flushed batches keyed by
+    [(deadline_ns, formation seq)]: {!pop} always yields the most urgent
+    ready batch, and equal deadlines dispatch FIFO in formation order —
+    the classical EDF discipline, optimal for meeting deadlines on a
+    single resource when the offered load is feasible.
+
+    Not thread-safe: the owning {!Server} uses it under its state lock. *)
+
+type t
+
+val create : unit -> t
+val push : t -> Batcher.batch -> unit
+
+val pop : t -> Batcher.batch option
+(** Earliest deadline, ties in formation order. *)
+
+val length : t -> int
+
+val peek_deadline_ns : t -> int option
+(** Deadline of the batch {!pop} would return. *)

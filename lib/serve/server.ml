@@ -1,0 +1,396 @@
+(* The concurrent solver service: admission -> bounded ingress queue ->
+   dynamic batcher -> EDF ready heap -> persistent worker pool.
+
+   Concurrency structure: submit-side state is atomics (the admission
+   window) plus the bounded ingress queue; batcher and EDF heap are owned
+   by whichever worker holds the single state mutex, so they stay simple
+   single-threaded data structures. Workers pull: each loop iteration
+   drains the ingress into the batcher, flushes due batches into the heap,
+   and either executes the most urgent batch or sleeps one poll interval
+   (OCaml's [Condition] has no timed wait, so the time-triggered flush is
+   polled; with a 200 us poll against a >= 1 ms linger the flush-time error
+   is noise).
+
+   Fault isolation is per request: batch members run as independent
+   result-slots ([Batched.run_batch_results]), so one singular matrix or
+   injected fault fails exactly one request with a typed error; transient
+   injected faults are retried with exponential backoff on the same worker;
+   the server itself never goes down from a request failure.
+
+   The admission window counts a request from accept to completion
+   (queued, staged in the batcher, or executing) — backpressure engages
+   whenever service lags offered load, not only when the ingress ring
+   itself is momentarily full, so total in-system memory is bounded by
+   [capacity] end to end. *)
+
+open Xsc_linalg
+module Clock = Xsc_obs.Clock
+module Metrics = Xsc_obs.Metrics
+module Trace = Xsc_runtime.Trace
+module Harness = Xsc_resilience.Harness
+
+let poll_s = 0.0002
+
+let m_admitted = Metrics.counter "serve.admitted"
+let m_rejected = Metrics.counter "serve.rejected"
+let m_completed = Metrics.counter "serve.completed"
+let m_failed = Metrics.counter "serve.failed"
+let m_retried = Metrics.counter "serve.retried"
+let m_batches = Metrics.counter "serve.batches"
+let m_batch_size = Metrics.histogram "serve.batch_size"
+let m_queue_wait = Metrics.histogram "serve.queue_wait_s"
+let m_service = Metrics.histogram "serve.service_s"
+let m_total = Metrics.histogram "serve.total_s"
+
+type config = {
+  workers : int;
+  capacity : int;
+  max_batch : int;
+  linger_s : float;
+  default_deadline_s : float;
+  max_retries : int;
+  retry_backoff_s : float;
+}
+
+let default_config =
+  {
+    workers = 2;
+    capacity = 64;
+    max_batch = 8;
+    linger_s = 0.002;
+    default_deadline_s = 0.25;
+    max_retries = 3;
+    retry_backoff_s = 0.0005;
+  }
+
+type ticket = {
+  t_mu : Mutex.t;
+  t_cv : Condition.t;
+  mutable result : Request.completion option;
+}
+
+type counters = {
+  admitted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  retried : int;
+  batches : int;
+}
+
+(* A finished request's trace footprint: a queue-wait span on the virtual
+   queue lane plus a service span on the executing worker's lane. *)
+type span = { task : int; name : string; lane : int; start_ns : int; finish_ns : int }
+
+type t = {
+  cfg : config;
+  harness : Harness.t option;
+  ingress : Request.t Queue.t;
+  (* ---- shared worker state, under [mu] ---- *)
+  mu : Mutex.t;
+  batcher : Batcher.t;
+  sched : Scheduler.t;
+  tickets : (int, ticket) Hashtbl.t;
+  mutable spans : span list;
+  (* ---- submit-side state ---- *)
+  in_system : int Atomic.t;  (* admitted and not yet completed *)
+  next_id : int Atomic.t;
+  stopping : bool Atomic.t;
+  start_ns : int;
+  c_admitted : int Atomic.t;
+  c_rejected : int Atomic.t;
+  c_completed : int Atomic.t;
+  c_failed : int Atomic.t;
+  c_retried : int Atomic.t;
+  c_batches : int Atomic.t;
+  mutable domains : unit Domain.t array;
+}
+
+(* ---- request execution ---- *)
+
+let solve_payload = function
+  | Request.Spd_solve (a, b) ->
+    let f = Mat.copy a in
+    Lapack.potrf f;
+    let x = Array.copy b in
+    Lapack.potrs f x;
+    Request.Vector x
+  | Request.Lu_solve (a, b) -> Request.Vector (Lapack.lu_solve a b)
+  | Request.Gemm (a, b) ->
+    let ra, _ = Mat.dims a and _, cb = Mat.dims b in
+    let c = Mat.create ra cb in
+    Blas.gemm ~alpha:1.0 a b ~beta:0.0 c;
+    Request.Matrix c
+
+let thunk_of t (r : Request.t) () =
+  match t.harness with
+  | None -> solve_payload r.Request.payload
+  | Some h -> Harness.wrap_thunk h ~key:r.Request.id (fun () -> solve_payload r.Request.payload)
+
+let complete t (r : Request.t) outcome ~retries ~dispatch_ns ~worker =
+  let finish_ns = Clock.now_ns () in
+  let queue_wait_s = Clock.ns_to_s (dispatch_ns - r.Request.submit_ns) in
+  let service_s = Clock.ns_to_s (finish_ns - dispatch_ns) in
+  let total_s = Clock.ns_to_s (finish_ns - r.Request.submit_ns) in
+  Metrics.observe m_queue_wait queue_wait_s;
+  Metrics.observe m_service service_s;
+  Metrics.observe m_total total_s;
+  (match outcome with
+  | Ok _ ->
+    Atomic.incr t.c_completed;
+    Metrics.incr m_completed
+  | Error _ ->
+    Atomic.incr t.c_failed;
+    Metrics.incr m_failed);
+  let completion =
+    {
+      Request.request = r;
+      outcome;
+      retries;
+      queue_wait_s;
+      service_s;
+      total_s;
+      met_deadline = finish_ns <= r.Request.deadline_ns;
+    }
+  in
+  let key = Request.class_key r.Request.payload in
+  Mutex.lock t.mu;
+  t.spans <-
+    {
+      task = r.Request.id;
+      name = Printf.sprintf "%s(%d)" key r.Request.id;
+      lane = worker;
+      start_ns = dispatch_ns;
+      finish_ns;
+    }
+    :: {
+         task = r.Request.id;
+         name = Printf.sprintf "wait:%s(%d)" key r.Request.id;
+         lane = t.cfg.workers;
+         start_ns = r.Request.submit_ns;
+         finish_ns = dispatch_ns;
+       }
+    :: t.spans;
+  let ticket = Hashtbl.find_opt t.tickets r.Request.id in
+  Hashtbl.remove t.tickets r.Request.id;
+  Mutex.unlock t.mu;
+  (match ticket with
+  | Some tk ->
+    Mutex.lock tk.t_mu;
+    tk.result <- Some completion;
+    Condition.broadcast tk.t_cv;
+    Mutex.unlock tk.t_mu
+  | None -> ());
+  (* last: only a fully completed request frees an admission slot *)
+  ignore (Atomic.fetch_and_add t.in_system (-1))
+
+let execute t worker (batch : Batcher.batch) =
+  let dispatch_ns = Clock.now_ns () in
+  Atomic.incr t.c_batches;
+  Metrics.incr m_batches;
+  Metrics.observe m_batch_size (float_of_int (Array.length batch.Batcher.requests));
+  (* batch members run as independent result slots on this worker;
+     parallelism comes from sibling workers executing other batches *)
+  let results =
+    Xsc_core.Batched.run_batch_results (Array.map (thunk_of t) batch.Batcher.requests)
+  in
+  Array.iteri
+    (fun i first ->
+      let r = batch.Batcher.requests.(i) in
+      let retries = ref 0 in
+      (* Only injected (transient-model) faults are retried: a singular
+         matrix is deterministic, so re-running it would burn service time
+         to reproduce the same failure. *)
+      let rec settle res =
+        match res with
+        | Ok sol -> Ok sol
+        | Error (Harness.Injected _) when !retries < t.cfg.max_retries ->
+          incr retries;
+          Atomic.incr t.c_retried;
+          Metrics.incr m_retried;
+          Unix.sleepf (t.cfg.retry_backoff_s *. ldexp 1.0 (!retries - 1));
+          settle (try Ok (thunk_of t r ()) with e -> Error e)
+        | Error e ->
+          Error (Request.Failed { attempts = !retries + 1; error = Printexc.to_string e })
+      in
+      let outcome = settle first in
+      complete t r outcome ~retries:!retries ~dispatch_ns ~worker)
+    results
+
+(* ---- worker loop ---- *)
+
+(* Pump admitted requests through the batcher into the EDF heap and claim
+   the most urgent ready batch. One state lock covers ingress drain, flush
+   and claim, so batches can never be claimed twice. *)
+let next_batch t =
+  Mutex.lock t.mu;
+  let now = Clock.now_ns () in
+  let rec drain () =
+    match Queue.try_pop t.ingress with
+    | None -> ()
+    | Some req ->
+      (match Batcher.add t.batcher ~now_ns:now req with
+      | Some b -> Scheduler.push t.sched b
+      | None -> ());
+      drain ()
+  in
+  drain ();
+  List.iter (Scheduler.push t.sched) (Batcher.flush_due t.batcher ~now_ns:now);
+  if Atomic.get t.stopping then
+    (* no more company is coming: flush partial batches immediately *)
+    List.iter (Scheduler.push t.sched) (Batcher.flush_all t.batcher);
+  let b = Scheduler.pop t.sched in
+  Mutex.unlock t.mu;
+  b
+
+let rec worker_loop t w =
+  match next_batch t with
+  | Some b ->
+    execute t w b;
+    worker_loop t w
+  | None ->
+    if Atomic.get t.stopping && Atomic.get t.in_system = 0 then ()
+    else begin
+      Unix.sleepf poll_s;
+      worker_loop t w
+    end
+
+(* ---- lifecycle ---- *)
+
+let start ?harness cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.capacity < 1 then invalid_arg "Server.start: capacity must be >= 1";
+  if cfg.max_batch < 1 then invalid_arg "Server.start: max_batch must be >= 1";
+  if cfg.linger_s < 0.0 then invalid_arg "Server.start: linger_s must be >= 0";
+  if cfg.default_deadline_s <= 0.0 then
+    invalid_arg "Server.start: default_deadline_s must be positive";
+  if cfg.max_retries < 0 then invalid_arg "Server.start: max_retries must be >= 0";
+  if cfg.retry_backoff_s < 0.0 then invalid_arg "Server.start: retry_backoff_s must be >= 0";
+  let t =
+    {
+      cfg;
+      harness;
+      ingress = Queue.create ~capacity:cfg.capacity;
+      mu = Mutex.create ();
+      batcher =
+        Batcher.create
+          { Batcher.max_batch = cfg.max_batch;
+            linger_ns = int_of_float (cfg.linger_s *. 1e9) };
+      sched = Scheduler.create ();
+      tickets = Hashtbl.create 64;
+      spans = [];
+      in_system = Atomic.make 0;
+      next_id = Atomic.make 0;
+      stopping = Atomic.make false;
+      start_ns = Clock.now_ns ();
+      c_admitted = Atomic.make 0;
+      c_rejected = Atomic.make 0;
+      c_completed = Atomic.make 0;
+      c_failed = Atomic.make 0;
+      c_retried = Atomic.make 0;
+      c_batches = Atomic.make 0;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init cfg.workers (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  t
+
+let reject t reason =
+  Atomic.incr t.c_rejected;
+  Metrics.incr m_rejected;
+  Error (Request.Rejected reason)
+
+let submit t ?deadline_s payload =
+  Request.validate payload;
+  let deadline_s = Option.value deadline_s ~default:t.cfg.default_deadline_s in
+  if deadline_s <= 0.0 then invalid_arg "Server.submit: deadline must be positive";
+  if Atomic.get t.stopping then reject t Request.Shutting_down
+  else begin
+    (* the admission window: claim a slot before queueing, release on
+       completion — over-claim is undone immediately, so in_system never
+       stays above capacity *)
+    let prev = Atomic.fetch_and_add t.in_system 1 in
+    if prev >= t.cfg.capacity then begin
+      ignore (Atomic.fetch_and_add t.in_system (-1));
+      reject t Request.Queue_full
+    end
+    else begin
+      let id = Atomic.fetch_and_add t.next_id 1 in
+      let now = Clock.now_ns () in
+      let req =
+        {
+          Request.id;
+          payload;
+          submit_ns = now;
+          deadline_ns = now + int_of_float (deadline_s *. 1e9);
+        }
+      in
+      let tk = { t_mu = Mutex.create (); t_cv = Condition.create (); result = None } in
+      Mutex.lock t.mu;
+      Hashtbl.add t.tickets id tk;
+      Mutex.unlock t.mu;
+      match Queue.try_push t.ingress req with
+      | Queue.Accepted ->
+        Atomic.incr t.c_admitted;
+        Metrics.incr m_admitted;
+        Ok tk
+      | (Queue.Full | Queue.Closed) as pr ->
+        Mutex.lock t.mu;
+        Hashtbl.remove t.tickets id;
+        Mutex.unlock t.mu;
+        ignore (Atomic.fetch_and_add t.in_system (-1));
+        reject t
+          (if pr = Queue.Closed then Request.Shutting_down else Request.Queue_full)
+    end
+  end
+
+let await _t tk =
+  Mutex.lock tk.t_mu;
+  while tk.result = None do
+    Condition.wait tk.t_cv tk.t_mu
+  done;
+  let r = Option.get tk.result in
+  Mutex.unlock tk.t_mu;
+  r
+
+let poll _t tk =
+  Mutex.lock tk.t_mu;
+  let r = tk.result in
+  Mutex.unlock tk.t_mu;
+  r
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Queue.close t.ingress;
+    Array.iter Domain.join t.domains
+  end
+
+let in_flight t = Atomic.get t.in_system
+
+let counters t =
+  {
+    admitted = Atomic.get t.c_admitted;
+    rejected = Atomic.get t.c_rejected;
+    completed = Atomic.get t.c_completed;
+    failed = Atomic.get t.c_failed;
+    retried = Atomic.get t.c_retried;
+    batches = Atomic.get t.c_batches;
+  }
+
+let trace t =
+  Mutex.lock t.mu;
+  let spans = t.spans in
+  Mutex.unlock t.mu;
+  let tr = Trace.create ~workers:(t.cfg.workers + 1) in
+  List.iter
+    (fun s ->
+      Trace.add tr
+        {
+          Trace.task = s.task;
+          name = s.name;
+          worker = s.lane;
+          start = Clock.ns_to_s (s.start_ns - t.start_ns);
+          finish = Clock.ns_to_s (s.finish_ns - t.start_ns);
+        })
+    spans;
+  tr

@@ -1,0 +1,89 @@
+(** The concurrent solver service.
+
+    Pipeline: admission control -> bounded ingress {!Queue} -> dynamic
+    {!Batcher} -> earliest-deadline-first {!Scheduler} -> persistent
+    worker-domain pool. Requests beyond the admission window are rejected
+    with a typed error at submit (backpressure — total in-system memory is
+    bounded by [capacity] end to end, counting queued, staged and executing
+    requests); admitted requests always resolve to a typed
+    {!Request.completion}.
+
+    {2 Fault isolation}
+
+    Batch members execute as independent result slots
+    ({!Xsc_core.Batched.run_batch_results}): one singular matrix or one
+    injected fault fails exactly that request — never its batch, never the
+    server. Transient injected faults ({!Xsc_resilience.Harness.Injected}
+    under a [transient] policy) are retried with exponential backoff up to
+    [max_retries]; deterministic kernel failures fail fast.
+
+    {2 Observability}
+
+    Counters [serve.admitted\]/[rejected]/[completed]/[failed]/[retried]/
+    [batches] and log2 histograms [serve.queue_wait_s]/[service_s]/
+    [total_s]/[batch_size] feed the {!Xsc_obs.Metrics} registry; {!trace}
+    exports per-request queue-wait and service spans as a
+    {!Xsc_runtime.Trace.t} (one lane per worker plus a queue lane), so a
+    served run drops into the existing Chrome-trace pipeline. *)
+
+type config = {
+  workers : int;  (** persistent worker domains *)
+  capacity : int;  (** admission window: max requests in-system at once *)
+  max_batch : int;  (** size-triggered batch flush *)
+  linger_s : float;  (** time-triggered batch flush *)
+  default_deadline_s : float;  (** deadline when [submit] passes none *)
+  max_retries : int;  (** retry budget for transient injected faults *)
+  retry_backoff_s : float;  (** base backoff, doubled per retry *)
+}
+
+val default_config : config
+(** 2 workers, capacity 64, batches of 8 with a 2 ms linger, 250 ms
+    deadline, 3 retries from a 0.5 ms base backoff. *)
+
+type t
+type ticket
+
+type counters = {
+  admitted : int;
+  rejected : int;
+  completed : int;  (** resolved [Ok] *)
+  failed : int;  (** resolved [Error (Failed _)] *)
+  retried : int;  (** re-executions after transient injected faults *)
+  batches : int;  (** batches dispatched *)
+}
+
+val start : ?harness:Xsc_resilience.Harness.t -> config -> t
+(** Spawn the worker pool. [harness] injects per-request faults keyed by
+    request id ({!Xsc_resilience.Harness.wrap_thunk}) — the seeded
+    fault-storm hook. Raises [Invalid_argument] on nonsensical config. *)
+
+val submit :
+  t -> ?deadline_s:float -> Request.payload -> (ticket, Request.error) result
+(** Admit a request (any domain). [Error (Rejected Queue_full)] when the
+    admission window is full — the backpressure signal; the request was
+    not queued and will never complete. Raises [Invalid_argument] on
+    malformed payloads or non-positive deadlines (caller bugs, not load). *)
+
+val await : t -> ticket -> Request.completion
+(** Block until the request resolves. Every admitted request resolves,
+    fault storms included. *)
+
+val poll : t -> ticket -> Request.completion option
+(** Non-blocking {!await}. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop admitting, flush partial batches, drain
+    everything in-system, join the workers. Idempotent. *)
+
+val counters : t -> counters
+(** Per-server totals. Quiescent invariant (after [stop], or whenever no
+    request is in flight): [admitted = completed + failed], with
+    [rejected] counted separately. *)
+
+val in_flight : t -> int
+(** Momentary in-system count (admitted, not yet completed). *)
+
+val trace : t -> Xsc_runtime.Trace.t
+(** Spans of every completed request: service spans on worker lanes
+    [0..workers-1], queue-wait spans on lane [workers]. Feed to
+    {!Xsc_runtime.Trace.to_chrome_json}. *)

@@ -168,8 +168,34 @@ let test_snapshot_and_json () =
   | _ -> Alcotest.fail "no counters object");
   match Json.member "histograms" json with
   | Some (Json.Obj fields) ->
-    Alcotest.(check bool) "histogram exported" true (List.mem_assoc "test.json.hist" fields)
+    Alcotest.(check bool) "histogram exported" true (List.mem_assoc "test.json.hist" fields);
+    (match List.assoc "test.json.hist" fields with
+    | Json.Obj h ->
+      List.iter
+        (fun q ->
+          Alcotest.(check bool) (q ^ " exported") true (List.mem_assoc q h))
+        [ "p50"; "p95"; "p99"; "p999" ]
+    | _ -> Alcotest.fail "histogram is not an object")
   | _ -> Alcotest.fail "no histograms object"
+
+(* The bucket-quantile contract: the estimate is the bucket upper bound,
+   so it never understates and overstates by at most 2x. *)
+let test_histogram_tail_quantiles () =
+  let h = Metrics.histogram "test.hist.tail" in
+  (* 999 fast observations and one 1000x-slower outlier *)
+  for _ = 1 to 999 do
+    Metrics.observe h 0.001
+  done;
+  Metrics.observe h 1.0;
+  let p50 = Metrics.quantile h 0.5
+  and p99 = Metrics.quantile h 0.99
+  and p999 = Metrics.quantile h 0.999
+  and p1000 = Metrics.quantile h 1.0 in
+  Alcotest.(check bool) "p50 brackets the mode" true (p50 >= 0.001 && p50 <= 0.002);
+  Alcotest.(check bool) "p99 still in the mode bucket" true (p99 <= 0.002);
+  Alcotest.(check bool) "p999 still in the mode bucket" true (p999 <= 0.002);
+  Alcotest.(check bool) "p100 sees the outlier, never understates" true
+    (p1000 >= 1.0 && p1000 <= 2.0)
 
 let () =
   Alcotest.run "xsc_obs"
@@ -198,6 +224,7 @@ let () =
           Alcotest.test_case "shard addressing" `Quick test_counter_shard_addressing;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "tail quantiles" `Quick test_histogram_tail_quantiles;
           Alcotest.test_case "name/type clash" `Quick test_name_type_clash;
           Alcotest.test_case "snapshot and JSON" `Quick test_snapshot_and_json;
         ] );

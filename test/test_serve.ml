@@ -1,0 +1,511 @@
+(* Tests for Xsc_serve: bounded-queue invariants under concurrent
+   producers, batcher flush triggers, EDF dispatch order, seeded loadgen
+   determinism, end-to-end served correctness (bitwise vs the direct
+   kernels), backpressure, and seeded fault storms through the server
+   (transient faults retried, permanent faults typed, counters
+   reconciling). *)
+
+open Xsc_linalg
+module Request = Xsc_serve.Request
+module Queue = Xsc_serve.Queue
+module Batcher = Xsc_serve.Batcher
+module Scheduler = Xsc_serve.Scheduler
+module Server = Xsc_serve.Server
+module Loadgen = Xsc_serve.Loadgen
+module Harness = Xsc_resilience.Harness
+module Clock = Xsc_obs.Clock
+module Rng = Xsc_util.Rng
+
+(* ---- queue ---- *)
+
+let test_queue_fifo () =
+  let q = Queue.create ~capacity:8 in
+  for i = 0 to 5 do
+    Alcotest.(check bool) "accepted" true (Queue.try_push q i = Queue.Accepted)
+  done;
+  for i = 0 to 5 do
+    Alcotest.(check (option int)) "FIFO pop" (Some i) (Queue.try_pop q)
+  done;
+  Alcotest.(check (option int)) "empty" None (Queue.try_pop q)
+
+let test_queue_wraparound () =
+  let q = Queue.create ~capacity:4 in
+  (* push/pop across the ring seam several times *)
+  let next = ref 0 and expect = ref 0 in
+  for _ = 0 to 9 do
+    for _ = 1 to 3 do
+      Alcotest.(check bool) "push" true (Queue.try_push q !next = Queue.Accepted);
+      incr next
+    done;
+    for _ = 1 to 3 do
+      Alcotest.(check (option int)) "pop in order" (Some !expect) (Queue.try_pop q);
+      incr expect
+    done
+  done
+
+let test_queue_bounded () =
+  let q = Queue.create ~capacity:3 in
+  for i = 0 to 2 do
+    ignore (Queue.try_push q i)
+  done;
+  Alcotest.(check bool) "full rejects" true (Queue.try_push q 99 = Queue.Full);
+  Alcotest.(check int) "length capped" 3 (Queue.length q);
+  ignore (Queue.try_pop q);
+  Alcotest.(check bool) "accepts after pop" true (Queue.try_push q 3 = Queue.Accepted)
+
+let test_queue_closed () =
+  let q = Queue.create ~capacity:3 in
+  ignore (Queue.try_push q 1);
+  Queue.close q;
+  Alcotest.(check bool) "closed rejects" true (Queue.try_push q 2 = Queue.Closed);
+  Alcotest.(check (option int)) "closed still drains" (Some 1) (Queue.try_pop q)
+
+(* Bound under concurrent producers and a concurrent consumer: every
+   observed length stays within capacity, and accounting reconciles —
+   accepted = popped at the end, accepted + rejected = offered. *)
+let test_queue_concurrent_bound () =
+  let capacity = 16 and producers = 4 and per_producer = 2000 in
+  let q = Queue.create ~capacity in
+  let accepted = Atomic.make 0 and rejected = Atomic.make 0 in
+  let popped = Atomic.make 0 and over = Atomic.make false in
+  let stop = Atomic.make false in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec go () =
+          if Queue.length q > capacity then Atomic.set over true;
+          match Queue.try_pop q with
+          | Some _ ->
+            Atomic.incr popped;
+            go ()
+          | None -> if Atomic.get stop then () else go ()
+        in
+        go ())
+  in
+  let workers =
+    Array.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              match Queue.try_push q ((p * per_producer) + i) with
+              | Queue.Accepted -> Atomic.incr accepted
+              | Queue.Full -> Atomic.incr rejected
+              | Queue.Closed -> assert false
+            done))
+  in
+  Array.iter Domain.join workers;
+  Atomic.set stop true;
+  Domain.join consumer;
+  Alcotest.(check bool) "length never exceeded capacity" false (Atomic.get over);
+  Alcotest.(check int) "offered = accepted + rejected" (producers * per_producer)
+    (Atomic.get accepted + Atomic.get rejected);
+  Alcotest.(check int) "accepted all popped" (Atomic.get accepted) (Atomic.get popped)
+
+(* ---- batcher ---- *)
+
+let req ~id ?(n = 4) ~submit_ns ~deadline_ns () =
+  let rng = Rng.create (id + 1) in
+  {
+    Request.id;
+    payload = Request.Spd_solve (Mat.random_spd rng n, Vec.random rng n);
+    submit_ns;
+    deadline_ns;
+  }
+
+let test_batcher_size_flush () =
+  let b = Batcher.create { Batcher.max_batch = 3; linger_ns = 1_000_000_000 } in
+  Alcotest.(check bool) "no flush at 1" true
+    (Batcher.add b ~now_ns:0 (req ~id:0 ~submit_ns:0 ~deadline_ns:max_int ()) = None);
+  Alcotest.(check bool) "no flush at 2" true
+    (Batcher.add b ~now_ns:10 (req ~id:1 ~submit_ns:10 ~deadline_ns:max_int ()) = None);
+  (match Batcher.add b ~now_ns:20 (req ~id:2 ~submit_ns:20 ~deadline_ns:max_int ()) with
+  | None -> Alcotest.fail "expected size-triggered flush at max_batch"
+  | Some batch ->
+    Alcotest.(check int) "batch size" 3 (Array.length batch.Batcher.requests);
+    Alcotest.(check (list int)) "arrival order kept" [ 0; 1; 2 ]
+      (Array.to_list (Array.map (fun r -> r.Request.id) batch.Batcher.requests)));
+  Alcotest.(check int) "nothing pending" 0 (Batcher.pending b)
+
+let test_batcher_linger_flush () =
+  let b = Batcher.create { Batcher.max_batch = 64; linger_ns = 1000 } in
+  ignore (Batcher.add b ~now_ns:0 (req ~id:0 ~submit_ns:0 ~deadline_ns:max_int ()));
+  Alcotest.(check int) "not due yet" 0 (List.length (Batcher.flush_due b ~now_ns:500));
+  (* deadline-triggered: fires a partial batch without ever reaching max_batch *)
+  match Batcher.flush_due b ~now_ns:1001 with
+  | [ batch ] ->
+    Alcotest.(check int) "partial batch of 1" 1 (Array.length batch.Batcher.requests)
+  | other -> Alcotest.fail (Printf.sprintf "expected 1 flush, got %d" (List.length other))
+
+let test_batcher_deadline_urgency_flush () =
+  (* a member whose deadline is within the linger flushes early *)
+  let b = Batcher.create { Batcher.max_batch = 64; linger_ns = 1_000_000 } in
+  ignore (Batcher.add b ~now_ns:0 (req ~id:0 ~submit_ns:0 ~deadline_ns:1_200_000 ()));
+  Alcotest.(check int) "urgent member flushes before linger" 1
+    (List.length (Batcher.flush_due b ~now_ns:300_000))
+
+let test_batcher_classes_separate () =
+  let b = Batcher.create { Batcher.max_batch = 2; linger_ns = 1_000_000_000 } in
+  ignore (Batcher.add b ~now_ns:0 (req ~id:0 ~n:4 ~submit_ns:0 ~deadline_ns:max_int ()));
+  (* different size => different class => no size flush *)
+  Alcotest.(check bool) "sizes do not mix" true
+    (Batcher.add b ~now_ns:0 (req ~id:1 ~n:8 ~submit_ns:0 ~deadline_ns:max_int ()) = None);
+  Alcotest.(check int) "both pending" 2 (Batcher.pending b);
+  match Batcher.add b ~now_ns:0 (req ~id:2 ~n:4 ~submit_ns:0 ~deadline_ns:max_int ()) with
+  | Some batch ->
+    Alcotest.(check string) "n=4 class flushed" "spd:4" batch.Batcher.class_key
+  | None -> Alcotest.fail "expected the n=4 class to flush at 2 members"
+
+(* ---- scheduler ---- *)
+
+let batch ~seq ~deadline_ns =
+  {
+    Batcher.seq;
+    class_key = "spd:4";
+    requests = [| req ~id:seq ~submit_ns:0 ~deadline_ns () |];
+    deadline_ns;
+    opened_ns = 0;
+  }
+
+let test_scheduler_edf_order () =
+  let s = Scheduler.create () in
+  List.iter (Scheduler.push s)
+    [ batch ~seq:0 ~deadline_ns:30; batch ~seq:1 ~deadline_ns:10;
+      batch ~seq:2 ~deadline_ns:20; batch ~seq:3 ~deadline_ns:10 ];
+  let popped = List.init 4 (fun _ -> Option.get (Scheduler.pop s)) in
+  Alcotest.(check (list int)) "EDF with FIFO tie-break" [ 1; 3; 2; 0 ]
+    (List.map (fun b -> b.Batcher.seq) popped);
+  Alcotest.(check bool) "drained" true (Scheduler.pop s = None)
+
+let test_scheduler_fifo_within_class () =
+  let s = Scheduler.create () in
+  for seq = 0 to 9 do
+    Scheduler.push s (batch ~seq ~deadline_ns:42)
+  done;
+  let order = List.init 10 (fun _ -> (Option.get (Scheduler.pop s)).Batcher.seq) in
+  Alcotest.(check (list int)) "equal deadlines pop in formation order"
+    (List.init 10 Fun.id) order
+
+(* ---- loadgen determinism ---- *)
+
+let test_loadgen_deterministic () =
+  let cfg = { Loadgen.default with seed = 7; count = 64; rate_hz = 1000.0 } in
+  let a = Loadgen.schedule cfg and b = Loadgen.schedule cfg in
+  Alcotest.(check int) "same length" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "arrival %d identical" i)
+        true
+        (x.Loadgen.at_s = b.(i).Loadgen.at_s
+        && x.Loadgen.kind = b.(i).Loadgen.kind
+        && x.Loadgen.problem_seed = b.(i).Loadgen.problem_seed))
+    a;
+  let c = Loadgen.schedule { cfg with seed = 8 } in
+  Alcotest.(check bool) "different seed, different schedule" true
+    (Array.exists
+       (fun i -> a.(i).Loadgen.at_s <> c.(i).Loadgen.at_s)
+       (Array.init (Array.length a) Fun.id));
+  (* arrivals are strictly increasing Poisson times *)
+  Array.iteri
+    (fun i x -> if i > 0 then Alcotest.(check bool) "monotone" true (x.Loadgen.at_s > a.(i - 1).Loadgen.at_s))
+    a
+
+let test_loadgen_payload_deterministic () =
+  let cfg = { Loadgen.default with seed = 3; count = 4; n = 6 } in
+  let a = (Loadgen.schedule cfg).(0) in
+  match (Loadgen.payload_of cfg a, Loadgen.payload_of cfg a) with
+  | Request.Spd_solve (m1, b1), Request.Spd_solve (m2, b2) ->
+    Alcotest.(check bool) "same matrix" true (Mat.approx_equal ~tol:0.0 m1 m2);
+    Alcotest.(check bool) "same rhs" true (Vec.approx_equal ~tol:0.0 b1 b2)
+  | _ -> Alcotest.fail "expected SPD payloads"
+
+(* ---- server: end-to-end ---- *)
+
+let check_counters_reconcile name srv ~offered =
+  let c = Server.counters srv in
+  Alcotest.(check int)
+    (name ^ ": admitted = completed + failed")
+    c.Server.admitted
+    (c.Server.completed + c.Server.failed);
+  Alcotest.(check int) (name ^ ": offered = admitted + rejected") offered
+    (c.Server.admitted + c.Server.rejected);
+  Alcotest.(check int) (name ^ ": drained") 0 (Server.in_flight srv)
+
+let test_server_serves_bitwise () =
+  let cfg = { Loadgen.default with seed = 5; count = 40; rate_hz = 4000.0; n = 12;
+              kinds = [| Loadgen.Spd; Loadgen.General; Loadgen.Product |] } in
+  let srv =
+    Server.start { Server.default_config with workers = 2; capacity = 64; linger_s = 0.0005 }
+  in
+  let arrivals = Loadgen.schedule cfg in
+  let tickets =
+    Array.map (fun a -> (a, Server.submit srv (Loadgen.payload_of cfg a))) arrivals
+  in
+  Array.iter
+    (fun (a, tk) ->
+      match tk with
+      | Error e -> Alcotest.fail ("unexpected reject: " ^ Request.error_message e)
+      | Ok tk -> (
+        let c = Server.await srv tk in
+        match c.Request.outcome with
+        | Error e -> Alcotest.fail ("unexpected failure: " ^ Request.error_message e)
+        | Ok sol ->
+          Alcotest.(check bool) "bitwise identical to direct kernel" true
+            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference cfg a));
+          Alcotest.(check bool) "latencies measured" true
+            (c.Request.total_s >= 0.0
+            && c.Request.queue_wait_s >= 0.0
+            && c.Request.service_s >= 0.0)))
+    tickets;
+  Server.stop srv;
+  check_counters_reconcile "serve" srv ~offered:cfg.Loadgen.count;
+  (* every completed request left a wait span and a service span *)
+  let tr = Server.trace srv in
+  Alcotest.(check int) "two spans per request"
+    (2 * cfg.Loadgen.count)
+    (List.length (Xsc_runtime.Trace.entries tr))
+
+let test_server_isolates_singular () =
+  (* one non-SPD matrix in a batch of SPD solves: that request fails
+     typed, its batchmates complete *)
+  let n = 8 in
+  let rng = Rng.create 17 in
+  let good () = (Mat.random_spd rng n, Vec.random rng n) in
+  let bad =
+    (* -I is definitely not SPD *)
+    (Mat.init n n (fun i j -> if i = j then -1.0 else 0.0), Vec.random rng n)
+  in
+  let srv =
+    Server.start
+      { Server.default_config with workers = 1; max_batch = 8; linger_s = 0.001 }
+  in
+  let submit (a, b) = Result.get_ok (Server.submit srv (Request.Spd_solve (a, b))) in
+  let g1 = submit (good ()) in
+  let tb = submit bad in
+  let g2 = submit (good ()) in
+  let ok t =
+    match (Server.await srv t).Request.outcome with Ok _ -> true | Error _ -> false
+  in
+  Alcotest.(check bool) "good before survives" true (ok g1);
+  Alcotest.(check bool) "good after survives" true (ok g2);
+  (match (Server.await srv tb).Request.outcome with
+  | Error (Request.Failed { attempts; error }) ->
+    Alcotest.(check int) "singular not retried" 1 attempts;
+    Alcotest.(check bool) "carries the kernel error" true
+      (String.length error > 0)
+  | Error e -> Alcotest.fail ("expected Failed, got " ^ Request.error_message e)
+  | Ok _ -> Alcotest.fail "singular solve cannot succeed");
+  Server.stop srv;
+  check_counters_reconcile "singular" srv ~offered:3
+
+let test_server_backpressure () =
+  (* capacity 4, instant burst of 50: the window must reject most, admit
+     and complete the rest — and the bound is the admission window, so
+     rejected + admitted = offered exactly. *)
+  let n = 16 in
+  let rng = Rng.create 23 in
+  let srv =
+    Server.start
+      { Server.default_config with workers = 1; capacity = 4; max_batch = 4;
+        linger_s = 0.02 }
+  in
+  let offered = 50 in
+  let tickets =
+    List.init offered (fun _ ->
+        Server.submit srv (Request.Spd_solve (Mat.random_spd rng n, Vec.random rng n)))
+  in
+  let admitted = List.filter_map Result.to_option tickets in
+  let rejected = offered - List.length admitted in
+  Alcotest.(check bool) "backpressure engaged" true (rejected > 0);
+  List.iter
+    (fun tk ->
+      match (Server.await srv tk).Request.outcome with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("admitted request failed: " ^ Request.error_message e))
+    admitted;
+  Server.stop srv;
+  check_counters_reconcile "backpressure" srv ~offered;
+  let c = Server.counters srv in
+  Alcotest.(check int) "typed rejects counted" rejected c.Server.rejected
+
+let test_server_rejects_after_stop () =
+  let srv = Server.start { Server.default_config with workers = 1 } in
+  Server.stop srv;
+  let rng = Rng.create 3 in
+  match Server.submit srv (Request.Spd_solve (Mat.random_spd rng 4, Vec.random rng 4)) with
+  | Error (Request.Rejected Request.Shutting_down) -> ()
+  | _ -> Alcotest.fail "expected Shutting_down reject"
+
+(* ---- fault storms ---- *)
+
+let storm_cfg =
+  { Loadgen.default with seed = 31; count = 60; rate_hz = 5000.0; n = 10;
+    deadline_s = 5.0 }
+
+let test_server_fault_storm_transient () =
+  let h =
+    Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = true }
+  in
+  let srv =
+    Server.start ~harness:h
+      { Server.default_config with workers = 2; capacity = 128; max_retries = 3 }
+  in
+  let r = Loadgen.run_open srv storm_cfg in
+  Server.stop srv;
+  Alcotest.(check int) "no rejects at this window" 0 r.Loadgen.rejected;
+  Alcotest.(check int) "every transient fault retried to success" 0 r.Loadgen.failed;
+  Alcotest.(check int) "all completed" storm_cfg.Loadgen.count r.Loadgen.completed;
+  Alcotest.(check bool) "faults actually fired" true (Harness.raised h > 0);
+  Alcotest.(check int) "one retry per injected raise" (Harness.raised h)
+    r.Loadgen.retried;
+  check_counters_reconcile "transient storm" srv ~offered:storm_cfg.Loadgen.count
+
+let test_server_fault_storm_permanent () =
+  let h =
+    Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = false }
+  in
+  let srv =
+    Server.start ~harness:h
+      { Server.default_config with workers = 2; capacity = 128; max_retries = 2 }
+  in
+  let arrivals = Loadgen.schedule storm_cfg in
+  let tickets =
+    Array.map
+      (fun a -> (a, Result.get_ok (Server.submit srv (Loadgen.payload_of storm_cfg a))))
+      arrivals
+  in
+  (* request ids are assigned in submission order: 0..count-1 — the
+     injected set is exactly the keys the policy targets *)
+  let injected = ref 0 in
+  Array.iteri
+    (fun i (a, tk) ->
+      let c = Server.await srv tk in
+      if Harness.targets_key h i then begin
+        incr injected;
+        match c.Request.outcome with
+        | Error (Request.Failed { attempts; _ }) ->
+          Alcotest.(check int) "permanent fault exhausts retries" 3 attempts
+        | Error e -> Alcotest.fail ("expected Failed, got " ^ Request.error_message e)
+        | Ok _ -> Alcotest.fail "permanently injected request cannot succeed"
+      end
+      else
+        match c.Request.outcome with
+        | Ok sol ->
+          Alcotest.(check bool) "untouched requests bitwise correct" true
+            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference storm_cfg a))
+        | Error e ->
+          Alcotest.fail ("uninjected request failed: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  Alcotest.(check bool) "storm injected something" true (!injected > 0);
+  let c = Server.counters srv in
+  Alcotest.(check int) "failed = injected" !injected c.Server.failed;
+  check_counters_reconcile "permanent storm" srv ~offered:storm_cfg.Loadgen.count
+
+(* ---- batched results satellite ---- *)
+
+let test_batched_results_isolation () =
+  let rng = Rng.create 41 in
+  let n = 6 in
+  let batch =
+    Array.init 5 (fun i ->
+        if i = 2 then Mat.init n n (fun r c -> if r = c then -1.0 else 0.0)
+        else Mat.random_spd rng n)
+  in
+  let results = Xsc_core.Batched.potrf_batch_results batch in
+  Array.iteri
+    (fun i r ->
+      match (i, r) with
+      | 2, Error (Lapack.Singular _) -> ()
+      | 2, _ -> Alcotest.fail "slot 2 must fail Singular"
+      | _, Ok () -> ()
+      | _, Error _ -> Alcotest.fail (Printf.sprintf "slot %d poisoned by slot 2" i))
+    results;
+  (* raising wrapper still raises *)
+  let batch2 =
+    Array.init 3 (fun i ->
+        if i = 1 then Mat.init n n (fun r c -> if r = c then -1.0 else 0.0)
+        else Mat.random_spd rng n)
+  in
+  Alcotest.check_raises "raising wrapper keeps contract" (Lapack.Singular 0)
+    (fun () ->
+      try Xsc_core.Batched.potrf_batch batch2
+      with Lapack.Singular _ -> raise (Lapack.Singular 0))
+
+let test_harness_thunk_determinism () =
+  let p = { Harness.default with seed = 5; p_raise = 0.4; transient = false } in
+  let h1 = Harness.create p and h2 = Harness.create p in
+  for key = 0 to 199 do
+    Alcotest.(check bool)
+      (Printf.sprintf "key %d decision reproducible" key)
+      (Harness.targets_key h1 key) (Harness.targets_key h2 key)
+  done;
+  let hits = ref 0 in
+  for key = 0 to 199 do
+    if Harness.targets_key h1 key then incr hits
+  done;
+  Alcotest.(check bool) "rate in a plausible band" true (!hits > 40 && !hits < 120);
+  (* transient: first call raises, second runs clean *)
+  let ht = Harness.create { p with transient = true } in
+  let key = ref 0 in
+  while not (Harness.targets_key ht !key) do
+    incr key
+  done;
+  Alcotest.check_raises "first attempt raises"
+    (Harness.Injected (Printf.sprintf "req(%d)" !key))
+    (fun () -> Harness.wrap_thunk ht ~key:!key (fun () -> ()));
+  Alcotest.(check int) "retry runs clean" 7
+    (Harness.wrap_thunk ht ~key:!key (fun () -> 7))
+
+let () =
+  Alcotest.run "xsc_serve"
+    [
+      ( "queue",
+        [
+          Alcotest.test_case "FIFO" `Quick test_queue_fifo;
+          Alcotest.test_case "ring wraparound" `Quick test_queue_wraparound;
+          Alcotest.test_case "bounded" `Quick test_queue_bounded;
+          Alcotest.test_case "closed" `Quick test_queue_closed;
+          Alcotest.test_case "bound under concurrent producers" `Quick
+            test_queue_concurrent_bound;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "size-triggered flush" `Quick test_batcher_size_flush;
+          Alcotest.test_case "linger-triggered flush" `Quick test_batcher_linger_flush;
+          Alcotest.test_case "deadline-urgency flush" `Quick
+            test_batcher_deadline_urgency_flush;
+          Alcotest.test_case "classes stay separate" `Quick test_batcher_classes_separate;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "EDF order" `Quick test_scheduler_edf_order;
+          Alcotest.test_case "FIFO within deadline class" `Quick
+            test_scheduler_fifo_within_class;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "seeded schedule deterministic" `Quick
+            test_loadgen_deterministic;
+          Alcotest.test_case "payloads deterministic" `Quick
+            test_loadgen_payload_deterministic;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "serves bitwise-correct solutions" `Quick
+            test_server_serves_bitwise;
+          Alcotest.test_case "isolates a singular request" `Quick
+            test_server_isolates_singular;
+          Alcotest.test_case "backpressure rejects typed" `Quick test_server_backpressure;
+          Alcotest.test_case "rejects after stop" `Quick test_server_rejects_after_stop;
+          Alcotest.test_case "fault storm: transient retried" `Quick
+            test_server_fault_storm_transient;
+          Alcotest.test_case "fault storm: permanent typed" `Quick
+            test_server_fault_storm_permanent;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "batched per-problem results" `Quick
+            test_batched_results_isolation;
+          Alcotest.test_case "harness thunk determinism" `Quick
+            test_harness_thunk_determinism;
+        ] );
+    ]
