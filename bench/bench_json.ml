@@ -222,6 +222,7 @@ let run ~file =
   in
   let resilience = Faults_run.record () in
   let serve, _, _ = Serve_run.record () in
+  let autotune, autotune_ok = Autotune_run.record ~quick:false () in
   write_json ~file
     ([ "{"; "  \"gemm\": [" ]
     @ [ String.concat ",\n" gemms ]
@@ -229,6 +230,7 @@ let run ~file =
         "  ],";
         "  \"f32\": " ^ f32 ^ ",";
         "  \"ir\": " ^ ir ^ ",";
+        "  \"autotune\": " ^ autotune ^ ",";
         "  \"resilience\": " ^ resilience ^ ",";
         "  \"serve\": " ^ serve ^ ",";
         "  \"sched\": [";
@@ -236,7 +238,14 @@ let run ~file =
     @ [ String.concat ",\n" scheds ]
     @ [ "  ],"; "  \"metrics\": {"; "    \"per_kernel\": [" ]
     @ [ String.concat ",\n" (List.map (fun s -> "      " ^ s) per_kernel) ]
-    @ [ "    ],"; "    \"registry\": " ^ Xsc_obs.Metrics.to_json (); "  }"; "}" ])
+    @ [ "    ],"; "    \"registry\": " ^ Xsc_obs.Metrics.to_json (); "  }"; "}" ]);
+  (* roofline gate: a tuned kernel falling below its own freshly measured
+     default is a dispatch bug, not a perf datum — refuse to record it as
+     a healthy run *)
+  if not autotune_ok then begin
+    Printf.eprintf "bench: autotune roofline gate FAILED\n";
+    exit 1
+  end
 
 (* CI perf-sanity subset: the n=432 Cholesky on 2 workers plus a reduced
    resilience record (fewer timing pairs and storm seeds), record-only. *)
@@ -246,11 +255,13 @@ let smoke ~file =
   let serve, serve_ok, _ =
     Serve_run.record ~nominal_count:60 ~burst_count:120 ~storm_count:40 ()
   in
+  let autotune, autotune_ok = Autotune_run.record ~quick:true () in
   write_json ~file
     [
       "{";
       "  \"smoke\": true,";
       "  \"sched\": " ^ sched ^ ",";
+      "  \"autotune\": " ^ autotune ^ ",";
       "  \"resilience\": " ^ resilience ^ ",";
       "  \"serve\": " ^ serve ^ ",";
       "  \"registry\": " ^ Xsc_obs.Metrics.to_json ();
@@ -261,5 +272,11 @@ let smoke ~file =
      gate on them even in the record-only smoke *)
   if not serve_ok then begin
     Printf.eprintf "smoke: serve record self-checks FAILED\n";
+    exit 1
+  end;
+  (* likewise the autotune gates: XSC_TUNE_CACHE (when set) must load, and
+     tuned kernels must not regress below their freshly measured defaults *)
+  if not autotune_ok then begin
+    Printf.eprintf "smoke: autotune cache/roofline gate FAILED\n";
     exit 1
   end

@@ -8,7 +8,7 @@
      hpcg        run the HPCG-like benchmark on this host or a model
      top500      print the Top500 trend and exaflop projection
      checkpoint  Young/Daly checkpoint planning for a machine preset
-     tune        autotune the tile size on this host
+     tune        autotune the packed microkernels; persist a host-keyed cache
      serve-demo  run the concurrent solver service under a seeded load *)
 
 open Cmdliner
@@ -378,25 +378,95 @@ let scaling_cmd =
 (* ---- tune ---- *)
 
 let tune_cmd =
-  let run n seed =
-    let rng = Xsc_util.Rng.create seed in
-    let a = Mat.random_spd rng n in
-    let candidates = List.filter (fun nb -> n mod nb = 0) [ 8; 16; 32; 64; 128; 256 ] in
-    let bench nb () = Xsc_core.Cholesky.factor (Xsc_tile.Tile.of_mat ~nb a) in
-    let flops _ = float_of_int n ** 3.0 /. 3.0 in
-    let measurements, best =
-      Xsc_autotune.Tuner.sweep ~warmup:1 ~repeats:3 ~candidates ~flops ~bench ()
-    in
-    List.iter
-      (fun m ->
-        Printf.printf "nb=%-4d %s  %.3f Gflop/s%s\n" m.Xsc_autotune.Tuner.param
-          (Units.seconds m.Xsc_autotune.Tuner.seconds)
-          (m.Xsc_autotune.Tuner.rate /. 1e9)
-          (if m.Xsc_autotune.Tuner.param = best.Xsc_autotune.Tuner.param then "  <- best" else ""))
-      measurements
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ]
+           ~doc:"Reduced candidate set and single tile size (CI smoke).")
   in
-  Cmd.v (Cmd.info "tune" ~doc:"Autotune the Cholesky tile size on this host")
-    Term.(const run $ n_arg 512 $ seed_arg)
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+           ~doc:"Tuning-cache path (default: $(b,XSC_TUNE_CACHE), else \
+                 \\$XDG_CACHE_HOME/xsc/ktune.bin).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the autotune record as JSON.")
+  in
+  let force_arg =
+    Arg.(value & flag & info [ "force" ]
+           ~doc:"Discard any existing cache and re-run the search.")
+  in
+  let print_entries entries =
+    Printf.printf "  %-4s %-9s %-7s %-5s %-8s %12s %12s %8s\n" "prec" "kernel"
+      "tile" "pack" "prefetch" "default" "tuned" "speedup";
+    List.iter
+      (fun e ->
+        let mr, nr = Pblas.shapes.(e.Kconfig.cfg.Pblas.shape) in
+        Printf.printf "  %-4s %-9s %dx%-5d %-5b %-8b %9.3f GF %9.3f GF %7.2fx\n"
+          (Pblas.prec_name e.Kconfig.prec)
+          (Pblas.kernel_name e.Kconfig.kernel)
+          mr nr e.Kconfig.cfg.Pblas.pack e.Kconfig.cfg.Pblas.prefetch
+          (e.Kconfig.default_gflops /. 1.0)
+          (e.Kconfig.tuned_gflops /. 1.0)
+          (if e.Kconfig.default_gflops > 0.0 then
+             e.Kconfig.tuned_gflops /. e.Kconfig.default_gflops
+           else 1.0))
+      entries
+  in
+  let report_of_cache (t : Kconfig.t) =
+    {
+      Xsc_autotune.Kernel_tune.host = t.Kconfig.host_key;
+      host_key = t.Kconfig.host_key;
+      nb = t.Kconfig.nb;
+      search_seconds = t.Kconfig.search_seconds;
+      evaluations = 0;
+      tuned =
+        List.map
+          (fun e ->
+            {
+              Xsc_autotune.Kernel_tune.prec = e.Kconfig.prec;
+              kernel = e.Kconfig.kernel;
+              cfg = e.Kconfig.cfg;
+              default_gflops = e.Kconfig.default_gflops;
+              tuned_gflops = e.Kconfig.tuned_gflops;
+            })
+          t.Kconfig.entries;
+    }
+  in
+  let run quick cache json force =
+    let module KT = Xsc_autotune.Kernel_tune in
+    let path = match cache with Some p -> p | None -> Kconfig.default_path () in
+    if force && Sys.file_exists path then Sys.remove path;
+    let rep =
+      match KT.ensure ~quick ~path () with
+      | `Loaded t ->
+        Printf.printf "loaded tuning cache %s (tuned in %s, nb=%d):\n" path
+          (Units.seconds t.Kconfig.search_seconds)
+          t.Kconfig.nb;
+        print_entries t.Kconfig.entries;
+        report_of_cache t
+      | `Tuned (r, t) ->
+        Printf.printf
+          "tuned %d kernel variants in %s (%d evaluations) on %s; nb=%d\n"
+          (List.length r.KT.tuned)
+          (Units.seconds r.KT.search_seconds)
+          r.KT.evaluations r.KT.host r.KT.nb;
+        print_entries t.Kconfig.entries;
+        Printf.printf "cache written to %s\n" path;
+        r
+    in
+    match json with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (KT.report_json rep);
+      output_string oc "\n";
+      close_out oc;
+      Printf.printf "autotune record written to %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Autotune the packed microkernels on this host (persisted cache)")
+    Term.(const run $ quick_arg $ cache_arg $ json_arg $ force_arg)
 
 (* ---- serve-demo ---- *)
 
@@ -468,6 +538,10 @@ let serve_demo_cmd =
           $ capacity_arg $ deadline_arg $ storm_arg $ trace_arg)
 
 let () =
+  (* Pick up this host's kernel-tuning cache (written by [xsc tune]) so
+     every subcommand runs the tuned microkernels; on any load error the
+     compiled-in defaults stay installed. *)
+  ignore (Kconfig.autoload () : bool);
   let info =
     Cmd.info "xsc" ~version:"1.0.0"
       ~doc:"Extreme-scale computing library: tiled DAG solvers, simulated machines, benchmarks"

@@ -1,0 +1,71 @@
+(** Install-time autotuning of the packed C microkernels.
+
+    Searches the {!Xsc_linalg.Pblas} kernel-variant space (micro-tile
+    shape x pack strategy x prefetch, per kernel per precision, plus the
+    tile size [nb]) with {!Search.successive_halving} over median-of-
+    repeats monotonic timings ({!Tuner.time_thunk}), then confirms the
+    winner against the fixed default in a higher-repeat head-to-head —
+    so a tuned config is never slower than the default it replaces on
+    the host that tuned it.
+
+    Every candidate computes bitwise-identical results (the variants
+    only change which independent accumulator chains run concurrently),
+    so the search is purely over speed; correctness never enters the
+    objective.
+
+    The result persists through {!Xsc_linalg.Kconfig} and is picked up
+    by every later process on the same host: tune once per machine
+    ([xsc tune]), benefit everywhere (paper rule 7). *)
+
+type tuned = {
+  prec : Xsc_linalg.Pblas.prec;
+  kernel : Xsc_linalg.Pblas.kernel;
+  cfg : Xsc_linalg.Pblas.kcfg;
+  default_gflops : float;  (** measured rate of the fixed default config *)
+  tuned_gflops : float;  (** measured rate of [cfg]; >= [default_gflops] *)
+}
+
+type report = {
+  host : string;
+  host_key : string;
+  nb : int;  (** winning tile size *)
+  search_seconds : float;
+  evaluations : int;  (** total timed candidate evaluations *)
+  tuned : tuned list;  (** one per kernel x precision *)
+}
+
+val tune : ?quick:bool -> ?nbs:int list -> ?seed:int -> unit -> report
+(** Run the search on this host. [quick] shrinks the candidate set to a
+    CI-sized smoke (3 shapes, single [nb]); default [nbs] is
+    [[48; 64; 96]] (full) or [[64]] (quick). The kernel configs left
+    installed afterwards are the tuned winners. *)
+
+val to_cache : report -> Xsc_linalg.Kconfig.t
+(** Convert for persisting with {!Xsc_linalg.Kconfig.save}. *)
+
+val apply : report -> unit
+(** (Re-)install the report's winners into the live kernel dispatch. *)
+
+val ensure :
+  ?quick:bool -> ?path:string -> unit ->
+  [ `Loaded of Xsc_linalg.Kconfig.t | `Tuned of report * Xsc_linalg.Kconfig.t ]
+(** Load the cache at [path] (default {!Xsc_linalg.Kconfig.default_path})
+    and apply it; on any load error (absent, corrupt, tuned for another
+    host) run {!tune}, save the fresh cache, and apply that. A second
+    call on the same host returns [`Loaded] without re-searching. *)
+
+val measure_pair :
+  ?seed:int -> ?rounds:int -> nb:int ->
+  Xsc_linalg.Pblas.prec -> Xsc_linalg.Pblas.kernel ->
+  Xsc_linalg.Pblas.kcfg -> Xsc_linalg.Pblas.kcfg ->
+  float * float
+(** [measure_pair ~nb prec kernel a b]: GFLOP/s of configs [a] and [b] on
+    seeded random tiles, sampled interleaved ([rounds] a/b pairs, default
+    15, median per side, each sample a calibrated batch of calls) so host
+    load and clock drift cancel out of the comparison. Restores the
+    previously installed config. Used by the head-to-head election and by
+    the benchmark gate to re-judge a loaded cache against the defaults. *)
+
+val report_json : report -> string
+(** The autotune record as a JSON object (one line per kernel entry),
+    for [bench --json] and the CI artifact. *)

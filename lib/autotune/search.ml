@@ -39,7 +39,10 @@ let simulated_annealing ?(steps = 200) ?temperature ?(cooling = 0.95) ~seed ~nei
     (match neighbours !current.candidate with
     | [] -> ()
     | options ->
-      let pick = List.nth options (Xsc_util.Rng.int rng (List.length options)) in
+      (* array-indexed pick: List.nth here was O(n) per step, quadratic
+         over large neighbour lists *)
+      let options = Array.of_list options in
+      let pick = options.(Xsc_util.Rng.int rng (Array.length options)) in
       let cost = f pick in
       let delta = cost -. !current.cost in
       let accept =

@@ -4,10 +4,13 @@ type measurement = {
   rate : float;
 }
 
+(* Monotonic clock, not wall time: NTP slews and clock jumps would land
+   inside a measurement and elect the wrong kernel for the life of the
+   tuning cache. *)
 let time_once thunk =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Xsc_obs.Clock.now_ns () in
   thunk ();
-  Unix.gettimeofday () -. t0
+  Xsc_obs.Clock.ns_to_s (Xsc_obs.Clock.now_ns () - t0)
 
 let time_thunk ?(warmup = 1) ?(repeats = 3) thunk =
   if repeats <= 0 then invalid_arg "Tuner.time_thunk: repeats must be positive";

@@ -1,17 +1,18 @@
 (** Measurement-driven kernel tuning.
 
-    Wraps wall-clock measurement with warmup and median-of-repeats so the
-    search strategies in {!Search} can optimise over real kernel timings
+    Wraps monotonic-clock measurement ({!Xsc_obs.Clock}, immune to
+    wall-clock jumps) with warmup and median-of-repeats so the search
+    strategies in {!Search} can optimise over real kernel timings
     (e.g. the tile size of the tiled Cholesky — TAB-1). *)
 
 type measurement = {
   param : int;
-  seconds : float;  (** median wall time *)
+  seconds : float;  (** median elapsed time *)
   rate : float;  (** flops / seconds, 0 when flops unknown *)
 }
 
 val time_thunk : ?warmup:int -> ?repeats:int -> (unit -> unit) -> float
-(** Median wall-clock seconds over [repeats] runs (default 3) after
+(** Median monotonic-clock seconds over [repeats] runs (default 3) after
     [warmup] discarded runs (default 1). *)
 
 val sweep :

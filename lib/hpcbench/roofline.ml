@@ -17,14 +17,14 @@ let stencil27_intensity = 54.0 /. 340.0
 (* a(i) = b(i) + q*c(i): 2 flops per 24 bytes *)
 let stream_triad_intensity = 2.0 /. 24.0
 
-let point node ~kernel ~intensity =
+let point ?(precision = Xsc_simmachine.Node.FP64) node ~kernel ~intensity =
   let open Xsc_simmachine in
-  let attainable = Node.roofline_rate node Node.FP64 ~intensity in
+  let attainable = Node.roofline_rate node precision ~intensity in
   {
     kernel;
     intensity;
     attainable;
-    fraction_of_peak = attainable /. Node.node_rate node Node.FP64;
+    fraction_of_peak = attainable /. Node.node_rate node precision;
   }
 
 let standard_points ?(nb = 256) node =
@@ -43,8 +43,8 @@ type achieved = {
   roof_fraction : float;
 }
 
-let achieved_point node ~kernel ~intensity ~measured =
-  let p = point node ~kernel ~intensity in
+let achieved_point ?precision node ~kernel ~intensity ~measured =
+  let p = point ?precision node ~kernel ~intensity in
   let roof_fraction = if p.attainable > 0.0 then measured /. p.attainable else 0.0 in
   { point = p; measured; roof_fraction }
 

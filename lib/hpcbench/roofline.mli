@@ -21,7 +21,11 @@ val stencil27_intensity : float
 
 val stream_triad_intensity : float
 
-val point : Xsc_simmachine.Node.t -> kernel:string -> intensity:float -> point
+val point :
+  ?precision:Xsc_simmachine.Node.precision ->
+  Xsc_simmachine.Node.t -> kernel:string -> intensity:float -> point
+(** Roof at the given [intensity]; [precision] (default [FP64]) selects the
+    compute ceiling — an f32 kernel is judged against the f32 roof. *)
 
 val standard_points : ?nb:int -> Xsc_simmachine.Node.t -> point list
 (** Triad, SpMV (27pt), small/large blocked GEMM — the canonical chart. *)
@@ -37,6 +41,7 @@ type achieved = {
 }
 
 val achieved_point :
+  ?precision:Xsc_simmachine.Node.precision ->
   Xsc_simmachine.Node.t -> kernel:string -> intensity:float -> measured:float -> achieved
 (** Pair a measured rate (e.g. from {!Xsc_runtime.Trace.by_kernel_rates} or
     the [blas.*.flops] registry counters) with the model roof at the

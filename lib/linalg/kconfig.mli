@@ -1,0 +1,73 @@
+(** Persisted, host-keyed kernel-tuning cache.
+
+    [xsc tune] searches the {!Pblas} kernel-variant space and saves the
+    winners here; every later process loads the cache at startup
+    ({!autoload}) and runs with the tuned configs — autotune once per
+    host, not per run (paper rule 7: at scale, search replaces
+    hand-tuning, and the search result is a per-host artifact).
+
+    File format: the same header discipline as [Checkpoint] — 8-byte
+    magic ["XSCKTUNE"], 1 version byte, 8-byte LE payload length, 4-byte
+    LE CRC-32 of the payload, then an explicit little-endian binary
+    payload (no [Marshal]: the file must stay readable across compiler
+    versions). Writes go to a temp file renamed into place, so a crash
+    mid-write never leaves a torn file under the cache name.
+
+    The payload is keyed by {!host_key} (hostname + CPU model + word
+    size). A cache copied from another machine — where the measured
+    winners are meaningless — fails the key check with [Host_mismatch]
+    and the caller re-tunes. Any torn, truncated or bit-flipped file
+    fails the length or CRC check with a typed error, and the kernels
+    simply keep their defaults: a bad cache can never produce wrong
+    results, only default speed. *)
+
+type entry = {
+  prec : Pblas.prec;
+  kernel : Pblas.kernel;
+  cfg : Pblas.kcfg;
+  default_gflops : float;  (** measured rate of {!Pblas.default_cfg} *)
+  tuned_gflops : float;  (** measured rate of [cfg]; >= default by search *)
+}
+
+type t = {
+  host_key : string;
+  nb : int;  (** tuned tile size for the packed drivers *)
+  search_seconds : float;  (** wall-clock cost of the search that produced this *)
+  entries : entry list;
+}
+
+type load_error =
+  | No_such_file
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Bad_crc
+  | Host_mismatch of { expected : string; found : string }
+
+val describe_error : load_error -> string
+
+val host_key : unit -> string
+(** Identity of this machine for cache keying: hostname, CPU model name
+    (from /proc/cpuinfo when available) and word size. *)
+
+val default_path : unit -> string
+(** [$XSC_TUNE_CACHE] if set, else [$XDG_CACHE_HOME/xsc/ktune.bin]
+    (falling back to [~/.cache], then the current directory). *)
+
+val save : ?path:string -> t -> unit
+(** Atomic write (temp file + rename); creates the parent directory. *)
+
+val load : ?path:string -> unit -> (t, load_error) result
+(** Read and validate. [Host_mismatch] if the file was tuned on a
+    different machine. Never raises on a corrupt file. *)
+
+val apply : t -> unit
+(** Install the cached configs: reset everything to defaults, then set
+    each entry, so kernels missing from the cache run the default. *)
+
+val autoload : ?path:string -> unit -> bool
+(** [load] + [apply]; [false] (leaving the defaults installed) on any
+    load error. Remembers the result for {!current}. *)
+
+val current : unit -> t option
+(** The cache installed by the last successful {!autoload}, if any. *)

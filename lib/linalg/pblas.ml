@@ -32,6 +32,78 @@ let syrk_bytes w nb = float_of_int w *. float_of_int ((nb * nb) + (nb * (nb + 1)
 let trsm_bytes w nb = float_of_int w *. float_of_int ((nb * (nb + 1) / 2) + (2 * nb * nb))
 let fact_bytes w nb = float_of_int w *. float_of_int (2 * nb * nb)
 
+(* ---- runtime kernel configuration ----
+
+   The C stubs dispatch the compute kernels through per-kernel,
+   per-precision config records (micro-tile shape, pack strategy,
+   prefetch). Every variant is bitwise-identical — each output element
+   keeps its own k-ascending accumulator chain regardless of shape — so
+   switching configs trades only speed, never results. The authoritative
+   table lives in C; an OCaml mirror makes [cfg] readable without a
+   read-back stub. *)
+
+type kernel = Gemm_nn | Gemm_nt | Syrk_ln | Trsm_rlt
+type prec = F64 | F32
+type kcfg = { shape : int; pack : bool; prefetch : bool }
+
+external shape_count_raw : unit -> int = "xsc_pk_shape_count" [@@noalloc]
+external shape_dims_raw : int -> int = "xsc_pk_shape_dims" [@@noalloc]
+
+external set_kcfg_raw : int -> int -> int -> bool -> bool -> int = "xsc_pk_set_kcfg"
+  [@@noalloc]
+
+let shapes =
+  Array.init (shape_count_raw ()) (fun i ->
+      let d = shape_dims_raw i in
+      (d / 1000, d mod 1000))
+
+let default_cfg =
+  (* (1, 32): the shape the kernels were historically hard-coded to *)
+  let shape =
+    let found = ref 0 in
+    Array.iteri (fun i s -> if s = (1, 32) then found := i) shapes;
+    !found
+  in
+  { shape; pack = true; prefetch = false }
+
+let all_kernels = [ Gemm_nn; Gemm_nt; Syrk_ln; Trsm_rlt ]
+let all_precs = [ F64; F32 ]
+
+let kernel_id = function Gemm_nn -> 0 | Gemm_nt -> 1 | Syrk_ln -> 2 | Trsm_rlt -> 3
+let prec_id = function F64 -> 0 | F32 -> 1
+
+let kernel_name = function
+  | Gemm_nn -> "gemm_nn"
+  | Gemm_nt -> "gemm_nt"
+  | Syrk_ln -> "syrk_ln"
+  | Trsm_rlt -> "trsm_rlt"
+
+let prec_name = function F64 -> "f64" | F32 -> "f32"
+
+let kernel_of_name = function
+  | "gemm_nn" -> Some Gemm_nn
+  | "gemm_nt" -> Some Gemm_nt
+  | "syrk_ln" -> Some Syrk_ln
+  | "trsm_rlt" -> Some Trsm_rlt
+  | _ -> None
+
+let prec_of_name = function "f64" -> Some F64 | "f32" -> Some F32 | _ -> None
+let mirror = Array.init 2 (fun _ -> Array.make 4 default_cfg)
+
+let set_cfg prec kernel c =
+  if c.shape < 0 || c.shape >= Array.length shapes then
+    invalid_arg "Pblas.set_cfg: shape id out of range";
+  let st = set_kcfg_raw (prec_id prec) (kernel_id kernel) c.shape c.pack c.prefetch in
+  if st <> 0 then invalid_arg "Pblas.set_cfg: rejected by kernel dispatch";
+  mirror.(prec_id prec).(kernel_id kernel) <- c
+
+let cfg prec kernel = mirror.(prec_id prec).(kernel_id kernel)
+
+let reset_cfgs () =
+  List.iter
+    (fun p -> List.iter (fun k -> set_cfg p k default_cfg) all_kernels)
+    all_precs
+
 module D = struct
   type buf = f64
 

@@ -27,6 +27,63 @@ exception Singular of int
 (** Raised by [potrf] (non-positive pivot) and [getrf_nopiv] (zero pivot)
     with the failing index within the tile. *)
 
+(** {1 Runtime kernel configuration}
+
+    The compute kernels (gemm / syrk / trsm) dispatch through a per-kernel,
+    per-precision config record: micro-tile shape (how many independent
+    accumulator chains run concurrently), pack strategy for the operands
+    read along [k], and optional software prefetch. Every variant performs
+    the identical floating-point operations in the identical order per
+    output element, so changing the config changes speed only — results
+    stay bitwise-identical. The autotuner ({!Xsc_autotune.Kernel_tune})
+    searches this space and {!Kconfig} persists the winner per host. *)
+
+type kernel = Gemm_nn | Gemm_nt | Syrk_ln | Trsm_rlt
+(** The tunable kernels. [potrf] / [getrf_nopiv] and the LU panel trsms are
+    O(nb^2·nb) sequential-chain kernels with no variant space worth
+    searching; they always run the reference code. *)
+
+type prec = F64 | F32
+
+type kcfg = { shape : int; pack : bool; prefetch : bool }
+(** [shape] indexes {!shapes}. [pack] selects transpose-to-scratch (true,
+    the historical behavior) vs direct row-dot / row-sequential access for
+    the NT / syrk / trsm_rlt paths; gemm_nn ignores it. [syrk_ln] uses only
+    the width of its shape (triangular store masks per row). *)
+
+val shapes : (int * int) array
+(** The (mr, nr) micro-tile family compiled into the C stubs. *)
+
+val default_cfg : kcfg
+(** The untuned default: 1 x 32 chains, pack, no prefetch — exactly the
+    behavior the kernels had when the shapes were hard-coded. *)
+
+val all_kernels : kernel list
+val all_precs : prec list
+val kernel_name : kernel -> string
+val prec_name : prec -> string
+val kernel_of_name : string -> kernel option
+val prec_of_name : string -> prec option
+
+val set_cfg : prec -> kernel -> kcfg -> unit
+(** Install a config. Raises [Invalid_argument] on an out-of-range shape.
+    Not synchronised: call at startup or from a single-threaded tuner, not
+    while other domains are inside a kernel. *)
+
+val cfg : prec -> kernel -> kcfg
+
+val reset_cfgs : unit -> unit
+(** Restore {!default_cfg} for every kernel and precision. *)
+
+(** {1 Flop counts} (used by the tuner and benchmarks to convert measured
+    seconds into rates) *)
+
+val gemm_flops : int -> float
+val syrk_flops : int -> float
+val trsm_flops : int -> float
+val potrf_flops : int -> float
+val getrf_flops : int -> float
+
 (** Double-precision kernels. Offsets are element (not byte) offsets of the
     tile's first element; all tiles are [nb x nb] row-major. *)
 module D : sig

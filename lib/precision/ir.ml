@@ -99,8 +99,11 @@ let chol_ir ?(max_iter = 50) ?(tol = default_tol) ~precision a b =
    refine in double against the original matrix. Contrast with [chol_ir
    ~precision:fp32], which simulates reduced precision by rounding every
    double operation — correct for accuracy studies, useless for speed. *)
-let chol_ir32 ?(max_iter = 50) ?(tol = default_tol) ?(nb = 64) a b =
+let chol_ir32 ?(max_iter = 50) ?(tol = default_tol) ?nb a b =
   let module Packed = Xsc_tile.Packed in
+  (* default tile size: this host's tuned nb when a tuning cache is
+     loaded, the historical 64 otherwise *)
+  let nb = match nb with Some nb -> nb | None -> Packed.tuned_nb ~fallback:64 in
   let n = a.Mat.rows in
   if n <> a.Mat.cols || Array.length b <> n then
     invalid_arg "Ir.chol_ir32: dimension mismatch";

@@ -37,7 +37,8 @@ val chol_ir32 : ?max_iter:int -> ?tol:float -> ?nb:int -> Mat.t -> Vec.t -> repo
     float32 tile-major storage ({!Xsc_tile.Packed.S}, quantizing once) and
     factored by the genuinely single-precision packed tiled Cholesky — the
     C kernel path whose ~2x rate over double the bench measures — then
-    refined in double to full accuracy. [nb] is the tile size (default 64;
+    refined in double to full accuracy. [nb] is the tile size (default:
+    this host's tuned size via {!Xsc_tile.Packed.tuned_nb}, 64 untuned;
     the matrix is identity-padded to a multiple). Raises
     [Xsc_linalg.Pblas.Singular] if the float32 factorization breaks down. *)
 

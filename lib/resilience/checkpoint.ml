@@ -41,23 +41,7 @@ let describe_error = function
   | Bad_version v -> Printf.sprintf "unsupported checkpoint version %d" v
   | Bad_crc -> "payload CRC mismatch (corrupt checkpoint)"
 
-(* CRC-32 (IEEE 802.3 polynomial, reflected), table-driven. *)
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 (b : Bytes.t) =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  for i = 0 to Bytes.length b - 1 do
-    c := table.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF) lxor (!c lsr 8)
-  done;
-  !c lxor 0xFFFFFFFF
+let crc32 = Xsc_util.Crc32.bytes
 
 let put_le oc ~bytes v =
   for i = 0 to bytes - 1 do

@@ -274,3 +274,12 @@ module S = struct
     done;
     y
 end
+
+(* Tile size elected by this host's kernel-tuning cache (loaded at startup
+   by Kconfig.autoload / xsc tune); callers that would otherwise hard-code
+   a default nb route it through here so a tuned host gets its tuned tile
+   size everywhere packing happens. *)
+let tuned_nb ~fallback =
+  match Xsc_linalg.Kconfig.current () with
+  | Some t when t.Xsc_linalg.Kconfig.nb > 0 -> t.Xsc_linalg.Kconfig.nb
+  | _ -> fallback

@@ -85,3 +85,9 @@ module S : sig
   (** [potrs l b] solves [L Lᵀ x = b] reading the float32 factor with
       double-precision accumulation; returns a fresh solution vector. *)
 end
+
+val tuned_nb : fallback:int -> int
+(** The tile size elected by this host's kernel-tuning cache
+    ({!Xsc_linalg.Kconfig.current}), or [fallback] when no cache is
+    loaded. Drivers with a default [nb] consult this so [xsc tune]'s
+    winner reaches every packing site without threading a parameter. *)

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+
+    The integrity check shared by every self-validating binary file format
+    in the library (checkpoint files, the kernel-tuning cache): a torn or
+    bit-flipped payload fails the CRC and the loader reports a typed error
+    instead of crashing on garbage. *)
+
+val bytes : Bytes.t -> int
+(** CRC-32 of the whole byte buffer, as a non-negative int in [0, 2^32). *)
+
+val string : string -> int
+(** CRC-32 of the whole string. *)

@@ -1,7 +1,11 @@
-(* Tests for Xsc_autotune: search strategies and the measurement harness. *)
+(* Tests for Xsc_autotune: search strategies, the measurement harness,
+   the persisted kernel-tuning cache and its typed failure modes. *)
 
 module Search = Xsc_autotune.Search
 module Tuner = Xsc_autotune.Tuner
+module KT = Xsc_autotune.Kernel_tune
+module Kconfig = Xsc_linalg.Kconfig
+module P = Xsc_linalg.Pblas
 
 let qcheck tc = QCheck_alcotest.to_alcotest tc
 
@@ -90,6 +94,18 @@ let test_simulated_annealing_deterministic_per_seed () =
   let b = Search.simulated_annealing ~seed:5 ~neighbours ~start:10.0 f in
   Alcotest.(check (float 0.0)) "same seed, same result" a.Search.cost b.Search.cost
 
+(* The neighbour pick is array-indexed (one uniform draw), so a large
+   option list must stay deterministic per seed — the regression this
+   guards is the O(n) List.nth walk it replaced silently changing the
+   draw-to-candidate mapping. *)
+let test_simulated_annealing_many_neighbours_deterministic () =
+  let f x = abs_float (float_of_int (x - 137)) in
+  let neighbours x = List.init 100 (fun i -> x + i - 50) in
+  let a = Search.simulated_annealing ~steps:500 ~seed:11 ~neighbours ~start:0 f in
+  let b = Search.simulated_annealing ~steps:500 ~seed:11 ~neighbours ~start:0 f in
+  Alcotest.(check int) "same seed, same winner" a.Search.candidate b.Search.candidate;
+  Alcotest.(check (float 0.0)) "same seed, same cost" a.Search.cost b.Search.cost
+
 let test_simulated_annealing_validation () =
   Alcotest.check_raises "cooling" (Invalid_argument "Search.simulated_annealing: cooling must be in (0, 1)")
     (fun () ->
@@ -136,6 +152,202 @@ let test_sweep_empty () =
   Alcotest.check_raises "empty" (Invalid_argument "Tuner.sweep: no candidates") (fun () ->
       ignore (Tuner.sweep ~candidates:[] ~flops:float_of_int ~bench:(fun _ () -> ()) ()))
 
+(* ---- Kconfig: the persisted host-keyed tuning cache ---- *)
+
+let sample_cache () =
+  {
+    Kconfig.host_key = Kconfig.host_key ();
+    nb = 96;
+    search_seconds = 1.25;
+    entries =
+      [
+        {
+          Kconfig.prec = P.F64;
+          kernel = P.Gemm_nn;
+          cfg = { P.shape = 3; pack = true; prefetch = false };
+          default_gflops = 10.0;
+          tuned_gflops = 12.5;
+        };
+        {
+          Kconfig.prec = P.F32;
+          kernel = P.Trsm_rlt;
+          cfg = { P.default_cfg with pack = false };
+          default_gflops = 5.0;
+          tuned_gflops = 5.0;
+        };
+      ];
+  }
+
+let with_tmp_cache f =
+  let path = Filename.temp_file "xsc-ktune" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      P.reset_cfgs ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let check_load_error name expected got =
+  let show = function
+    | Ok _ -> "Ok _"
+    | Error e -> "Error: " ^ Kconfig.describe_error e
+  in
+  Alcotest.(check string) name (show (Error expected)) (show got)
+
+let test_cache_roundtrip () =
+  with_tmp_cache (fun path ->
+      let c = sample_cache () in
+      Kconfig.save ~path c;
+      match Kconfig.load ~path () with
+      | Error e -> Alcotest.fail ("load failed: " ^ Kconfig.describe_error e)
+      | Ok c' ->
+          Alcotest.(check bool) "round-trips exactly" true (c = c'))
+
+let test_cache_host_mismatch () =
+  with_tmp_cache (fun path ->
+      let foreign = "other-host|Imaginary CPU @ 9.9GHz|64" in
+      Kconfig.save ~path { (sample_cache ()) with Kconfig.host_key = foreign };
+      check_load_error "host mismatch is typed"
+        (Kconfig.Host_mismatch
+           { expected = Kconfig.host_key (); found = foreign })
+        (Kconfig.load ~path ());
+      (* a foreign cache must not install anything *)
+      P.reset_cfgs ();
+      Alcotest.(check bool) "autoload refuses" false (Kconfig.autoload ~path ());
+      Alcotest.(check bool) "configs stay default" true
+        (P.cfg P.F64 P.Gemm_nn = P.default_cfg))
+
+let test_cache_truncated () =
+  with_tmp_cache (fun path ->
+      Kconfig.save ~path (sample_cache ());
+      let whole = read_file path in
+      (* torn write: payload cut short *)
+      write_file path (String.sub whole 0 (String.length whole - 10));
+      check_load_error "torn payload" Kconfig.Truncated (Kconfig.load ~path ());
+      (* shorter than the fixed header *)
+      write_file path (String.sub whole 0 5);
+      check_load_error "torn header" Kconfig.Truncated (Kconfig.load ~path ()))
+
+let test_cache_bitflip () =
+  with_tmp_cache (fun path ->
+      Kconfig.save ~path (sample_cache ());
+      let b = Bytes.of_string (read_file path) in
+      let pos = Bytes.length b - 3 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      write_file path (Bytes.to_string b);
+      check_load_error "bit flip" Kconfig.Bad_crc (Kconfig.load ~path ()))
+
+let test_cache_bad_magic_and_version () =
+  with_tmp_cache (fun path ->
+      Kconfig.save ~path (sample_cache ());
+      let whole = read_file path in
+      write_file path ("NOTCACHE" ^ String.sub whole 8 (String.length whole - 8));
+      check_load_error "bad magic" Kconfig.Bad_magic (Kconfig.load ~path ());
+      let b = Bytes.of_string whole in
+      Bytes.set b 8 (Char.chr 99);
+      write_file path (Bytes.to_string b);
+      check_load_error "future version" (Kconfig.Bad_version 99)
+        (Kconfig.load ~path ()))
+
+(* CRC-valid but semantically absurd payload: corrupt a field AND patch the
+   checksum so only the decoder's own validation can catch it. *)
+let test_cache_malformed_payload () =
+  with_tmp_cache (fun path ->
+      Kconfig.save ~path (sample_cache ());
+      let b = Bytes.of_string (read_file path) in
+      let header_len = 8 + 1 + 8 + 4 in
+      let key_len = String.length (Kconfig.host_key ()) in
+      (* entry 0's shape byte: keylen/nb/seconds/count then prec+kernel *)
+      let shape_pos = header_len + 4 + key_len + 4 + 8 + 4 + 2 in
+      Bytes.set b shape_pos (Char.chr 200);
+      let payload = Bytes.sub b header_len (Bytes.length b - header_len) in
+      let crc = Xsc_util.Crc32.bytes payload in
+      for i = 0 to 3 do
+        Bytes.set b (17 + i) (Char.chr ((crc lsr (8 * i)) land 0xFF))
+      done;
+      write_file path (Bytes.to_string b);
+      check_load_error "valid CRC, absurd shape id" Kconfig.Bad_crc
+        (Kconfig.load ~path ()))
+
+let test_cache_no_such_file_and_fallback () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "xsc-ktune-absent.bin" in
+  (try Sys.remove path with Sys_error _ -> ());
+  check_load_error "absent file" Kconfig.No_such_file (Kconfig.load ~path ());
+  P.reset_cfgs ();
+  Alcotest.(check bool) "autoload falls back" false (Kconfig.autoload ~path ());
+  List.iter
+    (fun prec ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (P.prec_name prec ^ " " ^ P.kernel_name k ^ " stays default")
+            true
+            (P.cfg prec k = P.default_cfg))
+        P.all_kernels)
+    P.all_precs
+
+let test_cache_apply_installs () =
+  with_tmp_cache (fun path ->
+      let c = sample_cache () in
+      Kconfig.save ~path c;
+      P.reset_cfgs ();
+      Alcotest.(check bool) "autoload succeeds" true (Kconfig.autoload ~path ());
+      Alcotest.(check bool) "f64 gemm_nn installed" true
+        (P.cfg P.F64 P.Gemm_nn = { P.shape = 3; pack = true; prefetch = false });
+      Alcotest.(check bool) "f32 trsm installed" true
+        (P.cfg P.F32 P.Trsm_rlt = { P.default_cfg with pack = false });
+      Alcotest.(check bool) "untouched kernel stays default" true
+        (P.cfg P.F64 P.Syrk_ln = P.default_cfg);
+      match Kconfig.current () with
+      | Some t -> Alcotest.(check int) "current reflects the load" 96 t.Kconfig.nb
+      | None -> Alcotest.fail "current () empty after autoload")
+
+(* ---- Kernel_tune: tune once per host, every later process loads ---- *)
+
+let test_ensure_tunes_once () =
+  with_tmp_cache (fun path ->
+      Sys.remove path;
+      (match KT.ensure ~quick:true ~path () with
+      | `Tuned (r, c) ->
+          Alcotest.(check int) "one entry per kernel x precision" 8
+            (List.length c.Kconfig.entries);
+          Alcotest.(check bool) "search actually ran" true (r.KT.evaluations > 0);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool)
+                (P.prec_name e.Kconfig.prec ^ " " ^ P.kernel_name e.Kconfig.kernel
+               ^ " tuned >= default")
+                true
+                (e.Kconfig.tuned_gflops >= e.Kconfig.default_gflops))
+            c.Kconfig.entries
+      | `Loaded _ -> Alcotest.fail "first ensure must tune");
+      match KT.ensure ~quick:true ~path () with
+      | `Loaded t ->
+          Alcotest.(check string) "loaded cache is this host's"
+            (Kconfig.host_key ()) t.Kconfig.host_key
+      | `Tuned _ -> Alcotest.fail "second ensure must load, not re-search")
+
+let test_measure_pair_restores_cfg () =
+  Fun.protect ~finally:P.reset_cfgs (fun () ->
+      let other = { P.default_cfg with prefetch = true } in
+      P.set_cfg P.F64 P.Gemm_nn other;
+      let ra, rb =
+        KT.measure_pair ~rounds:2 ~nb:32 P.F64 P.Gemm_nn P.default_cfg
+          { P.default_cfg with pack = true }
+      in
+      Alcotest.(check bool) "rates positive" true (ra > 0.0 && rb > 0.0);
+      Alcotest.(check bool) "installed config restored" true
+        (P.cfg P.F64 P.Gemm_nn = other))
+
 let () =
   Alcotest.run "xsc_autotune"
     [
@@ -156,6 +368,8 @@ let () =
             test_simulated_annealing_escapes_local_minimum;
           Alcotest.test_case "annealing deterministic" `Quick
             test_simulated_annealing_deterministic_per_seed;
+          Alcotest.test_case "annealing deterministic, many neighbours" `Quick
+            test_simulated_annealing_many_neighbours_deterministic;
           Alcotest.test_case "annealing validation" `Quick test_simulated_annealing_validation;
           qcheck prop_grid_best_is_minimum;
         ] );
@@ -165,5 +379,24 @@ let () =
           Alcotest.test_case "run counting" `Quick test_time_thunk_counts_runs;
           Alcotest.test_case "sweep picks fastest" `Quick test_sweep_picks_fastest;
           Alcotest.test_case "sweep empty" `Quick test_sweep_empty;
+        ] );
+      ( "kconfig",
+        [
+          Alcotest.test_case "round trip" `Quick test_cache_roundtrip;
+          Alcotest.test_case "host mismatch" `Quick test_cache_host_mismatch;
+          Alcotest.test_case "truncated" `Quick test_cache_truncated;
+          Alcotest.test_case "bit flip" `Quick test_cache_bitflip;
+          Alcotest.test_case "bad magic / version" `Quick
+            test_cache_bad_magic_and_version;
+          Alcotest.test_case "malformed payload" `Quick test_cache_malformed_payload;
+          Alcotest.test_case "absent file fallback" `Quick
+            test_cache_no_such_file_and_fallback;
+          Alcotest.test_case "apply installs" `Quick test_cache_apply_installs;
+        ] );
+      ( "kernel_tune",
+        [
+          Alcotest.test_case "ensure tunes once" `Slow test_ensure_tunes_once;
+          Alcotest.test_case "measure_pair restores cfg" `Quick
+            test_measure_pair_restores_cfg;
         ] );
     ]

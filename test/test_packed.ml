@@ -220,6 +220,127 @@ let test_potrf_f32_accuracy () =
     (Printf.sprintf "f32 factor within 1e-3 of f64 (got %g)" !max_rel)
     true (!max_rel < 1e-3)
 
+(* ---- kernel variants: the autotuner's correctness contract ----
+
+   Every runtime-selectable kernel config (micro-tile shape x pack
+   strategy x prefetch) must compute bit-identical results: a variant
+   only changes which independent k-ascending accumulator chains run
+   concurrently, never the operation order within a chain. The tuner
+   relies on this to search over speed alone, so sweep the FULL config
+   space — all shapes, both pack strategies, prefetch on and off — and
+   demand tol 0.0 against the fixed references. *)
+
+let all_cfgs () =
+  List.concat_map
+    (fun shape ->
+      List.concat_map
+        (fun pack ->
+          List.map (fun prefetch -> { Pblas.shape; pack; prefetch }) [ false; true ])
+        [ true; false ])
+    (List.init (Array.length Pblas.shapes) Fun.id)
+
+let cfg_label cfg =
+  let mr, nr = Pblas.shapes.(cfg.Pblas.shape) in
+  Printf.sprintf "%dx%d pack=%b pf=%b" mr nr cfg.Pblas.pack cfg.Pblas.prefetch
+
+let with_cfg prec cfg f =
+  Fun.protect ~finally:Pblas.reset_cfgs (fun () ->
+      List.iter (fun k -> Pblas.set_cfg prec k cfg) Pblas.all_kernels;
+      f ())
+
+(* potrf exercises gemm_nt/syrk_ln/trsm_rlt, getrf_nopiv exercises
+   gemm_nn plus the fixed triangular kernels — together every tunable
+   dispatch point, judged against the strided Tile/Blas/Lapack path. *)
+let test_variants_bitwise_f64 () =
+  let nb = 32 in
+  let n = 3 * nb in
+  let rng = Rng.create 5001 in
+  let a = Mat.random_spd rng n in
+  let t = Tile.of_mat ~nb a in
+  Cholesky.factor t;
+  let ref_chol = Tile.to_mat t in
+  let d = Mat.random rng n n in
+  for i = 0 to n - 1 do
+    Mat.set d i i (Mat.get d i i +. float_of_int n)
+  done;
+  let t2 = Tile.of_mat ~nb d in
+  Lu.factor t2;
+  let ref_lu = Tile.to_mat t2 in
+  List.iter
+    (fun cfg ->
+      with_cfg Pblas.F64 cfg (fun () ->
+          let p = Packed.D.of_mat ~nb a in
+          Packed.D.potrf p;
+          Alcotest.(check bool)
+            ("potrf bitwise " ^ cfg_label cfg)
+            true
+            (Mat.approx_equal ~tol:0.0 ref_chol (Packed.D.to_mat p));
+          let q = Packed.D.of_mat ~nb d in
+          Packed.D.getrf_nopiv q;
+          Alcotest.(check bool)
+            ("getrf bitwise " ^ cfg_label cfg)
+            true
+            (Mat.approx_equal ~tol:0.0 ref_lu (Packed.D.to_mat q))))
+    (all_cfgs ())
+
+(* f32 has no strided reference, so the contract is variant-vs-variant:
+   every config reproduces the default config's factor exactly. *)
+let test_variants_bitwise_f32 () =
+  let nb = 32 in
+  let n = 3 * nb in
+  let rng = Rng.create 5002 in
+  let a = Mat.random_spd rng n in
+  Pblas.reset_cfgs ();
+  let p0 = Packed.S.of_mat ~nb a in
+  Packed.S.potrf p0;
+  let reference = Packed.S.to_mat p0 in
+  List.iter
+    (fun cfg ->
+      with_cfg Pblas.F32 cfg (fun () ->
+          let p = Packed.S.of_mat ~nb a in
+          Packed.S.potrf p;
+          Alcotest.(check bool)
+            ("f32 potrf bitwise " ^ cfg_label cfg)
+            true
+            (Mat.approx_equal ~tol:0.0 reference (Packed.S.to_mat p))))
+    (all_cfgs ())
+
+(* nb=72 leaves a 72 mod 32 j-remainder and i-remainders for every
+   mr > 1 — the tail cascade must be bitwise too, not just full tiles. *)
+let test_variants_bitwise_remainders () =
+  let nb = 72 in
+  let n = 2 * nb in
+  let rng = Rng.create 5003 in
+  let a = Mat.random_spd rng n in
+  let t = Tile.of_mat ~nb a in
+  Cholesky.factor t;
+  let reference = Tile.to_mat t in
+  List.iter
+    (fun cfg ->
+      with_cfg Pblas.F64 cfg (fun () ->
+          let p = Packed.D.of_mat ~nb a in
+          Packed.D.potrf p;
+          Alcotest.(check bool)
+            ("potrf nb=72 bitwise " ^ cfg_label cfg)
+            true
+            (Mat.approx_equal ~tol:0.0 reference (Packed.D.to_mat p))))
+    (all_cfgs ())
+
+let test_set_cfg_validation () =
+  Fun.protect ~finally:Pblas.reset_cfgs (fun () ->
+      Alcotest.check_raises "shape out of range"
+        (Invalid_argument "Pblas.set_cfg: shape id out of range") (fun () ->
+          Pblas.set_cfg Pblas.F64 Pblas.Gemm_nn
+            { Pblas.shape = Array.length Pblas.shapes; pack = true; prefetch = false });
+      Pblas.set_cfg Pblas.F32 Pblas.Syrk_ln
+        { Pblas.default_cfg with prefetch = true };
+      Alcotest.(check bool) "mirror tracks the C side" true
+        (Pblas.cfg Pblas.F32 Pblas.Syrk_ln
+        = { Pblas.default_cfg with prefetch = true });
+      Pblas.reset_cfgs ();
+      Alcotest.(check bool) "reset restores default" true
+        (Pblas.cfg Pblas.F32 Pblas.Syrk_ln = Pblas.default_cfg))
+
 let test_potrs_f32 () =
   let nb = 32 in
   let n = 2 * nb in
@@ -284,5 +405,13 @@ let () =
         [
           Alcotest.test_case "potrf accuracy" `Quick test_potrf_f32_accuracy;
           Alcotest.test_case "potrs solve" `Quick test_potrs_f32;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "f64 sweep bitwise" `Quick test_variants_bitwise_f64;
+          Alcotest.test_case "f32 sweep bitwise" `Quick test_variants_bitwise_f32;
+          Alcotest.test_case "remainder sweep bitwise" `Quick
+            test_variants_bitwise_remainders;
+          Alcotest.test_case "set_cfg validation" `Quick test_set_cfg_validation;
         ] );
     ]
