@@ -23,6 +23,8 @@ module Real_exec = Xsc_runtime.Real_exec
 module Trace = Xsc_runtime.Trace
 module Rng = Xsc_util.Rng
 module Clock = Xsc_obs.Clock
+module Gcstat = Xsc_obs.Gcstat
+module Flight = Xsc_resilience.Flight
 
 let time f reps =
   f ();
@@ -199,6 +201,27 @@ let sched_record ~nt ~nb ~workers =
   in
   (sched, per_kernel)
 
+(* Whole-run GC figures: quick_stat deltas around the record's phases.
+   The per-phase gauges ([gc.<phase>.*], published by Gcstat.phase) land
+   in the registry snapshot that already ships with the record. *)
+let gc_json (d : Gcstat.snap) =
+  Printf.sprintf
+    "{\"minor_words\": %.0f, \"promoted_words\": %.0f, \"major_words\": %.0f, \
+     \"minor_collections\": %d, \"major_collections\": %d, \"compactions\": %d, \
+     \"heap_words\": %d}"
+    d.Gcstat.minor_words d.Gcstat.promoted_words d.Gcstat.major_words
+    d.Gcstat.minor_collections d.Gcstat.major_collections d.Gcstat.compactions
+    d.Gcstat.heap_words
+
+(* A failed gate ships its post-mortem: whatever the flight ring holds
+   (the serve storms tee into it) lands next to the record for CI to
+   upload with the red run. *)
+let gate_fail ~file what =
+  let path = Filename.remove_extension file ^ "_gate_flight.bin" in
+  ignore (Flight.dump ~path ~reason:("bench-gate-failure: " ^ what));
+  Printf.eprintf "%s FAILED (flight dump: %s)\n" what path;
+  exit 1
+
 let write_json ~file lines =
   let json = String.concat "\n" lines in
   let oc = open_out file in
@@ -210,19 +233,32 @@ let write_json ~file lines =
   print_newline ()
 
 let run ~file =
+  let base = Filename.remove_extension file in
+  let gc0 = Gcstat.snap () in
   let gemm_sizes = [ (128, 20); (256, 5); (512, 3) ] in
-  let gemms = List.map (fun (n, reps) -> "    " ^ gemm_record ~n ~reps) gemm_sizes in
-  let f32 = f32_record ~n:768 ~reps:2 in
-  let ir = ir_record ~n:256 in
+  let gemms =
+    Gcstat.phase "gemm" (fun () ->
+        List.map (fun (n, reps) -> "    " ^ gemm_record ~n ~reps) gemm_sizes)
+  in
+  let f32 = Gcstat.phase "f32" (fun () -> f32_record ~n:768 ~reps:2) in
+  let ir = Gcstat.phase "ir" (fun () -> ir_record ~n:256) in
   let workers = max 2 (Real_exec.default_workers ()) in
   let scheds, per_kernel =
-    let s1, pk = sched_record ~nt:6 ~nb:72 ~workers in
-    let s2, _ = sched_record ~nt:8 ~nb:96 ~workers in
-    ([ "    " ^ s1; "    " ^ s2 ], pk)
+    Gcstat.phase "sched" (fun () ->
+        let s1, pk = sched_record ~nt:6 ~nb:72 ~workers in
+        let s2, _ = sched_record ~nt:8 ~nb:96 ~workers in
+        ([ "    " ^ s1; "    " ^ s2 ], pk))
   in
-  let resilience = Faults_run.record () in
-  let serve, _, _ = Serve_run.record () in
-  let autotune, autotune_ok = Autotune_run.record ~quick:false () in
+  let resilience = Gcstat.phase "resilience" (fun () -> Faults_run.record ()) in
+  let serve, serve_ok, _ =
+    Gcstat.phase "serve" (fun () ->
+        Serve_run.record ~flight_file:(base ^ "_flight.bin")
+          ~span_trace_file:(base ^ "_trace.json") ())
+  in
+  let autotune, autotune_ok =
+    Gcstat.phase "autotune" (fun () -> Autotune_run.record ~quick:false ())
+  in
+  let gc = gc_json (Gcstat.delta ~before:gc0 ~after:(Gcstat.snap ())) in
   write_json ~file
     ([ "{"; "  \"gemm\": [" ]
     @ [ String.concat ",\n" gemms ]
@@ -233,29 +269,39 @@ let run ~file =
         "  \"autotune\": " ^ autotune ^ ",";
         "  \"resilience\": " ^ resilience ^ ",";
         "  \"serve\": " ^ serve ^ ",";
+        "  \"gc\": " ^ gc ^ ",";
         "  \"sched\": [";
       ]
     @ [ String.concat ",\n" scheds ]
     @ [ "  ],"; "  \"metrics\": {"; "    \"per_kernel\": [" ]
     @ [ String.concat ",\n" (List.map (fun s -> "      " ^ s) per_kernel) ]
     @ [ "    ],"; "    \"registry\": " ^ Xsc_obs.Metrics.to_json (); "  }"; "}" ]);
-  (* roofline gate: a tuned kernel falling below its own freshly measured
-     default is a dispatch bug, not a perf datum — refuse to record it as
-     a healthy run *)
-  if not autotune_ok then begin
-    Printf.eprintf "bench: autotune roofline gate FAILED\n";
-    exit 1
-  end
+  (* hard-invariant gates: serve self-checks (typed rejects, storm
+     reconciliation, span chains, SLO edges, flight round-trip) and the
+     autotune roofline — a tuned kernel falling below its own freshly
+     measured default is a dispatch bug, not a perf datum *)
+  if not serve_ok then gate_fail ~file "bench: serve record self-checks";
+  if not autotune_ok then gate_fail ~file "bench: autotune roofline gate"
 
 (* CI perf-sanity subset: the n=432 Cholesky on 2 workers plus a reduced
    resilience record (fewer timing pairs and storm seeds), record-only. *)
 let smoke ~file =
-  let sched, _ = sched_record ~nt:6 ~nb:72 ~workers:2 in
-  let resilience = Faults_run.record ~runs:3 ~storm_seeds:4 () in
-  let serve, serve_ok, _ =
-    Serve_run.record ~nominal_count:60 ~burst_count:120 ~storm_count:40 ()
+  let base = Filename.remove_extension file in
+  let gc0 = Gcstat.snap () in
+  let sched, _ = Gcstat.phase "sched" (fun () -> sched_record ~nt:6 ~nb:72 ~workers:2) in
+  let resilience =
+    Gcstat.phase "resilience" (fun () -> Faults_run.record ~runs:3 ~storm_seeds:4 ())
   in
-  let autotune, autotune_ok = Autotune_run.record ~quick:true () in
+  let serve, serve_ok, _ =
+    Gcstat.phase "serve" (fun () ->
+        Serve_run.record ~nominal_count:60 ~burst_count:120 ~storm_count:40
+          ~flight_file:(base ^ "_flight.bin")
+          ~span_trace_file:(base ^ "_trace.json") ())
+  in
+  let autotune, autotune_ok =
+    Gcstat.phase "autotune" (fun () -> Autotune_run.record ~quick:true ())
+  in
+  let gc = gc_json (Gcstat.delta ~before:gc0 ~after:(Gcstat.snap ())) in
   write_json ~file
     [
       "{";
@@ -264,19 +310,15 @@ let smoke ~file =
       "  \"autotune\": " ^ autotune ^ ",";
       "  \"resilience\": " ^ resilience ^ ",";
       "  \"serve\": " ^ serve ^ ",";
+      "  \"gc\": " ^ gc ^ ",";
       "  \"registry\": " ^ Xsc_obs.Metrics.to_json ();
       "}";
     ];
   (* the serve record self-checks (typed rejects at overload, storm
-     reconciliation, bitwise correctness) are hard invariants, not perf —
-     gate on them even in the record-only smoke *)
-  if not serve_ok then begin
-    Printf.eprintf "smoke: serve record self-checks FAILED\n";
-    exit 1
-  end;
+     reconciliation, bitwise correctness, span chains, SLO edges, flight
+     round-trip) are hard invariants, not perf — gate on them even in the
+     record-only smoke *)
+  if not serve_ok then gate_fail ~file "smoke: serve record self-checks";
   (* likewise the autotune gates: XSC_TUNE_CACHE (when set) must load, and
      tuned kernels must not regress below their freshly measured defaults *)
-  if not autotune_ok then begin
-    Printf.eprintf "smoke: autotune cache/roofline gate FAILED\n";
-    exit 1
-  end
+  if not autotune_ok then gate_fail ~file "smoke: autotune cache/roofline gate"

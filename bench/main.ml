@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --smoke FILE # CI perf-sanity subset (record-only)
      dune exec bench/main.exe -- --trace FILE # Chrome trace of a real DAG run
      dune exec bench/main.exe -- --overhead [PCT]  # tracing cost (gate if PCT)
+     dune exec bench/main.exe -- --serve-overhead [PCT] # spans-on serving cost
      dune exec bench/main.exe -- --faults [SEED]   # seeded fault storm + recovery
      dune exec bench/main.exe -- --serve FILE # solver-service load/latency record *)
 
@@ -53,6 +54,13 @@ let () =
     | Some t -> Overhead.run ~threshold:(Some t)
     | None ->
       Printf.eprintf "--overhead: %S is not a number\n" pct;
+      exit 1)
+  | [ "--serve-overhead" ] -> Overhead.run_serve ~threshold:None
+  | [ "--serve-overhead"; pct ] -> (
+    match float_of_string_opt pct with
+    | Some t -> Overhead.run_serve ~threshold:(Some t)
+    | None ->
+      Printf.eprintf "--serve-overhead: %S is not a number\n" pct;
       exit 1)
   | [ "--serve"; file ] -> Serve_run.run ~file
   | [ "--serve" ] ->

@@ -9,7 +9,8 @@
      top500      print the Top500 trend and exaflop projection
      checkpoint  Young/Daly checkpoint planning for a machine preset
      tune        autotune the packed microkernels; persist a host-keyed cache
-     serve-demo  run the concurrent solver service under a seeded load *)
+     serve-demo  run the concurrent solver service under a seeded load
+     flight      dump or inspect the crash flight recorder (CRC-headed) *)
 
 open Cmdliner
 open Xsc_linalg
@@ -487,26 +488,58 @@ let serve_demo_cmd =
   in
   let storm_arg =
     Arg.(value & opt (some float) None & info [ "storm" ] ~docv:"P"
-           ~doc:"Inject transient faults with probability $(docv) per request \
-                 (retried with backoff).")
+           ~doc:"Inject faults with probability $(docv) per request \
+                 (transient by default: retried with backoff).")
+  in
+  let permanent_arg =
+    Arg.(value & flag & info [ "permanent" ]
+           ~doc:"Make --storm faults permanent: targeted requests fail typed \
+                 after exhausting retries (pairs with --flight).")
   in
   let trace_arg =
     Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
-           ~doc:"Write per-request queue-wait and service spans as Chrome \
-                 trace-event JSON (chrome://tracing).")
+           ~doc:"Write a Chrome trace (chrome://tracing): worker queue-wait and \
+                 service lanes, plus one causal span lane per request \
+                 (retries inlined, parent arrows as flow events).")
   in
-  let run n workers seed count rate capacity deadline storm trace_json =
+  let slo_arg =
+    Arg.(value & opt (some float) None & info [ "slo" ] ~docv:"S"
+           ~doc:"Attach a latency SLO of $(docv) seconds over every request \
+                 class and report its burn rate after the run.")
+  in
+  let slo_budget_arg =
+    Arg.(value & opt float 0.05 & info [ "slo-budget" ] ~docv:"B"
+           ~doc:"Error budget for --slo: allowed violating fraction in (0,1].")
+  in
+  let flight_arg =
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Arm the flight recorder: dump the span ring to $(docv) on the \
+                 first permanent request failure or SLO breach (inspect with \
+                 $(b,xsc flight --read)).")
+  in
+  let run n workers seed count rate capacity deadline storm permanent trace_json slo
+      slo_budget flight =
     let workers = if workers <= 0 then 2 else workers in
     let module Server = Xsc_serve.Server in
     let module Loadgen = Xsc_serve.Loadgen in
+    let module Slo = Xsc_serve.Slo in
     let harness =
       Option.map
         (fun p ->
           Xsc_resilience.Harness.create
-            { Xsc_resilience.Harness.default with seed; p_raise = p; transient = true })
+            { Xsc_resilience.Harness.default with
+              seed; p_raise = p; transient = not permanent })
         storm
     in
-    let srv = Server.start ?harness { Server.default_config with workers; capacity } in
+    let slos =
+      match slo with
+      | Some latency_s -> [ { Slo.kind = "*"; latency_s; error_budget = slo_budget } ]
+      | None -> []
+    in
+    let srv =
+      Server.start ?harness
+        { Server.default_config with workers; capacity; slos; flight_path = flight }
+    in
     let cfg =
       { Loadgen.seed; count; rate_hz = rate; n;
         kinds = [| Loadgen.Spd; Loadgen.General; Loadgen.Product |];
@@ -515,27 +548,97 @@ let serve_demo_cmd =
     Printf.printf
       "serving %d mixed requests (n=%d) at %.0f req/s on %d workers, window %d:\n" count n
       rate workers capacity;
-    let r = Loadgen.run_open srv cfg in
-    Server.stop srv;
-    print_endline (Loadgen.report_human r);
+    (* The trace is written in a [finally] so a run cut short — every
+       request typed-rejected by a saturated window, a storm exhausting its
+       retries, Ctrl-C'd load — still flushes and closes a complete JSON
+       file instead of leaving a truncated trace. *)
+    let write_trace () =
+      match trace_json with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () ->
+            flush oc;
+            close_out_noerr oc)
+          (fun () ->
+            output_string oc
+              (Xsc_runtime.Trace.to_chrome_json_with
+                 ~extra:(Server.span_chrome_events srv)
+                 (Server.trace srv)));
+        Printf.printf "trace written to %s\n" file
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop srv;
+        write_trace ())
+      (fun () ->
+        let r = Loadgen.run_open srv cfg in
+        print_endline (Loadgen.report_human r));
     (match harness with
     | Some h ->
-      Printf.printf "fault storm: %d injected raises, all retried transparently\n"
+      Printf.printf "fault storm: %d injected raises (%s)\n"
         (Xsc_resilience.Harness.raised h)
+        (if permanent then "permanent: typed failures after retry exhaustion"
+         else "transient: all retried transparently")
     | None -> ());
-    match trace_json with
-    | Some file ->
-      let oc = open_out file in
-      output_string oc (Xsc_runtime.Trace.to_chrome_json (Server.trace srv));
-      close_out oc;
-      Printf.printf "trace written to %s\n" file
-    | None -> ()
+    List.iter
+      (fun (rep : Slo.report) ->
+        Printf.printf
+          "slo %s: %d/%d violations, burn rate %.2f (budget %.0f%%)%s\n" rep.Slo.r_kind
+          rep.Slo.violations rep.Slo.total rep.Slo.burn_rate
+          (100.0 *. rep.Slo.r_error_budget)
+          (if rep.Slo.burn_rate > 1.0 then "  ** BREACH **" else ""))
+      (Server.slo_reports srv);
+    match flight with
+    | Some file when Sys.file_exists file ->
+      Printf.printf "flight dump written to %s (xsc flight --read %s)\n" file file
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "serve-demo"
        ~doc:"Run the concurrent solver service under a seeded Poisson load")
     Term.(const run $ n_arg 48 $ workers_arg $ seed_arg $ count_arg $ rate_arg
-          $ capacity_arg $ deadline_arg $ storm_arg $ trace_arg)
+          $ capacity_arg $ deadline_arg $ storm_arg $ permanent_arg $ trace_arg
+          $ slo_arg $ slo_budget_arg $ flight_arg)
+
+(* ---- flight ---- *)
+
+let flight_cmd =
+  let module Flight = Xsc_resilience.Flight in
+  let read_arg =
+    Arg.(value & opt (some string) None & info [ "read" ] ~docv:"FILE"
+           ~doc:"Parse and CRC-verify a flight dump, then print the per-request \
+                 span chains (torn or corrupt files are rejected typed).")
+  in
+  let dump_arg =
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE"
+           ~doc:"Write this process's flight ring to $(docv) (a fresh CLI \
+                 process has an empty ring — mainly useful after an in-process \
+                 serve run, or for scripting the file format).")
+  in
+  let run read dump =
+    match (read, dump) with
+    | Some file, None -> (
+      match Flight.read file with
+      | Ok d -> Format.printf "%a@?" Flight.pp_dump d
+      | Error e ->
+        Printf.eprintf "flight: %s: %s\n" file
+          (Xsc_resilience.Checkpoint.describe_error e);
+        exit 1)
+    | None, Some file ->
+      let bytes, entries = Flight.dump ~path:file ~reason:"xsc flight --dump" in
+      Printf.printf "flight: wrote %d entr%s (%d bytes) to %s\n" entries
+        (if entries = 1 then "y" else "ies")
+        bytes file
+    | _ ->
+      Printf.eprintf "flight: pass exactly one of --read FILE or --dump FILE\n";
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:"Dump or inspect the crash flight recorder (CRC-headed span ring)")
+    Term.(const run $ read_arg $ dump_arg)
 
 let () =
   (* Pick up this host's kernel-tuning cache (written by [xsc tune]) so
@@ -549,6 +652,6 @@ let () =
   let group =
     Cmd.group info
       [ machines_cmd; solve_cmd; simulate_cmd; hpl_cmd; hpcg_cmd; top500_cmd; checkpoint_cmd;
-        krylov_cmd; scaling_cmd; tune_cmd; serve_demo_cmd ]
+        krylov_cmd; scaling_cmd; tune_cmd; serve_demo_cmd; flight_cmd ]
   in
   exit (Cmd.eval group)

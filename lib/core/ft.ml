@@ -48,6 +48,16 @@ module PD = Xsc_tile.Packed.D
 module Harness = Xsc_resilience.Harness
 module Checkpoint = Xsc_resilience.Checkpoint
 module Metrics = Xsc_obs.Metrics
+module Span = Xsc_obs.Span
+
+(* ABFT cone replay shows up on the ambient request's span chain (phase
+   "replay") so a recovered fault is visible in the exported per-request
+   trace, not only as a counter. No-op unless spans are active. *)
+let note_replay ~t0 k =
+  if Span.active () then
+    Span.note ~phase:"replay"
+      ~name:(Printf.sprintf "replay(panel %d)" k)
+      ~lane:(-1) ~attempt:0 ~start_ns:t0 ~finish_ns:(Xsc_obs.Clock.now_ns ())
 
 let m_detected = Metrics.counter "resilience.ft.detected"
 let m_repaired = Metrics.counter "resilience.ft.repaired_tiles"
@@ -422,7 +432,9 @@ let potrf_ft ?(exec = Runtime_api.Sequential) ?harness ?(abft = true) ?(tol = 1e
     incr detected;
     Metrics.incr m_detected;
     Metrics.incr m_faults_detected;
+    let t0 = if Span.active () then Xsc_obs.Clock.now_ns () else 0 in
     replay k;
+    note_replay ~t0 k;
     if not (verify k) then raise (Unrecoverable k)
   in
   let restarts, written, resumed =
@@ -676,7 +688,9 @@ let getrf_ft ?(exec = Runtime_api.Sequential) ?harness ?(abft = true) ?(tol = 1e
     incr detected;
     Metrics.incr m_detected;
     Metrics.incr m_faults_detected;
+    let t0 = if Span.active () then Xsc_obs.Clock.now_ns () else 0 in
     replay k;
+    note_replay ~t0 k;
     if not (verify k) then raise (Unrecoverable k)
   in
   let restarts, written, resumed =

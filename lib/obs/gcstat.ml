@@ -1,0 +1,58 @@
+(* GC and allocation telemetry over Gc.quick_stat: cheap enough to take
+   around every bench phase, and Gc.minor_words alone is allocation-free
+   so the serve hot path can estimate per-request allocation without
+   perturbing what it measures. *)
+
+type snap = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+}
+
+let snap () =
+  let s = Gc.quick_stat () in
+  {
+    (* quick_stat's minor_words only advances at slice boundaries on
+       OCaml 5; Gc.minor_words reads the live allocation pointer, so
+       phase deltas see allocation that hasn't triggered a minor GC yet *)
+    minor_words = Gc.minor_words ();
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    heap_words = s.Gc.heap_words;
+  }
+
+let delta ~before ~after =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    major_words = after.major_words -. before.major_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+    compactions = after.compactions - before.compactions;
+    heap_words = after.heap_words;
+  }
+
+let minor_words = Gc.minor_words
+
+let set_gauges ~prefix d =
+  let g suffix v = Metrics.set_gauge (Metrics.gauge (prefix ^ suffix)) v in
+  g ".minor_words" d.minor_words;
+  g ".promoted_words" d.promoted_words;
+  g ".major_words" d.major_words;
+  g ".minor_collections" (float_of_int d.minor_collections);
+  g ".major_collections" (float_of_int d.major_collections);
+  g ".heap_words" (float_of_int d.heap_words)
+
+let sample () = set_gauges ~prefix:"gc" (snap ())
+
+let phase name f =
+  let before = snap () in
+  let finally () = set_gauges ~prefix:("gc." ^ name) (delta ~before ~after:(snap ())) in
+  Fun.protect ~finally f

@@ -1,0 +1,40 @@
+(** GC/allocation telemetry: [Gc.quick_stat] snapshots, phase deltas into
+    {!Metrics} gauges, and an allocation-free per-domain minor-words
+    reader for hot-path allocation estimates (ROADMAP item 6's
+    "zero-allocation steady state" made measurable). *)
+
+type snap = {
+  minor_words : float;  (** cumulative words allocated in the minor heap *)
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;  (** current major-heap size (not cumulative) *)
+}
+
+val snap : unit -> snap
+(** [Gc.quick_stat] — exact for the calling domain, includes other
+    domains' contributions as of their last slice boundary. *)
+
+val delta : before:snap -> after:snap -> snap
+(** Field-wise [after - before] for the cumulative fields; [heap_words]
+    (a level, not a flow) is taken from [after]. *)
+
+val minor_words : unit -> float
+(** Words allocated in the minor heap by the {e calling domain} since
+    program start ([Gc.minor_words]). Allocation-free: safe to call on
+    the serve hot path without perturbing the quantity it measures. *)
+
+val set_gauges : prefix:string -> snap -> unit
+(** Publish a snapshot (usually a delta) as gauges
+    [<prefix>.minor_words], [<prefix>.promoted_words],
+    [<prefix>.major_words], [<prefix>.minor_collections],
+    [<prefix>.major_collections], [<prefix>.heap_words]. *)
+
+val sample : unit -> unit
+(** [set_gauges ~prefix:"gc" (snap ())] — cumulative process totals. *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] runs [f] and publishes the allocation delta it caused
+    under gauges [gc.<name>.*] (set even if [f] raises). *)

@@ -150,6 +150,23 @@ let snapshot () =
          (name, v))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+let delta ~before ~after =
+  let prior = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace prior name v) before;
+  List.map
+    (fun (name, v) ->
+      let v' =
+        match (v, Hashtbl.find_opt prior name) with
+        | Counter a, Some (Counter b) -> Counter (a - b)
+        | Histogram a, Some (Histogram b) ->
+          (* count and sum subtract exactly; bucket quantiles are
+             cumulative and cannot, so they stay the [after] estimates *)
+          Histogram { a with count = a.count - b.count; sum = a.sum -. b.sum }
+        | _ -> v (* gauges are levels, new instruments have no prior *)
+      in
+      (name, v'))
+    after
+
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.9g" f
   else "null" (* JSON has no inf/nan *)

@@ -80,6 +80,14 @@ type value =
 val snapshot : unit -> (string * value) list
 (** All registered instruments, sorted by name. *)
 
+val delta : before:(string * value) list -> after:(string * value) list -> (string * value) list
+(** Per-run figures from two {!snapshot}s taken around the run: counters
+    and histogram count/sum subtract; gauges (levels, not flows) and
+    histogram quantile estimates (cumulative buckets) are taken from
+    [after]; instruments absent from [before] pass through unchanged.
+    This is the one call that replaces ad-hoc before/after counter
+    reads. *)
+
 val to_json : unit -> string
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}] — parses
     with [Xsc_util.Json.parse]. Histogram objects carry [count], [sum],

@@ -22,12 +22,16 @@ let create ~capacity =
 
 let record r ~kind ~t_ns ~arg =
   let i = r.len in
-  if i >= r.cap then r.lost <- r.lost + 1
+  if i >= r.cap then begin
+    r.lost <- r.lost + 1;
+    false
+  end
   else begin
     Array.unsafe_set r.kinds i kind;
     Array.unsafe_set r.times i t_ns;
     Array.unsafe_set r.args i arg;
-    r.len <- i + 1
+    r.len <- i + 1;
+    true
   end
 
 let length r = r.len

@@ -15,9 +15,12 @@ val create : capacity:int -> t
 (** All storage is allocated up front; [record] never allocates.
     Raises [Invalid_argument] if [capacity <= 0]. *)
 
-val record : t -> kind:int -> t_ns:int -> arg:int -> unit
+val record : t -> kind:int -> t_ns:int -> arg:int -> bool
 (** Append one event (a small-integer kind tag, a monotonic nanosecond
-    timestamp and one payload word). Single writer only. *)
+    timestamp and one payload word). Single writer only. Returns [false]
+    when the ring was full and the event was dropped (and counted), so
+    the caller can surface the drop on a metric without re-reading the
+    ring. *)
 
 val length : t -> int
 val capacity : t -> int

@@ -45,8 +45,14 @@ let enabled_by_env () =
   | None | Some "" | Some "0" | Some "false" -> false
   | Some _ -> true
 
+(* Drops surface on a metric immediately, not just in the post-hoc ring
+   count: heavy tracing that overflows a ring shows up in the bench
+   metrics object instead of silently truncating the trace. *)
+let m_dropped = lazy (Metrics.counter "obs.trace.dropped")
+
 let record t ~domain k ~arg =
-  Ring.record t.rings.(domain) ~kind:(kind_to_int k) ~t_ns:(Clock.now_ns ()) ~arg
+  if not (Ring.record t.rings.(domain) ~kind:(kind_to_int k) ~t_ns:(Clock.now_ns ()) ~arg) then
+    Metrics.incr (Lazy.force m_dropped)
 
 let origin_ns t = t.t0_ns
 

@@ -55,7 +55,17 @@ let get_le b ~pos ~bytes =
   done;
   !v
 
-let save_value path (v : 'a) =
+(* The header discipline is parameterised by the 7-byte magic so sibling
+   subsystems (the flight recorder) can write the same atomic,
+   self-validating file format under their own magic — a checkpoint read
+   as a flight dump (or vice versa) fails [Bad_magic] instead of
+   Marshal-crashing on a type confusion. *)
+let check_magic m =
+  if String.length m <> 7 then
+    invalid_arg "Checkpoint: magic must be exactly 7 bytes"
+
+let save_value_with ~magic:m path (v : 'a) =
+  check_magic m;
   let t0 = Xsc_obs.Clock.now_s () in
   let payload = Marshal.to_bytes v [] in
   let crc = crc32 payload in
@@ -65,7 +75,7 @@ let save_value path (v : 'a) =
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
-        output_string oc magic;
+        output_string oc m;
         output_char oc version;
         put_le oc ~bytes:8 (Bytes.length payload);
         put_le oc ~bytes:4 crc;
@@ -78,7 +88,8 @@ let save_value path (v : 'a) =
   Metrics.observe m_write_seconds (Xsc_obs.Clock.now_s () -. t0);
   bytes
 
-let load_value path : ('a, load_error) result =
+let load_value_with ~magic:m path : ('a, load_error) result =
+  check_magic m;
   if not (Sys.file_exists path) then Error No_such_file
   else begin
     let ic = open_in_bin path in
@@ -90,7 +101,7 @@ let load_value path : ('a, load_error) result =
         else begin
           let header = Bytes.create header_len in
           really_input ic header 0 header_len;
-          if Bytes.sub_string header 0 7 <> magic then Error Bad_magic
+          if Bytes.sub_string header 0 7 <> m then Error Bad_magic
           else if Bytes.get header 7 <> version then
             Error (Bad_version (Char.code (Bytes.get header 7)))
           else begin
@@ -111,6 +122,9 @@ let load_value path : ('a, load_error) result =
           end
         end)
   end
+
+let save_value path (v : 'a) = save_value_with ~magic path v
+let load_value path : ('a, load_error) result = load_value_with ~magic path
 
 (* A real checkpoint of a matrix. This is the measured counterpart of
    [checkpoint_cost] — running [save] on a representative state gives a

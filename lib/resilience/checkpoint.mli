@@ -53,6 +53,17 @@ val load_value : string -> ('a, load_error) result
 (** Read back a value written by {!save_value}, validating the header and
     CRC first. The type is the caller's claim, as with [Marshal]. *)
 
+val save_value_with : magic:string -> string -> 'a -> int
+(** {!save_value} under a caller-chosen 7-byte magic: the same atomic
+    tmp+rename write and self-validating header, but files from different
+    subsystems (e.g. the flight recorder) reject each other with
+    [Bad_magic] instead of Marshal-crashing on a type confusion. Raises
+    [Invalid_argument] unless the magic is exactly 7 bytes. *)
+
+val load_value_with : magic:string -> string -> ('a, load_error) result
+(** Read back a value written by {!save_value_with} under the same
+    magic. *)
+
 val save : string -> Xsc_linalg.Mat.t -> int
 (** [save_value] specialised to a matrix. *)
 

@@ -1,0 +1,171 @@
+(* Crash flight recorder: a process-wide bounded ring of the most recent
+   span records, kept cheap enough to leave on always, dumped to a
+   CRC-headed file (Checkpoint's header discipline under its own magic)
+   when something goes wrong — a permanent request failure, an SLO
+   breach, a bench gate tripping. Unlike the span collector (which keeps
+   the *first* N records so a trace has its parents), the recorder keeps
+   the *last* N: a post-mortem wants what happened just before the
+   crash. *)
+
+module Metrics = Xsc_obs.Metrics
+module Span = Xsc_obs.Span
+
+type entry = {
+  t_ns : int;
+  domain : int;
+  request : int;
+  span : int;
+  parent : int;
+  attempt : int;
+  phase : string;
+  name : string;
+  dur_ns : int;
+}
+
+type dump = {
+  reason : string;
+  wall_unix : float;
+  recorded : int;  (* total entries ever offered, including overwritten *)
+  entries : entry array;  (* oldest first *)
+}
+
+let magic = "XSCFLTR"
+
+let m_records = Metrics.counter "flight.records"
+let m_dumps = Metrics.counter "flight.dumps"
+
+(* Sharded by domain id so concurrent recorders (server completion path,
+   executor workers) rarely contend on one lock. Each shard is a circular
+   overwrite buffer: [seq] counts everything offered, the array keeps the
+   last [cap]. *)
+type shard = {
+  mu : Mutex.t;
+  mutable buf : entry option array;
+  mutable seq : int;
+}
+
+let n_shards = 8
+let default_capacity = 4096
+
+let make_shards capacity =
+  let per = max 1 (capacity / n_shards) in
+  Array.init n_shards (fun _ -> { mu = Mutex.create (); buf = Array.make per None; seq = 0 })
+
+let shards = ref (make_shards default_capacity)
+
+let configure ~capacity =
+  if capacity <= 0 then invalid_arg "Flight.configure: capacity must be positive";
+  shards := make_shards capacity
+
+let record (e : entry) =
+  let s = !shards.((e.domain land max_int) land (n_shards - 1)) in
+  Mutex.lock s.mu;
+  s.buf.(s.seq mod Array.length s.buf) <- Some e;
+  s.seq <- s.seq + 1;
+  Mutex.unlock s.mu;
+  Metrics.incr m_records
+
+(* Adapter for Span collectors: [Span.collector ~tee:Flight.note_span]
+   mirrors every span record into the recorder as it happens. *)
+let note_span (r : Span.record) =
+  record
+    {
+      t_ns = r.Span.start_ns;
+      domain = (Domain.self () :> int);
+      request = r.Span.request;
+      span = r.Span.span;
+      parent = r.Span.parent;
+      attempt = r.Span.attempt;
+      phase = r.Span.phase;
+      name = r.Span.name;
+      dur_ns = max 0 (r.Span.finish_ns - r.Span.start_ns);
+    }
+
+let snapshot () =
+  let all = ref [] and total = ref 0 in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mu;
+      Array.iter (function Some e -> all := e :: !all | None -> ()) s.buf;
+      total := !total + s.seq;
+      Mutex.unlock s.mu)
+    !shards;
+  let arr = Array.of_list !all in
+  Array.sort (fun a b -> compare a.t_ns b.t_ns) arr;
+  (arr, !total)
+
+let clear () =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.mu;
+      Array.fill s.buf 0 (Array.length s.buf) None;
+      s.seq <- 0;
+      Mutex.unlock s.mu)
+    !shards
+
+let dump ~path ~reason =
+  let entries, recorded = snapshot () in
+  let d = { reason; wall_unix = Unix.gettimeofday (); recorded; entries } in
+  let bytes = Checkpoint.save_value_with ~magic path d in
+  Metrics.incr m_dumps;
+  (bytes, Array.length entries)
+
+let read path : (dump, Checkpoint.load_error) result = Checkpoint.load_value_with ~magic path
+
+(* One dump per (path, reason-class) per process run would be ideal; a
+   permanent-fault storm can fail dozens of requests in a burst, and
+   re-marshalling the ring for each would turn a diagnostic into an IO
+   storm. Callers use [dump_once] keyed by path: first failure wins, the
+   final state can still be captured explicitly at shutdown. *)
+let dumped : (string, unit) Hashtbl.t = Hashtbl.create 4
+let dumped_mu = Mutex.create ()
+
+let dump_once ~path ~reason =
+  Mutex.lock dumped_mu;
+  let fresh = not (Hashtbl.mem dumped path) in
+  if fresh then Hashtbl.add dumped path ();
+  Mutex.unlock dumped_mu;
+  if fresh then Some (dump ~path ~reason) else None
+
+let reset_dump_guard () =
+  Mutex.lock dumped_mu;
+  Hashtbl.reset dumped;
+  Mutex.unlock dumped_mu
+
+(* ---- human-readable rendering for `xsc flight --read` ---- *)
+
+let pp_dump fmt (d : dump) =
+  Format.fprintf fmt "flight dump: reason=%S entries=%d recorded=%d wall=%.3f@."
+    d.reason (Array.length d.entries) d.recorded d.wall_unix;
+  (* group by request, chains in time order, indent by parent depth *)
+  let by_req : (int, entry list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter (fun e -> Hashtbl.replace by_req e.request (e :: Option.value ~default:[] (Hashtbl.find_opt by_req e.request))) d.entries;
+  let reqs = Hashtbl.fold (fun r _ acc -> r :: acc) by_req [] |> List.sort compare in
+  let depth_cache = Hashtbl.create 64 in
+  let parent_of = Hashtbl.create 64 in
+  Array.iter (fun e -> Hashtbl.replace parent_of e.span e.parent) d.entries;
+  let rec depth span =
+    if span < 0 then 0
+    else
+      match Hashtbl.find_opt depth_cache span with
+      | Some d -> d
+      | None ->
+        let d =
+          match Hashtbl.find_opt parent_of span with
+          | Some p when p <> span -> 1 + depth p
+          | _ -> 0
+        in
+        Hashtbl.replace depth_cache span d;
+        d
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "request %d:@." r;
+      List.iter
+        (fun e ->
+          Format.fprintf fmt "  %s%-8s %-24s span=%d parent=%d attempt=%d dom=%d t=%dns dur=%dns@."
+            (String.make (2 * max 0 (depth e.span - 1)) ' ')
+            e.phase e.name e.span e.parent e.attempt e.domain e.t_ns e.dur_ns)
+        (List.sort (fun a b -> compare (a.t_ns, a.span) (b.t_ns, b.span))
+           (Option.value ~default:[] (Hashtbl.find_opt by_req r))))
+    reqs

@@ -11,6 +11,7 @@
 module Task = Xsc_runtime.Task
 module PD = Xsc_tile.Packed.D
 module Metrics = Xsc_obs.Metrics
+module Span = Xsc_obs.Span
 
 exception Injected of string
 
@@ -21,6 +22,15 @@ let () =
 
 let m_raised = Metrics.counter "resilience.harness.raised"
 let m_corrupted = Metrics.counter "resilience.harness.corrupted"
+
+(* Mark an injected fault on the ambient request's span chain (zero
+   duration, phase "inject"): a retried attempt in the exported trace
+   shows *why* it retried. No-op unless spans are active. *)
+let note_inject name =
+  if Span.active () then begin
+    let t = Xsc_obs.Clock.now_ns () in
+    Span.note ~phase:"inject" ~name ~lane:(-1) ~attempt:0 ~start_ns:t ~finish_ns:t
+  end
 
 type policy = {
   seed : int;
@@ -141,6 +151,7 @@ let wrap_packed t (p : PD.t) interp (op : Task.op) =
     if fire then begin
       Atomic.incr t.raised;
       Metrics.incr m_raised;
+      note_inject (Task.op_name op);
       raise (Injected (Task.op_name op))
     end
     else interp op
@@ -178,6 +189,7 @@ let wrap_thunk t ~key thunk =
     if fire then begin
       Atomic.incr t.raised;
       Metrics.incr m_raised;
+      note_inject (Printf.sprintf "req(%d)" key);
       raise (Injected (Printf.sprintf "req(%d)" key))
     end
     else thunk ()

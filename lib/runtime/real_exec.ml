@@ -1,6 +1,7 @@
 module Clock = Xsc_obs.Clock
 module Metrics = Xsc_obs.Metrics
 module Tracer = Xsc_obs.Tracer
+module Span = Xsc_obs.Span
 
 type stats = {
   elapsed : float;
@@ -87,6 +88,44 @@ let want_trace = function Some b -> b | None -> Tracer.enabled_by_env ()
 let[@inline] event tracer ~domain kind ~arg =
   match tracer with None -> () | Some t -> Tracer.record t ~domain kind ~arg
 
+(* Causal spans: the submitting domain's ambient request context is
+   captured once at run entry and re-seated in every spawned worker, so a
+   task executed by a steal still parents onto the request that submitted
+   the DAG. Only active when a collector is installed AND the submitter
+   had a context — otherwise the per-task cost is the [None] branch. *)
+let span_ctx () = match Span.installed () with None -> None | Some _ -> Span.current ()
+
+let[@inline] with_task_span sctx ~wid (task : Task.t) f =
+  match sctx with
+  | None -> f ()
+  | Some ctx ->
+    let t0 = Clock.now_ns () in
+    let note () =
+      match Span.installed () with
+      | None -> ()
+      | Some col ->
+        let c = Span.child ctx in
+        Span.record col
+          {
+            Span.request = c.Span.request;
+            span = c.Span.span;
+            parent = c.Span.parent;
+            phase = "task";
+            name = task.Task.name;
+            lane = wid;
+            attempt = 0;
+            start_ns = t0;
+            finish_ns = Clock.now_ns ();
+          }
+    in
+    (match f () with
+    | v ->
+      note ();
+      v
+    | exception e ->
+      note ();
+      raise e)
+
 (* Ring capacity per worker: every task contributes at most 2 events to one
    ring, steals at most 1, and park/sweep events are rare by construction
    (a park costs a condvar round trip). The slack covers pathological
@@ -133,11 +172,12 @@ let run_sequential ?interp ?trace (dag : Dag.t) =
     if want_trace trace && n > 0 then Some (Tracer.create ~domains:1 ~capacity:(ring_capacity n))
     else None
   in
+  let sctx = span_ctx () in
   let t0 = Clock.now_ns () in
   Array.iter
     (fun task ->
       event tracer ~domain:0 Tracer.Task_start ~arg:task.Task.id;
-      (match exec_body interp task with
+      (match with_task_span sctx ~wid:0 task (fun () -> exec_body interp task) with
       | () -> ()
       | exception e ->
         Metrics.incr m_failures;
@@ -201,6 +241,7 @@ let run_dataflow ?interp ?priority ?trace ~workers (dag : Dag.t) =
       if want_trace trace then Some (Tracer.create ~domains:workers ~capacity:(ring_capacity n))
       else None
     in
+    let sctx = span_ctx () in
     let remaining = Array.map Atomic.make dag.Dag.indegree in
     let completed = Atomic.make 0 in
     (* Abort protocol: the first task body that raises CASes its failure in,
@@ -283,7 +324,9 @@ let run_dataflow ?interp ?priority ?trace ~workers (dag : Dag.t) =
     in
     let run_task wid id =
       event tracer ~domain:wid Tracer.Task_start ~arg:id;
-      match exec_body interp dag.Dag.tasks.(id) with
+      match
+        with_task_span sctx ~wid dag.Dag.tasks.(id) (fun () -> exec_body interp dag.Dag.tasks.(id))
+      with
       | () ->
         (* finish marks the closure only: the per-kernel profile measures
            kernel time, successor release is scheduler time *)
@@ -383,7 +426,14 @@ let run_dataflow ?interp ?priority ?trace ~workers (dag : Dag.t) =
     List.iteri (fun i id -> Deque.push deques.(i mod workers) id) sources;
     let before = read_baseline () in
     let t0 = Clock.now_ns () in
-    let domains = List.init (workers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+    let domains =
+      List.init
+        (workers - 1)
+        (fun i ->
+          Domain.spawn (fun () ->
+              Span.set_current sctx;
+              worker (i + 1)))
+    in
     worker 0;
     List.iter Domain.join domains;
     let elapsed = Clock.ns_to_s (Clock.now_ns () - t0) in
@@ -447,11 +497,15 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
       if want_trace trace && n > 0 then Some (Tracer.create ~domains:1 ~capacity:(ring_capacity n))
       else None
     in
+    let sctx = span_ctx () in
     let t0 = Clock.now_ns () in
     Array.iter
       (Array.iter (fun id ->
            event tracer ~domain:0 Tracer.Task_start ~arg:id;
-           (match exec_body interp dag.Dag.tasks.(id) with
+           (match
+              with_task_span sctx ~wid:0 dag.Dag.tasks.(id) (fun () ->
+                  exec_body interp dag.Dag.tasks.(id))
+            with
            | () -> ()
            | exception e ->
              Metrics.incr m_failures;
@@ -495,6 +549,7 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
        not fill, and the joins below always complete. *)
     let aborted = Atomic.make false in
     let failure = Atomic.make None in
+    let sctx = span_ctx () in
     let worker w =
       for l = 0 to nlevels - 1 do
         let tasks = levels.(l) in
@@ -504,7 +559,10 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
           let id = tasks.(i) in
           if not (Atomic.get aborted) then begin
             event tracer ~domain:w Tracer.Task_start ~arg:id;
-            (match exec_body interp dag.Dag.tasks.(id) with
+            (match
+               with_task_span sctx ~wid:w dag.Dag.tasks.(id) (fun () ->
+                   exec_body interp dag.Dag.tasks.(id))
+             with
             | () -> ()
             | exception e ->
               let f =
@@ -532,6 +590,7 @@ let run_forkjoin ?interp ?trace ~workers (dag : Dag.t) =
     let domains =
       List.init (workers - 1) (fun w ->
           Domain.spawn (fun () ->
+              Span.set_current sctx;
               (* start barrier: the timed region excludes the one-off spawns *)
               barrier_wait barrier;
               worker (w + 1)))

@@ -36,7 +36,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_chrome_json t =
+let to_chrome_json_with ?(extra = []) t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[";
   List.iteri
@@ -49,8 +49,15 @@ let to_chrome_json t =
            ((e.finish -. e.start) *. 1e6)
            e.worker e.task))
     (entries t);
+  List.iteri
+    (fun i s ->
+      if i > 0 || t.entries <> [] then Buffer.add_string buf ",\n";
+      Buffer.add_string buf s)
+    extra;
   Buffer.add_string buf "]";
   Buffer.contents buf
+
+let to_chrome_json t = to_chrome_json_with t
 
 let family_of name =
   match String.index_opt name '(' with

@@ -22,6 +22,7 @@ type t = {
   payload : payload;
   submit_ns : int;
   deadline_ns : int;
+  span : Xsc_obs.Span.ctx;
 }
 
 let validate payload =

@@ -32,6 +32,9 @@ type t = {
   payload : payload;
   submit_ns : int;  (** monotonic admission timestamp *)
   deadline_ns : int;  (** absolute monotonic deadline (EDF key) *)
+  span : Xsc_obs.Span.ctx;
+      (** root of the request's causal span tree, minted at admission;
+          every wait/attempt/task/replay segment parents onto it *)
 }
 
 val validate : payload -> unit

@@ -26,8 +26,11 @@
 open Xsc_linalg
 module Clock = Xsc_obs.Clock
 module Metrics = Xsc_obs.Metrics
+module Span = Xsc_obs.Span
+module Gcstat = Xsc_obs.Gcstat
 module Trace = Xsc_runtime.Trace
 module Harness = Xsc_resilience.Harness
+module Flight = Xsc_resilience.Flight
 
 let poll_s = 0.0002
 
@@ -42,6 +45,11 @@ let m_queue_wait = Metrics.histogram "serve.queue_wait_s"
 let m_service = Metrics.histogram "serve.service_s"
 let m_total = Metrics.histogram "serve.total_s"
 
+(* per-request minor-heap allocation estimate (whole-batch delta on the
+   executing domain divided by batch size): ROADMAP item 6's
+   "zero-allocation steady state" as a benchmarked number *)
+let m_alloc = Metrics.histogram "serve.alloc_minor_words_per_req"
+
 type config = {
   workers : int;
   capacity : int;
@@ -50,6 +58,9 @@ type config = {
   default_deadline_s : float;
   max_retries : int;
   retry_backoff_s : float;
+  spans : bool;
+  slos : Slo.objective list;
+  flight_path : string option;
 }
 
 let default_config =
@@ -61,6 +72,9 @@ let default_config =
     default_deadline_s = 0.25;
     max_retries = 3;
     retry_backoff_s = 0.0005;
+    spans = true;
+    slos = [];
+    flight_path = None;
   }
 
 type ticket = {
@@ -85,6 +99,8 @@ type span = { task : int; name : string; lane : int; start_ns : int; finish_ns :
 type t = {
   cfg : config;
   harness : Harness.t option;
+  collector : Span.collector option;
+  slo : Slo.t option;
   ingress : Request.t Queue.t;
   (* ---- shared worker state, under [mu] ---- *)
   mu : Mutex.t;
@@ -126,6 +142,39 @@ let thunk_of t (r : Request.t) () =
   match t.harness with
   | None -> solve_payload r.Request.payload
   | Some h -> Harness.wrap_thunk h ~key:r.Request.id (fun () -> solve_payload r.Request.payload)
+
+(* One dispatch attempt of one request: the solve runs under the
+   request's ambient span context (so executor tasks, injected faults and
+   ABFT replays parent onto this attempt), and the attempt itself is
+   recorded whether it returns or raises — a retried request shows every
+   attempt in its lane. *)
+let run_attempt t worker (r : Request.t) ~attempt () =
+  match t.collector with
+  | None -> thunk_of t r ()
+  | Some col ->
+    let ctx = Span.child r.Request.span in
+    let t0 = Clock.now_ns () in
+    let note () =
+      Span.record col
+        {
+          Span.request = r.Request.id;
+          span = ctx.Span.span;
+          parent = ctx.Span.parent;
+          phase = "attempt";
+          name = Request.class_key r.Request.payload;
+          lane = worker;
+          attempt;
+          start_ns = t0;
+          finish_ns = Clock.now_ns ();
+        }
+    in
+    (match Span.with_current (Some ctx) (thunk_of t r) with
+    | v ->
+      note ();
+      v
+    | exception e ->
+      note ();
+      raise e)
 
 let complete t (r : Request.t) outcome ~retries ~dispatch_ns ~worker =
   let finish_ns = Clock.now_ns () in
@@ -174,6 +223,65 @@ let complete t (r : Request.t) outcome ~retries ~dispatch_ns ~worker =
   let ticket = Hashtbl.find_opt t.tickets r.Request.id in
   Hashtbl.remove t.tickets r.Request.id;
   Mutex.unlock t.mu;
+  (* causal span records: the wait segment and the root request segment
+     (attempt segments were recorded as they ran). The root closes last,
+     so by the time a flight dump triggers below, the ring holds the
+     request's whole chain. *)
+  (match t.collector with
+  | None -> ()
+  | Some col ->
+    let wait = Span.child r.Request.span in
+    Span.record col
+      {
+        Span.request = r.Request.id;
+        span = wait.Span.span;
+        parent = wait.Span.parent;
+        phase = "wait";
+        name = Printf.sprintf "wait:%s" key;
+        lane = t.cfg.workers;
+        attempt = 0;
+        start_ns = r.Request.submit_ns;
+        finish_ns = dispatch_ns;
+      };
+    Span.record col
+      {
+        Span.request = r.Request.id;
+        span = r.Request.span.Span.span;
+        parent = -1;
+        phase = "request";
+        name = Printf.sprintf "%s(%d)" key r.Request.id;
+        lane = -1;
+        attempt = retries;
+        start_ns = r.Request.submit_ns;
+        finish_ns;
+      });
+  (* SLO burn-rate monitor; entering breach triggers a post-mortem dump *)
+  (match t.slo with
+  | None -> ()
+  | Some slo ->
+    let newly_breached =
+      Slo.observe slo
+        ~kind:(Request.kind_name r.Request.payload)
+        ~id:r.Request.id ~latency_s:total_s
+        ~failed:(Result.is_error outcome)
+    in
+    if newly_breached then
+      match t.cfg.flight_path with
+      | Some path ->
+        ignore
+          (Flight.dump_once ~path
+             ~reason:
+               (Printf.sprintf "slo-breach: class %s (request %d)"
+                  (Request.kind_name r.Request.payload)
+                  r.Request.id))
+      | None -> ());
+  (* permanent request failure: first one dumps the flight recorder *)
+  (match (outcome, t.cfg.flight_path) with
+  | Error (Request.Failed _), Some path ->
+    ignore
+      (Flight.dump_once ~path
+         ~reason:(Printf.sprintf "permanent-failure: request %d after %d retries" r.Request.id retries))
+  | _ -> ());
   (match ticket with
   | Some tk ->
     Mutex.lock tk.t_mu;
@@ -189,10 +297,15 @@ let execute t worker (batch : Batcher.batch) =
   Atomic.incr t.c_batches;
   Metrics.incr m_batches;
   Metrics.observe m_batch_size (float_of_int (Array.length batch.Batcher.requests));
+  (* allocation estimate: whole-batch minor-words delta on this domain
+     (solve + retries + completion bookkeeping), amortised per request.
+     Gc.minor_words is allocation-free, so the probe doesn't feed itself. *)
+  let minor0 = Gcstat.minor_words () in
   (* batch members run as independent result slots on this worker;
      parallelism comes from sibling workers executing other batches *)
   let results =
-    Xsc_core.Batched.run_batch_results (Array.map (thunk_of t) batch.Batcher.requests)
+    Xsc_core.Batched.run_batch_results
+      (Array.map (fun r -> run_attempt t worker r ~attempt:0) batch.Batcher.requests)
   in
   Array.iteri
     (fun i first ->
@@ -209,13 +322,20 @@ let execute t worker (batch : Batcher.batch) =
           Atomic.incr t.c_retried;
           Metrics.incr m_retried;
           Unix.sleepf (t.cfg.retry_backoff_s *. ldexp 1.0 (!retries - 1));
-          settle (try Ok (thunk_of t r ()) with e -> Error e)
+          settle (try Ok (run_attempt t worker r ~attempt:!retries ()) with e -> Error e)
         | Error e ->
           Error (Request.Failed { attempts = !retries + 1; error = Printexc.to_string e })
       in
       let outcome = settle first in
       complete t r outcome ~retries:!retries ~dispatch_ns ~worker)
-    results
+    results;
+  let n = Array.length batch.Batcher.requests in
+  if n > 0 then begin
+    let per_req = (Gcstat.minor_words () -. minor0) /. float_of_int n in
+    for _ = 1 to n do
+      Metrics.observe m_alloc per_req
+    done
+  end
 
 (* ---- worker loop ---- *)
 
@@ -266,10 +386,22 @@ let start ?harness cfg =
     invalid_arg "Server.start: default_deadline_s must be positive";
   if cfg.max_retries < 0 then invalid_arg "Server.start: max_retries must be >= 0";
   if cfg.retry_backoff_s < 0.0 then invalid_arg "Server.start: retry_backoff_s must be >= 0";
+  let collector =
+    if cfg.spans then
+      (* tee into the flight recorder only when a dump could ever be
+         written; the collector itself always keeps the trace *)
+      Some
+        (match cfg.flight_path with
+        | Some _ -> Span.collector ~tee:Flight.note_span ()
+        | None -> Span.collector ())
+    else None
+  in
   let t =
     {
       cfg;
       harness;
+      collector;
+      slo = (match cfg.slos with [] -> None | slos -> Some (Slo.create slos));
       ingress = Queue.create ~capacity:cfg.capacity;
       mu = Mutex.create ();
       batcher =
@@ -292,6 +424,9 @@ let start ?harness cfg =
       domains = [||];
     }
   in
+  (* install process-wide so layers below (executors, harness, ABFT)
+     can parent their segments onto whatever request is ambient *)
+  (match collector with Some _ -> Span.install collector | None -> ());
   t.domains <- Array.init cfg.workers (fun w -> Domain.spawn (fun () -> worker_loop t w));
   t
 
@@ -323,6 +458,7 @@ let submit t ?deadline_s payload =
           payload;
           submit_ns = now;
           deadline_ns = now + int_of_float (deadline_s *. 1e9);
+          span = Span.root ~request:id;
         }
       in
       let tk = { t_mu = Mutex.create (); t_cv = Condition.create (); result = None } in
@@ -362,7 +498,20 @@ let poll _t tk =
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
     Queue.close t.ingress;
-    Array.iter Domain.join t.domains
+    Array.iter Domain.join t.domains;
+    (* final post-mortem: workers have quiesced, so the ring now holds
+       every failing request's complete chain — overwrite any mid-storm
+       first-failure dump with the full picture *)
+    (match t.cfg.flight_path with
+    | Some path when Atomic.get t.c_failed > 0 ->
+      ignore
+        (Flight.dump ~path
+           ~reason:(Printf.sprintf "server-stop: %d request(s) failed" (Atomic.get t.c_failed)))
+    | _ -> ());
+    (* uninstall only if the process-wide collector is still ours *)
+    match (t.collector, Span.installed ()) with
+    | Some mine, Some cur when mine == cur -> Span.install None
+    | _ -> ()
   end
 
 let in_flight t = Atomic.get t.in_system
@@ -376,6 +525,17 @@ let counters t =
     retried = Atomic.get t.c_retried;
     batches = Atomic.get t.c_batches;
   }
+
+let origin_ns t = t.start_ns
+let span_records t = match t.collector with None -> [] | Some col -> Span.records col
+let span_dropped t = match t.collector with None -> 0 | Some col -> Span.dropped col
+
+let span_chrome_events t = Span.chrome_events ~origin_ns:t.start_ns (span_records t)
+let span_chrome_json t = Span.to_chrome_json ~origin_ns:t.start_ns (span_records t)
+
+let slo_reports t = match t.slo with None -> [] | Some s -> Slo.reports s
+let slo_breached t = match t.slo with None -> false | Some s -> Slo.breached s
+let slo_report_json t = Option.map Slo.report_json t.slo
 
 let trace t =
   Mutex.lock t.mu;

@@ -21,10 +21,22 @@
 
     Counters [serve.admitted\]/[rejected]/[completed]/[failed]/[retried]/
     [batches] and log2 histograms [serve.queue_wait_s]/[service_s]/
-    [total_s]/[batch_size] feed the {!Xsc_obs.Metrics} registry; {!trace}
-    exports per-request queue-wait and service spans as a
-    {!Xsc_runtime.Trace.t} (one lane per worker plus a queue lane), so a
-    served run drops into the existing Chrome-trace pipeline. *)
+    [total_s]/[batch_size]/[alloc_minor_words_per_req] feed the
+    {!Xsc_obs.Metrics} registry; {!trace} exports per-request queue-wait
+    and service spans as a {!Xsc_runtime.Trace.t} (one lane per worker
+    plus a queue lane), so a served run drops into the existing
+    Chrome-trace pipeline.
+
+    With [spans] on (the default), the server additionally keeps a causal
+    {!Xsc_obs.Span} tree per request: a root span minted at admission,
+    wait and per-attempt child spans, plus whatever executor tasks,
+    injected faults and ABFT replays run under the attempt's ambient
+    context. {!span_chrome_json} renders one contiguous lane per request
+    (pid 1) with flow-event parent arrows — retries included. [slos]
+    attaches per-class burn-rate monitors ({!Slo}); [flight_path] arms
+    the crash {!Xsc_resilience.Flight} recorder, dumped on the first
+    permanent request failure, on entering SLO breach, and at [stop] when
+    any request failed. *)
 
 type config = {
   workers : int;  (** persistent worker domains *)
@@ -34,11 +46,15 @@ type config = {
   default_deadline_s : float;  (** deadline when [submit] passes none *)
   max_retries : int;  (** retry budget for transient injected faults *)
   retry_backoff_s : float;  (** base backoff, doubled per retry *)
+  spans : bool;  (** keep causal span records per request *)
+  slos : Slo.objective list;  (** per-class burn-rate monitors; [[]] = off *)
+  flight_path : string option;  (** arm the flight recorder: dump here *)
 }
 
 val default_config : config
 (** 2 workers, capacity 64, batches of 8 with a 2 ms linger, 250 ms
-    deadline, 3 retries from a 0.5 ms base backoff. *)
+    deadline, 3 retries from a 0.5 ms base backoff; spans on, no SLOs,
+    flight recorder unarmed. *)
 
 type t
 type ticket
@@ -87,3 +103,31 @@ val trace : t -> Xsc_runtime.Trace.t
 (** Spans of every completed request: service spans on worker lanes
     [0..workers-1], queue-wait spans on lane [workers]. Feed to
     {!Xsc_runtime.Trace.to_chrome_json}. *)
+
+val origin_ns : t -> int
+(** Monotonic timestamp taken at [start]; span export rebases on it. *)
+
+val span_records : t -> Xsc_obs.Span.record list
+(** Causal span records of every completed request, in record order
+    ([[]] when [spans] is off). *)
+
+val span_dropped : t -> int
+(** Span records shed by the bounded collector (0 = complete). *)
+
+val span_chrome_events : t -> string list
+(** {!Xsc_obs.Span.chrome_events} over {!span_records} — merge into a
+    worker trace via {!Xsc_runtime.Trace.to_chrome_json_with}. *)
+
+val span_chrome_json : t -> string
+(** Standalone Chrome trace of the request lanes: one lane (tid) per
+    request id on pid 1, retries and nested segments included, parent
+    arrows as flow events. *)
+
+val slo_reports : t -> Slo.report list
+(** Burn-rate state per monitored class ([[]] when [slos] is empty). *)
+
+val slo_breached : t -> bool
+
+val slo_report_json : t -> string option
+(** The [serve.slo] record ({!Slo.report_json}); [None] when [slos] is
+    empty. *)

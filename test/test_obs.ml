@@ -35,8 +35,8 @@ let test_clock_seconds () =
 let test_ring_basic () =
   let r = Ring.create ~capacity:8 in
   Alcotest.(check int) "capacity" 8 (Ring.capacity r);
-  Ring.record r ~kind:1 ~t_ns:100 ~arg:7;
-  Ring.record r ~kind:2 ~t_ns:200 ~arg:8;
+  ignore (Ring.record r ~kind:1 ~t_ns:100 ~arg:7);
+  ignore (Ring.record r ~kind:2 ~t_ns:200 ~arg:8);
   Alcotest.(check int) "length" 2 (Ring.length r);
   let k, t, a = Ring.get r 0 in
   Alcotest.(check (triple int int int)) "first record" (1, 100, 7) (k, t, a);
@@ -46,7 +46,7 @@ let test_ring_basic () =
 let test_ring_overflow_drops_newest () =
   let r = Ring.create ~capacity:4 in
   for i = 0 to 9 do
-    Ring.record r ~kind:0 ~t_ns:i ~arg:i
+    ignore (Ring.record r ~kind:0 ~t_ns:i ~arg:i)
   done;
   Alcotest.(check int) "full" 4 (Ring.length r);
   Alcotest.(check int) "dropped the overflow" 6 (Ring.dropped r);
@@ -59,7 +59,7 @@ let test_ring_overflow_drops_newest () =
 let test_ring_iter_clear () =
   let r = Ring.create ~capacity:8 in
   for i = 0 to 4 do
-    Ring.record r ~kind:i ~t_ns:(10 * i) ~arg:0
+    ignore (Ring.record r ~kind:i ~t_ns:(10 * i) ~arg:0)
   done;
   let seen = ref [] in
   Ring.iter r ~f:(fun ~kind ~t_ns:_ ~arg:_ -> seen := kind :: !seen);
@@ -197,6 +197,176 @@ let test_histogram_tail_quantiles () =
   Alcotest.(check bool) "p100 sees the outlier, never understates" true
     (p1000 >= 1.0 && p1000 <= 2.0)
 
+let test_metrics_delta () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.delta.counter" in
+  let g = Metrics.gauge "test.delta.gauge" in
+  let h = Metrics.histogram "test.delta.hist" in
+  Metrics.add c 10;
+  Metrics.set_gauge g 1.0;
+  Metrics.observe h 0.5;
+  let before = Metrics.snapshot () in
+  Metrics.add c 7;
+  Metrics.set_gauge g 9.0;
+  Metrics.observe h 0.25;
+  Metrics.observe h 0.25;
+  let fresh = Metrics.counter "test.delta.fresh" in
+  Metrics.add fresh 3;
+  let d = Metrics.delta ~before ~after:(Metrics.snapshot ()) in
+  (match List.assoc "test.delta.counter" d with
+  | Metrics.Counter n -> Alcotest.(check int) "counter subtracts" 7 n
+  | _ -> Alcotest.fail "counter kind changed");
+  (match List.assoc "test.delta.gauge" d with
+  | Metrics.Gauge v -> Alcotest.(check (float 0.0)) "gauge is a level: after wins" 9.0 v
+  | _ -> Alcotest.fail "gauge kind changed");
+  (match List.assoc "test.delta.hist" d with
+  | Metrics.Histogram s ->
+    Alcotest.(check int) "hist count subtracts" 2 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "hist sum subtracts" 0.5 s.Metrics.sum
+  | _ -> Alcotest.fail "histogram kind changed");
+  match List.assoc "test.delta.fresh" d with
+  | Metrics.Counter n -> Alcotest.(check int) "absent-from-before passes through" 3 n
+  | _ -> Alcotest.fail "fresh counter kind changed"
+
+(* ---- Span ---- *)
+
+module Span = Xsc_obs.Span
+
+let span_rec ?(request = 1) ?(span = 10) ?(parent = -1) ?(phase = "request")
+    ?(start_ns = 100) ?(finish_ns = 200) () =
+  { Span.request; span; parent; phase; name = "t"; lane = 0; attempt = 0;
+    start_ns; finish_ns }
+
+let test_span_ids_and_children () =
+  let a = Span.root ~request:7 in
+  let b = Span.child a in
+  let c = Span.child b in
+  Alcotest.(check int) "root has no parent" (-1) a.Span.parent;
+  Alcotest.(check int) "child keeps the request" 7 b.Span.request;
+  Alcotest.(check int) "child parents on root" a.Span.span b.Span.parent;
+  Alcotest.(check int) "grandchild parents on child" b.Span.span c.Span.parent;
+  Alcotest.(check bool) "ids strictly increase" true
+    (a.Span.span < b.Span.span && b.Span.span < c.Span.span);
+  let first = Span.fresh_id () in
+  let second = Span.fresh_id () in
+  Alcotest.(check bool) "fresh ids never repeat" true (first < second)
+
+let test_span_ambient_restores () =
+  Span.set_current None;
+  let ctx = Span.root ~request:3 in
+  Span.with_current (Some ctx) (fun () ->
+      Alcotest.(check bool) "set inside" true (Span.current () = Some ctx));
+  Alcotest.(check bool) "restored on return" true (Span.current () = None);
+  (try
+     Span.with_current (Some ctx) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored on raise" true (Span.current () = None)
+
+let test_span_collector_bounded_tee () =
+  let teed = ref 0 in
+  let c = Span.collector ~capacity:4 ~tee:(fun _ -> incr teed) () in
+  for i = 0 to 9 do
+    Span.record c (span_rec ~span:(100 + i) ())
+  done;
+  Alcotest.(check int) "bounded" 4 (List.length (Span.records c));
+  Alcotest.(check int) "drop-newest counted" 6 (Span.dropped c);
+  (* the tee fires before the capacity check: a flight ring sees shed
+     records the collector itself never keeps *)
+  Alcotest.(check int) "tee saw every record" 10 !teed;
+  (* drop-newest: the oldest records survive *)
+  match Span.records c with
+  | first :: _ -> Alcotest.(check int) "oldest kept" 100 first.Span.span
+  | [] -> Alcotest.fail "empty collector"
+
+let test_span_note_ambient () =
+  let c = Span.collector () in
+  Span.install (Some c);
+  Fun.protect
+    ~finally:(fun () ->
+      Span.install None;
+      Span.set_current None)
+    (fun () ->
+      (* no ambient context: note must be a silent no-op *)
+      Span.note ~phase:"task" ~name:"orphan" ~lane:0 ~attempt:0 ~start_ns:1 ~finish_ns:2;
+      Alcotest.(check int) "no ambient, no record" 0 (List.length (Span.records c));
+      Alcotest.(check bool) "inactive without ambient" false (Span.active ());
+      let ctx = Span.root ~request:5 in
+      Span.with_current (Some ctx) (fun () ->
+          Alcotest.(check bool) "active with both" true (Span.active ());
+          Span.note ~phase:"task" ~name:"k" ~lane:2 ~attempt:1 ~start_ns:10 ~finish_ns:20);
+      match Span.records c with
+      | [ r ] ->
+        Alcotest.(check int) "request from ambient" 5 r.Span.request;
+        Alcotest.(check int) "parented on ambient" ctx.Span.span r.Span.parent;
+        Alcotest.(check string) "phase" "task" r.Span.phase;
+        Alcotest.(check int) "lane" 2 r.Span.lane
+      | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs))
+
+let test_span_chrome_export () =
+  let parent = span_rec ~request:9 ~span:50 ~parent:(-1) ~phase:"request" () in
+  let child =
+    span_rec ~request:9 ~span:51 ~parent:50 ~phase:"attempt" ~start_ns:120 ~finish_ns:180 ()
+  in
+  let events = Span.chrome_events ~origin_ns:100 [ parent; child ] in
+  (* 2 complete events + an s/f flow pair for the parented child *)
+  Alcotest.(check int) "2 X + 2 flow events" 4 (List.length events);
+  let json = Json.parse (Span.to_chrome_json ~origin_ns:100 [ parent; child ]) in
+  match json with
+  | Json.List items ->
+    Alcotest.(check int) "array arity" 4 (List.length items);
+    let phases =
+      List.filter_map
+        (fun it ->
+          match Json.member "ph" it with Some (Json.Str s) -> Some s | _ -> None)
+        items
+    in
+    List.iter
+      (fun ph ->
+        Alcotest.(check bool) ("has ph " ^ ph) true (List.mem ph phases))
+      [ "X"; "s"; "f" ];
+    (* every event lands on the request's lane: pid 1, tid = request id *)
+    List.iter
+      (fun it ->
+        match (Json.member "pid" it, Json.member "tid" it) with
+        | Some (Json.Num 1.0), Some (Json.Num 9.0) -> ()
+        | _ -> Alcotest.fail "event off the request lane")
+      items
+  | _ -> Alcotest.fail "not a JSON array"
+
+(* ---- Gcstat ---- *)
+
+module Gcstat = Xsc_obs.Gcstat
+
+let test_gcstat_delta () =
+  let before = Gcstat.snap () in
+  (* allocate ~80k words so the minor-heap delta must move *)
+  let keep = ref [] in
+  for i = 0 to 9_999 do
+    keep := (i, float_of_int i) :: !keep
+  done;
+  ignore (Sys.opaque_identity !keep);
+  let after = Gcstat.snap () in
+  let d = Gcstat.delta ~before ~after in
+  Alcotest.(check bool) "minor words grew" true (d.Gcstat.minor_words > 40_000.0);
+  Alcotest.(check bool) "heap_words is a level from after" true
+    (d.Gcstat.heap_words = after.Gcstat.heap_words);
+  Alcotest.(check bool) "collections non-negative" true (d.Gcstat.minor_collections >= 0)
+
+let test_gcstat_phase_gauges () =
+  Metrics.reset ();
+  let out =
+    Gcstat.phase "testphase" (fun () ->
+        let keep = Array.init 20_000 (fun i -> float_of_int i) in
+        Array.length (Sys.opaque_identity keep))
+  in
+  Alcotest.(check int) "phase returns the result" 20_000 out;
+  Alcotest.(check bool) "phase gauge published" true
+    (Metrics.gauge_value (Metrics.gauge "gc.testphase.minor_words") > 10_000.0);
+  (* gauges are set even when the phase raises *)
+  (try Gcstat.phase "testraise" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "raise still publishes" true
+    (List.mem_assoc "gc.testraise.minor_words" (Metrics.snapshot ()))
+
 let () =
   Alcotest.run "xsc_obs"
     [
@@ -227,5 +397,20 @@ let () =
           Alcotest.test_case "tail quantiles" `Quick test_histogram_tail_quantiles;
           Alcotest.test_case "name/type clash" `Quick test_name_type_clash;
           Alcotest.test_case "snapshot and JSON" `Quick test_snapshot_and_json;
+          Alcotest.test_case "snapshot delta" `Quick test_metrics_delta;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "ids and children" `Quick test_span_ids_and_children;
+          Alcotest.test_case "ambient restores" `Quick test_span_ambient_restores;
+          Alcotest.test_case "collector bounded + tee" `Quick
+            test_span_collector_bounded_tee;
+          Alcotest.test_case "note uses ambient context" `Quick test_span_note_ambient;
+          Alcotest.test_case "chrome export" `Quick test_span_chrome_export;
+        ] );
+      ( "gcstat",
+        [
+          Alcotest.test_case "snap/delta" `Quick test_gcstat_delta;
+          Alcotest.test_case "phase gauges" `Quick test_gcstat_phase_gauges;
         ] );
     ]

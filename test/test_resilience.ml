@@ -3,6 +3,7 @@
 
 open Xsc_linalg
 module Checkpoint = Xsc_resilience.Checkpoint
+module Flight = Xsc_resilience.Flight
 module Abft = Xsc_resilience.Abft
 module Inject = Xsc_resilience.Inject
 module Harness = Xsc_resilience.Harness
@@ -576,6 +577,118 @@ let test_save_overwrites_atomically () =
       | Ok s -> Alcotest.(check string) "latest value wins" "second" s
       | Error e -> Alcotest.failf "load_value: %s" (Checkpoint.describe_error e))
 
+(* ---- Flight recorder ---- *)
+
+let flight_entry ?(request = 0) ?(span = 1) ?(parent = -1) ?(t_ns = 1000) ?(domain = 0)
+    ?(phase = "attempt") () =
+  { Flight.t_ns; domain; request; span; parent; attempt = 0; phase;
+    name = "test"; dur_ns = 10 }
+
+let check_flight_error name expected path =
+  match Flight.read path with
+  | Error e when e = expected -> ()
+  | Error e ->
+    Alcotest.failf "%s: expected %s, got %s" name
+      (Checkpoint.describe_error expected)
+      (Checkpoint.describe_error e)
+  | Ok _ -> Alcotest.failf "%s: damaged flight dump was accepted" name
+
+let test_flight_roundtrip () =
+  Flight.clear ();
+  for i = 0 to 9 do
+    Flight.record (flight_entry ~request:i ~span:(i + 1) ~t_ns:(1000 + i) ())
+  done;
+  with_temp_ckpt (fun path ->
+      let _, dumped = Flight.dump ~path ~reason:"test" in
+      Alcotest.(check int) "all entries dumped" 10 dumped;
+      match Flight.read path with
+      | Error e -> Alcotest.failf "read: %s" (Checkpoint.describe_error e)
+      | Ok d ->
+        Alcotest.(check string) "reason survives" "test" d.Flight.reason;
+        Alcotest.(check int) "offered count" 10 d.Flight.recorded;
+        Alcotest.(check int) "entries" 10 (Array.length d.Flight.entries);
+        (* snapshot order: sorted by timestamp *)
+        Array.iteri
+          (fun i (e : Flight.entry) ->
+            Alcotest.(check int) "time-sorted" (1000 + i) e.Flight.t_ns)
+          d.Flight.entries)
+
+let test_flight_overwrites_oldest () =
+  (* the post-mortem bias: a full ring keeps the most recent entries,
+     the opposite of the tracer rings' drop-newest *)
+  Flight.configure ~capacity:8;
+  Fun.protect
+    ~finally:(fun () -> Flight.configure ~capacity:4096)
+    (fun () ->
+      (* capacity is total across the 8 domain shards: spread the writers
+         so every shard fills and wraps *)
+      for i = 0 to 99 do
+        Flight.record (flight_entry ~t_ns:i ~domain:(i land 7) ())
+      done;
+      let entries, recorded = Flight.snapshot () in
+      Alcotest.(check int) "all offered counted" 100 recorded;
+      Alcotest.(check int) "bounded" 8 (Array.length entries);
+      Array.iter
+        (fun (e : Flight.entry) ->
+          Alcotest.(check bool) "newest survive" true (e.Flight.t_ns >= 92))
+        entries)
+
+let test_flight_torn_write () =
+  Flight.clear ();
+  Flight.record (flight_entry ());
+  with_temp_ckpt (fun path ->
+      let bytes, _ = Flight.dump ~path ~reason:"torn" in
+      let b = read_file path in
+      write_file path (Bytes.sub b 0 (bytes - 5));
+      check_flight_error "torn payload" Checkpoint.Truncated path;
+      write_file path (Bytes.sub b 0 4);
+      check_flight_error "torn header" Checkpoint.Truncated path)
+
+let test_flight_bad_crc () =
+  Flight.clear ();
+  Flight.record (flight_entry ());
+  with_temp_ckpt (fun path ->
+      ignore (Flight.dump ~path ~reason:"rot");
+      let b = read_file path in
+      let pos = Bytes.length b - 2 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10));
+      write_file path b;
+      check_flight_error "bit rot" Checkpoint.Bad_crc path)
+
+let test_flight_magic_separation () =
+  (* a checkpoint file is not a flight dump, and vice versa: the shared
+     header discipline must fail typed on the magic, never reach Marshal *)
+  with_temp_ckpt (fun path ->
+      ignore (Checkpoint.save_value path [ 1; 2; 3 ]);
+      check_flight_error "checkpoint as flight" Checkpoint.Bad_magic path);
+  Flight.clear ();
+  Flight.record (flight_entry ());
+  with_temp_ckpt (fun path ->
+      ignore (Flight.dump ~path ~reason:"magic" : int * int);
+      match Checkpoint.load_value path with
+      | Error Checkpoint.Bad_magic -> ()
+      | Error e ->
+        Alcotest.failf "flight as checkpoint: expected bad magic, got %s"
+          (Checkpoint.describe_error e)
+      | Ok (_ : int list) -> Alcotest.fail "flight dump loaded as a checkpoint")
+
+let test_flight_dump_once () =
+  Flight.clear ();
+  Flight.reset_dump_guard ();
+  Flight.record (flight_entry ());
+  with_temp_ckpt (fun path ->
+      Alcotest.(check bool) "first dump writes" true
+        (Flight.dump_once ~path ~reason:"first" <> None);
+      Flight.record (flight_entry ~span:2 ~t_ns:2000 ());
+      Alcotest.(check bool) "second dump suppressed" true
+        (Flight.dump_once ~path ~reason:"second" = None);
+      (match Flight.read path with
+      | Ok d -> Alcotest.(check string) "first reason kept" "first" d.Flight.reason
+      | Error e -> Alcotest.failf "read: %s" (Checkpoint.describe_error e));
+      Flight.reset_dump_guard ();
+      Alcotest.(check bool) "guard reset re-arms" true
+        (Flight.dump_once ~path ~reason:"third" <> None))
+
 let () =
   Alcotest.run "xsc_resilience"
     [
@@ -654,5 +767,14 @@ let () =
           Alcotest.test_case "generic value round-trip" `Quick
             test_save_value_generic_roundtrip;
           Alcotest.test_case "atomic overwrite" `Quick test_save_overwrites_atomically;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "round-trip" `Quick test_flight_roundtrip;
+          Alcotest.test_case "overwrites oldest" `Quick test_flight_overwrites_oldest;
+          Alcotest.test_case "torn write rejected" `Quick test_flight_torn_write;
+          Alcotest.test_case "bad crc rejected" `Quick test_flight_bad_crc;
+          Alcotest.test_case "magic separation" `Quick test_flight_magic_separation;
+          Alcotest.test_case "dump-once guard" `Quick test_flight_dump_once;
         ] );
     ]

@@ -13,8 +13,13 @@ module Scheduler = Xsc_serve.Scheduler
 module Server = Xsc_serve.Server
 module Loadgen = Xsc_serve.Loadgen
 module Harness = Xsc_resilience.Harness
+module Flight = Xsc_resilience.Flight
+module Checkpoint = Xsc_resilience.Checkpoint
+module Slo = Xsc_serve.Slo
+module Span = Xsc_obs.Span
 module Clock = Xsc_obs.Clock
 module Rng = Xsc_util.Rng
+module Json = Xsc_util.Json
 
 (* ---- queue ---- *)
 
@@ -108,6 +113,7 @@ let req ~id ?(n = 4) ~submit_ns ~deadline_ns () =
     payload = Request.Spd_solve (Mat.random_spd rng n, Vec.random rng n);
     submit_ns;
     deadline_ns;
+    span = Xsc_obs.Span.root ~request:id;
   }
 
 let test_batcher_size_flush () =
@@ -455,6 +461,211 @@ let test_harness_thunk_determinism () =
   Alcotest.(check int) "retry runs clean" 7
     (Harness.wrap_thunk ht ~key:!key (fun () -> 7))
 
+(* ---- causal spans through the server ---- *)
+
+(* The span-propagation contract: a request's id survives batcher
+   coalescing, EDF reordering and transient re-execution, and each
+   execution attempt appears exactly once in the span records. A transient
+   storm exercises all three at once (mixed classes coalesce, retries
+   reorder completions). *)
+let test_server_span_chains () =
+  let h =
+    Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = true }
+  in
+  let srv =
+    Server.start ~harness:h
+      { Server.default_config with workers = 2; capacity = 128; max_retries = 3 }
+  in
+  let arrivals = Loadgen.schedule storm_cfg in
+  let tickets =
+    Array.map
+      (fun a -> Result.get_ok (Server.submit srv (Loadgen.payload_of storm_cfg a)))
+      arrivals
+  in
+  let completions = Array.map (Server.await srv) tickets in
+  Server.stop srv;
+  Alcotest.(check bool) "retries actually happened" true (Harness.raised h > 0);
+  Alcotest.(check int) "no span shed" 0 (Server.span_dropped srv);
+  let by_key = Hashtbl.create 256 in
+  List.iter
+    (fun s -> Hashtbl.add by_key (s.Span.request, s.Span.phase) s)
+    (Server.span_records srv);
+  Array.iteri
+    (fun i c ->
+      let roots = Hashtbl.find_all by_key (i, "request") in
+      Alcotest.(check int) "exactly one root per request" 1 (List.length roots);
+      let root = List.hd roots in
+      Alcotest.(check int) "one wait span" 1
+        (List.length (Hashtbl.find_all by_key (i, "wait")));
+      let atts = Hashtbl.find_all by_key (i, "attempt") in
+      Alcotest.(check int) "one span per attempt" (c.Request.retries + 1)
+        (List.length atts);
+      let attempt_nos = List.sort_uniq compare (List.map (fun s -> s.Span.attempt) atts) in
+      Alcotest.(check (list int)) "each attempt exactly once"
+        (List.init (c.Request.retries + 1) Fun.id)
+        attempt_nos;
+      List.iter
+        (fun s ->
+          Alcotest.(check int) "attempts parent on the root" root.Span.span s.Span.parent)
+        atts)
+    completions
+
+let test_server_spans_off () =
+  let srv =
+    Server.start { Server.default_config with workers = 1; spans = false }
+  in
+  let r = Loadgen.run_open srv { storm_cfg with Loadgen.count = 8 } in
+  Server.stop srv;
+  Alcotest.(check int) "all served" 8 r.Loadgen.completed;
+  Alcotest.(check int) "no span records kept" 0
+    (List.length (Server.span_records srv))
+
+let test_server_span_chrome_lanes () =
+  let srv = Server.start { Server.default_config with workers = 2 } in
+  let count = 12 in
+  let r = Loadgen.run_open srv { storm_cfg with Loadgen.count } in
+  Server.stop srv;
+  Alcotest.(check int) "all served" count r.Loadgen.completed;
+  match Json.parse (Server.span_chrome_json srv) with
+  | Json.List items ->
+    Alcotest.(check bool) "events present" true (items <> []);
+    let lanes = Hashtbl.create 16 in
+    List.iter
+      (fun it ->
+        (match Json.member "pid" it with
+        | Some (Json.Num 1.0) -> ()
+        | _ -> Alcotest.fail "span event off pid 1");
+        match (Json.member "ph" it, Json.member "tid" it) with
+        | Some (Json.Str "X"), Some (Json.Num tid) ->
+          Hashtbl.replace lanes (int_of_float tid) ()
+        | _ -> ())
+      items;
+    (* one contiguous lane per request: every request id is a tid *)
+    for i = 0 to count - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d has a lane" i)
+        true (Hashtbl.mem lanes i)
+    done
+  | _ -> Alcotest.fail "span trace is not a JSON array"
+  | exception Failure m -> Alcotest.failf "span trace unparseable: %s" m
+
+(* ---- SLO monitors ---- *)
+
+let test_slo_burn_rate () =
+  let t = Slo.create [ { Slo.kind = "*"; latency_s = 0.1; error_budget = 0.25 } ] in
+  let feed ~id ~latency_s ~failed =
+    Slo.observe t ~kind:"spd" ~id ~latency_s ~failed
+  in
+  (* 3 clean observations: no violations, no breach *)
+  for i = 0 to 2 do
+    Alcotest.(check bool) "clean obs never breaches" false
+      (feed ~id:i ~latency_s:0.01 ~failed:false)
+  done;
+  (* one slow request among four: exactly at budget, not over *)
+  Alcotest.(check bool) "at budget is not a breach" false
+    (feed ~id:3 ~latency_s:0.5 ~failed:false);
+  (* a failure pushes past the budget: the breach edge fires once *)
+  Alcotest.(check bool) "over budget breaches" true
+    (feed ~id:4 ~latency_s:0.01 ~failed:true);
+  Alcotest.(check bool) "already in breach: edge only fires once" false
+    (feed ~id:5 ~latency_s:0.5 ~failed:false);
+  Alcotest.(check bool) "breached latches" true (Slo.breached t);
+  match Slo.reports t with
+  | [ rep ] ->
+    Alcotest.(check int) "totals" 6 rep.Slo.total;
+    Alcotest.(check int) "violations" 3 rep.Slo.violations;
+    Alcotest.(check int) "breach entries" 1 rep.Slo.breaches;
+    Alcotest.(check bool) "burn rate over 1" true (rep.Slo.burn_rate > 1.0);
+    Alcotest.(check bool) "worst offenders named" true
+      (List.mem_assoc 3 rep.Slo.worst || List.mem_assoc 5 rep.Slo.worst);
+    (* the serve.slo record parses as JSON *)
+    (match Json.parse (Slo.report_json t) with
+    | Json.Obj fields ->
+      Alcotest.(check bool) "breached in record" true
+        (List.assoc_opt "breached" fields = Some (Json.Bool true))
+    | _ -> Alcotest.fail "report_json is not an object")
+  | reps -> Alcotest.failf "expected one class report, got %d" (List.length reps)
+
+let test_slo_validation () =
+  Alcotest.check_raises "budget over 1"
+    (Invalid_argument "Slo.create: error_budget must be in (0,1]") (fun () ->
+      ignore (Slo.create [ { Slo.kind = "*"; latency_s = 0.1; error_budget = 1.5 } ]));
+  Alcotest.check_raises "non-positive latency"
+    (Invalid_argument "Slo.create: latency_s must be positive") (fun () ->
+      ignore (Slo.create [ { Slo.kind = "*"; latency_s = 0.0; error_budget = 0.1 } ]))
+
+(* ---- flight recorder through the server ---- *)
+
+(* A permanent storm with the recorder armed: the dump must CRC-verify
+   back through Flight.read and hold the failing request's whole causal
+   chain — root, every exhausted attempt, and the per-attempt inject
+   markers noted by the harness under the attempts' ambient context. *)
+let test_server_flight_dump_on_permanent_failure () =
+  let path = Filename.temp_file "xsc_serve_flight" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Flight.clear ();
+      Flight.reset_dump_guard ();
+      let h =
+        Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = false }
+      in
+      let max_retries = 2 in
+      let srv =
+        Server.start ~harness:h
+          { Server.default_config with
+            workers = 2;
+            capacity = 128;
+            max_retries;
+            slos = [ { Slo.kind = "*"; latency_s = 5.0; error_budget = 0.01 } ];
+            flight_path = Some path;
+          }
+      in
+      let arrivals = Loadgen.schedule storm_cfg in
+      let tickets =
+        Array.map
+          (fun a -> Result.get_ok (Server.submit srv (Loadgen.payload_of storm_cfg a)))
+          arrivals
+      in
+      let completions = Array.map (Server.await srv) tickets in
+      Server.stop srv;
+      let failing =
+        Array.to_list completions
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter_map (fun (i, c) ->
+               match c.Request.outcome with
+               | Error (Request.Failed _) -> Some i
+               | _ -> None)
+      in
+      Alcotest.(check bool) "storm produced failures" true (failing <> []);
+      Alcotest.(check bool) "typed failures breach the tight budget" true
+        (Server.slo_breached srv);
+      match Flight.read path with
+      | Error e -> Alcotest.failf "flight read: %s" (Checkpoint.describe_error e)
+      | Ok d ->
+        Alcotest.(check bool) "dump names a failure" true
+          (d.Flight.reason <> "" && d.Flight.entries <> [||]);
+        List.iter
+          (fun id ->
+            let mine =
+              Array.to_list d.Flight.entries
+              |> List.filter (fun (e : Flight.entry) -> e.Flight.request = id)
+            in
+            let count phase =
+              List.length
+                (List.filter (fun (e : Flight.entry) -> e.Flight.phase = phase) mine)
+            in
+            Alcotest.(check int)
+              (Printf.sprintf "request %d root in dump" id)
+              1 (count "request");
+            Alcotest.(check int)
+              (Printf.sprintf "request %d attempts in dump" id)
+              (max_retries + 1) (count "attempt");
+            Alcotest.(check int)
+              (Printf.sprintf "request %d inject markers in dump" id)
+              (max_retries + 1) (count "inject"))
+          failing)
+
 let () =
   Alcotest.run "xsc_serve"
     [
@@ -507,5 +718,23 @@ let () =
             test_batched_results_isolation;
           Alcotest.test_case "harness thunk determinism" `Quick
             test_harness_thunk_determinism;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "id survives coalescing/EDF/retries" `Quick
+            test_server_span_chains;
+          Alcotest.test_case "spans off keeps nothing" `Quick test_server_spans_off;
+          Alcotest.test_case "one chrome lane per request" `Quick
+            test_server_span_chrome_lanes;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "burn rate and breach edge" `Quick test_slo_burn_rate;
+          Alcotest.test_case "validation" `Quick test_slo_validation;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "permanent storm dumps failing chains" `Quick
+            test_server_flight_dump_on_permanent_failure;
         ] );
     ]
