@@ -258,6 +258,9 @@ let run ~file =
   let autotune, autotune_ok =
     Gcstat.phase "autotune" (fun () -> Autotune_run.record ~quick:false ())
   in
+  let isolation, isolation_ok, _ =
+    Gcstat.phase "isolation" (fun () -> Isolation_run.record ())
+  in
   let gc = gc_json (Gcstat.delta ~before:gc0 ~after:(Gcstat.snap ())) in
   write_json ~file
     ([ "{"; "  \"gemm\": [" ]
@@ -269,6 +272,7 @@ let run ~file =
         "  \"autotune\": " ^ autotune ^ ",";
         "  \"resilience\": " ^ resilience ^ ",";
         "  \"serve\": " ^ serve ^ ",";
+        "  \"serve_isolation\": " ^ isolation ^ ",";
         "  \"gc\": " ^ gc ^ ",";
         "  \"sched\": [";
       ]
@@ -281,7 +285,8 @@ let run ~file =
      autotune roofline — a tuned kernel falling below its own freshly
      measured default is a dispatch bug, not a perf datum *)
   if not serve_ok then gate_fail ~file "bench: serve record self-checks";
-  if not autotune_ok then gate_fail ~file "bench: autotune roofline gate"
+  if not autotune_ok then gate_fail ~file "bench: autotune roofline gate";
+  if not isolation_ok then gate_fail ~file "bench: serve-isolation self-checks"
 
 (* CI perf-sanity subset: the n=432 Cholesky on 2 workers plus a reduced
    resilience record (fewer timing pairs and storm seeds), record-only. *)

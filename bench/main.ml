@@ -11,7 +11,8 @@
      dune exec bench/main.exe -- --overhead [PCT]  # tracing cost (gate if PCT)
      dune exec bench/main.exe -- --serve-overhead [PCT] # spans-on serving cost
      dune exec bench/main.exe -- --faults [SEED]   # seeded fault storm + recovery
-     dune exec bench/main.exe -- --serve FILE # solver-service load/latency record *)
+     dune exec bench/main.exe -- --serve FILE # solver-service load/latency record
+     dune exec bench/main.exe -- --serve-isolation FILE # shared-pool latency isolation *)
 
 let experiments =
   [
@@ -65,6 +66,10 @@ let () =
   | [ "--serve"; file ] -> Serve_run.run ~file
   | [ "--serve" ] ->
     Printf.eprintf "--serve requires an output file argument\n";
+    exit 1
+  | [ "--serve-isolation"; file ] -> Isolation_run.run ~file
+  | [ "--serve-isolation" ] ->
+    Printf.eprintf "--serve-isolation requires an output file argument\n";
     exit 1
   | [ "--faults" ] -> Faults_run.run ~seed:1
   | [ "--faults"; seed ] -> (

@@ -517,8 +517,20 @@ let serve_demo_cmd =
                  first permanent request failure or SLO breach (inspect with \
                  $(b,xsc flight --read)).")
   in
+  let isolation_arg =
+    Arg.(value & flag & info [ "isolation" ]
+           ~doc:"Multi-tenant isolation mix: dispatch through the shared \
+                 deadline-aware task pool and keep one large solve streaming \
+                 (closed-loop) under the Poisson small load. With \
+                 $(b,--trace-json) the trace shows task spans of multiple \
+                 requests interleaved on one worker lane.")
+  in
+  let large_n_arg =
+    Arg.(value & opt int 512 & info [ "large-n" ] ~docv:"N"
+           ~doc:"Problem size of the streaming large solve (with $(b,--isolation)).")
+  in
   let run n workers seed count rate capacity deadline storm permanent trace_json slo
-      slo_budget flight =
+      slo_budget flight isolation large_n =
     let workers = if workers <= 0 then 2 else workers in
     let module Server = Xsc_serve.Server in
     let module Loadgen = Xsc_serve.Loadgen in
@@ -536,9 +548,13 @@ let serve_demo_cmd =
       | Some latency_s -> [ { Slo.kind = "*"; latency_s; error_budget = slo_budget } ]
       | None -> []
     in
+    let dispatch = if isolation then Server.Shared workers else Server.Slot in
     let srv =
       Server.start ?harness
-        { Server.default_config with workers; capacity; slos; flight_path = flight }
+        { Server.default_config with workers; capacity; slos; flight_path = flight;
+          dispatch;
+          default_deadline_s = (if isolation then 5.0 else
+                                  Server.default_config.Server.default_deadline_s) }
     in
     let cfg =
       { Loadgen.seed; count; rate_hz = rate; n;
@@ -546,8 +562,10 @@ let serve_demo_cmd =
         deadline_s = deadline }
     in
     Printf.printf
-      "serving %d mixed requests (n=%d) at %.0f req/s on %d workers, window %d:\n" count n
-      rate workers capacity;
+      "serving %d mixed requests (n=%d) at %.0f req/s on %d %s, window %d:\n" count n
+      rate workers
+      (if isolation then "shared-pool lanes" else "slot workers")
+      capacity;
     (* The trace is written in a [finally] so a run cut short — every
        request typed-rejected by a saturated window, a storm exhausting its
        retries, Ctrl-C'd load — still flushes and closes a complete JSON
@@ -573,8 +591,22 @@ let serve_demo_cmd =
         Server.stop srv;
         write_trace ())
       (fun () ->
-        let r = Loadgen.run_open srv cfg in
-        print_endline (Loadgen.report_human r));
+        if isolation then begin
+          let iso =
+            Loadgen.run_isolation srv
+              ~large:{ Loadgen.l_n = large_n; l_deadline_s = 5.0; l_seed = 7 }
+              cfg
+          in
+          print_endline (Loadgen.report_human iso.Loadgen.smalls);
+          Printf.printf
+            "large stream (n=%d, one outstanding): %d completed, %d failed, \
+             mean %.1f ms\n"
+            large_n iso.Loadgen.larges_done iso.Loadgen.larges_failed
+            (1e3 *. iso.Loadgen.large_mean_s)
+        end
+        else
+          let r = Loadgen.run_open srv cfg in
+          print_endline (Loadgen.report_human r));
     (match harness with
     | Some h ->
       Printf.printf "fault storm: %d injected raises (%s)\n"
@@ -600,7 +632,7 @@ let serve_demo_cmd =
        ~doc:"Run the concurrent solver service under a seeded Poisson load")
     Term.(const run $ n_arg 48 $ workers_arg $ seed_arg $ count_arg $ rate_arg
           $ capacity_arg $ deadline_arg $ storm_arg $ permanent_arg $ trace_arg
-          $ slo_arg $ slo_budget_arg $ flight_arg)
+          $ slo_arg $ slo_budget_arg $ flight_arg $ isolation_arg $ large_n_arg)
 
 (* ---- flight ---- *)
 

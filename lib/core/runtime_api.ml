@@ -5,6 +5,7 @@ type exec =
   | Sequential
   | Dataflow of int
   | Forkjoin of int
+  | Pooled of Xsc_runtime.Pool.t
 
 (* Locality/priority hint for the work-stealing executor: rank ready tasks
    by flops-weighted bottom level, normalised into an int scale. Tasks on
@@ -25,6 +26,10 @@ let execute ?interp exec dag =
     Xsc_runtime.Real_exec.run_dataflow ?interp ~priority:(critical_path_priority dag)
       ~workers dag
   | Forkjoin workers -> Xsc_runtime.Real_exec.run_forkjoin ?interp ~workers dag
+  | Pooled pool ->
+    (* critical-path ordering comes from the pool's composite key (its
+       bottom-level tie-break), so no explicit priority hint is needed *)
+    Xsc_runtime.Pool.run ?interp pool dag
 
 (* High-level drivers (Cholesky.factor & co.) surface the task body's own
    exception — Singular from a non-SPD matrix is the caller's contract,

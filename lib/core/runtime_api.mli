@@ -7,6 +7,11 @@ type exec =
   | Sequential
   | Dataflow of int  (** dynamic superscalar executor on [n] domains *)
   | Forkjoin of int  (** level-synchronous executor on [n] domains *)
+  | Pooled of Xsc_runtime.Pool.t
+      (** submit into a shared long-lived pool and block until the job
+          drains ({!Xsc_runtime.Pool.run}); the composite priority key
+          supplies critical-path ordering. Must not be used from a pool
+          worker (see {!Xsc_runtime.Pool.run}). *)
 
 val execute : ?interp:(Xsc_runtime.Task.op -> unit) -> exec -> dag -> Xsc_runtime.Real_exec.stats
 (** [Dataflow] runs with {!critical_path_priority} as its scheduling hint,

@@ -8,7 +8,19 @@ type options = {
 
 let default = { nb = 64; exec = Runtime_api.Sequential }
 
-let with_workers ?(nb = 64) n = { nb; exec = Runtime_api.Dataflow n }
+(* Tuned tile size read at call time, not module init: Kconfig.autoload
+   runs from executable entry points, which may happen after this module
+   is initialised. *)
+let tuned_default () =
+  { nb = Xsc_tile.Packed.tuned_nb ~fallback:default.nb; exec = default.exec }
+
+let with_workers ?nb n =
+  let nb =
+    match nb with Some nb -> nb | None -> Xsc_tile.Packed.tuned_nb ~fallback:default.nb
+  in
+  { nb; exec = Runtime_api.Dataflow n }
+
+let resolve = function Some o -> o | None -> tuned_default ()
 
 let residual a x b =
   let r = Array.copy b in
@@ -21,7 +33,8 @@ let pad_rhs b padded =
   Array.blit b 0 out 0 (Array.length b);
   out
 
-let solve_spd ?(opts = default) a b =
+let solve_spd ?opts a b =
+  let opts = resolve opts in
   let n = a.Mat.rows in
   if n <> a.Mat.cols || Array.length b <> n then invalid_arg "Solver.solve_spd: dimensions";
   let padded, _ = Tile.pad_to ~nb:opts.nb a in
@@ -42,7 +55,8 @@ let strictly_diag_dominant a =
   done;
   !ok
 
-let solve_general ?(opts = default) a b =
+let solve_general ?opts a b =
+  let opts = resolve opts in
   let n = a.Mat.rows in
   if n <> a.Mat.cols || Array.length b <> n then
     invalid_arg "Solver.solve_general: dimensions";
@@ -59,7 +73,8 @@ let solve_general ?(opts = default) a b =
     Array.sub x 0 n
   end
 
-let solve_ls ?(opts = default) a b =
+let solve_ls ?opts a b =
+  let opts = resolve opts in
   let m, n = Mat.dims a in
   if m < n then invalid_arg "Solver.solve_ls: system must be overdetermined";
   if m mod opts.nb <> 0 || n mod opts.nb <> 0 then
@@ -102,7 +117,8 @@ type protected_report = {
   recovered_from_row : int option;
 }
 
-let solve_spd_protected ?(opts = default) ?inject a b =
+let solve_spd_protected ?opts ?inject a b =
+  let opts = resolve opts in
   let n = a.Mat.rows in
   if n <> a.Mat.cols || Array.length b <> n then
     invalid_arg "Solver.solve_spd_protected: dimensions";

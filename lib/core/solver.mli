@@ -8,13 +8,24 @@
 open Xsc_linalg
 
 type options = {
-  nb : int;  (** tile size (default 64) *)
-  exec : Runtime_api.exec;  (** default [Sequential] *)
+  nb : int;  (** tile size *)
+  exec : Runtime_api.exec;
 }
 
 val default : options
+(** [nb = 64], [Sequential] — the untuned baseline. When [?opts] is
+    omitted the solvers do {i not} use this record verbatim: they read the
+    host's kernel-tuning cache at call time
+    ({!Xsc_tile.Packed.tuned_nb}[ ~fallback:64]), so an [xsc tune] winner
+    reaches every padding/tiling site without threading a parameter. *)
+
+val tuned_default : unit -> options
+(** The options an [?opts]-less call resolves to right now: tuned tile
+    size (fallback 64), [Sequential]. *)
+
 val with_workers : ?nb:int -> int -> options
-(** Dataflow execution on [n] domains. *)
+(** Dataflow execution on [n] domains. [nb] defaults to the tuned tile
+    size at call time, like the [?opts]-less solvers. *)
 
 val solve_spd : ?opts:options -> Mat.t -> Vec.t -> Vec.t
 (** SPD solve via tiled Cholesky. The matrix is padded to a tile multiple

@@ -195,6 +195,44 @@ let wrap_thunk t ~key thunk =
     else thunk ()
   end
 
+(* Request-keyed injection at *task* granularity, for requests executed as
+   DAG submissions into the shared pool (where there is no single request
+   thunk to wrap): the returned interpreter raises on the first op it
+   executes in this attempt. Keyed decisions match [wrap_thunk] exactly —
+   same hash, same fired-set — so a storm's injected request set is
+   identical whichever execution path serves it. *)
+let wrap_interp_key t ~key interp =
+  if not (targets_key t key) then interp
+  else begin
+    let already =
+      t.policy.transient
+      &&
+      (Mutex.lock t.lock;
+       let seen = Hashtbl.mem t.fired_keys key in
+       Mutex.unlock t.lock;
+       seen)
+    in
+    if already then interp
+    else begin
+      let fired_this = Atomic.make false in
+      fun op ->
+        (* first op of the attempt wins the CAS and raises; tasks already
+           in flight on other workers run clean *)
+        if Atomic.compare_and_set fired_this false true then begin
+          if t.policy.transient then begin
+            Mutex.lock t.lock;
+            if not (Hashtbl.mem t.fired_keys key) then Hashtbl.add t.fired_keys key ();
+            Mutex.unlock t.lock
+          end;
+          Atomic.incr t.raised;
+          Metrics.incr m_raised;
+          note_inject (Printf.sprintf "req(%d)" key);
+          raise (Injected (Printf.sprintf "req(%d)" key))
+        end
+        else interp op
+    end
+  end
+
 let reset t =
   Mutex.lock t.lock;
   Hashtbl.reset t.fired;

@@ -64,6 +64,21 @@ val wrap_thunk : t -> key:int -> (unit -> 'a) -> 'a
     re-raises. Raise-only — [p_corrupt] has no effect at whole-request
     granularity. Safe from any number of domains. *)
 
+val wrap_interp_key :
+  t ->
+  key:int ->
+  (Xsc_runtime.Task.op -> unit) ->
+  Xsc_runtime.Task.op ->
+  unit
+(** Request-keyed injection at {e task} granularity, for requests executed
+    as DAG submissions into the shared pool (no single thunk to wrap):
+    when [targets_key] selects [key], the returned interpreter raises
+    {!Injected} at the first op it executes; otherwise (and on a
+    transient key's replay) it is [interp] unchanged. Keyed decisions
+    share {!wrap_thunk}'s hash and fired-set, so a seeded storm injects
+    the same request set whichever execution path serves it. Wrap once
+    per attempt. Safe from any number of domains. *)
+
 val raised : t -> int
 (** Task-body exceptions fired through this harness so far. *)
 

@@ -1,0 +1,118 @@
+(* The shared pool's injection queue: a mutex-protected binary min-heap of
+   (Prio.t, task handle) pairs. Newly submitted jobs inject their source
+   tasks here; workers pull from it when their local deque runs dry, and —
+   the deadline-isolation hook — yield to it mid-stream when its head is
+   more urgent than the task they just popped locally.
+
+   [min_deadline] caches the head's deadline in an atomic so that the
+   per-task urgency check on the worker hot path is one atomic load, not a
+   mutex acquisition; the mutex is only taken when the cached value says
+   there is genuinely more urgent work to fetch (or on push/pop). The
+   cache is conservative under races: it is updated inside the lock, so a
+   stale read can at worst cause one extra locked probe or delay a yield
+   by one task. *)
+
+type entry = { key : Prio.t; handle : int }
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mu : Mutex.t;
+  min_deadline_cache : int Atomic.t;
+  size_cache : int Atomic.t;
+      (* lets [is_empty] be one atomic load — parked-worker wakeup checks
+         must see queued work even when its deadline is [max_int] *)
+}
+
+let create () =
+  {
+    heap = [||];
+    size = 0;
+    mu = Mutex.create ();
+    min_deadline_cache = Atomic.make max_int;
+    size_cache = Atomic.make 0;
+  }
+
+let refresh_cache t =
+  Atomic.set t.min_deadline_cache
+    (if t.size = 0 then max_int else t.heap.(0).key.Prio.deadline_ns);
+  Atomic.set t.size_cache t.size
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if Prio.before t.heap.(i).key t.heap.(parent).key then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && Prio.before t.heap.(l).key t.heap.(!smallest).key then smallest := l;
+  if r < t.size && Prio.before t.heap.(r).key t.heap.(!smallest).key then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key handle =
+  Mutex.lock t.mu;
+  if t.size = Array.length t.heap then begin
+    let cap = max 16 (2 * t.size) in
+    let heap = Array.make cap { key; handle } in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end;
+  t.heap.(t.size) <- { key; handle };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  refresh_cache t;
+  Mutex.unlock t.mu
+
+let pop_root t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0
+  end;
+  refresh_cache t;
+  top
+
+let pop t =
+  Mutex.lock t.mu;
+  let r = if t.size = 0 then None else Some (pop_root t) in
+  Mutex.unlock t.mu;
+  Option.map (fun e -> (e.key, e.handle)) r
+
+(* Pop only if the head's deadline is strictly before [deadline_ns] — the
+   worker's yield check, re-validated under the lock so a racing pop
+   cannot hand back less urgent work than promised. *)
+let pop_if_deadline_before t deadline_ns =
+  if Atomic.get t.min_deadline_cache >= deadline_ns then None
+  else begin
+    Mutex.lock t.mu;
+    let r =
+      if t.size > 0 && t.heap.(0).key.Prio.deadline_ns < deadline_ns then
+        Some (pop_root t)
+      else None
+    in
+    Mutex.unlock t.mu;
+    Option.map (fun e -> (e.key, e.handle)) r
+  end
+
+let length t =
+  Mutex.lock t.mu;
+  let n = t.size in
+  Mutex.unlock t.mu;
+  n
+
+let min_deadline t = Atomic.get t.min_deadline_cache
+let is_empty t = Atomic.get t.size_cache = 0

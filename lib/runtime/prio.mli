@@ -1,0 +1,29 @@
+(** Composite task priority key for the shared deadline-aware task pool.
+
+    Lexicographic, most significant first: request deadline ascending
+    (EDF dominates — an earlier deadline beats any critical-path depth),
+    then flops-weighted bottom level descending (within a deadline the
+    critical path runs first), then job submission sequence ascending
+    (FIFO between equal-priority jobs), then task id ascending (program
+    order inside one job). Smaller compares as more urgent. *)
+
+type t = {
+  deadline_ns : int;  (** owning request's absolute deadline *)
+  bl : int;  (** normalised bottom-level rank (0..1e6), deeper = larger *)
+  seq : int;  (** owning job's submission sequence number *)
+  tid : int;  (** task id within the job *)
+}
+
+val make : deadline_ns:int -> bl:int -> seq:int -> tid:int -> t
+
+val compare : t -> t -> int
+(** Total order; negative when the first key is more urgent. *)
+
+val before : t -> t -> bool
+(** [compare a b < 0]. *)
+
+val bl_ranks : Dag.t -> int array
+(** Per-task bottom-level ranks normalised to [0, 1e6] over the DAG's
+    critical path (comparable across jobs of different sizes). *)
+
+val to_string : t -> string

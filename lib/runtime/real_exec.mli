@@ -108,3 +108,28 @@ val run_sequential : ?interp:(Task.op -> unit) -> ?trace:bool -> Dag.t -> stats
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count], capped at 8 to stay polite on shared
     CI machines. *)
+
+(** {2 Shared with the long-lived pool executor}
+
+    {!Pool} reuses the executor's task-body dispatch, span recording and
+    idle-backoff policy so the two runtimes stay behaviourally identical
+    per task. *)
+
+val exec_body : (Task.op -> unit) option -> Task.t -> unit
+(** Run one task body: the op through [interp] when both are present,
+    else the [run] closure. Raises [Invalid_argument] when neither
+    applies. *)
+
+val check_bodies : (Task.op -> unit) option -> Dag.t -> unit
+(** Validate every task is runnable under [interp] (op, or closure). *)
+
+val with_task_span :
+  Xsc_obs.Span.ctx option -> wid:int -> Task.t -> (unit -> 'a) -> 'a
+(** Record a phase-["task"] child span of [ctx] around [f] (recorded even
+    when [f] raises); identity when [ctx] is [None]. *)
+
+val max_sweeps : int
+(** Failed steal sweeps before an idle worker parks. *)
+
+val backoff : int -> unit
+(** Exponential [Domain.cpu_relax] pause after the given failed sweep. *)

@@ -76,6 +76,12 @@ let reference cfg a =
     Blas.gemm ~alpha:1.0 m b ~beta:0.0 c;
     Request.Matrix c
 
+(* Oracle for the shared-pool dispatch path: the identical Route plan the
+   server submits, executed sequentially. The packed kernels are bitwise
+   schedule-independent, so a fault-free pool-served answer must equal
+   this bit for bit — under any interleaving, steal pattern or storm. *)
+let reference_routed ?nb cfg a = Route.direct ?nb (payload_of cfg a)
+
 let bits_equal x y =
   Array.length x = Array.length y
   && (let ok = ref true in
@@ -227,6 +233,109 @@ let run_closed srv ~outstanding cfg =
   let wall_s = Clock.now_s () -. t0 in
   let batches = (Server.counters srv).Server.batches - batches0 in
   report_of ~offered:cfg.count ~rejected:!rejected ~wall_s ~batches !completions
+
+(* ---- the latency-isolation mix: Poisson smalls + a streaming large ---- *)
+
+type large = {
+  l_n : int;
+  l_deadline_s : float;
+  l_seed : int;
+}
+
+let default_large = { l_n = 768; l_deadline_s = 5.0; l_seed = 7 }
+
+type isolation = {
+  smalls : report;
+  pairs : (arrival * Request.completion) list;
+  larges_done : int;
+  larges_failed : int;
+  large_mean_s : float;
+}
+
+(* One client thread drives both loads: smalls open-loop at their Poisson
+   times (offered load does not slow down for the large), the large
+   closed-loop with exactly one outstanding — the moment one completes the
+   next is submitted, so large work streams through the server for the
+   whole run. The large instance is generated once and resubmitted
+   (generation is O(n^3), pricier than the solve; regenerating would
+   starve the stream). *)
+let run_isolation srv ?large cfg =
+  let arrivals = schedule cfg in
+  let payloads = Array.map (payload_of cfg) arrivals in
+  let large_payload =
+    Option.map
+      (fun l ->
+        let rng = Rng.create l.l_seed in
+        (l, Request.Spd_solve (Mat.random_spd rng l.l_n, Vec.random rng l.l_n)))
+      large
+  in
+  let batches0 = (Server.counters srv).Server.batches in
+  let large_tk = ref None in
+  let larges = ref [] in
+  let pump_large () =
+    match large_payload with
+    | None -> ()
+    | Some (l, p) ->
+      (match !large_tk with
+      | Some tk -> (
+        match Server.poll srv tk with
+        | Some c ->
+          larges := c :: !larges;
+          large_tk := None
+        | None -> ())
+      | None -> ());
+      if !large_tk = None then
+        match Server.submit srv ~deadline_s:l.l_deadline_s p with
+        | Ok tk -> large_tk := Some tk
+        | Error _ -> ()
+  in
+  let t0 = Clock.now_s () in
+  let tickets =
+    Array.mapi
+      (fun i a ->
+        let rec wait () =
+          pump_large ();
+          let now = Clock.now_s () in
+          if now < t0 +. a.at_s then begin
+            Unix.sleepf (Float.min 0.0005 (t0 +. a.at_s -. now));
+            wait ()
+          end
+        in
+        wait ();
+        Server.submit srv ~deadline_s:cfg.deadline_s payloads.(i))
+      arrivals
+  in
+  let pairs =
+    Array.to_list
+      (Array.map2
+         (fun a t ->
+           match t with Ok tk -> Some (a, Server.await srv tk) | Error _ -> None)
+         arrivals tickets)
+    |> List.filter_map Fun.id
+  in
+  (match !large_tk with
+  | Some tk ->
+    larges := Server.await srv tk :: !larges;
+    large_tk := None
+  | None -> ());
+  let wall_s = Clock.now_s () -. t0 in
+  let rejected =
+    Array.fold_left (fun acc t -> if Result.is_error t then acc + 1 else acc) 0 tickets
+  in
+  let batches = (Server.counters srv).Server.batches - batches0 in
+  let larges_ok = List.filter (fun c -> Result.is_ok c.Request.outcome) !larges in
+  {
+    smalls = report_of ~offered:cfg.count ~rejected ~wall_s ~batches (List.map snd pairs);
+    pairs;
+    larges_done = List.length larges_ok;
+    larges_failed = List.length !larges - List.length larges_ok;
+    large_mean_s =
+      (match larges_ok with
+      | [] -> 0.0
+      | l ->
+        List.fold_left (fun acc c -> acc +. c.Request.total_s) 0.0 l
+        /. float_of_int (List.length l));
+  }
 
 let report_json r =
   Printf.sprintf

@@ -42,6 +42,13 @@ val reference : config -> arrival -> Request.solution
 (** Direct (unserved) solution of the same instance through the same
     kernels: a fault-free served answer must be bitwise identical. *)
 
+val reference_routed : ?nb:int -> config -> arrival -> Request.solution
+(** {!Route.direct} on the same instance: the oracle for the shared-pool
+    dispatch path ({!Server.Shared}). The packed kernels are bitwise
+    schedule-independent, so a completed pool-served answer must equal
+    this bit for bit — under any interleaving or seeded fault storm
+    (replays re-run the same plan). *)
+
 val solutions_bitwise_equal : Request.solution -> Request.solution -> bool
 
 type report = {
@@ -77,6 +84,33 @@ val run_burst : Server.t -> config -> report
 val run_closed : Server.t -> outstanding:int -> config -> report
 (** Closed loop: at most [outstanding] requests in flight; arrival times
     are ignored. Raises [Invalid_argument] if [outstanding <= 0]. *)
+
+type large = {
+  l_n : int;  (** large problem size *)
+  l_deadline_s : float;
+  l_seed : int;
+}
+
+val default_large : large
+(** n=768 SPD, 5 s deadline, seed 7. *)
+
+type isolation = {
+  smalls : report;  (** the small class — what isolation gates on *)
+  pairs : (arrival * Request.completion) list;
+      (** every admitted small with its completion, for bitwise checks
+          against {!reference_routed} *)
+  larges_done : int;  (** large solves completed [Ok] during the run *)
+  larges_failed : int;
+  large_mean_s : float;  (** mean large total latency, 0 if none *)
+}
+
+val run_isolation : Server.t -> ?large:large -> config -> isolation
+(** The multi-tenant latency-isolation mix. Smalls are offered open-loop
+    at their Poisson times; the large (when given) streams closed-loop
+    with exactly one outstanding — as soon as one completes the next is
+    submitted, so large work occupies the server for the whole run.
+    Without [large] this is the small class alone: the baseline point of
+    the three-point isolation comparison. *)
 
 val report_json : report -> string
 val report_human : report -> string

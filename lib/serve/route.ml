@@ -1,0 +1,239 @@
+(* Request -> dataflow plan: the bridge between the serving layer and the
+   shared task pool.
+
+   A plan is the request's whole execution as data: a DAG whose first task
+   packs the operand into a pooled tile-major buffer (acquired on the
+   executing worker's domain, so scratch recycles inside the pool), the
+   factorization as closure-free op tasks over that buffer, an interpreter
+   binding the ops to the buffer, and a [finish]/[cleanup] pair run after
+   the DAG drains. SPD solves route to the packed tiled Cholesky,
+   diagonally dominant LU solves to the packed unpivoted LU; pivoting LU
+   and GEMM (no op encoding) run as single-task closure DAGs — still
+   pool-scheduled, deadline-tagged units, just without intra-request
+   parallelism.
+
+   Bitwise determinism is the contract that makes the shared pool
+   testable: the packed kernels update each element along a fixed
+   k-ascending chain, so any DAG-consistent interleaving — the pool under
+   load, work stealing, preemption by urgent arrivals — produces results
+   bitwise identical to [direct], the same plan executed sequentially on
+   the calling domain. The isolation bench and the oracle tests lean on
+   exactly this.
+
+   Fault injection: with a harness, op-task plans wrap their interpreter
+   in [Harness.wrap_interp_key] (first op of the attempt raises when the
+   request id is targeted) and closure plans wrap the closure in
+   [Harness.wrap_thunk] — same hash, same fired-set, so a seeded storm
+   injects the same request set on every path. Build a fresh plan per
+   attempt: a replan after a transient fault runs clean. *)
+
+open Xsc_linalg
+module Task = Xsc_runtime.Task
+module Dag = Xsc_runtime.Dag
+module PD = Xsc_tile.Packed.D
+module Harness = Xsc_resilience.Harness
+
+type t = {
+  dag : Dag.t;
+  interp : (Task.op -> unit) option;
+  finish : unit -> Request.solution;
+  cleanup : unit -> unit;
+  tiled : bool;
+}
+
+let default_nb () = Xsc_tile.Packed.tuned_nb ~fallback:64
+
+(* Pack [a] (n x n) into the padded packed buffer, identity on the pad
+   diagonal (harmless for SPD and for diagonally dominant LU), writing
+   every element — pooled buffers come back dirty. *)
+let pack_padded (p : PD.t) (a : Mat.t) =
+  let n = a.Mat.rows in
+  let nb = p.PD.nb in
+  let ad = a.Mat.data in
+  for bi = 0 to p.PD.nt - 1 do
+    for bj = 0 to p.PD.nt - 1 do
+      let base = PD.off p bi bj in
+      for r = 0 to nb - 1 do
+        let gi = (bi * nb) + r in
+        let row = base + (r * nb) in
+        for c = 0 to nb - 1 do
+          let gj = (bj * nb) + c in
+          p.PD.buf.{row + c} <-
+            (if gi < n && gj < n then ad.((gi * n) + gj)
+             else if gi = gj then 1.0
+             else 0.0)
+        done
+      done
+    done
+  done
+
+(* Padded forward/back substitution against a packed Cholesky factor:
+   identity pad rows solve to b's pad (zero), so the head is unaffected. *)
+let spd_finish cell n padded b () =
+  let p = match !cell with Some p -> p | None -> assert false in
+  let bp = Scratch.acquire_vec padded in
+  Array.blit b 0 bp 0 n;
+  Array.fill bp n (padded - n) 0.0;
+  let y = PD.potrs p bp in
+  Scratch.release_vec bp;
+  Scratch.release_packed p;
+  cell := None;
+  Request.Vector (Array.sub y 0 n)
+
+(* L U x = b against the packed unpivoted factor: unit-lower forward then
+   upper backward substitution, element order matching Blas.trsv
+   ([~diag:Unit] then [NonUnit]) on the unpacked factor. *)
+let lu_solve_packed (p : PD.t) b =
+  let n = p.PD.n in
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let acc = ref y.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (PD.get p i j *. y.(j))
+    done;
+    y.(i) <- !acc
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (PD.get p i j *. y.(j))
+    done;
+    y.(i) <- !acc /. PD.get p i i
+  done;
+  y
+
+let lu_finish cell n padded b () =
+  let p = match !cell with Some p -> p | None -> assert false in
+  let bp = Scratch.acquire_vec padded in
+  Array.blit b 0 bp 0 n;
+  Array.fill bp n (padded - n) 0.0;
+  let y = lu_solve_packed p bp in
+  Scratch.release_vec bp;
+  Scratch.release_packed p;
+  cell := None;
+  Request.Vector (Array.sub y 0 n)
+
+let release_cell cell () =
+  match !cell with
+  | Some p ->
+    Scratch.release_packed p;
+    cell := None
+  | None -> ()
+
+(* Prepend the pack task (id 0, writes every tile) to an op task list
+   (ids shifted by one; accesses use the same [stride = nt] datum ids, so
+   Dag.build derives pack -> everything). *)
+let with_pack_task ~nt ~nb ~padded pack ops =
+  let datums = ref [] in
+  for i = nt - 1 downto 0 do
+    for j = nt - 1 downto 0 do
+      datums := Task.Write (Task.datum i j ~stride:nt) :: !datums
+    done
+  done;
+  let pack_task =
+    Task.make ~id:0 ~name:"pack" ~flops:(float_of_int (padded * padded))
+      ~bytes:(8.0 *. float_of_int (nb * nb)) ~run:pack !datums
+  in
+  let shifted =
+    List.map
+      (fun (t : Task.t) ->
+        Task.make ~id:(t.Task.id + 1) ~name:t.Task.name ~flops:t.Task.flops
+          ~bytes:t.Task.bytes ?run:t.Task.run ?op:t.Task.op t.Task.accesses)
+      ops
+  in
+  Dag.build (pack_task :: shifted)
+
+let wrap_interp harness ~key interp =
+  match harness with
+  | None -> interp
+  | Some h -> Harness.wrap_interp_key h ~key interp
+
+let tiled_plan ~harness ~key ~nb a ops_of interp_of finish_of =
+  let n = a.Mat.rows in
+  let padded = (n + nb - 1) / nb * nb in
+  let nt = padded / nb in
+  let cell : PD.t option ref = ref None in
+  let pack () =
+    let p = Scratch.acquire_packed ~n:padded ~nb in
+    pack_padded p a;
+    cell := Some p
+  in
+  let dag = with_pack_task ~nt ~nb ~padded pack (ops_of ~nt ~nb) in
+  let interp0 op =
+    match !cell with
+    | Some p -> interp_of p op
+    | None -> assert false (* every op task is a DAG successor of pack *)
+  in
+  {
+    dag;
+    interp = Some (wrap_interp harness ~key interp0);
+    finish = finish_of cell ~padded;
+    cleanup = release_cell cell;
+    tiled = true;
+  }
+
+(* Pivoting LU and GEMM have no op encoding: one closure task computing
+   into a cell. Deadline-tagged and pool-isolated like any job, just
+   without intra-request parallelism. *)
+let thunk_plan ~harness ~key compute =
+  let cell = ref None in
+  let body =
+    match harness with
+    | None -> fun () -> cell := Some (compute ())
+    | Some h -> fun () -> cell := Some (Harness.wrap_thunk h ~key compute)
+  in
+  let task = Task.make ~id:0 ~name:"solve" ~flops:0.0 ~run:body [ Task.Write 0 ] in
+  {
+    dag = Dag.build [ task ];
+    interp = None;
+    finish =
+      (fun () -> match !cell with Some s -> s | None -> assert false);
+    cleanup = (fun () -> cell := None);
+    tiled = false;
+  }
+
+let strictly_diag_dominant (a : Mat.t) =
+  let n = a.Mat.rows in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let off = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j <> i then off := !off +. abs_float (Mat.get a i j)
+    done;
+    if abs_float (Mat.get a i i) <= !off then ok := false
+  done;
+  !ok
+
+let plan ?harness ?nb ~key (payload : Request.payload) =
+  let nb = match nb with Some nb -> nb | None -> default_nb () in
+  match payload with
+  | Request.Spd_solve (a, b) ->
+    tiled_plan ~harness ~key ~nb a Xsc_core.Cholesky.tasks_ops
+      Xsc_core.Cholesky.packed_interp
+      (fun cell ~padded -> spd_finish cell a.Mat.rows padded b)
+  | Request.Lu_solve (a, b) when strictly_diag_dominant a ->
+    tiled_plan ~harness ~key ~nb a Xsc_core.Lu.tasks_ops Xsc_core.Lu.packed_interp
+      (fun cell ~padded -> lu_finish cell a.Mat.rows padded b)
+  | Request.Lu_solve (a, b) ->
+    thunk_plan ~harness ~key (fun () -> Request.Vector (Lapack.lu_solve a b))
+  | Request.Gemm (a, b) ->
+    thunk_plan ~harness ~key (fun () ->
+        let ra, _ = Mat.dims a and _, cb = Mat.dims b in
+        let c = Mat.create ra cb in
+        Blas.gemm ~alpha:1.0 a b ~beta:0.0 c;
+        Request.Matrix c)
+
+(* The per-request oracle: the same plan, executed sequentially on the
+   calling domain with no faults. Any pool execution of an equal plan is
+   bitwise identical (packed kernels are schedule-independent). *)
+let direct ?nb (payload : Request.payload) =
+  let p = plan ?nb ~key:(-1) payload in
+  match
+    Array.iter
+      (fun task -> Xsc_runtime.Real_exec.exec_body p.interp task)
+      p.dag.Dag.tasks
+  with
+  | () -> p.finish ()
+  | exception e ->
+    p.cleanup ();
+    raise e

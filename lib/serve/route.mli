@@ -1,0 +1,47 @@
+(** Request -> dataflow plan: how the serving layer turns one request
+    into a DAG submission for the shared task pool.
+
+    SPD solves become [pack -> tiled packed Cholesky] op DAGs, diagonally
+    dominant LU solves [pack -> tiled packed unpivoted LU]; pivoting LU
+    and GEMM run as single-closure-task DAGs (no op encoding). The pack
+    task acquires its tile-major buffer from {!Scratch} on the executing
+    worker's domain and [finish]/[cleanup] release it, so buffers recycle
+    inside the pool across same-class requests.
+
+    The packed kernels are bitwise schedule-independent, so executing a
+    plan's DAG under any DAG-consistent interleaving (the shared pool
+    under load, steals, preemption) then calling [finish] yields results
+    bitwise identical to {!direct} on an equal payload. *)
+
+type t = {
+  dag : Xsc_runtime.Dag.t;
+  interp : (Xsc_runtime.Task.op -> unit) option;
+      (** binds op tasks to the plan's packed buffer; [None] for closure
+          plans. Already harness-wrapped when the plan was built with one. *)
+  finish : unit -> Request.solution;
+      (** call exactly once after the DAG drained successfully; solves
+          against the factor and releases the plan's scratch *)
+  cleanup : unit -> unit;
+      (** call instead of [finish] when the DAG failed or was abandoned;
+          releases whatever scratch the partial run acquired. Idempotent. *)
+  tiled : bool;  (** true when routed to a tiled op DAG *)
+}
+
+val plan :
+  ?harness:Xsc_resilience.Harness.t -> ?nb:int -> key:int -> Request.payload -> t
+(** Build one attempt's plan. [nb] defaults to the host's tuned tile size
+    ({!Xsc_tile.Packed.tuned_nb}[ ~fallback:64]). With [harness], fault
+    injection keyed by [key] (the request id) is baked in: op plans raise
+    at the first op of the attempt when targeted
+    ({!Xsc_resilience.Harness.wrap_interp_key}), closure plans through
+    {!Xsc_resilience.Harness.wrap_thunk} — same hash, same fired-set.
+    Build a fresh plan per attempt; a replan after a transient fault runs
+    clean. *)
+
+val direct : ?nb:int -> Request.payload -> Request.solution
+(** The per-request oracle: build the same plan (no faults) and execute
+    it sequentially on the calling domain. Raises whatever the kernels
+    raise (e.g. singular-matrix errors). *)
+
+val strictly_diag_dominant : Xsc_linalg.Mat.t -> bool
+(** The routing predicate for LU payloads (exposed for tests). *)

@@ -1,0 +1,76 @@
+(* Domain-local scratch pools for the serving layer: packed-matrix
+   Bigarrays and float-array vectors recycled across same-class requests.
+
+   Freelists live in Domain.DLS, so acquire/release are lock-free and a
+   buffer never crosses domains *while in use* — it may be acquired by a
+   pack task on one pool worker and released by a completion callback on
+   another, in which case it simply joins the releasing domain's freelist
+   (Chase-Lev-style migration: ownership follows release). Lists are
+   bounded per (n, nb) class so a burst cannot pin unbounded memory.
+
+   [set_enabled false] turns both pools into plain allocators — the A/B
+   switch the isolation bench uses to demonstrate the steady-state
+   allocation difference. *)
+
+module PD = Xsc_tile.Packed.D
+module Metrics = Xsc_obs.Metrics
+
+let m_hits = Metrics.counter "serve.scratch.hits"
+let m_misses = Metrics.counter "serve.scratch.misses"
+
+let enabled = Atomic.make true
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+(* per-(class) freelist bound: enough to cover a worker's plausible
+   concurrent in-flight set, small enough to cap idle memory *)
+let max_per_class = 8
+
+type pools = {
+  packed : (int * int, PD.t list) Hashtbl.t;  (* (n, nb) -> freelist *)
+  vecs : (int, float array list) Hashtbl.t;  (* length -> freelist *)
+}
+
+let dls : pools Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { packed = Hashtbl.create 8; vecs = Hashtbl.create 8 })
+
+let acquire_packed ~n ~nb =
+  let p = Domain.DLS.get dls in
+  match if is_enabled () then Hashtbl.find_opt p.packed (n, nb) else None with
+  | Some (buf :: rest) ->
+    Hashtbl.replace p.packed (n, nb) rest;
+    Metrics.incr m_hits;
+    buf
+  | Some [] | None ->
+    Metrics.incr m_misses;
+    PD.create ~n ~nb
+
+let release_packed (buf : PD.t) =
+  if is_enabled () then begin
+    let p = Domain.DLS.get dls in
+    let key = (buf.PD.n, buf.PD.nb) in
+    let fl = Option.value (Hashtbl.find_opt p.packed key) ~default:[] in
+    if List.length fl < max_per_class then Hashtbl.replace p.packed key (buf :: fl)
+  end
+
+let acquire_vec len =
+  let p = Domain.DLS.get dls in
+  match if is_enabled () then Hashtbl.find_opt p.vecs len else None with
+  | Some (v :: rest) ->
+    Hashtbl.replace p.vecs len rest;
+    Metrics.incr m_hits;
+    v
+  | Some [] | None ->
+    Metrics.incr m_misses;
+    Array.make len 0.0
+
+let release_vec (v : float array) =
+  if is_enabled () then begin
+    let p = Domain.DLS.get dls in
+    let len = Array.length v in
+    let fl = Option.value (Hashtbl.find_opt p.vecs len) ~default:[] in
+    if List.length fl < max_per_class then Hashtbl.replace p.vecs len (v :: fl)
+  end
+
+let hits () = Metrics.counter_value m_hits
+let misses () = Metrics.counter_value m_misses

@@ -1,0 +1,38 @@
+(** Domain-local scratch pools: packed-matrix Bigarrays and float-array
+    vectors recycled across same-class requests.
+
+    Freelists live in [Domain.DLS] — acquire/release are lock-free and
+    per-domain. A buffer acquired on one domain may be released on
+    another; it then joins the releasing domain's freelist (ownership
+    follows release). Freelists are bounded per size class.
+
+    Buffers are returned {e dirty}: callers must overwrite every element
+    they read (the packing routines do — a pack writes the whole
+    buffer). *)
+
+val acquire_packed : n:int -> nb:int -> Xsc_tile.Packed.D.t
+(** Pooled or fresh packed matrix of exactly ([n], [nb]); contents
+    undefined. *)
+
+val release_packed : Xsc_tile.Packed.D.t -> unit
+(** Return a buffer to this domain's pool (dropped when the class list is
+    full or pooling is disabled). The caller must not touch it again. *)
+
+val acquire_vec : int -> float array
+(** Pooled or fresh [float array] of exactly the given length; contents
+    undefined. *)
+
+val release_vec : float array -> unit
+
+val set_enabled : bool -> unit
+(** [false] turns both pools into plain allocators (acquire always
+    allocates, release drops) — the A/B switch for allocation benches.
+    Default [true]. *)
+
+val is_enabled : unit -> bool
+
+val hits : unit -> int
+(** Pool hits so far (also the [serve.scratch.hits] counter). *)
+
+val misses : unit -> int
+(** Pool misses = fresh allocations ([serve.scratch.misses]). *)

@@ -29,6 +29,8 @@ module Metrics = Xsc_obs.Metrics
 module Span = Xsc_obs.Span
 module Gcstat = Xsc_obs.Gcstat
 module Trace = Xsc_runtime.Trace
+module Real_exec = Xsc_runtime.Real_exec
+module Pool = Xsc_runtime.Pool
 module Harness = Xsc_resilience.Harness
 module Flight = Xsc_resilience.Flight
 
@@ -50,6 +52,19 @@ let m_total = Metrics.histogram "serve.total_s"
    "zero-allocation steady state" as a benchmarked number *)
 let m_alloc = Metrics.histogram "serve.alloc_minor_words_per_req"
 
+(* Two dispatch modes share the whole admission -> batcher -> EDF front:
+   [Slot] claims a worker domain per batch and runs requests to completion
+   on it (the original design, kept as the isolation-bench ablation);
+   [Shared n] routes every request's DAG into one shared deadline-aware
+   task pool ({!Xsc_runtime.Pool}) on [n] persistent worker domains — no
+   per-request executor, no per-request barrier, and the request's EDF
+   deadline travels down to *task* granularity, so a small request entering
+   while a large factorization streams waits ~one task, not the tail of
+   the large DAG. *)
+type dispatch =
+  | Slot
+  | Shared of int
+
 type config = {
   workers : int;
   capacity : int;
@@ -61,6 +76,7 @@ type config = {
   spans : bool;
   slos : Slo.objective list;
   flight_path : string option;
+  dispatch : dispatch;
 }
 
 let default_config =
@@ -75,6 +91,7 @@ let default_config =
     spans = true;
     slos = [];
     flight_path = None;
+    dispatch = Slot;
   }
 
 type ticket = {
@@ -96,18 +113,32 @@ type counters = {
    queue lane plus a service span on the executing worker's lane. *)
 type span = { task : int; name : string; lane : int; start_ns : int; finish_ns : int }
 
+(* A transiently-faulted request waiting out its retry backoff: the pump
+   resubmits it when due instead of a pool worker sleeping in a callback
+   (a sleeping callback would block a whole execution lane). *)
+type retry_entry = {
+  re_due_ns : int;
+  re_req : Request.t;
+  re_attempt : int;  (* attempts already consumed *)
+  re_dispatch_ns : int;  (* first submit-to-pool time, held across retries *)
+}
+
 type t = {
   cfg : config;
   harness : Harness.t option;
   collector : Span.collector option;
   slo : Slo.t option;
   ingress : Request.t Queue.t;
+  pool : Pool.t option;  (* Some iff [dispatch = Shared _] *)
   (* ---- shared worker state, under [mu] ---- *)
   mu : Mutex.t;
   batcher : Batcher.t;
   sched : Scheduler.t;
   tickets : (int, ticket) Hashtbl.t;
   mutable spans : span list;
+  (* ---- retry queue (Shared mode), under [retry_mu] ---- *)
+  retry_mu : Mutex.t;
+  mutable retry_q : retry_entry list;
   (* ---- submit-side state ---- *)
   in_system : int Atomic.t;  (* admitted and not yet completed *)
   next_id : int Atomic.t;
@@ -121,6 +152,11 @@ type t = {
   c_batches : int Atomic.t;
   mutable domains : unit Domain.t array;
 }
+
+(* lane layout in the exported trace: workers 0..lanes-1, queue-wait
+   spans on one extra virtual lane *)
+let exec_lanes cfg = match cfg.dispatch with Slot -> cfg.workers | Shared n -> n
+let queue_lane cfg = exec_lanes cfg
 
 (* ---- request execution ---- *)
 
@@ -215,7 +251,7 @@ let complete t (r : Request.t) outcome ~retries ~dispatch_ns ~worker =
     :: {
          task = r.Request.id;
          name = Printf.sprintf "wait:%s(%d)" key r.Request.id;
-         lane = t.cfg.workers;
+         lane = queue_lane t.cfg;
          start_ns = r.Request.submit_ns;
          finish_ns = dispatch_ns;
        }
@@ -238,7 +274,7 @@ let complete t (r : Request.t) outcome ~retries ~dispatch_ns ~worker =
         parent = wait.Span.parent;
         phase = "wait";
         name = Printf.sprintf "wait:%s" key;
-        lane = t.cfg.workers;
+        lane = queue_lane t.cfg;
         attempt = 0;
         start_ns = r.Request.submit_ns;
         finish_ns = dispatch_ns;
@@ -337,6 +373,107 @@ let execute t worker (batch : Batcher.batch) =
     done
   end
 
+(* ---- shared-pool dispatch ---- *)
+
+(* One attempt of one request as a pool job: build a fresh plan (fresh
+   scratch cell, fresh fault wrapping), submit its DAG with the request's
+   deadline and attempt span context, and let the completion callback —
+   running on the pool worker that drained the job — assemble the
+   solution, queue a retry, or settle the request. No thread ever blocks
+   per request; concurrency lives entirely in the shared pool. *)
+let rec submit_to_pool t pool (r : Request.t) ~attempt ~dispatch_ns =
+  let m0 = Gcstat.minor_words () in
+  let plan = Route.plan ?harness:t.harness ~key:r.Request.id r.Request.payload in
+  let plan_alloc = Gcstat.minor_words () -. m0 in
+  let actx = Option.map (fun _ -> Span.child r.Request.span) t.collector in
+  let t0 = Clock.now_ns () in
+  let note_attempt ~worker =
+    match (t.collector, actx) with
+    | Some col, Some ctx ->
+      Span.record col
+        {
+          Span.request = r.Request.id;
+          span = ctx.Span.span;
+          parent = ctx.Span.parent;
+          phase = "attempt";
+          name = Request.class_key r.Request.payload;
+          lane = worker;
+          attempt;
+          start_ns = t0;
+          finish_ns = Clock.now_ns ();
+        }
+    | _ -> ()
+  in
+  Pool.submit ?interp:plan.Route.interp ~deadline_ns:r.Request.deadline_ns ?sctx:actx
+    pool plan.Route.dag ~on_done:(fun failure ~worker ->
+      note_attempt ~worker;
+      match failure with
+      | None -> (
+        let m1 = Gcstat.minor_words () in
+        match plan.Route.finish () with
+        | sol ->
+          (* per-request allocation: plan construction (pump domain) plus
+             solve-and-release (this domain); the factorization tasks
+             themselves run in place over pooled buffers *)
+          Metrics.observe m_alloc (plan_alloc +. (Gcstat.minor_words () -. m1));
+          complete t r (Ok sol) ~retries:attempt ~dispatch_ns ~worker
+        | exception e ->
+          plan.Route.cleanup ();
+          complete t r
+            (Error (Request.Failed { attempts = attempt + 1; error = Printexc.to_string e }))
+            ~retries:attempt ~dispatch_ns ~worker)
+      | Some f -> (
+        plan.Route.cleanup ();
+        match f.Real_exec.error with
+        | Harness.Injected _ when attempt < t.cfg.max_retries ->
+          (* transient: hand the request back to the pump with a due time
+             instead of sleeping here — a sleeping callback would block
+             one of the pool's execution lanes *)
+          Atomic.incr t.c_retried;
+          Metrics.incr m_retried;
+          let backoff_ns =
+            int_of_float (t.cfg.retry_backoff_s *. ldexp 1.0 attempt *. 1e9)
+          in
+          let entry =
+            {
+              re_due_ns = Clock.now_ns () + backoff_ns;
+              re_req = r;
+              re_attempt = attempt + 1;
+              re_dispatch_ns = dispatch_ns;
+            }
+          in
+          Mutex.lock t.retry_mu;
+          t.retry_q <- entry :: t.retry_q;
+          Mutex.unlock t.retry_mu
+        | e ->
+          complete t r
+            (Error (Request.Failed { attempts = attempt + 1; error = Printexc.to_string e }))
+            ~retries:attempt ~dispatch_ns ~worker))
+
+and service_retries t pool =
+  let now = Clock.now_ns () in
+  Mutex.lock t.retry_mu;
+  let due, later = List.partition (fun e -> e.re_due_ns <= now) t.retry_q in
+  t.retry_q <- later;
+  Mutex.unlock t.retry_mu;
+  List.iter
+    (fun e ->
+      submit_to_pool t pool e.re_req ~attempt:e.re_attempt ~dispatch_ns:e.re_dispatch_ns)
+    (* oldest due first, so equal-backoff retries resubmit in fault order *)
+    (List.sort (fun a b -> compare a.re_due_ns b.re_due_ns) due)
+
+(* A claimed batch in Shared mode is a dispatch unit only: each member
+   becomes its own DAG submission (sharing the batch's dispatch stamp),
+   and the pool interleaves their tasks with everything else in flight. *)
+let dispatch_batch_pool t pool (batch : Batcher.batch) =
+  let dispatch_ns = Clock.now_ns () in
+  Atomic.incr t.c_batches;
+  Metrics.incr m_batches;
+  Metrics.observe m_batch_size (float_of_int (Array.length batch.Batcher.requests));
+  Array.iter
+    (fun r -> submit_to_pool t pool r ~attempt:0 ~dispatch_ns)
+    batch.Batcher.requests
+
 (* ---- worker loop ---- *)
 
 (* Pump admitted requests through the batcher into the EDF heap and claim
@@ -375,6 +512,23 @@ let rec worker_loop t w =
       worker_loop t w
     end
 
+(* Shared mode runs ONE pump domain: it drains admission into the batcher,
+   dispatches claimed batches into the pool without blocking on them, and
+   resubmits due retries. It exits only when nothing is in-system — every
+   admitted request has fully settled through its completion callback. *)
+let rec pump_loop t pool =
+  service_retries t pool;
+  match next_batch t with
+  | Some b ->
+    dispatch_batch_pool t pool b;
+    pump_loop t pool
+  | None ->
+    if Atomic.get t.stopping && Atomic.get t.in_system = 0 then ()
+    else begin
+      Unix.sleepf poll_s;
+      pump_loop t pool
+    end
+
 (* ---- lifecycle ---- *)
 
 let start ?harness cfg =
@@ -386,6 +540,9 @@ let start ?harness cfg =
     invalid_arg "Server.start: default_deadline_s must be positive";
   if cfg.max_retries < 0 then invalid_arg "Server.start: max_retries must be >= 0";
   if cfg.retry_backoff_s < 0.0 then invalid_arg "Server.start: retry_backoff_s must be >= 0";
+  (match cfg.dispatch with
+  | Slot -> ()
+  | Shared n -> if n < 1 then invalid_arg "Server.start: Shared pool workers must be >= 1");
   let collector =
     if cfg.spans then
       (* tee into the flight recorder only when a dump could ever be
@@ -396,6 +553,11 @@ let start ?harness cfg =
         | None -> Span.collector ())
     else None
   in
+  let pool =
+    match cfg.dispatch with
+    | Slot -> None
+    | Shared n -> Some (Pool.create ~workers:n ())
+  in
   let t =
     {
       cfg;
@@ -403,6 +565,7 @@ let start ?harness cfg =
       collector;
       slo = (match cfg.slos with [] -> None | slos -> Some (Slo.create slos));
       ingress = Queue.create ~capacity:cfg.capacity;
+      pool;
       mu = Mutex.create ();
       batcher =
         Batcher.create
@@ -411,6 +574,8 @@ let start ?harness cfg =
       sched = Scheduler.create ();
       tickets = Hashtbl.create 64;
       spans = [];
+      retry_mu = Mutex.create ();
+      retry_q = [];
       in_system = Atomic.make 0;
       next_id = Atomic.make 0;
       stopping = Atomic.make false;
@@ -427,7 +592,12 @@ let start ?harness cfg =
   (* install process-wide so layers below (executors, harness, ABFT)
      can parent their segments onto whatever request is ambient *)
   (match collector with Some _ -> Span.install collector | None -> ());
-  t.domains <- Array.init cfg.workers (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  (match pool with
+  | None ->
+    t.domains <- Array.init cfg.workers (fun w -> Domain.spawn (fun () -> worker_loop t w))
+  | Some p ->
+    (* execution concurrency lives in the pool; one pump feeds it *)
+    t.domains <- [| Domain.spawn (fun () -> pump_loop t p) |]);
   t
 
 let reject t reason =
@@ -499,6 +669,9 @@ let stop t =
   if not (Atomic.exchange t.stopping true) then begin
     Queue.close t.ingress;
     Array.iter Domain.join t.domains;
+    (* the pump exits only at in_system = 0, so shutdown finds the pool
+       quiescent — this join is the worker domains, not a drain *)
+    (match t.pool with Some p -> Pool.shutdown p | None -> ());
     (* final post-mortem: workers have quiesced, so the ring now holds
        every failing request's complete chain — overwrite any mid-storm
        first-failure dump with the full picture *)
@@ -541,7 +714,7 @@ let trace t =
   Mutex.lock t.mu;
   let spans = t.spans in
   Mutex.unlock t.mu;
-  let tr = Trace.create ~workers:(t.cfg.workers + 1) in
+  let tr = Trace.create ~workers:(queue_lane t.cfg + 1) in
   List.iter
     (fun s ->
       Trace.add tr

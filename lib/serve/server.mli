@@ -38,8 +38,30 @@
     permanent request failure, on entering SLO breach, and at [stop] when
     any request failed. *)
 
+(** How claimed batches execute.
+
+    [Slot]: a worker domain claims a batch and runs its members to
+    completion ({!Xsc_core.Batched.run_batch_results}) — request-granular
+    occupancy: a large request holds its lane for its whole service time.
+
+    [Shared n]: every request's tiled DAG is submitted into one shared
+    deadline-aware task pool ({!Xsc_runtime.Pool}) on [n] persistent
+    worker domains via {!Route}. No per-request executor or barrier; the
+    request's EDF deadline reaches {e task} granularity (composite
+    {!Xsc_runtime.Prio} key), so a small request entering while a large
+    factorization streams preempts at the next task boundary — its wait
+    is bounded by ~one task's service time, not the large DAG's tail.
+    Fault isolation, transient-fault retry and span parentage carry over:
+    a failing task aborts only its own job, retries resubmit after
+    backoff (the pump holds them; no pool lane ever sleeps), and task
+    spans parent onto the submitting request even when many requests
+    interleave on one lane. *)
+type dispatch =
+  | Slot
+  | Shared of int
+
 type config = {
-  workers : int;  (** persistent worker domains *)
+  workers : int;  (** persistent worker domains ([Slot] mode) *)
   capacity : int;  (** admission window: max requests in-system at once *)
   max_batch : int;  (** size-triggered batch flush *)
   linger_s : float;  (** time-triggered batch flush *)
@@ -49,6 +71,7 @@ type config = {
   spans : bool;  (** keep causal span records per request *)
   slos : Slo.objective list;  (** per-class burn-rate monitors; [[]] = off *)
   flight_path : string option;  (** arm the flight recorder: dump here *)
+  dispatch : dispatch;  (** batch execution mode (default [Slot]) *)
 }
 
 val default_config : config

@@ -129,6 +129,30 @@ module D = struct
       done
     done
 
+  (* Solve L Lᵀ x = b against the packed factor in place (no unpack to a
+     dense Mat): forward then transposed-backward substitution, element
+     order identical to Blas.trsv on the unpacked factor, so the result is
+     bitwise equal to unpack-then-trsv. *)
+  let potrs t b =
+    let n = t.n in
+    if Array.length b <> n then invalid_arg "Packed.D.potrs: dimension mismatch";
+    let y = Array.copy b in
+    for i = 0 to n - 1 do
+      let acc = ref y.(i) in
+      for j = 0 to i - 1 do
+        acc := !acc -. (get t i j *. y.(j))
+      done;
+      y.(i) <- !acc /. get t i i
+    done;
+    for i = n - 1 downto 0 do
+      let acc = ref y.(i) in
+      for j = i + 1 to n - 1 do
+        acc := !acc -. (get t j i *. y.(j))
+      done;
+      y.(i) <- !acc /. get t i i
+    done;
+    y
+
   (* Sequential packed unpivoted LU, mirroring Lu.tasks program order. *)
   let getrf_nopiv t =
     let nb = t.nb in

@@ -45,6 +45,12 @@ module D : sig
       strided [Cholesky.factor] reference. Raises
       {!Xsc_linalg.Pblas.Singular} on a non-positive pivot. *)
 
+  val potrs : t -> Xsc_linalg.Vec.t -> Xsc_linalg.Vec.t
+  (** [potrs l b] solves [L Lᵀ x = b] against the packed factor in place
+      (no unpack); element order matches {!Xsc_linalg.Blas.trsv}, so the
+      result is bitwise equal to unpack-then-trsv. Returns a fresh
+      solution vector. *)
+
   val getrf_nopiv : t -> unit
   (** Sequential packed tiled unpivoted LU, bitwise identical to the
       strided [Lu.factor] reference. Raises {!Xsc_linalg.Pblas.Singular}

@@ -165,6 +165,56 @@ let test_exception_storm_forkjoin () =
     exception_storm_one ~exec:(Runtime_api.Forkjoin 2) ~exact:false ~seed
   done
 
+(* The shared task pool as the FT executor: one long-lived pool serves
+   every step sub-DAG of every restart, and ABFT cone replay on top of it
+   still lands bitwise — including across injected exceptions, where the
+   per-job abort must not poison later submissions to the same pool. *)
+let test_clean_pooled_bitwise () =
+  let pool = Xsc_runtime.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Xsc_runtime.Pool.shutdown pool)
+    (fun () ->
+      let pristine, reference = Lazy.force chol_216_72 in
+      let p = PD.copy pristine in
+      let r = Ft.potrf_ft ~exec:(Runtime_api.Pooled pool) p in
+      Alcotest.(check bool) "bitwise" true (buf_equal p reference);
+      Alcotest.(check int) "nothing detected" 0 r.Ft.detected;
+      Alcotest.(check int) "no restarts" 0 r.Ft.restarts)
+
+let test_exception_storm_pooled () =
+  let pool = Xsc_runtime.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Xsc_runtime.Pool.shutdown pool)
+    (fun () ->
+      for seed = 1 to 5 do
+        exception_storm_one ~exec:(Runtime_api.Pooled pool) ~exact:false ~seed
+      done)
+
+let test_corruption_storm_pooled () =
+  let pool = Xsc_runtime.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Xsc_runtime.Pool.shutdown pool)
+    (fun () ->
+      let pristine, reference = Lazy.force chol_216_72 in
+      let total = ref 0 in
+      for seed = 1 to 8 do
+        let p = PD.copy pristine in
+        let h =
+          Harness.create { Harness.default with seed; p_corrupt = 0.12; magnitude = 1.0 }
+        in
+        let r = Ft.potrf_ft ~exec:(Runtime_api.Pooled pool) ~harness:h p in
+        let injected = Harness.corrupted h in
+        if injected > 0 && r.Ft.detected = 0 then
+          Alcotest.failf "seed %d: %d corruptions escaped detection on the pool" seed
+            injected;
+        if not (buf_equal p reference) then
+          Alcotest.failf "seed %d: pooled replayed factor differs from clean run" seed;
+        total := !total + injected
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "pooled storm injected faults (%d)" !total)
+        true (!total > 0))
+
 (* combined raises + corruption, still bitwise *)
 let test_mixed_storm () =
   let pristine, reference = Lazy.force chol_432_72 in
@@ -289,6 +339,12 @@ let () =
               Alcotest.test_case "sequential" `Quick test_exception_storm_sequential;
               Alcotest.test_case "dataflow" `Quick test_exception_storm_dataflow;
               Alcotest.test_case "forkjoin" `Quick test_exception_storm_forkjoin;
+              Alcotest.test_case "shared pool: clean bitwise" `Quick
+                test_clean_pooled_bitwise;
+              Alcotest.test_case "shared pool: exception storm" `Quick
+                test_exception_storm_pooled;
+              Alcotest.test_case "shared pool: corruption storm + ABFT replay" `Quick
+                test_corruption_storm_pooled;
               Alcotest.test_case "mixed raise+corrupt" `Quick test_mixed_storm;
               Alcotest.test_case "fail-stop after max restarts" `Quick
                 test_fail_stop_after_max_restarts;

@@ -816,6 +816,259 @@ let test_hetero_validation () =
   Alcotest.check_raises "bad rate" (Invalid_argument "Hetero.config: rates must be positive")
     (fun () -> ignore (Hetero.config ~rates:[| 1e9; 0.0 |] ()))
 
+(* ---- composite priority key ---- *)
+
+module Prio = Xsc_runtime.Prio
+module Pqueue = Xsc_runtime.Pqueue
+module Pool = Xsc_runtime.Pool
+module PD = Xsc_tile.Packed.D
+
+let pk ?(bl = 0) ?(seq = 0) ?(tid = 0) d = Prio.make ~deadline_ns:d ~bl ~seq ~tid
+
+let test_prio_edf_dominates () =
+  (* an earlier deadline beats any critical-path depth *)
+  Alcotest.(check bool) "earlier deadline wins" true
+    (Prio.before (pk ~bl:0 ~seq:99 ~tid:99 10) (pk ~bl:1_000_000 20));
+  Alcotest.(check bool) "strict order" false
+    (Prio.before (pk ~bl:1_000_000 20) (pk ~bl:0 ~seq:99 ~tid:99 10))
+
+let test_prio_bl_breaks_ties () =
+  (* equal deadlines fall to flops-weighted bottom level, deeper first *)
+  Alcotest.(check bool) "deeper critical path first" true
+    (Prio.before (pk ~bl:900_000 ~seq:7 ~tid:3 10) (pk ~bl:100_000 10));
+  Alcotest.(check bool) "shallower loses" false
+    (Prio.before (pk ~bl:100_000 10) (pk ~bl:900_000 ~seq:7 ~tid:3 10))
+
+let test_prio_fifo_ties () =
+  Alcotest.(check bool) "equal (deadline, bl): job FIFO by seq" true
+    (Prio.before (pk ~bl:5 ~seq:1 ~tid:9 10) (pk ~bl:5 ~seq:2 10));
+  Alcotest.(check bool) "same job: program order by tid" true
+    (Prio.before (pk ~bl:5 ~seq:1 ~tid:0 10) (pk ~bl:5 ~seq:1 ~tid:1 10));
+  Alcotest.(check int) "identical keys compare equal" 0
+    (Prio.compare (pk ~bl:2 ~seq:3 ~tid:4 1) (pk ~bl:2 ~seq:3 ~tid:4 1))
+
+let test_prio_bl_ranks () =
+  (* chain 0 -> 1 -> 2 with flops 10/20/30: bottom levels 60/50/30 over a
+     critical path of 60, normalised to the 0..1e6 scale *)
+  let t id flops access = Task.make ~id ~name:"t" ~flops ~run:(fun () -> ()) access in
+  let d =
+    Dag.build
+      [
+        t 0 10.0 [ Task.Write 0 ];
+        t 1 20.0 [ Task.Read 0; Task.Write 1 ];
+        t 2 30.0 [ Task.Read 1; Task.Write 2 ];
+      ]
+  in
+  let r = Prio.bl_ranks d in
+  Alcotest.(check int) "source carries the critical path" 1_000_000 r.(0);
+  Alcotest.(check int) "mid" (int_of_float (1e6 *. 50.0 /. 60.0)) r.(1);
+  Alcotest.(check int) "sink" 500_000 r.(2)
+
+(* ---- injection queue ---- *)
+
+let test_pqueue_pop_order () =
+  let q = Pqueue.create () in
+  List.iteri (fun i k -> Pqueue.push q k i)
+    [ pk 30; pk ~bl:1 10; pk ~bl:9 10; pk 20 ];
+  Alcotest.(check int) "length" 4 (Pqueue.length q);
+  Alcotest.(check int) "cached min deadline" 10 (Pqueue.min_deadline q);
+  let handles = List.init 4 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  (* within deadline 10 the deeper bottom level first, then 20, then 30 *)
+  Alcotest.(check (list int)) "priority order" [ 2; 1; 3; 0 ] handles;
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q);
+  Alcotest.(check int) "empty min deadline" max_int (Pqueue.min_deadline q);
+  Alcotest.(check bool) "pop on empty" true (Pqueue.pop q = None)
+
+let test_pqueue_deadline_gate () =
+  let q = Pqueue.create () in
+  Pqueue.push q (pk 100) 7;
+  Alcotest.(check bool) "equal deadline does not preempt" true
+    (Pqueue.pop_if_deadline_before q 100 = None);
+  Alcotest.(check bool) "strictly later local deadline yields" true
+    (match Pqueue.pop_if_deadline_before q 101 with Some (_, 7) -> true | _ -> false);
+  Alcotest.(check bool) "empty queue never pops" true
+    (Pqueue.pop_if_deadline_before q max_int = None)
+
+(* ---- shared deadline-aware task pool ---- *)
+
+let wait_for ?(timeout_s = 30.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    pred ()
+    || (Unix.gettimeofday () -. t0 < timeout_s
+       && begin
+            Unix.sleepf 0.001;
+            go ()
+          end)
+  in
+  go ()
+
+let pbuf_equal (a : PD.t) (b : PD.t) =
+  let da = a.PD.buf and db = b.PD.buf in
+  let dim = Bigarray.Array1.dim da in
+  let rec go i =
+    i >= dim
+    || (Int64.equal (Int64.bits_of_float da.{i}) (Int64.bits_of_float db.{i}) && go (i + 1))
+  in
+  Bigarray.Array1.dim db = dim && go 0
+
+(* Six factorizations of three geometries in flight at once on two pool
+   workers, every result bitwise-identical to its own sequential run: the
+   composite key may interleave them any way it likes, the dependence
+   edges still serialise every non-commuting kernel pair. *)
+let test_pool_concurrent_jobs_bitwise () =
+  let pool = Pool.create ~workers:2 () in
+  let jobs =
+    List.init 6 (fun i ->
+        let nt = 3 + (i mod 3) and nb = 8 in
+        let rng = Rng.create (50 + i) in
+        let a = Mat.random_spd rng (nt * nb) in
+        let dag = Xsc_core.Cholesky.dag_ops ~nt ~nb in
+        let reference = PD.of_mat ~nb a in
+        ignore
+          (Real_exec.run_sequential
+             ~interp:(Xsc_core.Cholesky.packed_interp reference)
+             dag);
+        (dag, reference, PD.of_mat ~nb a))
+  in
+  let left = Atomic.make (List.length jobs) in
+  let failures = Atomic.make 0 in
+  List.iteri
+    (fun i (dag, _, p) ->
+      Pool.submit
+        ~interp:(Xsc_core.Cholesky.packed_interp p)
+        ~deadline_ns:(1000 + i) pool dag
+        ~on_done:(fun f ~worker:_ ->
+          (match f with Some _ -> Atomic.incr failures | None -> ());
+          Atomic.decr left))
+    jobs;
+  Alcotest.(check bool) "all jobs completed" true (wait_for (fun () -> Atomic.get left = 0));
+  Alcotest.(check int) "no failures" 0 (Atomic.get failures);
+  Alcotest.(check int) "no live jobs" 0 (Pool.live_jobs pool);
+  List.iteri
+    (fun i (_, reference, p) ->
+      Alcotest.(check bool) (Printf.sprintf "job %d bitwise" i) true (pbuf_equal reference p))
+    jobs;
+  Pool.shutdown pool
+
+let test_pool_failure_isolation () =
+  let pool = Pool.create ~workers:2 () in
+  let boom_after = Atomic.make 0 in
+  let boom_dag =
+    Dag.build
+      [
+        Task.make ~id:0 ~name:"ok0" ~flops:1.0 ~run:(fun () -> ()) [ Task.Write 0 ];
+        Task.make ~id:1 ~name:"boom" ~flops:1.0
+          ~run:(fun () -> failwith "boom")
+          [ Task.Read 0; Task.Write 1 ];
+        Task.make ~id:2 ~name:"after" ~flops:1.0
+          ~run:(fun () -> Atomic.incr boom_after)
+          [ Task.Read 1; Task.Write 2 ];
+      ]
+  in
+  let cell = Atomic.make 0 in
+  let clean_dag () =
+    Dag.build
+      [ Task.make ~id:0 ~name:"inc" ~flops:1.0 ~run:(fun () -> Atomic.incr cell) [ Task.Write 0 ] ]
+  in
+  let fail_name = ref None and fail_seen = Atomic.make false and ok_seen = Atomic.make false in
+  Pool.submit pool boom_dag ~on_done:(fun f ~worker:_ ->
+      (match f with Some f -> fail_name := Some f.Real_exec.failed_name | None -> ());
+      Atomic.set fail_seen true);
+  Pool.submit pool (clean_dag ()) ~on_done:(fun f ~worker:_ ->
+      if f = None then Atomic.set ok_seen true);
+  Alcotest.(check bool) "both callbacks fired exactly once" true
+    (wait_for (fun () -> Atomic.get fail_seen && Atomic.get ok_seen));
+  Alcotest.(check (option string)) "failure names the task" (Some "boom") !fail_name;
+  Alcotest.(check int) "successor of failed task drained, body skipped" 0
+    (Atomic.get boom_after);
+  Alcotest.(check int) "concurrent clean job untouched" 1 (Atomic.get cell);
+  (* the pool survives the failure: blocking runs still work *)
+  ignore (Pool.run pool (clean_dag ()));
+  Alcotest.(check int) "post-failure run" 2 (Atomic.get cell);
+  Pool.shutdown pool
+
+let test_pool_dynamic_insertion () =
+  let pool = Pool.create ~workers:2 () in
+  let order = Atomic.make [] in
+  let push x =
+    let rec go () =
+      let l = Atomic.get order in
+      if not (Atomic.compare_and_set order l (x :: l)) then go ()
+    in
+    go ()
+  in
+  let mk name =
+    Dag.build
+      [ Task.make ~id:0 ~name ~flops:1.0 ~run:(fun () -> push name) [ Task.Write 0 ] ]
+  in
+  let finished = Atomic.make false in
+  (* a completion callback may submit the follow-up job directly *)
+  Pool.submit pool (mk "first") ~on_done:(fun _ ~worker:_ ->
+      Pool.submit pool (mk "second") ~on_done:(fun _ ~worker:_ -> Atomic.set finished true));
+  Alcotest.(check bool) "chained jobs completed" true
+    (wait_for (fun () -> Atomic.get finished));
+  Alcotest.(check (list string)) "ran in submission order" [ "second"; "first" ]
+    (Atomic.get order);
+  Pool.shutdown pool
+
+let test_pool_edf_between_jobs () =
+  (* one worker, a deadline-less 20-task job mid-flight: an urgent job
+     submitted after it must complete before the slow job drains, because
+     every injection-queue pop follows the composite key *)
+  let pool = Pool.create ~workers:1 () in
+  let slow_done = Atomic.make false and urgent_preempted = Atomic.make false in
+  let slow =
+    Dag.build
+      (List.init 20 (fun id ->
+           Task.make ~id ~name:"slow" ~flops:1.0
+             ~run:(fun () -> Unix.sleepf 0.002)
+             [ Task.Write id ]))
+  in
+  Pool.submit pool slow ~on_done:(fun _ ~worker:_ -> Atomic.set slow_done true);
+  Unix.sleepf 0.004;
+  let urgent =
+    Dag.build [ Task.make ~id:0 ~name:"urgent" ~flops:1.0 ~run:(fun () -> ()) [ Task.Write 0 ] ]
+  in
+  Pool.submit ~deadline_ns:1 pool urgent ~on_done:(fun _ ~worker:_ ->
+      Atomic.set urgent_preempted (not (Atomic.get slow_done)));
+  Alcotest.(check bool) "both jobs completed" true
+    (wait_for (fun () -> Atomic.get slow_done));
+  Alcotest.(check bool) "urgent job finished before the slow job drained" true
+    (Atomic.get urgent_preempted);
+  Pool.shutdown pool
+
+let test_pool_run_and_lifecycle () =
+  let pool = Pool.create ~workers:1 () in
+  let hits = Atomic.make 0 in
+  let dag () =
+    Dag.build
+      (List.init 16 (fun id ->
+           Task.make ~id ~name:"inc" ~flops:1.0
+             ~run:(fun () -> Atomic.incr hits)
+             [ Task.Write id ]))
+  in
+  ignore (Pool.run pool (dag ()));
+  Alcotest.(check int) "blocking run executed every task" 16 (Atomic.get hits);
+  let boom =
+    Dag.build
+      [ Task.make ~id:0 ~name:"boom" ~flops:1.0 ~run:(fun () -> failwith "x") [ Task.Write 0 ] ]
+  in
+  (match Pool.run pool boom with
+  | _ -> Alcotest.fail "expected Task_failed"
+  | exception Real_exec.Task_failed f ->
+    Alcotest.(check string) "failure names the task" "boom" f.Real_exec.failed_name);
+  let inline_worker = ref 99 in
+  Pool.submit pool (Dag.build []) ~on_done:(fun _ ~worker -> inline_worker := worker);
+  Alcotest.(check int) "empty dag completes inline" (-1) !inline_worker;
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.(check bool) "submit after shutdown refused" true
+    (match Pool.submit pool (dag ()) ~on_done:(fun _ ~worker:_ -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "xsc_runtime"
     [
@@ -910,6 +1163,30 @@ let () =
             test_steal_attempts_and_park_time;
           Alcotest.test_case "forkjoin trace and barrier wait" `Quick
             test_forkjoin_trace_and_barrier_wait;
+        ] );
+      ( "prio",
+        [
+          Alcotest.test_case "EDF dominates critical path" `Quick test_prio_edf_dominates;
+          Alcotest.test_case "bottom level breaks deadline ties" `Quick
+            test_prio_bl_breaks_ties;
+          Alcotest.test_case "FIFO tie-breaks" `Quick test_prio_fifo_ties;
+          Alcotest.test_case "bl ranks normalised" `Quick test_prio_bl_ranks;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "pop order" `Quick test_pqueue_pop_order;
+          Alcotest.test_case "deadline gate" `Quick test_pqueue_deadline_gate;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "concurrent jobs bitwise" `Quick
+            test_pool_concurrent_jobs_bitwise;
+          Alcotest.test_case "per-job failure isolation" `Quick test_pool_failure_isolation;
+          Alcotest.test_case "dynamic insertion from on_done" `Quick
+            test_pool_dynamic_insertion;
+          Alcotest.test_case "EDF between jobs" `Quick test_pool_edf_between_jobs;
+          Alcotest.test_case "blocking run and lifecycle" `Quick
+            test_pool_run_and_lifecycle;
         ] );
       ( "hetero",
         [

@@ -406,6 +406,170 @@ let test_server_fault_storm_permanent () =
   Alcotest.(check int) "failed = injected" !injected c.Server.failed;
   check_counters_reconcile "permanent storm" srv ~offered:storm_cfg.Loadgen.count
 
+(* ---- shared-pool dispatch ---- *)
+
+module Route = Xsc_serve.Route
+module Scratch = Xsc_serve.Scratch
+
+let shared_cfg n =
+  { Server.default_config with workers = 1; dispatch = Server.Shared n; capacity = 256 }
+
+let shared_load =
+  { Loadgen.seed = 61; count = 40; rate_hz = 5000.0; n = 24;
+    kinds = [| Loadgen.Spd; Loadgen.General; Loadgen.Product |]; deadline_s = 5.0 }
+
+(* Mixed payload kinds through the shared pool: SPD routes to a packed op
+   DAG, general LU and GEMM to closure plans — every completion must be
+   bitwise-identical to Route.direct on the same seeded instance, under
+   whatever interleaving two pool workers produce. *)
+let test_shared_dispatch_bitwise () =
+  let srv = Server.start (shared_cfg 2) in
+  let arrivals = Loadgen.schedule shared_load in
+  let tickets =
+    Array.map
+      (fun a -> (a, Result.get_ok (Server.submit srv (Loadgen.payload_of shared_load a))))
+      arrivals
+  in
+  Array.iter
+    (fun (a, tk) ->
+      match (Server.await srv tk).Request.outcome with
+      | Ok sol ->
+        Alcotest.(check bool) "bitwise vs routed oracle" true
+          (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed shared_load a))
+      | Error e -> Alcotest.fail ("shared-dispatch request failed: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  check_counters_reconcile "shared dispatch" srv ~offered:shared_load.Loadgen.count
+
+let test_shared_transient_storm () =
+  let h =
+    Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = true }
+  in
+  let srv = Server.start ~harness:h { (shared_cfg 2) with max_retries = 4 } in
+  let arrivals = Loadgen.schedule shared_load in
+  let tickets =
+    Array.map
+      (fun a -> (a, Result.get_ok (Server.submit srv (Loadgen.payload_of shared_load a))))
+      arrivals
+  in
+  let retried = ref 0 in
+  Array.iter
+    (fun (a, tk) ->
+      let c = Server.await srv tk in
+      retried := !retried + c.Request.retries;
+      match c.Request.outcome with
+      | Ok sol ->
+        Alcotest.(check bool) "replayed attempt still bitwise" true
+          (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed shared_load a))
+      | Error e -> Alcotest.fail ("transient fault not retried: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  Alcotest.(check bool) "faults actually fired" true (Harness.raised h > 0);
+  Alcotest.(check int) "one retry per injected raise" (Harness.raised h) !retried;
+  check_counters_reconcile "shared transient storm" srv ~offered:shared_load.Loadgen.count
+
+let test_shared_permanent_storm () =
+  let h =
+    Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = false }
+  in
+  let srv = Server.start ~harness:h { (shared_cfg 2) with max_retries = 2 } in
+  let arrivals = Loadgen.schedule shared_load in
+  let tickets =
+    Array.map
+      (fun a -> (a, Result.get_ok (Server.submit srv (Loadgen.payload_of shared_load a))))
+      arrivals
+  in
+  let injected = ref 0 in
+  Array.iteri
+    (fun i (a, tk) ->
+      let c = Server.await srv tk in
+      if Harness.targets_key h i then begin
+        incr injected;
+        match c.Request.outcome with
+        | Error (Request.Failed { attempts; _ }) ->
+          Alcotest.(check int) "permanent fault exhausts retries" 3 attempts
+        | Error e -> Alcotest.fail ("expected Failed, got " ^ Request.error_message e)
+        | Ok _ -> Alcotest.fail "permanently injected request cannot succeed"
+      end
+      else
+        match c.Request.outcome with
+        | Ok sol ->
+          Alcotest.(check bool) "untouched requests bitwise correct" true
+            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed shared_load a))
+        | Error e -> Alcotest.fail ("uninjected request failed: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  Alcotest.(check bool) "storm injected something" true (!injected > 0);
+  check_counters_reconcile "shared permanent storm" srv ~offered:shared_load.Loadgen.count
+
+let test_shared_isolates_singular () =
+  (* a non-SPD matrix in flight with clean ones on the shared pool: the
+     packed potrf raises Singular, aborting exactly that job *)
+  let n = 8 in
+  let rng = Rng.create 17 in
+  let srv = Server.start (shared_cfg 2) in
+  let good () =
+    Result.get_ok
+      (Server.submit srv (Request.Spd_solve (Mat.random_spd rng n, Vec.random rng n)))
+  in
+  let bad =
+    Result.get_ok
+      (Server.submit srv
+         (Request.Spd_solve
+            (Mat.init n n (fun i j -> if i = j then -1.0 else 0.0), Vec.random rng n)))
+  in
+  let g1 = good () and g2 = good () in
+  let ok t =
+    match (Server.await srv t).Request.outcome with Ok _ -> true | Error _ -> false
+  in
+  Alcotest.(check bool) "clean jobs survive" true (ok g1 && ok g2);
+  (match (Server.await srv bad).Request.outcome with
+  | Error (Request.Failed { attempts; error }) ->
+    Alcotest.(check int) "deterministic failure not retried" 1 attempts;
+    Alcotest.(check bool) "carries the kernel error" true (String.length error > 0)
+  | Error e -> Alcotest.fail ("expected Failed, got " ^ Request.error_message e)
+  | Ok _ -> Alcotest.fail "singular solve cannot succeed");
+  Server.stop srv;
+  check_counters_reconcile "shared singular" srv ~offered:3
+
+(* ---- routing and scratch satellites ---- *)
+
+let test_route_direct_vs_lapack () =
+  (* Route.direct and the strided Lapack path are different kernel
+     sequences over the same problem: equal to rounding, not bitwise *)
+  let rng = Rng.create 71 in
+  let n = 24 in
+  let a = Mat.random_spd rng n and b = Vec.random rng n in
+  let x_direct =
+    match Route.direct (Request.Spd_solve (a, b)) with
+    | Request.Vector x -> x
+    | Request.Matrix _ -> Alcotest.fail "spd solve yields a vector"
+  in
+  let x_ref = Lapack.chol_solve (Mat.copy a) (Array.copy b) in
+  Alcotest.(check bool) "solutions agree to rounding" true
+    (Vec.dist_inf x_direct x_ref <= 1e-8 *. Vec.norm_inf x_ref);
+  Alcotest.(check bool) "dd predicate accepts dominant" true
+    (Route.strictly_diag_dominant (Mat.random_diag_dominant rng n));
+  Alcotest.(check bool) "dd predicate rejects all-ones" false
+    (Route.strictly_diag_dominant (Mat.init n n (fun _ _ -> 1.0)))
+
+let test_scratch_reuse () =
+  Scratch.set_enabled true;
+  let h0 = Scratch.hits () in
+  let a = Scratch.acquire_packed ~n:32 ~nb:16 in
+  Scratch.release_packed a;
+  let b = Scratch.acquire_packed ~n:32 ~nb:16 in
+  Alcotest.(check bool) "same packed buffer back" true (a == b);
+  Alcotest.(check bool) "hit counted" true (Scratch.hits () > h0);
+  Scratch.release_packed b;
+  let v = Scratch.acquire_vec 33 in
+  Scratch.release_vec v;
+  Alcotest.(check bool) "vector reused" true (Scratch.acquire_vec 33 == v);
+  Scratch.set_enabled false;
+  let c = Scratch.acquire_packed ~n:32 ~nb:16 in
+  Alcotest.(check bool) "disabled pool allocates fresh" true (c != b);
+  Scratch.set_enabled true
+
 (* ---- batched results satellite ---- *)
 
 let test_batched_results_isolation () =
@@ -712,12 +876,25 @@ let () =
           Alcotest.test_case "fault storm: permanent typed" `Quick
             test_server_fault_storm_permanent;
         ] );
+      ( "shared",
+        [
+          Alcotest.test_case "mixed kinds bitwise vs routed oracle" `Quick
+            test_shared_dispatch_bitwise;
+          Alcotest.test_case "transient storm converges bitwise" `Quick
+            test_shared_transient_storm;
+          Alcotest.test_case "permanent storm fails typed" `Quick
+            test_shared_permanent_storm;
+          Alcotest.test_case "isolates a singular job" `Quick
+            test_shared_isolates_singular;
+        ] );
       ( "satellites",
         [
           Alcotest.test_case "batched per-problem results" `Quick
             test_batched_results_isolation;
           Alcotest.test_case "harness thunk determinism" `Quick
             test_harness_thunk_determinism;
+          Alcotest.test_case "route direct vs lapack" `Quick test_route_direct_vs_lapack;
+          Alcotest.test_case "scratch buffer reuse" `Quick test_scratch_reuse;
         ] );
       ( "spans",
         [
