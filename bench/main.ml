@@ -12,7 +12,9 @@
      dune exec bench/main.exe -- --serve-overhead [PCT] # spans-on serving cost
      dune exec bench/main.exe -- --faults [SEED]   # seeded fault storm + recovery
      dune exec bench/main.exe -- --serve FILE # solver-service load/latency record
-     dune exec bench/main.exe -- --serve-isolation FILE # shared-pool latency isolation *)
+     dune exec bench/main.exe -- --serve-isolation FILE # shared-pool latency isolation
+     dune exec bench/main.exe -- --fleet FILE # simulated-fleet failure-storm record
+     dune exec bench/main.exe -- --fleet --smoke FILE # CI-sized fleet record *)
 
 let experiments =
   [
@@ -71,6 +73,11 @@ let () =
   | [ "--serve-isolation" ] ->
     Printf.eprintf "--serve-isolation requires an output file argument\n";
     exit 1
+  | [ "--fleet"; "--smoke"; file ] -> Fleet_run.smoke ~file
+  | [ "--fleet"; "--smoke" ] | [ "--fleet" ] ->
+    Printf.eprintf "--fleet requires an output file argument\n";
+    exit 1
+  | [ "--fleet"; file ] -> Fleet_run.run ~file
   | [ "--faults" ] -> Faults_run.run ~seed:1
   | [ "--faults"; seed ] -> (
     match int_of_string_opt seed with

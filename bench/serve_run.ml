@@ -308,8 +308,9 @@ let record ?(nominal_count = 150) ?(burst_count = 240) ?(storm_count = 80)
   (match (span_trace_file, loads) with
   | Some path, (_, _, _, srv) :: _ ->
     let oc = open_out path in
-    output_string oc (Server.span_chrome_json srv);
-    close_out oc
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Server.span_chrome_json srv))
   | _ -> ());
   let st_json, st_ok = run_storm ~transient:true ~count:storm_count () in
   let sp_json, sp_ok =
@@ -334,8 +335,9 @@ let run ~file =
   let span_trace_file = base ^ "_trace.json" in
   let json, ok, reports = record ~flight_file ~span_trace_file () in
   let oc = open_out file in
-  output_string oc ("{\n  \"serve\": " ^ json ^ "\n}\n");
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc ("{\n  \"serve\": " ^ json ^ "\n}\n"));
   Printf.printf "wrote %s (span lanes: %s, flight dump: %s)\n" file span_trace_file
     flight_file;
   List.iter2

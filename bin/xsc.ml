@@ -10,6 +10,7 @@
      checkpoint  Young/Daly checkpoint planning for a machine preset
      tune        autotune the packed microkernels; persist a host-keyed cache
      serve-demo  run the concurrent solver service under a seeded load
+     fleet       simulate serve policies under a failure storm at scale
      flight      dump or inspect the crash flight recorder (CRC-headed) *)
 
 open Cmdliner
@@ -634,6 +635,161 @@ let serve_demo_cmd =
           $ capacity_arg $ deadline_arg $ storm_arg $ permanent_arg $ trace_arg
           $ slo_arg $ slo_budget_arg $ flight_arg $ isolation_arg $ large_n_arg)
 
+(* ---- fleet ---- *)
+
+let fleet_cmd =
+  let module Sim = Xsc_fleet.Sim in
+  let module Scenario = Xsc_fleet.Scenario in
+  let nodes_arg =
+    Arg.(value & opt int 1000 & info [ "nodes" ] ~docv:"N" ~doc:"Fleet size (nodes).")
+  in
+  let mtbf_arg =
+    Arg.(value & opt float 1000.0 & info [ "mtbf" ] ~docv:"SECONDS"
+           ~doc:"Per-node MTBF — the storm knob (accelerated fault \
+                 injection; system MTBF is this over the node count).")
+  in
+  let rate_fleet_arg =
+    Arg.(value & opt float 1.25 & info [ "rate" ] ~docv:"RPS"
+           ~doc:"Offered Poisson arrival rate, requests/second.")
+  in
+  let count_fleet_arg =
+    Arg.(value & opt int 400 & info [ "count" ] ~docv:"COUNT" ~doc:"Offered requests.")
+  in
+  let capacity_fleet_arg =
+    Arg.(value & opt int 256 & info [ "capacity" ] ~docv:"K"
+           ~doc:"Admission window (requests in-system).")
+  in
+  let batch_arg =
+    Arg.(value & opt int 4 & info [ "batch" ] ~docv:"B" ~doc:"Max batch size per class.")
+  in
+  let cadence_arg =
+    Arg.(value & opt string "young" & info [ "cadence" ] ~docv:"CADENCE"
+           ~doc:"Checkpoint cadence: young | every-step | never | every:K.")
+  in
+  let no_abft_arg =
+    Arg.(value & flag & info [ "no-abft" ]
+           ~doc:"Drop ABFT checksums: no per-step overhead, but tile \
+                 corruption escalates to cone replay.")
+  in
+  let json_fleet_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the run summary as JSON to $(docv).")
+  in
+  let trace_fleet_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the storm's simulated spans (requests and recovery \
+                 rungs, simulated time) as a Chrome trace to $(docv).")
+  in
+  let run nodes mtbf rate count capacity batch cadence no_abft seed json trace =
+    let cadence =
+      match String.lowercase_ascii cadence with
+      | "young" -> Ok Sim.Young
+      | "every-step" -> Ok Sim.Every_step
+      | "never" -> Ok Sim.Never
+      | s when String.length s > 6 && String.sub s 0 6 = "every:" -> (
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some k when k >= 1 -> Ok (Sim.Every k)
+        | _ -> Error (Printf.sprintf "bad cadence %S" s))
+      | s -> Error (Printf.sprintf "unknown cadence %S (young | every-step | never | every:K)" s)
+    in
+    match cadence with
+    | Error e ->
+      Printf.eprintf "fleet: %s\n" e;
+      exit 2
+    | Ok cadence -> (
+      let cfg =
+        try
+          Ok
+            (Scenario.config ~cadence ~abft:(not no_abft) ~capacity
+               ~max_batch:batch ~spans:(trace <> None) ~nodes ~node_mtbf:mtbf
+               ~rate_hz:rate ~count ~seed ())
+        with Invalid_argument m -> Error m
+      in
+      match cfg with
+      | Error m ->
+        Printf.eprintf "fleet: %s\n" m;
+        exit 2
+      | Ok cfg ->
+        let r = try Ok (Sim.run cfg) with Invalid_argument m -> Error m in
+        (match r with
+        | Error m ->
+          Printf.eprintf "fleet: %s\n" m;
+          exit 2
+        | Ok r ->
+          let c = r.Sim.counters in
+          let m = cfg.Sim.machine in
+          Printf.printf "fleet: %d nodes, node MTBF %s (system MTBF %s), %d req @ %.2f rps\n"
+            nodes
+            (Units.seconds mtbf)
+            (Units.seconds (Xsc_simmachine.Machine.system_mtbf m))
+            count rate;
+          Printf.printf "  makespan %.1f s  goodput %.3f rps  availability %.1f%%  util %.0f%%\n"
+            r.Sim.makespan_s r.Sim.goodput_rps
+            (100.0 *. r.Sim.availability)
+            (100.0 *. r.Sim.util);
+          Printf.printf "  latency p50 %.1f s  p99 %.1f s\n" (r.Sim.p50_ms /. 1e3)
+            (r.Sim.p99_ms /. 1e3);
+          Printf.printf
+            "  outcomes: %d on-time, %d late, %d recovery-rejected, %d admission-rejected\n"
+            c.Sim.on_time
+            (c.Sim.completed - c.Sim.on_time)
+            c.Sim.rejected_recovery c.Sim.rejected_admission;
+          Printf.printf
+            "  failures: %d injected (%d busy) -> %d abft repairs, %d cone replays, \
+             %d restarts, %d rejects; %d idle hits\n"
+            c.Sim.failures_total c.Sim.failures_busy c.Sim.abft_repairs
+            c.Sim.cone_replays c.Sim.restarts c.Sim.reject_hits c.Sim.failures_idle;
+          List.iter
+            (fun (cls, k) ->
+              Printf.printf "  cadence %s: %s\n" cls
+                (if k = 0 then "never" else Printf.sprintf "every %d steps" k))
+            r.Sim.young_by_class;
+          Printf.printf "  lattice reconciles: %b   replay hash %Lx\n"
+            (Sim.reconciles c) r.Sim.outcome_hash;
+          if r.Sim.wedged then Printf.printf "  ** WEDGED: horizon hit before all requests settled **\n";
+          (match json with
+          | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                Printf.fprintf oc
+                  "{\"nodes\": %d, \"node_mtbf_s\": %.1f, \"rate_hz\": %.3f, \
+                   \"count\": %d, \"availability\": %.4f, \"goodput_rps\": %.4f, \
+                   \"p50_ms\": %.1f, \"p99_ms\": %.1f, \"util\": %.4f, \
+                   \"failures\": %d, \"abft_repairs\": %d, \"cone_replays\": %d, \
+                   \"restarts\": %d, \"recovery_rejects\": %d, \
+                   \"admission_rejects\": %d, \"reconciles\": %b, \
+                   \"outcome_hash\": \"%Lx\", \"wedged\": %b}\n"
+                  nodes mtbf rate count r.Sim.availability r.Sim.goodput_rps
+                  r.Sim.p50_ms r.Sim.p99_ms r.Sim.util c.Sim.failures_total
+                  c.Sim.abft_repairs c.Sim.cone_replays c.Sim.restarts
+                  c.Sim.rejected_recovery c.Sim.rejected_admission
+                  (Sim.reconciles c) r.Sim.outcome_hash r.Sim.wedged);
+            Printf.printf "wrote %s\n" file
+          | None -> ());
+          match trace with
+          | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc
+                  (Xsc_obs.Span.to_chrome_json ~origin_ns:0 r.Sim.sim_spans));
+            Printf.printf "wrote %s (%d simulated spans)\n" file
+              (List.length r.Sim.sim_spans)
+          | None -> ()))
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Simulate the solver service on a failing fleet: real \
+             admission/batching/EDF policies, Poisson failure storm, \
+             ABFT/cone/restart/reject recovery lattice — seeded and \
+             bitwise-replayable")
+    Term.(const run $ nodes_arg $ mtbf_arg $ rate_fleet_arg $ count_fleet_arg
+          $ capacity_fleet_arg $ batch_arg $ cadence_arg $ no_abft_arg $ seed_arg
+          $ json_fleet_arg $ trace_fleet_arg)
+
 (* ---- flight ---- *)
 
 let flight_cmd =
@@ -684,6 +840,6 @@ let () =
   let group =
     Cmd.group info
       [ machines_cmd; solve_cmd; simulate_cmd; hpl_cmd; hpcg_cmd; top500_cmd; checkpoint_cmd;
-        krylov_cmd; scaling_cmd; tune_cmd; serve_demo_cmd; flight_cmd ]
+        krylov_cmd; scaling_cmd; tune_cmd; serve_demo_cmd; fleet_cmd; flight_cmd ]
   in
   exit (Cmd.eval group)

@@ -1,0 +1,149 @@
+(* Cost model of one distributed solve class on a simulated machine.
+
+   A request class is a distributed factorization (2-D block-cyclic
+   Cholesky) or multiplication (SUMMA) of size [n] on a square grid of
+   [ranks] nodes. The simulator never runs the arithmetic at these sizes;
+   it runs the *models* the `lib/ca` kernels validate at small scale:
+
+   - step count and per-rank communication volume come straight from
+     [Dist_cholesky.model_2d] / [Summa.model_2d] — the same closed forms
+     whose message/word counts the real virtual-grid executions measure;
+   - per-message and per-word costs come from the machine's alpha-beta
+     [Network], exactly as [Pgrid.time_of_counter] prices recorded
+     traffic;
+   - compute time is the class's flops spread over the allocation's nodes
+     at a derated node rate (dense factorizations do not run at peak; the
+     derate is the model's honesty knob, not a tuning screw).
+
+   Everything downstream (checkpoint cadence, recovery costs, deadline
+   feasibility) derives from these few numbers, so a fleet sweep is
+   internally consistent: double the network beta and steps slow down,
+   Young intervals stretch, availability moves. *)
+
+module Machine = Xsc_simmachine.Machine
+module Network = Xsc_simmachine.Network
+module Node = Xsc_simmachine.Node
+module Dist_cholesky = Xsc_ca.Dist_cholesky
+module Summa = Xsc_ca.Summa
+module Checkpoint = Xsc_resilience.Checkpoint
+
+type kind =
+  | Chol
+  | Gemm
+
+type cls = {
+  name : string;
+  kind : kind;
+  n : int;
+  nb : int;  (* panel width: n/nb sequential steps for Chol *)
+  ranks : int;  (* nodes one solve occupies (a square grid) *)
+  deadline_s : float;  (* relative deadline granted at admission *)
+  weight : float;  (* workload mix weight *)
+}
+
+type costs = {
+  steps : int;  (* sequential panel steps of one member *)
+  step_s : float;  (* failure-free time of one step (compute + comm) *)
+  work_s : float;  (* steps * step_s: failure-free service time *)
+  setup_s : float;  (* once per batch: scatter onto the grid *)
+  checkpoint_s : float;  (* C: write the allocation's state *)
+  restart_s : float;  (* R: replace the rank and reload the checkpoint *)
+  abft_step_factor : float;  (* step multiplier when checksums are kept *)
+  abft_repair_s : float;  (* recover one corrupted tile from checksums *)
+  cone_replay_s : float;  (* replay the corrupted step's dependence cone *)
+}
+
+(* Fraction of node peak a distributed dense kernel sustains: the measured
+   packed kernels on the workstation preset run at ~0.1-0.15 of peak, and
+   scaling studies put blocked distributed kernels in the same band. *)
+let derate = 0.125
+
+(* Checkpoint bandwidth per rank (bytes/s to stable storage): burst-buffer
+   class, deliberately far below memory bandwidth. *)
+let checkpoint_bw = 2e9
+
+let flops_of cls =
+  let n = float_of_int cls.n in
+  match cls.kind with
+  | Chol -> n *. n *. n /. 3.0
+  | Gemm -> 2.0 *. n *. n *. n
+
+let validate cls =
+  if cls.n <= 0 || cls.nb <= 0 || cls.n mod cls.nb <> 0 then
+    invalid_arg (Printf.sprintf "Fleet.Model: class %s: nb must divide n" cls.name);
+  let side = int_of_float (sqrt (float_of_int cls.ranks) +. 0.5) in
+  if side * side <> cls.ranks || cls.ranks < 1 then
+    invalid_arg
+      (Printf.sprintf "Fleet.Model: class %s: ranks must be a positive square" cls.name);
+  if cls.deadline_s <= 0.0 then
+    invalid_arg (Printf.sprintf "Fleet.Model: class %s: deadline must be positive" cls.name);
+  if cls.weight <= 0.0 then
+    invalid_arg (Printf.sprintf "Fleet.Model: class %s: weight must be positive" cls.name)
+
+let costs ~(machine : Machine.t) cls =
+  validate cls;
+  let net = machine.Machine.network in
+  let p = cls.ranks in
+  let fp = float_of_int p in
+  let n2_bytes = 8.0 *. float_of_int cls.n *. float_of_int cls.n in
+  let steps, msgs_per_rank, words_per_rank =
+    match cls.kind with
+    | Chol ->
+      let m = Dist_cholesky.model_2d ~n:cls.n ~nb:cls.nb ~p in
+      (cls.n / cls.nb, m.Dist_cholesky.msgs_per_rank, m.Dist_cholesky.words_per_rank)
+    | Gemm ->
+      let m = Summa.model_2d ~n:cls.n ~p in
+      (* SUMMA advances in sqrt(p) panel broadcasts *)
+      (int_of_float (sqrt fp +. 0.5), m.Summa.msgs, m.Summa.words_per_rank)
+  in
+  let steps = max 1 steps in
+  let compute_s =
+    flops_of cls /. (fp *. Node.node_rate machine.Machine.node Node.FP64 *. derate)
+  in
+  let comm_s =
+    (* alpha-beta price of the per-rank critical-path traffic, as
+       Pgrid.time_of_counter prices measured counters *)
+    (msgs_per_rank *. Network.ptp_avg net ~bytes:0.0)
+    +. (words_per_rank *. 8.0 *. net.Network.beta)
+  in
+  let work_s = compute_s +. comm_s in
+  let step_s = work_s /. float_of_int steps in
+  let setup_s =
+    (* rank 0 scatters p-1 blocks of n^2/p words each *)
+    (fp -. 1.0) *. Network.ptp_avg net ~bytes:(n2_bytes /. fp)
+  in
+  let checkpoint_s = n2_bytes /. fp /. checkpoint_bw +. Network.barrier_time net ~ranks:p in
+  let restart_s = (2.0 *. checkpoint_s) +. (10.0 *. Network.barrier_time net ~ranks:p) in
+  {
+    steps;
+    step_s;
+    work_s = step_s *. float_of_int steps;
+    setup_s;
+    checkpoint_s;
+    restart_s;
+    (* checksum row/column per panel: ~1/sqrt(p) extra updates per step,
+       bounded well under the 2x ABFT flop bound the kernels measure *)
+    abft_step_factor = 1.0 +. (0.25 /. sqrt fp);
+    abft_repair_s = 1.5 *. step_s;
+    cone_replay_s = 3.0 *. step_s;
+  }
+
+let alloc_mtbf ~(machine : Machine.t) cls =
+  machine.Machine.node_mtbf /. float_of_int cls.ranks
+
+(* Checkpoint-every-k-steps cadence from Young's interval, computed
+   against the allocation's own failure process (its [ranks] nodes):
+   tau = sqrt(2 C M), floored at one step. The fleet bench validates this
+   k against [Failure.mtbf] of the simulated process. *)
+let young_steps ~(machine : Machine.t) cls ~(costs : costs) =
+  let m = alloc_mtbf ~machine cls in
+  let tau =
+    Checkpoint.young_interval
+      {
+        Checkpoint.work = costs.work_s;
+        checkpoint_cost = costs.checkpoint_s;
+        restart_cost = costs.restart_s;
+        mtbf = m;
+      }
+  in
+  max 1 (int_of_float (Float.round (tau /. costs.step_s)))

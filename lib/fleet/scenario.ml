@@ -1,0 +1,55 @@
+(* The reference fleet scenario shared by `bench --fleet` and `xsc fleet`:
+   a titan-like node scaled to the requested fleet size, with the node
+   MTBF as the storm knob (failure timescales compressed far below the
+   hardware's real rating — accelerated fault injection, not a hardware
+   claim), and a two-class workload whose checkpoint economics have teeth:
+   the Cholesky class's per-rank checkpoint costs about one step, and at
+   storm MTBFs the 16-node allocation fails more often than once per
+   solve. *)
+
+module Machine = Xsc_simmachine.Machine
+module Presets = Xsc_simmachine.Presets
+
+let machine ~nodes ~node_mtbf =
+  let m = Presets.scale_nodes (Presets.find "titan-like") nodes in
+  Machine.create
+    ~name:(Printf.sprintf "fleet@%d" nodes)
+    ~node_mtbf ~node:m.Machine.node ~node_count:nodes ~network:m.Machine.network ()
+
+let default_classes =
+  [|
+    {
+      Model.name = "chol-64k";
+      kind = Model.Chol;
+      n = 65536;
+      nb = 2048;
+      ranks = 16;
+      deadline_s = 240.0;
+      weight = 3.0;
+    };
+    {
+      Model.name = "gemm-32k";
+      kind = Model.Gemm;
+      n = 32768;
+      nb = 32768;
+      ranks = 16;
+      deadline_s = 180.0;
+      weight = 1.0;
+    };
+  |]
+
+let default_faults = { Sim.p_tile = 0.35; p_cone = 0.25; repair_s = 300.0 }
+
+let config ?(cadence = Sim.Young) ?(abft = true) ?(capacity = 256)
+    ?(max_batch = 4) ?(linger_s = 0.5) ?(spans = false) ?(classes = default_classes)
+    ~nodes ~node_mtbf ~rate_hz ~count ~seed () =
+  {
+    Sim.seed;
+    machine = machine ~nodes ~node_mtbf;
+    classes;
+    rate_hz;
+    count;
+    policy = { Sim.capacity; max_batch; linger_s; cadence; abft };
+    faults = default_faults;
+    spans;
+  }

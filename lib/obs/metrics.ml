@@ -91,6 +91,14 @@ let observe h v =
   ignore (Atomic.fetch_and_add h.hcount 1);
   atomic_add_float h.hsum v
 
+let observe_n h v ~n =
+  if n < 0 then invalid_arg "Metrics.observe_n: negative count";
+  if n > 0 then begin
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) n);
+    ignore (Atomic.fetch_and_add h.hcount n);
+    atomic_add_float h.hsum (v *. float_of_int n)
+  end
+
 let histogram_count h = Atomic.get h.hcount
 let histogram_sum h = Atomic.get h.hsum
 

@@ -9,6 +9,11 @@
      within [linger_ns] — a near-deadline request must not sit waiting
      for company it may never get.
 
+   Polymorphic in the request type: the live server batches
+   [Request.t] values, the fleet simulator batches its own lightweight
+   simulated requests through the exact same coalescing logic — the
+   classifier and deadline accessor are supplied at [create_keyed].
+
    Not thread-safe by design: the owner (Server) calls it under its state
    lock; keeping the mutex out of this module keeps the invariants testable
    single-threaded. *)
@@ -17,33 +22,41 @@ type config = { max_batch : int; linger_ns : int }
 
 let default = { max_batch = 8; linger_ns = 2_000_000 (* 2 ms *) }
 
-type batch = {
+type 'a batch = {
   seq : int;
   class_key : string;
-  requests : Request.t array;  (* arrival order — FIFO within the class *)
+  requests : 'a array;  (* arrival order — FIFO within the class *)
   deadline_ns : int;  (* min member deadline: the EDF key *)
   opened_ns : int;  (* when the oldest member entered the batcher *)
 }
 
-type slot = {
+type 'a slot = {
   key : string;
-  mutable items : Request.t list;  (* newest first *)
+  mutable items : 'a list;  (* newest first *)
   mutable count : int;
   mutable slot_opened_ns : int;
   mutable min_deadline_ns : int;
 }
 
-type t = {
+type 'a t = {
   cfg : config;
-  slots : (string, slot) Hashtbl.t;
+  classify : 'a -> string;
+  deadline_of : 'a -> int;
+  slots : (string, 'a slot) Hashtbl.t;
   mutable seq : int;
   mutable pending_n : int;
 }
 
-let create cfg =
+let create_keyed ~classify ~deadline_of cfg =
   if cfg.max_batch <= 0 then invalid_arg "Batcher.create: max_batch must be positive";
   if cfg.linger_ns < 0 then invalid_arg "Batcher.create: linger_ns must be >= 0";
-  { cfg; slots = Hashtbl.create 8; seq = 0; pending_n = 0 }
+  { cfg; classify; deadline_of; slots = Hashtbl.create 8; seq = 0; pending_n = 0 }
+
+let create cfg =
+  create_keyed
+    ~classify:(fun (r : Request.t) -> Request.class_key r.Request.payload)
+    ~deadline_of:(fun (r : Request.t) -> r.Request.deadline_ns)
+    cfg
 
 let pending t = t.pending_n
 
@@ -63,8 +76,8 @@ let flush_slot t slot =
   t.seq <- t.seq + 1;
   b
 
-let add t ~now_ns (r : Request.t) =
-  let key = Request.class_key r.Request.payload in
+let add t ~now_ns r =
+  let key = t.classify r in
   let slot =
     match Hashtbl.find_opt t.slots key with
     | Some s -> s
@@ -83,8 +96,8 @@ let add t ~now_ns (r : Request.t) =
   in
   slot.items <- r :: slot.items;
   slot.count <- slot.count + 1;
-  if r.Request.deadline_ns < slot.min_deadline_ns then
-    slot.min_deadline_ns <- r.Request.deadline_ns;
+  let deadline = t.deadline_of r in
+  if deadline < slot.min_deadline_ns then slot.min_deadline_ns <- deadline;
   t.pending_n <- t.pending_n + 1;
   if slot.count >= t.cfg.max_batch then Some (flush_slot t slot) else None
 
@@ -92,22 +105,25 @@ let due slot ~cfg ~now_ns =
   now_ns - slot.slot_opened_ns >= cfg.linger_ns
   || slot.min_deadline_ns - now_ns <= cfg.linger_ns
 
+(* oldest class first; the class key breaks open-time ties so flush order
+   never depends on hash-table iteration order — replayed simulations must
+   form identical batch seq numbers *)
+let flush_order a b =
+  match compare a.slot_opened_ns b.slot_opened_ns with
+  | 0 -> compare a.key b.key
+  | c -> c
+
 let flush_due t ~now_ns =
   let ripe =
     Hashtbl.fold
       (fun _ slot acc -> if due slot ~cfg:t.cfg ~now_ns then slot :: acc else acc)
       t.slots []
   in
-  (* oldest class first, so seq numbers preserve arrival order of flushes *)
-  ripe
-  |> List.sort (fun a b -> compare a.slot_opened_ns b.slot_opened_ns)
-  |> List.map (flush_slot t)
+  ripe |> List.sort flush_order |> List.map (flush_slot t)
 
 let flush_all t =
   let all = Hashtbl.fold (fun _ slot acc -> slot :: acc) t.slots [] in
-  all
-  |> List.sort (fun a b -> compare a.slot_opened_ns b.slot_opened_ns)
-  |> List.map (flush_slot t)
+  all |> List.sort flush_order |> List.map (flush_slot t)
 
 let next_due_ns t =
   Hashtbl.fold

@@ -8,6 +8,11 @@
     deadline is within [linger_ns] (time trigger), so a lone request is
     delayed by at most the linger, never indefinitely.
 
+    The batcher is polymorphic in the request type: {!create} builds the
+    live server's [Request.t] batcher; {!create_keyed} lets other owners
+    (the fleet simulator batches simulated requests in DES time) run the
+    exact same coalescing logic over their own record type.
+
     Not thread-safe: the owning {!Server} calls it under its state lock. *)
 
 type config = {
@@ -18,34 +23,42 @@ type config = {
 val default : config
 (** [max_batch = 8], [linger_ns = 2ms]. *)
 
-type batch = {
+type 'a batch = {
   seq : int;  (** formation order — the EDF tie-break, so equal-deadline
                   batches dispatch FIFO *)
   class_key : string;
-  requests : Request.t array;  (** arrival order within the class *)
+  requests : 'a array;  (** arrival order within the class *)
   deadline_ns : int;  (** min member deadline: the EDF key *)
   opened_ns : int;
 }
 
-type t
+type 'a t
 
-val create : config -> t
-(** Raises [Invalid_argument] if [max_batch <= 0] or [linger_ns < 0]. *)
+val create_keyed :
+  classify:('a -> string) -> deadline_of:('a -> int) -> config -> 'a t
+(** General form: [classify] is the batching-compatibility key, and
+    [deadline_of] the absolute deadline (ns) feeding the batch's EDF key.
+    Raises [Invalid_argument] if [max_batch <= 0] or [linger_ns < 0]. *)
 
-val add : t -> now_ns:int -> Request.t -> batch option
+val create : config -> Request.t t
+(** {!create_keyed} specialised to live requests ({!Request.class_key} /
+    [deadline_ns]). *)
+
+val add : 'a t -> now_ns:int -> 'a -> 'a batch option
 (** Stage a request; returns the flushed batch when this add fills the
     class to [max_batch]. *)
 
-val flush_due : t -> now_ns:int -> batch list
+val flush_due : 'a t -> now_ns:int -> 'a batch list
 (** Time-triggered flushes (linger expired or a member deadline within the
-    linger), oldest class first. Call periodically. *)
+    linger), oldest class first (class-key tie-break, so flush order is
+    deterministic — never hash-table iteration order). Call periodically. *)
 
-val flush_all : t -> batch list
-(** Drain everything (shutdown path), oldest class first. *)
+val flush_all : 'a t -> 'a batch list
+(** Drain everything (shutdown path), same deterministic order. *)
 
-val pending : t -> int
+val pending : 'a t -> int
 (** Requests staged and not yet flushed. *)
 
-val next_due_ns : t -> int option
+val next_due_ns : 'a t -> int option
 (** Earliest future time-trigger among open classes ([None] when empty) —
     lets an idle dispatcher size its sleep instead of guessing. *)

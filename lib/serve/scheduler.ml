@@ -2,15 +2,18 @@
    batches keyed by (deadline_ns, seq). The seq tie-break makes dispatch
    FIFO within a deadline class — two batches due at the same instant run
    in formation order, so no request is overtaken by an equal-urgency
-   latecomer. Not thread-safe: owned by Server, used under its lock. *)
+   latecomer. Polymorphic in the batched request type (the heap only
+   reads the batch's EDF key), so the live server and the fleet
+   simulator share one EDF implementation. Not thread-safe: owned by
+   Server, used under its lock. *)
 
-type t = { mutable heap : Batcher.batch array; mutable size : int }
+type 'a t = { mutable heap : 'a Batcher.batch array; mutable size : int }
 
 let create () = { heap = [||]; size = 0 }
 
 let length t = t.size
 
-let before (a : Batcher.batch) (b : Batcher.batch) =
+let before (a : 'a Batcher.batch) (b : 'a Batcher.batch) =
   a.Batcher.deadline_ns < b.Batcher.deadline_ns
   || (a.Batcher.deadline_ns = b.Batcher.deadline_ns && a.Batcher.seq < b.Batcher.seq)
 

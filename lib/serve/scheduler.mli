@@ -6,17 +6,21 @@
     the classical EDF discipline, optimal for meeting deadlines on a
     single resource when the offered load is feasible.
 
+    Polymorphic in the batched request type: the heap only reads the
+    batch's EDF key, so the live {!Server} and the fleet simulator share
+    one implementation.
+
     Not thread-safe: the owning {!Server} uses it under its state lock. *)
 
-type t
+type 'a t
 
-val create : unit -> t
-val push : t -> Batcher.batch -> unit
+val create : unit -> 'a t
+val push : 'a t -> 'a Batcher.batch -> unit
 
-val pop : t -> Batcher.batch option
+val pop : 'a t -> 'a Batcher.batch option
 (** Earliest deadline, ties in formation order. *)
 
-val length : t -> int
+val length : 'a t -> int
 
-val peek_deadline_ns : t -> int option
+val peek_deadline_ns : 'a t -> int option
 (** Deadline of the batch {!pop} would return. *)

@@ -21,7 +21,16 @@
    (queued, staged in the batcher, or executing) — backpressure engages
    whenever service lags offered load, not only when the ingress ring
    itself is momentarily full, so total in-system memory is bounded by
-   [capacity] end to end. *)
+   [capacity] end to end.
+
+   In [Shared] mode the window is measured against actual in-flight work
+   instead of raw request counts: occupancy is [Pool.live_jobs] (DAGs
+   live in the shared pool) plus requests still travelling towards the
+   pool (ingress/batcher/EDF heap). A request waiting out a transient
+   retry backoff holds no pool lane, so it does not count against the
+   window — admission keeps flowing while retries sleep, and in-system
+   memory is bounded by [capacity] plus the (transient) backoff
+   population. *)
 
 open Xsc_linalg
 module Clock = Xsc_obs.Clock
@@ -132,8 +141,8 @@ type t = {
   pool : Pool.t option;  (* Some iff [dispatch = Shared _] *)
   (* ---- shared worker state, under [mu] ---- *)
   mu : Mutex.t;
-  batcher : Batcher.t;
-  sched : Scheduler.t;
+  batcher : Request.t Batcher.t;
+  sched : Request.t Scheduler.t;
   tickets : (int, ticket) Hashtbl.t;
   mutable spans : span list;
   (* ---- retry queue (Shared mode), under [retry_mu] ---- *)
@@ -141,6 +150,11 @@ type t = {
   mutable retry_q : retry_entry list;
   (* ---- submit-side state ---- *)
   in_system : int Atomic.t;  (* admitted and not yet completed *)
+  staged : int Atomic.t;
+  (* Shared mode: admitted and not yet live in the pool (ingress, batcher,
+     EDF heap, dispatch in flight). The admission occupancy is
+     [staged + Pool.live_jobs]: work the pipeline is actually carrying.
+     A retry sleeping out its backoff is in neither term — by design. *)
   next_id : int Atomic.t;
   stopping : bool Atomic.t;
   start_ns : int;
@@ -328,7 +342,7 @@ let complete t (r : Request.t) outcome ~retries ~dispatch_ns ~worker =
   (* last: only a fully completed request frees an admission slot *)
   ignore (Atomic.fetch_and_add t.in_system (-1))
 
-let execute t worker (batch : Batcher.batch) =
+let execute t worker (batch : Request.t Batcher.batch) =
   let dispatch_ns = Clock.now_ns () in
   Atomic.incr t.c_batches;
   Metrics.incr m_batches;
@@ -368,9 +382,7 @@ let execute t worker (batch : Batcher.batch) =
   let n = Array.length batch.Batcher.requests in
   if n > 0 then begin
     let per_req = (Gcstat.minor_words () -. minor0) /. float_of_int n in
-    for _ = 1 to n do
-      Metrics.observe m_alloc per_req
-    done
+    Metrics.observe_n m_alloc per_req ~n
   end
 
 (* ---- shared-pool dispatch ---- *)
@@ -382,6 +394,10 @@ let execute t worker (batch : Batcher.batch) =
    solution, queue a retry, or settle the request. No thread ever blocks
    per request; concurrency lives entirely in the shared pool. *)
 let rec submit_to_pool t pool (r : Request.t) ~attempt ~dispatch_ns =
+  (* the attempt's DAG counts in [Pool.live_jobs] once submitted; for the
+     first attempt the [staged] slot claimed at admission is released just
+     after Pool.submit returns, so the occupancy briefly double-counts
+     (conservative) and never dips *)
   let m0 = Gcstat.minor_words () in
   let plan = Route.plan ?harness:t.harness ~key:r.Request.id r.Request.payload in
   let plan_alloc = Gcstat.minor_words () -. m0 in
@@ -448,7 +464,8 @@ let rec submit_to_pool t pool (r : Request.t) ~attempt ~dispatch_ns =
         | e ->
           complete t r
             (Error (Request.Failed { attempts = attempt + 1; error = Printexc.to_string e }))
-            ~retries:attempt ~dispatch_ns ~worker))
+            ~retries:attempt ~dispatch_ns ~worker));
+  if attempt = 0 then ignore (Atomic.fetch_and_add t.staged (-1))
 
 and service_retries t pool =
   let now = Clock.now_ns () in
@@ -465,7 +482,7 @@ and service_retries t pool =
 (* A claimed batch in Shared mode is a dispatch unit only: each member
    becomes its own DAG submission (sharing the batch's dispatch stamp),
    and the pool interleaves their tasks with everything else in flight. *)
-let dispatch_batch_pool t pool (batch : Batcher.batch) =
+let dispatch_batch_pool t pool (batch : Request.t Batcher.batch) =
   let dispatch_ns = Clock.now_ns () in
   Atomic.incr t.c_batches;
   Metrics.incr m_batches;
@@ -577,6 +594,7 @@ let start ?harness cfg =
       retry_mu = Mutex.create ();
       retry_q = [];
       in_system = Atomic.make 0;
+      staged = Atomic.make 0;
       next_id = Atomic.make 0;
       stopping = Atomic.make false;
       start_ns = Clock.now_ns ();
@@ -605,6 +623,21 @@ let reject t reason =
   Metrics.incr m_rejected;
   Error (Request.Rejected reason)
 
+(* Admission occupancy against [capacity].
+
+   [Slot]: requests in-system (accept -> completion), the only load signal
+   a run-to-completion worker pool has.
+
+   [Shared]: actual in-flight work — DAGs live in the shared pool
+   ([Pool.live_jobs]) plus requests still travelling towards it
+   ([staged]). A request asleep in the retry queue holds no pool lane and
+   is counted by neither term, so a transient-fault storm does not wedge
+   the admission window shut while everyone waits out backoff. *)
+let occupancy t =
+  match t.pool with
+  | None -> Atomic.get t.in_system
+  | Some p -> Atomic.get t.staged + Pool.live_jobs p
+
 let submit t ?deadline_s payload =
   Request.validate payload;
   let deadline_s = Option.value deadline_s ~default:t.cfg.default_deadline_s in
@@ -612,13 +645,29 @@ let submit t ?deadline_s payload =
   if Atomic.get t.stopping then reject t Request.Shutting_down
   else begin
     (* the admission window: claim a slot before queueing, release on
-       completion — over-claim is undone immediately, so in_system never
-       stays above capacity *)
-    let prev = Atomic.fetch_and_add t.in_system 1 in
-    if prev >= t.cfg.capacity then begin
-      ignore (Atomic.fetch_and_add t.in_system (-1));
-      reject t Request.Queue_full
-    end
+       completion (Slot) or on going live in the pool (Shared) — over-claim
+       is undone immediately, so occupancy never stays above capacity *)
+    let admitted =
+      match t.pool with
+      | None ->
+        let prev = Atomic.fetch_and_add t.in_system 1 in
+        if prev >= t.cfg.capacity then begin
+          ignore (Atomic.fetch_and_add t.in_system (-1));
+          false
+        end
+        else true
+      | Some p ->
+        let prev = Atomic.fetch_and_add t.staged 1 in
+        if prev + Pool.live_jobs p >= t.cfg.capacity then begin
+          ignore (Atomic.fetch_and_add t.staged (-1));
+          false
+        end
+        else begin
+          ignore (Atomic.fetch_and_add t.in_system 1);
+          true
+        end
+    in
+    if not admitted then reject t Request.Queue_full
     else begin
       let id = Atomic.fetch_and_add t.next_id 1 in
       let now = Clock.now_ns () in
@@ -645,6 +694,9 @@ let submit t ?deadline_s payload =
         Hashtbl.remove t.tickets id;
         Mutex.unlock t.mu;
         ignore (Atomic.fetch_and_add t.in_system (-1));
+        (match t.pool with
+        | Some _ -> ignore (Atomic.fetch_and_add t.staged (-1))
+        | None -> ());
         reject t
           (if pr = Queue.Closed then Request.Shutting_down else Request.Queue_full)
     end

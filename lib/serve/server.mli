@@ -8,6 +8,13 @@
     requests); admitted requests always resolve to a typed
     {!Request.completion}.
 
+    The window is measured differently per dispatch mode (see
+    {!occupancy}): [Slot] counts requests in-system; [Shared] counts
+    actual in-flight work — live pool jobs plus requests still travelling
+    towards the pool — so a retry asleep in backoff frees its slot and
+    in-system memory is bounded by [capacity] plus the transient backoff
+    population.
+
     {2 Fault isolation}
 
     Batch members execute as independent result slots
@@ -121,6 +128,15 @@ val counters : t -> counters
 
 val in_flight : t -> int
 (** Momentary in-system count (admitted, not yet completed). *)
+
+val occupancy : t -> int
+(** Momentary admission-window occupancy, the quantity {!submit} compares
+    against [capacity]. [Slot]: the in-system count. [Shared]: actual
+    in-flight work — DAGs live in the shared pool
+    ({!Xsc_runtime.Pool.live_jobs}) plus requests still travelling towards
+    it; a request waiting out a transient retry backoff holds no pool
+    lane and counts towards neither term, so admission keeps flowing
+    while retries sleep. *)
 
 val trace : t -> Xsc_runtime.Trace.t
 (** Spans of every completed request: service spans on worker lanes

@@ -1,0 +1,178 @@
+(* Tests for Xsc_fleet: storm replay determinism, recovery-lattice
+   accounting, Young cadence arithmetic, and availability trends. Configs
+   here are deliberately tiny — the heavyweight sweeps with self-checking
+   gates live in `bench --fleet` (BENCH_0009). *)
+
+module Sim = Xsc_fleet.Sim
+module Model = Xsc_fleet.Model
+module Scenario = Xsc_fleet.Scenario
+module Failure = Xsc_simmachine.Failure
+
+let cfg ?cadence ?abft ?capacity ?spans ?(nodes = 200) ?(node_mtbf = 1500.0)
+    ?(rate_hz = 0.4) ?(count = 40) ?(seed = 42) () =
+  Scenario.config ?cadence ?abft ?capacity ?spans ~nodes ~node_mtbf ~rate_hz
+    ~count ~seed ()
+
+(* ---- replay determinism ---- *)
+
+let test_replay_bitwise () =
+  let a = Sim.run (cfg ()) in
+  let b = Sim.run (cfg ()) in
+  Alcotest.(check int64) "fingerprint" a.Sim.outcome_hash b.Sim.outcome_hash;
+  Alcotest.(check bool) "records bitwise equal" true (a.Sim.records = b.Sim.records);
+  let rejects r =
+    Array.to_list r.Sim.records
+    |> List.filter_map (fun rc ->
+           match rc.Sim.outcome with
+           | Sim.Rejected_recovery _ -> Some rc.Sim.id
+           | _ -> None)
+  in
+  Alcotest.(check (list int)) "typed-reject set" (rejects a) (rejects b)
+
+let test_seed_changes_outcome () =
+  let a = Sim.run (cfg ~seed:1 ()) in
+  let b = Sim.run (cfg ~seed:2 ()) in
+  Alcotest.(check bool) "different storms" true
+    (a.Sim.outcome_hash <> b.Sim.outcome_hash)
+
+let test_spans_do_not_perturb () =
+  (* keeping simulated spans is pure observation: the storm's decisions,
+     and therefore the fingerprint, must not move *)
+  let a = Sim.run (cfg ~spans:false ()) in
+  let b = Sim.run (cfg ~spans:true ()) in
+  Alcotest.(check int64) "fingerprint unmoved" a.Sim.outcome_hash b.Sim.outcome_hash;
+  Alcotest.(check bool) "spans kept" true (List.length b.Sim.sim_spans > 0);
+  Alcotest.(check (list (pair string int))) "spans dropped when off" []
+    (List.map (fun _ -> ("", 0)) a.Sim.sim_spans)
+
+(* ---- recovery-lattice accounting ---- *)
+
+let test_reconciles_across_configs () =
+  List.iter
+    (fun c ->
+      let r = Sim.run c in
+      Alcotest.(check bool) "not wedged" false r.Sim.wedged;
+      Alcotest.(check bool) "lattice reconciles" true (Sim.reconciles r.Sim.counters))
+    [
+      cfg ();
+      cfg ~cadence:Sim.Every_step ();
+      cfg ~cadence:Sim.Never ();
+      cfg ~cadence:(Sim.Every 3) ();
+      cfg ~abft:false ();
+      cfg ~node_mtbf:400.0 ~seed:7 ();
+      cfg ~capacity:4 ~rate_hz:2.0 ();
+    ]
+
+let test_no_abft_escalates () =
+  (* without checksums the tile rung is gone: every tile fault must ride
+     the cone rung instead *)
+  let r = Sim.run (cfg ~abft:false ~node_mtbf:500.0 ()) in
+  Alcotest.(check int) "no abft repairs" 0 r.Sim.counters.Sim.abft_repairs
+
+let test_outcome_partition () =
+  let r = Sim.run (cfg ~capacity:2 ~rate_hz:3.0 ~count:60 ()) in
+  let c = r.Sim.counters in
+  Alcotest.(check int) "every request offered" 60 c.Sim.offered;
+  Alcotest.(check bool) "window pressure rejects some" true
+    (c.Sim.rejected_admission > 0);
+  Alcotest.(check int) "offered partitions" c.Sim.offered
+    (c.Sim.completed + c.Sim.rejected_recovery + c.Sim.rejected_admission)
+
+(* ---- Young cadence ---- *)
+
+let test_young_matches_model () =
+  let machine = Scenario.machine ~nodes:200 ~node_mtbf:1500.0 in
+  let r = Sim.run (cfg ()) in
+  Array.iter
+    (fun cls ->
+      let costs = Model.costs ~machine cls in
+      let expect = Model.young_steps ~machine cls ~costs in
+      let got = List.assoc cls.Model.name r.Sim.young_by_class in
+      Alcotest.(check int) ("young k: " ^ cls.Model.name) expect got)
+    Scenario.default_classes
+
+let test_young_tracks_mtbf () =
+  (* sqrt(2CM): a much longer MTBF must not shorten the interval *)
+  let k mtbf =
+    let machine = Scenario.machine ~nodes:200 ~node_mtbf:mtbf in
+    let cls = Scenario.default_classes.(0) in
+    Model.young_steps ~machine cls ~costs:(Model.costs ~machine cls)
+  in
+  Alcotest.(check bool) "monotone in MTBF" true (k 86400.0 >= k 900.0);
+  Alcotest.(check bool) "floored at 1" true (k 30.0 >= 1)
+
+(* ---- availability trends ---- *)
+
+let test_storm_degrades_availability () =
+  (* calm (30-day MTBF) vs collapse (400 s): availability must fall *)
+  let avail mtbf = (Sim.run (cfg ~node_mtbf:mtbf ~count:60 ())).Sim.availability in
+  let calm = avail 2.6e6 and storm = avail 400.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "calm %.3f > storm %.3f" calm storm)
+    true
+    (calm > storm +. 0.05)
+
+let test_calm_fleet_serves () =
+  let r = Sim.run (cfg ~node_mtbf:2.6e6 ~count:60 ()) in
+  Alcotest.(check bool) "nearly all on time" true (r.Sim.availability > 0.9);
+  Alcotest.(check bool) "goodput positive" true (r.Sim.goodput_rps > 0.0)
+
+(* ---- model validation ---- *)
+
+let test_model_rejects_malformed () =
+  let bad f =
+    let cls = { Scenario.default_classes.(0) with Model.name = "bad" } in
+    f cls
+  in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) "invalid" true
+        (try
+           Model.validate cls;
+           false
+         with Invalid_argument _ -> true))
+    [
+      bad (fun c -> { c with Model.nb = 1000 }) (* nb does not divide n *);
+      bad (fun c -> { c with Model.ranks = 15 }) (* not a square *);
+      bad (fun c -> { c with Model.deadline_s = 0.0 });
+      bad (fun c -> { c with Model.weight = -1.0 });
+    ]
+
+let test_oversized_class_raises () =
+  Alcotest.(check bool) "class wider than machine" true
+    (try
+       ignore (Sim.run (cfg ~nodes:9 ()));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "xsc_fleet"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "bitwise replay" `Quick test_replay_bitwise;
+          Alcotest.test_case "seed matters" `Quick test_seed_changes_outcome;
+          Alcotest.test_case "spans are pure observation" `Quick test_spans_do_not_perturb;
+        ] );
+      ( "lattice",
+        [
+          Alcotest.test_case "reconciles across configs" `Quick test_reconciles_across_configs;
+          Alcotest.test_case "no-abft escalates to cone" `Quick test_no_abft_escalates;
+          Alcotest.test_case "outcome partition" `Quick test_outcome_partition;
+        ] );
+      ( "young",
+        [
+          Alcotest.test_case "matches model" `Quick test_young_matches_model;
+          Alcotest.test_case "tracks MTBF" `Quick test_young_tracks_mtbf;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "storm degrades" `Quick test_storm_degrades_availability;
+          Alcotest.test_case "calm fleet serves" `Quick test_calm_fleet_serves;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "rejects malformed" `Quick test_model_rejects_malformed;
+          Alcotest.test_case "oversized class raises" `Quick test_oversized_class_raises;
+        ] );
+    ]

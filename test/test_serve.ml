@@ -532,6 +532,117 @@ let test_shared_isolates_singular () =
   Server.stop srv;
   check_counters_reconcile "shared singular" srv ~offered:3
 
+let wait_for ~what ?(timeout_s = 5.0) f =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail ("timed out waiting for " ^ what)
+    else begin
+      Unix.sleepf 0.001;
+      go ()
+    end
+  in
+  go ()
+
+(* Shared admission reads actual in-flight work (Pool.live_jobs plus
+   requests travelling towards it), not the in-system count: a retry
+   asleep in backoff holds no pool lane, so its window slot frees and a
+   new request is admitted while it sleeps. Slot mode is the control —
+   the same sleeping retry keeps the window full there. *)
+let test_shared_admission_while_retry_sleeps () =
+  let h =
+    Harness.create { Harness.default with seed = 3; p_raise = 1.0; transient = true }
+  in
+  let cfg =
+    { Server.default_config with workers = 1; dispatch = Server.Shared 2;
+      capacity = 1; max_batch = 1; linger_s = 0.0; max_retries = 3;
+      retry_backoff_s = 0.5 }
+  in
+  let srv = Server.start ~harness:h cfg in
+  let rng = Rng.create 41 in
+  let payload () = Request.Spd_solve (Mat.random_spd rng 6, Vec.random rng 6) in
+  let t0 = Result.get_ok (Server.submit srv (payload ())) in
+  (* p_raise 1.0 and transient: the first attempt raises, then backs off *)
+  wait_for ~what:"first injected raise" (fun () -> Harness.raised h >= 1);
+  wait_for ~what:"backoff frees the window" (fun () -> Server.occupancy srv = 0);
+  let t1 =
+    match Server.submit srv (payload ()) with
+    | Ok t -> t
+    | Error e ->
+      Alcotest.fail ("rejected while the retry slept: " ^ Request.error_message e)
+  in
+  List.iter
+    (fun t ->
+      match (Server.await srv t).Request.outcome with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("request failed: " ^ Request.error_message e))
+    [ t0; t1 ];
+  Server.stop srv;
+  check_counters_reconcile "shared sleeping retry" srv ~offered:2;
+  (* control: Slot occupancy is the in-system count, so the identical
+     sleeping retry keeps the window full and the second submit bounces *)
+  let h2 =
+    Harness.create { Harness.default with seed = 3; p_raise = 1.0; transient = true }
+  in
+  let srv2 = Server.start ~harness:h2 { cfg with dispatch = Server.Slot } in
+  let t0 = Result.get_ok (Server.submit srv2 (payload ())) in
+  wait_for ~what:"first injected raise (slot)" (fun () -> Harness.raised h2 >= 1);
+  (match Server.submit srv2 (payload ()) with
+  | Error (Request.Rejected Request.Queue_full) -> ()
+  | Ok _ -> Alcotest.fail "Slot control admitted through a held window"
+  | Error e -> Alcotest.fail ("expected Queue_full, got " ^ Request.error_message e));
+  (match (Server.await srv2 t0).Request.outcome with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("slot request failed: " ^ Request.error_message e));
+  Server.stop srv2;
+  check_counters_reconcile "slot control" srv2 ~offered:2
+
+(* Thousands of requests through the shared pool in closed-loop chunks:
+   counters reconcile exactly, the span collector sheds nothing, and the
+   submitting domain's allocation per chunk stays flat — a monotonic
+   per-request growth (a leak in the staged-admission or span paths)
+   would show as the later half allocating measurably more than the
+   earlier half. *)
+let test_shared_soak () =
+  let total = 1600 and chunk = 200 in
+  let srv =
+    Server.start
+      { Server.default_config with workers = 1; dispatch = Server.Shared 2;
+        capacity = 256; max_batch = 8; linger_s = 0.0005 }
+  in
+  let rng = Rng.create 53 in
+  let chunks = total / chunk in
+  let per_chunk = Array.make chunks 0.0 in
+  for c = 0 to chunks - 1 do
+    let before = Xsc_obs.Gcstat.minor_words () in
+    let tickets =
+      Array.init chunk (fun _ ->
+          Result.get_ok
+            (Server.submit srv (Request.Spd_solve (Mat.random_spd rng 6, Vec.random rng 6))))
+    in
+    Array.iter
+      (fun t ->
+        match (Server.await srv t).Request.outcome with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail ("soak request failed: " ^ Request.error_message e))
+      tickets;
+    per_chunk.(c) <- Xsc_obs.Gcstat.minor_words () -. before
+  done;
+  Server.stop srv;
+  check_counters_reconcile "soak" srv ~offered:total;
+  let c = Server.counters srv in
+  Alcotest.(check int) "all admitted" total c.Server.admitted;
+  Alcotest.(check int) "all completed" total c.Server.completed;
+  Alcotest.(check int) "zero span drops" 0 (Server.span_dropped srv);
+  let sum a b = Array.fold_left ( +. ) 0.0 (Array.sub per_chunk a b) in
+  let half = chunks / 2 in
+  let first = sum 0 half and second = sum half (chunks - half) in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation flat across halves (%.0f vs %.0f words)" first second)
+    true
+    (second < first *. 1.5)
+
 (* ---- routing and scratch satellites ---- *)
 
 let test_route_direct_vs_lapack () =
@@ -886,6 +997,9 @@ let () =
             test_shared_permanent_storm;
           Alcotest.test_case "isolates a singular job" `Quick
             test_shared_isolates_singular;
+          Alcotest.test_case "admits while a retry sleeps" `Quick
+            test_shared_admission_while_retry_sleeps;
+          Alcotest.test_case "soak: thousands of requests" `Slow test_shared_soak;
         ] );
       ( "satellites",
         [

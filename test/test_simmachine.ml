@@ -260,6 +260,48 @@ let test_failure_of_machine () =
   let f = Failure.of_machine rng (machine ()) in
   Alcotest.(check (float 1e-9)) "rate = 1/system mtbf" 1e-4 (Failure.rate f)
 
+let test_failures_before_seeded () =
+  (* the fleet bench's replay gate leans on this: the same seed must give
+     the bit-identical failure schedule, and a different seed must not *)
+  let draw seed = Failure.failures_before (Failure.create (Rng.create seed) ~rate:0.05) ~horizon:2000.0 in
+  Alcotest.(check bool) "same seed, bitwise schedule" true (draw 23 = draw 23);
+  Alcotest.(check bool) "different seed, different storm" true (draw 23 <> draw 24)
+
+let test_expected_vs_empirical () =
+  (* average over many independent storms: the empirical count converges
+     on [expected_failures] (Poisson mean rate*horizon = 50) *)
+  let rate = 0.05 and horizon = 1000.0 in
+  let trials = 400 in
+  let total = ref 0 in
+  for seed = 1 to trials do
+    let f = Failure.create (Rng.create seed) ~rate in
+    total := !total + List.length (Failure.failures_before f ~horizon)
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  let expect = Failure.expected_failures (Failure.create (Rng.create 0) ~rate) ~horizon in
+  Alcotest.(check (float 0.0)) "expectation arithmetic" 50.0 expect;
+  (* sigma of the trial mean is sqrt(50/400) ~ 0.35; allow 4 sigma *)
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical mean %.2f ~ %.0f" mean expect)
+    true
+    (abs_float (mean -. expect) < 1.5)
+
+let test_system_mtbf_at_paper_scale () =
+  (* the paper's arithmetic on real fleets: a 2-year node MTBF collapses
+     to under an hour at Titan scale and to minutes at exascale *)
+  let two_years = 2.0 *. 365.25 *. 86400.0 in
+  let mtbf nodes =
+    let m =
+      Machine.create ~name:"paper" ~node:(node ()) ~node_count:nodes
+        ~network:(net ()) ~node_mtbf:two_years ()
+    in
+    Machine.system_mtbf m
+  in
+  Alcotest.(check (float 1e-6)) "titan-scale (18688 nodes)"
+    (two_years /. 18688.0) (mtbf 18688);
+  Alcotest.(check bool) "titan-scale under an hour" true (mtbf 18688 < 3600.0);
+  Alcotest.(check bool) "exascale (100k nodes) minutes" true (mtbf 100_000 < 660.0)
+
 (* ---- Presets ---- *)
 
 let test_presets_sane () =
@@ -338,6 +380,9 @@ let () =
           Alcotest.test_case "mean interarrival" `Quick test_failure_mean_interarrival;
           Alcotest.test_case "failures_before" `Quick test_failures_before;
           Alcotest.test_case "of_machine" `Quick test_failure_of_machine;
+          Alcotest.test_case "seeded schedule" `Quick test_failures_before_seeded;
+          Alcotest.test_case "expected vs empirical" `Quick test_expected_vs_empirical;
+          Alcotest.test_case "paper-scale MTBF" `Quick test_system_mtbf_at_paper_scale;
         ] );
       ( "presets",
         [
