@@ -201,6 +201,60 @@ let sched_record ~nt ~nb ~workers =
   in
   (sched, per_kernel)
 
+(* Sparse kernel roofline: SpMV and SymGS rates on the 3-D stencil
+   operators, with flop/byte totals read back from the [blas.*] tallies
+   the Csr kernels publish — the same accounting the dense kernels use —
+   so the reported intensity is the kernels' own, then judged against
+   the workstation roof. Both land near 0.2 flop/byte, an order of
+   magnitude below the ridge point: the bandwidth-bound regime whose
+   serving-side consequences [--serve-mixed] measures. *)
+let sparse_record ~n ~reps =
+  let module Csr = Xsc_sparse.Csr in
+  let module Stencil = Xsc_sparse.Stencil in
+  let module Roofline = Xsc_hpcbench.Roofline in
+  let module Metrics = Xsc_obs.Metrics in
+  let node = Xsc_simmachine.(Presets.workstation.Machine.node) in
+  let rows = n * n * n in
+  let rng = Rng.create 41 in
+  let x = Vec.random rng rows in
+  let y = Vec.create rows in
+  let measure name f =
+    let counter key snap =
+      match List.assoc_opt key snap with
+      | Some (Metrics.Counter c) -> float_of_int c
+      | _ -> 0.0
+    in
+    let before = Metrics.snapshot () in
+    let t = time f reps in
+    let d = Metrics.delta ~before ~after:(Metrics.snapshot ()) in
+    let calls = counter ("blas." ^ name ^ ".calls") d in
+    let flops = counter ("blas." ^ name ^ ".flops") d in
+    let bytes = counter ("blas." ^ name ^ ".bytes") d in
+    (* [time] runs warm-up + reps; per-call figures come from the tally
+       itself, so the arithmetic stays honest if reps change *)
+    let per_call_flops = flops /. calls in
+    let intensity = flops /. bytes in
+    let measured = per_call_flops /. t in
+    let a = Roofline.achieved_point node ~kernel:name ~intensity ~measured in
+    Printf.sprintf
+      "{\"kernel\": \"%s\", \"n\": %d, \"rows\": %d, \"intensity\": %.4f, \
+       \"gflops\": %.4f, \"gbytes_per_s\": %.3f, \"roof_gflops\": %.4f, \
+       \"roof_fraction\": %.4f}"
+      (Xsc_util.Json.escape name) n rows intensity (measured /. 1e9)
+      (measured /. intensity /. 1e9)
+      (a.Roofline.point.Roofline.attainable /. 1e9)
+      a.Roofline.roof_fraction
+  in
+  let a7 = Stencil.poisson_3d n in
+  let a27 = Stencil.hpcg_27pt n in
+  let b = Vec.random rng rows in
+  let spmv = measure "spmv" (fun () -> Csr.mul_vec_into a27 x y) in
+  let symgs = measure "symgs" (fun () -> Csr.symgs_sweep a27 ~b ~x:y) in
+  (* the 7-point operator under the same kernel name shows intensity is a
+     property of the operator (nnz/row), not the kernel *)
+  let spmv7 = measure "spmv" (fun () -> Csr.mul_vec_into a7 x y) in
+  Printf.sprintf "[%s,\n    %s,\n    %s]" spmv7 spmv symgs
+
 (* Whole-run GC figures: quick_stat deltas around the record's phases.
    The per-phase gauges ([gc.<phase>.*], published by Gcstat.phase) land
    in the registry snapshot that already ships with the record. *)
@@ -249,6 +303,7 @@ let run ~file =
         let s2, _ = sched_record ~nt:8 ~nb:96 ~workers in
         ([ "    " ^ s1; "    " ^ s2 ], pk))
   in
+  let sparse = Gcstat.phase "sparse" (fun () -> sparse_record ~n:32 ~reps:10) in
   let resilience = Gcstat.phase "resilience" (fun () -> Faults_run.record ()) in
   let serve, serve_ok, _ =
     Gcstat.phase "serve" (fun () ->
@@ -269,6 +324,7 @@ let run ~file =
         "  ],";
         "  \"f32\": " ^ f32 ^ ",";
         "  \"ir\": " ^ ir ^ ",";
+        "  \"sparse\": " ^ sparse ^ ",";
         "  \"autotune\": " ^ autotune ^ ",";
         "  \"resilience\": " ^ resilience ^ ",";
         "  \"serve\": " ^ serve ^ ",";
@@ -294,6 +350,7 @@ let smoke ~file =
   let base = Filename.remove_extension file in
   let gc0 = Gcstat.snap () in
   let sched, _ = Gcstat.phase "sched" (fun () -> sched_record ~nt:6 ~nb:72 ~workers:2) in
+  let sparse = Gcstat.phase "sparse" (fun () -> sparse_record ~n:20 ~reps:5) in
   let resilience =
     Gcstat.phase "resilience" (fun () -> Faults_run.record ~runs:3 ~storm_seeds:4 ())
   in
@@ -312,6 +369,7 @@ let smoke ~file =
       "{";
       "  \"smoke\": true,";
       "  \"sched\": " ^ sched ^ ",";
+      "  \"sparse\": " ^ sparse ^ ",";
       "  \"autotune\": " ^ autotune ^ ",";
       "  \"resilience\": " ^ resilience ^ ",";
       "  \"serve\": " ^ serve ^ ",";

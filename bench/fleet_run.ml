@@ -461,7 +461,10 @@ let record ~p =
                    \"steps\": %d, \"step_s\": %.2f, \"work_s\": %.2f, \
                    \"checkpoint_s\": %.2f, \"restart_s\": %.2f}"
                   c.Model.name
-                  (match c.Model.kind with Model.Chol -> "chol" | Model.Gemm -> "gemm")
+                  (match c.Model.kind with
+                  | Model.Chol -> "chol"
+                  | Model.Gemm -> "gemm"
+                  | Model.Cg _ -> "cg")
                   c.Model.n c.Model.nb c.Model.ranks c.Model.deadline_s c.Model.weight
                   costs.Model.steps costs.Model.step_s costs.Model.work_s
                   costs.Model.checkpoint_s costs.Model.restart_s)))

@@ -13,6 +13,8 @@
      dune exec bench/main.exe -- --faults [SEED]   # seeded fault storm + recovery
      dune exec bench/main.exe -- --serve FILE # solver-service load/latency record
      dune exec bench/main.exe -- --serve-isolation FILE # shared-pool latency isolation
+     dune exec bench/main.exe -- --serve-mixed FILE # dense+sparse class-aware dispatch
+     dune exec bench/main.exe -- --serve-mixed --smoke FILE # CI-sized mixed record
      dune exec bench/main.exe -- --fleet FILE # simulated-fleet failure-storm record
      dune exec bench/main.exe -- --fleet --smoke FILE # CI-sized fleet record *)
 
@@ -73,6 +75,11 @@ let () =
   | [ "--serve-isolation" ] ->
     Printf.eprintf "--serve-isolation requires an output file argument\n";
     exit 1
+  | [ "--serve-mixed"; "--smoke"; file ] -> Mixed_run.smoke ~file
+  | [ "--serve-mixed"; "--smoke" ] | [ "--serve-mixed" ] ->
+    Printf.eprintf "--serve-mixed requires an output file argument\n";
+    exit 1
+  | [ "--serve-mixed"; file ] -> Mixed_run.run ~file
   | [ "--fleet"; "--smoke"; file ] -> Fleet_run.smoke ~file
   | [ "--fleet"; "--smoke" ] | [ "--fleet" ] ->
     Printf.eprintf "--fleet requires an output file argument\n";

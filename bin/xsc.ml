@@ -530,8 +530,28 @@ let serve_demo_cmd =
     Arg.(value & opt int 512 & info [ "large-n" ] ~docv:"N"
            ~doc:"Problem size of the streaming large solve (with $(b,--isolation)).")
   in
+  let mixed_arg =
+    Arg.(value & flag & info [ "mixed" ]
+           ~doc:"Mixed dense+sparse workload: overlay a bandwidth-bound CG \
+                 class (7-pt stencil solves, half the dense rate and count) \
+                 on the dense load and dispatch through the shared pool with \
+                 a per-class concurrency cap — the HPL-vs-HPCG contrast as a \
+                 serving phenomenon. Pairs with $(b,--sparse-grid) and \
+                 $(b,--sparse-cap).")
+  in
+  let sparse_grid_arg =
+    Arg.(value & opt int 24 & info [ "sparse-grid" ] ~docv:"G"
+           ~doc:"Grid edge of the sparse CG class with $(b,--mixed) \
+                 ($(docv)^3 unknowns).")
+  in
+  let sparse_cap_arg =
+    Arg.(value & opt int 1 & info [ "sparse-cap" ] ~docv:"L"
+           ~doc:"Shared-pool concurrency cap for the sparse class with \
+                 $(b,--mixed); 0 lifts the cap (naive co-scheduling, which \
+                 lets the bandwidth-bound chains flood the dense tail).")
+  in
   let run n workers seed count rate capacity deadline storm permanent trace_json slo
-      slo_budget flight isolation large_n =
+      slo_budget flight isolation large_n mixed sparse_grid sparse_cap =
     let workers = if workers <= 0 then 2 else workers in
     let module Server = Xsc_serve.Server in
     let module Loadgen = Xsc_serve.Loadgen in
@@ -549,12 +569,17 @@ let serve_demo_cmd =
       | Some latency_s -> [ { Slo.kind = "*"; latency_s; error_budget = slo_budget } ]
       | None -> []
     in
-    let dispatch = if isolation then Server.Shared workers else Server.Slot in
+    let dispatch =
+      if isolation || mixed then Server.Shared workers else Server.Slot
+    in
+    let class_caps =
+      if mixed && sparse_cap > 0 then [ ("cg", sparse_cap) ] else []
+    in
     let srv =
       Server.start ?harness
         { Server.default_config with workers; capacity; slos; flight_path = flight;
-          dispatch;
-          default_deadline_s = (if isolation then 5.0 else
+          dispatch; class_caps;
+          default_deadline_s = (if isolation || mixed then 5.0 else
                                   Server.default_config.Server.default_deadline_s) }
     in
     let cfg =
@@ -565,7 +590,7 @@ let serve_demo_cmd =
     Printf.printf
       "serving %d mixed requests (n=%d) at %.0f req/s on %d %s, window %d:\n" count n
       rate workers
-      (if isolation then "shared-pool lanes" else "slot workers")
+      (if isolation || mixed then "shared-pool lanes" else "slot workers")
       capacity;
     (* The trace is written in a [finally] so a run cut short — every
        request typed-rejected by a saturated window, a storm exhausting its
@@ -592,7 +617,21 @@ let serve_demo_cmd =
         Server.stop srv;
         write_trace ())
       (fun () ->
-        if isolation then begin
+        if mixed then begin
+          let sparse =
+            { Loadgen.seed = seed + 19; count = (count + 1) / 2;
+              rate_hz = rate /. 2.0; n = sparse_grid;
+              kinds = [| Loadgen.Cg |]; deadline_s = 5.0 }
+          in
+          let m = Loadgen.run_mixed srv ~dense:cfg ~sparse in
+          Printf.printf "dense classes (cap %s on \"cg\"):\n"
+            (if sparse_cap > 0 then string_of_int sparse_cap else "off");
+          print_endline (Loadgen.report_human m.Loadgen.m_dense);
+          Printf.printf "sparse cg class (%d^3 grid, %d iters max):\n" sparse_grid
+            (30 * sparse_grid);
+          print_endline (Loadgen.report_human m.Loadgen.m_sparse)
+        end
+        else if isolation then begin
           let iso =
             Loadgen.run_isolation srv
               ~large:{ Loadgen.l_n = large_n; l_deadline_s = 5.0; l_seed = 7 }
@@ -633,7 +672,8 @@ let serve_demo_cmd =
        ~doc:"Run the concurrent solver service under a seeded Poisson load")
     Term.(const run $ n_arg 48 $ workers_arg $ seed_arg $ count_arg $ rate_arg
           $ capacity_arg $ deadline_arg $ storm_arg $ permanent_arg $ trace_arg
-          $ slo_arg $ slo_budget_arg $ flight_arg $ isolation_arg $ large_n_arg)
+          $ slo_arg $ slo_budget_arg $ flight_arg $ isolation_arg $ large_n_arg
+          $ mixed_arg $ sparse_grid_arg $ sparse_cap_arg)
 
 (* ---- fleet ---- *)
 
@@ -671,6 +711,13 @@ let fleet_cmd =
            ~doc:"Drop ABFT checksums: no per-step overhead, but tile \
                  corruption escalates to cone replay.")
   in
+  let mixed_fleet_arg =
+    Arg.(value & flag & info [ "mixed" ]
+           ~doc:"Add the bandwidth-costed sparse CG class ($(b,cg-27m)) to \
+                 the two dense classes: the HPL-vs-HPCG contrast as fleet \
+                 economics (O(n) checkpoint state, memory-bandwidth step \
+                 cost).")
+  in
   let json_fleet_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the run summary as JSON to $(docv).")
@@ -680,7 +727,7 @@ let fleet_cmd =
            ~doc:"Write the storm's simulated spans (requests and recovery \
                  rungs, simulated time) as a Chrome trace to $(docv).")
   in
-  let run nodes mtbf rate count capacity batch cadence no_abft seed json trace =
+  let run nodes mtbf rate count capacity batch cadence no_abft mixed seed json trace =
     let cadence =
       match String.lowercase_ascii cadence with
       | "young" -> Ok Sim.Young
@@ -701,8 +748,10 @@ let fleet_cmd =
         try
           Ok
             (Scenario.config ~cadence ~abft:(not no_abft) ~capacity
-               ~max_batch:batch ~spans:(trace <> None) ~nodes ~node_mtbf:mtbf
-               ~rate_hz:rate ~count ~seed ())
+               ~max_batch:batch ~spans:(trace <> None)
+               ~classes:(if mixed then Scenario.mixed_classes
+                         else Scenario.default_classes)
+               ~nodes ~node_mtbf:mtbf ~rate_hz:rate ~count ~seed ())
         with Invalid_argument m -> Error m
       in
       match cfg with
@@ -787,8 +836,8 @@ let fleet_cmd =
              ABFT/cone/restart/reject recovery lattice — seeded and \
              bitwise-replayable")
     Term.(const run $ nodes_arg $ mtbf_arg $ rate_fleet_arg $ count_fleet_arg
-          $ capacity_fleet_arg $ batch_arg $ cadence_arg $ no_abft_arg $ seed_arg
-          $ json_fleet_arg $ trace_fleet_arg)
+          $ capacity_fleet_arg $ batch_arg $ cadence_arg $ no_abft_arg
+          $ mixed_fleet_arg $ seed_arg $ json_fleet_arg $ trace_fleet_arg)
 
 (* ---- flight ---- *)
 

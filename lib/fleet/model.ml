@@ -25,11 +25,13 @@ module Network = Xsc_simmachine.Network
 module Node = Xsc_simmachine.Node
 module Dist_cholesky = Xsc_ca.Dist_cholesky
 module Summa = Xsc_ca.Summa
+module Cg = Xsc_sparse.Cg
 module Checkpoint = Xsc_resilience.Checkpoint
 
 type kind =
   | Chol
   | Gemm
+  | Cg of { iters : int }  (* row-partitioned classic CG on a 7-pt stencil *)
 
 type cls = {
   name : string;
@@ -62,26 +64,93 @@ let derate = 0.125
    class, deliberately far below memory bandwidth. *)
 let checkpoint_bw = 2e9
 
+(* Sparse class arithmetic: [n] is the ROW count of a 7-point stencil
+   operator (nnz ~ 7n), partitioned by rows — no square grid, no panels.
+   One classic CG iteration moves ~[12 nnz + 16 n] SpMV bytes plus ~10
+   vector-length reads/writes and does ~[2 nnz + 10 n] flops: an
+   arithmetic intensity near 1/4 flop/byte, pinned under every machine's
+   memory-bandwidth roof. The class is therefore costed by
+   iteration-count x streamed bytes at [Node.mem_bandwidth] — flops never
+   enter the time — with the synchronisation priced by the same
+   [Cg.modeled_iteration_time] closed form the sparse bench validates
+   (Classic CG: two allreduces per iteration). *)
+let cg_spmv_bytes rows = (12.0 *. 7.0 *. rows) +. (16.0 *. rows)
+let cg_vector_bytes rows = 10.0 *. 8.0 *. rows
+
 let flops_of cls =
   let n = float_of_int cls.n in
   match cls.kind with
   | Chol -> n *. n *. n /. 3.0
   | Gemm -> 2.0 *. n *. n *. n
+  | Cg { iters } -> float_of_int iters *. ((2.0 *. 7.0 *. n) +. (10.0 *. n))
 
 let validate cls =
-  if cls.n <= 0 || cls.nb <= 0 || cls.n mod cls.nb <> 0 then
-    invalid_arg (Printf.sprintf "Fleet.Model: class %s: nb must divide n" cls.name);
-  let side = int_of_float (sqrt (float_of_int cls.ranks) +. 0.5) in
-  if side * side <> cls.ranks || cls.ranks < 1 then
-    invalid_arg
-      (Printf.sprintf "Fleet.Model: class %s: ranks must be a positive square" cls.name);
+  (match cls.kind with
+  | Chol | Gemm ->
+    if cls.n <= 0 || cls.nb <= 0 || cls.n mod cls.nb <> 0 then
+      invalid_arg (Printf.sprintf "Fleet.Model: class %s: nb must divide n" cls.name);
+    let side = int_of_float (sqrt (float_of_int cls.ranks) +. 0.5) in
+    if side * side <> cls.ranks || cls.ranks < 1 then
+      invalid_arg
+        (Printf.sprintf "Fleet.Model: class %s: ranks must be a positive square"
+           cls.name)
+  | Cg { iters } ->
+    (* row partition: any positive rank count, no panel width *)
+    if cls.n <= 0 then
+      invalid_arg (Printf.sprintf "Fleet.Model: class %s: rows must be positive" cls.name);
+    if iters < 1 then
+      invalid_arg (Printf.sprintf "Fleet.Model: class %s: iters must be >= 1" cls.name);
+    if cls.ranks < 1 then
+      invalid_arg
+        (Printf.sprintf "Fleet.Model: class %s: ranks must be positive" cls.name));
   if cls.deadline_s <= 0.0 then
     invalid_arg (Printf.sprintf "Fleet.Model: class %s: deadline must be positive" cls.name);
   if cls.weight <= 0.0 then
     invalid_arg (Printf.sprintf "Fleet.Model: class %s: weight must be positive" cls.name)
 
+(* Bandwidth-bound sparse class: every time in the record is a streamed-
+   bytes count over [Node.mem_bandwidth] plus alpha-beta synchronisation —
+   node flop rate and [derate] never appear. *)
+let cg_costs ~(machine : Machine.t) cls ~iters =
+  let net = machine.Machine.network in
+  let p = cls.ranks in
+  let fp = float_of_int p in
+  let rows = float_of_int cls.n in
+  let bw = machine.Machine.node.Node.mem_bandwidth in
+  let spmv_time = cg_spmv_bytes rows /. fp /. bw in
+  let vector_time = cg_vector_bytes rows /. fp /. bw in
+  let step_s =
+    Cg.modeled_iteration_time Cg.Classic ~network:net ~ranks:p ~spmv_time ~vector_time
+  in
+  (* solver state is three vectors (x, r, p): O(n) bytes, so the
+     checkpoint economics invert relative to the dense classes — C is tiny
+     against the allocation MTBF and Young's interval stretches to many
+     steps *)
+  let state_bytes = 3.0 *. 8.0 *. rows in
+  let setup_s = (fp -. 1.0) *. Network.ptp_avg net ~bytes:(8.0 *. rows /. fp) in
+  let checkpoint_s =
+    (state_bytes /. fp /. checkpoint_bw) +. Network.barrier_time net ~ranks:p
+  in
+  let restart_s = (2.0 *. checkpoint_s) +. (10.0 *. Network.barrier_time net ~ranks:p) in
+  {
+    steps = iters;
+    step_s;
+    work_s = step_s *. float_of_int iters;
+    setup_s;
+    checkpoint_s;
+    restart_s;
+    (* iterate-integrity is a true-residual recompute (an extra SpMV pass
+       on checked steps), not a checksum row *)
+    abft_step_factor = 1.0 +. (0.5 *. spmv_time /. step_s);
+    abft_repair_s = 1.5 *. step_s;
+    cone_replay_s = 2.0 *. step_s;
+  }
+
 let costs ~(machine : Machine.t) cls =
   validate cls;
+  match cls.kind with
+  | Cg { iters } -> cg_costs ~machine cls ~iters
+  | Chol | Gemm ->
   let net = machine.Machine.network in
   let p = cls.ranks in
   let fp = float_of_int p in
@@ -95,6 +164,7 @@ let costs ~(machine : Machine.t) cls =
       let m = Summa.model_2d ~n:cls.n ~p in
       (* SUMMA advances in sqrt(p) panel broadcasts *)
       (int_of_float (sqrt fp +. 0.5), m.Summa.msgs, m.Summa.words_per_rank)
+    | Cg _ -> assert false (* dispatched to [cg_costs] above *)
   in
   let steps = max 1 steps in
   let compute_s =

@@ -13,13 +13,23 @@
 type kind =
   | Chol  (** 2-D block-cyclic Cholesky, [n/nb] sequential panel steps *)
   | Gemm  (** SUMMA, [sqrt ranks] panel-broadcast steps *)
+  | Cg of { iters : int }
+      (** row-partitioned classic CG on a 7-point stencil of [n] rows,
+          [iters] sequential iteration steps. Bandwidth-bound: costed by
+          streamed bytes over {!Xsc_simmachine.Node.t.mem_bandwidth} plus
+          two allreduces per iteration
+          ({!Xsc_sparse.Cg.modeled_iteration_time}) — node flop rate never
+          enters. Solver state is three vectors, so checkpoints are O(n)
+          and Young's interval stretches to many steps: the HPL-vs-HPCG
+          contrast as a fleet economics statement. *)
 
 type cls = {
   name : string;  (** batching class key *)
   kind : kind;
-  n : int;  (** global problem size *)
-  nb : int;  (** panel width (must divide [n]) *)
-  ranks : int;  (** nodes one solve occupies; must be a square *)
+  n : int;  (** global problem size: matrix order, or rows for [Cg] *)
+  nb : int;  (** panel width (must divide [n]); ignored by [Cg] *)
+  ranks : int;  (** nodes one solve occupies; a square for [Chol]/[Gemm],
+                    any positive count for the row-partitioned [Cg] *)
   deadline_s : float;  (** relative deadline granted at admission *)
   weight : float;  (** workload mix weight *)
 }
@@ -37,8 +47,9 @@ type costs = {
 }
 
 val validate : cls -> unit
-(** Raises [Invalid_argument] on malformed classes (nb not dividing n,
-    non-square ranks, non-positive deadline/weight). *)
+(** Raises [Invalid_argument] on malformed classes (nb not dividing n or
+    non-square ranks for the dense kinds, non-positive rows/iters/ranks
+    for [Cg], non-positive deadline/weight). *)
 
 val flops_of : cls -> float
 

@@ -38,6 +38,24 @@ let default_classes =
     };
   |]
 
+(* The sparse member of the mixed workload: a 300^3-grid CG class, sized
+   so one solve streams ~130 GB through 16 ranks — seconds of wall time on
+   the titan-like node, bandwidth-bound throughout. Kept out of
+   [default_classes] so every existing two-class record (BENCH_0009,
+   seeded storm replays) is untouched. *)
+let sparse_class =
+  {
+    Model.name = "cg-27m";
+    kind = Model.Cg { iters = 500 };
+    n = 27_000_000;
+    nb = 1;
+    ranks = 16;
+    deadline_s = 120.0;
+    weight = 2.0;
+  }
+
+let mixed_classes = Array.append default_classes [| sparse_class |]
+
 let default_faults = { Sim.p_tile = 0.35; p_cone = 0.25; repair_s = 300.0 }
 
 let config ?(cadence = Sim.Young) ?(abft = true) ?(capacity = 256)

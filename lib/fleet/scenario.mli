@@ -12,6 +12,16 @@ val default_classes : Model.cls array
 (** [chol-64k] (16 ranks, 32 steps, checkpoint ~ one step) weighted 3:1
     against [gemm-32k] (16 ranks, 4 steps). *)
 
+val sparse_class : Model.cls
+(** [cg-27m]: a 300³-grid (27M-row) classic-CG class on 16 ranks, 500
+    iteration steps, costed purely by memory bandwidth
+    ({!Model.kind.Cg}). *)
+
+val mixed_classes : Model.cls array
+(** {!default_classes} plus {!sparse_class} — the HPL-vs-HPCG mixed fleet
+    workload. [default_classes] itself is unchanged, so prior seeded
+    records replay bit-identically. *)
+
 val default_faults : Sim.faults
 (** 35% tile / 25% cone / 40% hard, 300 s node repair. *)
 

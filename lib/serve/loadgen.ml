@@ -24,6 +24,8 @@ type kind =
   | Spd
   | General
   | Product
+  | Cg
+  | Mg
 
 type config = {
   seed : int;
@@ -57,12 +59,43 @@ let schedule cfg =
       let kind = cfg.kinds.(Rng.int rng (Array.length cfg.kinds)) in
       { at_s = !t; kind; problem_seed = 1 + Rng.int rng 0x3FFFFFFF })
 
+(* Sparse instances: [n] is reinterpreted as the GRID EDGE (n^3 unknowns),
+   not the matrix order — a grid-16 CG solve is a 4096-row SpMV stream, the
+   bandwidth-bound analogue of an n=48 dense solve's compute-bound kernel.
+   Tolerances/budgets are fixed here so a generated instance always
+   converges on a fault-free server (the bench gates rely on sparse
+   failures meaning injected faults or deliberate cap-outs, not flaky
+   generation). *)
+let sparse_tol = 1e-8
+let cg_max_iter n = 30 * n
+let mg_max_cycles = 100
+let mg_levels = 4
+
 let payload_of cfg a =
   let rng = Rng.create a.problem_seed in
   match a.kind with
   | Spd -> Request.Spd_solve (Mat.random_spd rng cfg.n, Vec.random rng cfg.n)
   | General -> Request.Lu_solve (Mat.random_diag_dominant rng cfg.n, Vec.random rng cfg.n)
   | Product -> Request.Gemm (Mat.random rng cfg.n cfg.n, Mat.random rng cfg.n cfg.n)
+  | Cg ->
+    let rows = cfg.n * cfg.n * cfg.n in
+    Request.Cg_solve
+      {
+        a = Xsc_sparse.Stencil.poisson_3d cfg.n;
+        b = Vec.random rng rows;
+        tol = sparse_tol;
+        max_iter = cg_max_iter cfg.n;
+      }
+  | Mg ->
+    let rows = cfg.n * cfg.n * cfg.n in
+    Request.Mg_solve
+      {
+        grid = cfg.n;
+        levels = mg_levels;
+        b = Vec.random rng rows;
+        tol = sparse_tol;
+        max_cycles = mg_max_cycles;
+      }
 
 (* The oracle: the same kernels the server runs, called directly — the
    server's answer for a fault-free request must be bitwise identical. *)
@@ -75,6 +108,12 @@ let reference cfg a =
     let c = Mat.create ra cb in
     Blas.gemm ~alpha:1.0 m b ~beta:0.0 c;
     Request.Matrix c
+  | (Request.Cg_solve _ | Request.Mg_solve _) as p ->
+    (* Sparse oracle: the identical sequential chain the router runs — for
+       sparse payloads the Slot path IS [Route.direct], so this oracle and
+       [reference_routed] coincide. Raises [Route.Non_convergence] when the
+       instance cannot meet its tolerance; callers compare survivors only. *)
+    Route.direct p
 
 (* Oracle for the shared-pool dispatch path: the identical Route plan the
    server submits, executed sequentially. The packed kernels are bitwise
@@ -335,6 +374,73 @@ let run_isolation srv ?large cfg =
       | l ->
         List.fold_left (fun acc c -> acc +. c.Request.total_s) 0.0 l
         /. float_of_int (List.length l));
+  }
+
+(* ---- the mixed-workload run: dense + sparse open-loop streams ---- *)
+
+type mixed = {
+  m_dense : report;
+  m_sparse : report;
+  m_dense_pairs : (arrival * Request.completion) list;
+  m_sparse_pairs : (arrival * Request.completion) list;
+}
+
+(* One client thread drives both classes open-loop, arrivals merged in time
+   order. Generation is asymmetric by design: dense instances are
+   pre-generated before the clock starts (O(n^3) per instance, pricier than
+   the solve itself — inline generation would pace offered load below the
+   service rate), while sparse instances are generated inline at submit
+   time (stencil assembly + rhs are O(rows), cheaper than a single solve
+   chunk, so inline generation cannot distort the offered timing). Both
+   reports share the run's batch count — [mean_batch] is run-wide, not
+   per-class. *)
+let run_mixed srv ~dense ~sparse =
+  let da = schedule dense and sa = schedule sparse in
+  let dense_payloads = Array.map (payload_of dense) da in
+  let tagged =
+    Array.append
+      (Array.mapi (fun i a -> (a.at_s, `Dense, i, a)) da)
+      (Array.mapi (fun i a -> (a.at_s, `Sparse, i, a)) sa)
+  in
+  Array.sort (fun (x, _, _, _) (y, _, _, _) -> compare x y) tagged;
+  let placeholder = Error (Request.Rejected Request.Queue_full) in
+  let dt = Array.make (Array.length da) placeholder in
+  let st = Array.make (Array.length sa) placeholder in
+  let batches0 = (Server.counters srv).Server.batches in
+  let t0 = Clock.now_s () in
+  Array.iter
+    (fun (at, cls, i, a) ->
+      wait_until (t0 +. at);
+      match cls with
+      | `Dense ->
+        dt.(i) <- Server.submit srv ~deadline_s:dense.deadline_s dense_payloads.(i)
+      | `Sparse ->
+        st.(i) <- Server.submit srv ~deadline_s:sparse.deadline_s (payload_of sparse a))
+    tagged;
+  let pairs arrivals tickets =
+    Array.to_list
+      (Array.map2
+         (fun a t ->
+           match t with Ok tk -> Some (a, Server.await srv tk) | Error _ -> None)
+         arrivals tickets)
+    |> List.filter_map Fun.id
+  in
+  let dense_pairs = pairs da dt in
+  let sparse_pairs = pairs sa st in
+  let wall_s = Clock.now_s () -. t0 in
+  let batches = (Server.counters srv).Server.batches - batches0 in
+  let rejected ts =
+    Array.fold_left (fun acc t -> if Result.is_error t then acc + 1 else acc) 0 ts
+  in
+  {
+    m_dense =
+      report_of ~offered:dense.count ~rejected:(rejected dt) ~wall_s ~batches
+        (List.map snd dense_pairs);
+    m_sparse =
+      report_of ~offered:sparse.count ~rejected:(rejected st) ~wall_s ~batches
+        (List.map snd sparse_pairs);
+    m_dense_pairs = dense_pairs;
+    m_sparse_pairs = sparse_pairs;
   }
 
 let report_json r =

@@ -14,12 +14,18 @@ type kind =
   | Spd  (** SPD solve via Cholesky *)
   | General  (** general solve via partial-pivoting LU *)
   | Product  (** dense GEMM *)
+  | Cg  (** CG solve over a 7-point Poisson stencil — bandwidth-bound *)
+  | Mg  (** multigrid solve over the 27-point stencil — bandwidth-bound *)
 
 type config = {
   seed : int;
   rate_hz : float;  (** Poisson arrival rate *)
   count : int;  (** total requests offered *)
-  n : int;  (** problem size *)
+  n : int;
+      (** problem size. Dense kinds: the matrix order. Sparse kinds
+          ([Cg]/[Mg]): the GRID EDGE — the operator has [n^3] rows
+          ([Mg] needs [n] even, for coarsening). Reusing one field keeps
+          every existing full-literal [config] construction site valid. *)
   kinds : kind array;  (** drawn uniformly per arrival *)
   deadline_s : float;  (** per-request deadline *)
 }
@@ -36,11 +42,16 @@ val schedule : config -> arrival array
 
 val payload_of : config -> arrival -> Request.payload
 (** The problem instance for an arrival — deterministic from
-    [problem_seed]. *)
+    [problem_seed]. Sparse instances carry fixed tolerance/iteration
+    budgets generous enough that a fault-free solve always converges. *)
 
 val reference : config -> arrival -> Request.solution
 (** Direct (unserved) solution of the same instance through the same
-    kernels: a fault-free served answer must be bitwise identical. *)
+    kernels: a fault-free served answer must be bitwise identical. Sparse
+    instances run the sequential {!Route.direct} chain (the Slot path is
+    the same call, so for them this coincides with {!reference_routed})
+    and raise {!Route.Non_convergence} if the instance cannot meet its
+    tolerance. *)
 
 val reference_routed : ?nb:int -> config -> arrival -> Request.solution
 (** {!Route.direct} on the same instance: the oracle for the shared-pool
@@ -111,6 +122,28 @@ val run_isolation : Server.t -> ?large:large -> config -> isolation
     submitted, so large work occupies the server for the whole run.
     Without [large] this is the small class alone: the baseline point of
     the three-point isolation comparison. *)
+
+type mixed = {
+  m_dense : report;
+  m_sparse : report;
+  m_dense_pairs : (arrival * Request.completion) list;
+      (** every admitted dense request with its completion *)
+  m_sparse_pairs : (arrival * Request.completion) list;
+      (** every admitted sparse request with its completion, for bitwise
+          checks against {!reference_routed} *)
+}
+
+val run_mixed : Server.t -> dense:config -> sparse:config -> mixed
+(** The mixed-workload run: both classes offered open-loop from one client
+    thread, arrivals merged in time order, each submitted with its own
+    config's deadline. Generation is deliberately asymmetric: dense
+    instances are pre-generated before the clock starts (O(n^3) per
+    instance — pricier than the solve, so inline generation would pace
+    offered load below the service rate), while sparse instances are
+    generated inline at submit time (stencil assembly and rhs are
+    O(rows) — cheaper than a single solve chunk, and pre-generating
+    hundreds of operators would dwarf the run's memory). Both reports
+    share the run's batch total, so [mean_batch] is run-wide. *)
 
 val report_json : report -> string
 val report_human : report -> string

@@ -4,6 +4,8 @@ type payload =
   | Spd_solve of Mat.t * Vec.t
   | Lu_solve of Mat.t * Vec.t
   | Gemm of Mat.t * Mat.t
+  | Cg_solve of { a : Xsc_sparse.Csr.t; b : Vec.t; tol : float; max_iter : int }
+  | Mg_solve of { grid : int; levels : int; b : Vec.t; tol : float; max_cycles : int }
 
 type solution =
   | Vector of Vec.t
@@ -39,15 +41,34 @@ let validate payload =
   | Gemm (a, b) ->
     let _, k = Mat.dims a and rows_b, _ = Mat.dims b in
     if k <> rows_b then invalid_arg "Request.gemm: inner dimensions mismatch"
+  | Cg_solve { a; b; tol; max_iter } ->
+    if a.Xsc_sparse.Csr.rows <> a.Xsc_sparse.Csr.cols then
+      invalid_arg "Request.cg: matrix must be square";
+    if Array.length b <> a.Xsc_sparse.Csr.rows then
+      invalid_arg "Request.cg: rhs length mismatch";
+    if not (tol > 0.0) then invalid_arg "Request.cg: tol must be positive";
+    if max_iter < 1 then invalid_arg "Request.cg: max_iter must be >= 1"
+  | Mg_solve { grid; levels; b; tol; max_cycles } ->
+    if grid < 2 then invalid_arg "Request.mg: grid must be >= 2";
+    if grid land 1 <> 0 then invalid_arg "Request.mg: grid must be even (coarsening)";
+    if levels < 1 then invalid_arg "Request.mg: levels must be >= 1";
+    if Array.length b <> grid * grid * grid then
+      invalid_arg "Request.mg: rhs length must be grid^3";
+    if not (tol > 0.0) then invalid_arg "Request.mg: tol must be positive";
+    if max_cycles < 1 then invalid_arg "Request.mg: max_cycles must be >= 1"
 
 let kind_name = function
   | Spd_solve _ -> "spd"
   | Lu_solve _ -> "lu"
   | Gemm _ -> "gemm"
+  | Cg_solve _ -> "cg"
+  | Mg_solve _ -> "mg"
 
 let size payload =
   match payload with
   | Spd_solve (a, _) | Lu_solve (a, _) | Gemm (a, _) -> fst (Mat.dims a)
+  | Cg_solve { a; _ } -> a.Xsc_sparse.Csr.rows
+  | Mg_solve { grid; _ } -> grid * grid * grid
 
 (* Batching-compatibility class: same kernel and same problem size share
    per-call overhead; mixing sizes in one batch would let one big member

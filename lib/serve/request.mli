@@ -1,9 +1,11 @@
 (** Solve requests and their typed outcomes.
 
-    A request is one independent small dense problem — the unit the serving
-    layer admits, batches, schedules and isolates faults around. Payloads
-    reuse the library's strided kernels; the solution types own fresh
-    storage, so a caller's inputs are never mutated by the service. *)
+    A request is one independent problem — the unit the serving layer
+    admits, batches, schedules and isolates faults around. Dense payloads
+    (compute-bound) reuse the library's strided kernels; sparse payloads
+    (bandwidth-bound CG/multigrid over stencil operators) carry their own
+    tolerance and iteration budget. The solution types own fresh storage,
+    so a caller's inputs are never mutated by the service. *)
 
 open Xsc_linalg
 
@@ -11,6 +13,14 @@ type payload =
   | Spd_solve of Mat.t * Vec.t  (** [x] with [A x = b], [A] SPD (Cholesky) *)
   | Lu_solve of Mat.t * Vec.t  (** [x] with [A x = b] (partial-pivoting LU) *)
   | Gemm of Mat.t * Mat.t  (** the product [A B] *)
+  | Cg_solve of { a : Xsc_sparse.Csr.t; b : Vec.t; tol : float; max_iter : int }
+      (** sparse SPD iterative solve (classic CG) — bandwidth-bound; a solve
+          that fails to reach [tol] within [max_iter] iterations is a TYPED
+          failure ({!Failed}), never a silently wrong answer *)
+  | Mg_solve of { grid : int; levels : int; b : Vec.t; tol : float; max_cycles : int }
+      (** stationary V-cycle multigrid on the [grid³] 27-point stencil
+          operator ({!Xsc_sparse.Stencil.hpcg_27pt}; [grid] must be even,
+          for coarsening) — same non-convergence contract as [Cg_solve] *)
 
 type solution =
   | Vector of Vec.t

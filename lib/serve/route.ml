@@ -32,6 +32,15 @@ module Task = Xsc_runtime.Task
 module Dag = Xsc_runtime.Dag
 module PD = Xsc_tile.Packed.D
 module Harness = Xsc_resilience.Harness
+module Cg = Xsc_sparse.Cg
+module Mg = Xsc_sparse.Mg
+
+exception Non_convergence of string
+
+let () =
+  Printexc.register_printer (function
+    | Non_convergence msg -> Some ("Route.Non_convergence: " ^ msg)
+    | _ -> None)
 
 type t = {
   dag : Dag.t;
@@ -192,6 +201,93 @@ let thunk_plan ~harness ~key compute =
     tiled = false;
   }
 
+(* Sparse iterative solves run as a sequential CHAIN of chunk tasks: task 0
+   builds the resumable stepper, each later task advances it one chunk of
+   iterations. Every task writes datum 0, so [Dag.build] serialises the
+   chain in id order — any pool interleaving performs exactly the
+   sequential solve's arithmetic, keeping the bitwise-oracle contract. The
+   pool can still preempt BETWEEN chunks, which bounds the head-of-line
+   blocking a long bandwidth-bound solve inflicts on dense traffic; the
+   concurrency cap on sparse classes (Server.class_caps) leans on this.
+   Fault injection wraps the setup body ([Harness.wrap_thunk], same
+   hash/fired-set as the dense closure plans). *)
+let chain_plan ~harness ~key ~name ~chunks ~setup ~chunk ~finish_of =
+  let cell = ref None in
+  let setup_body =
+    match harness with
+    | None -> fun () -> cell := Some (setup ())
+    | Some h -> fun () -> cell := Some (Harness.wrap_thunk h ~key setup)
+  in
+  let chunk_body () =
+    match !cell with
+    | Some s -> chunk s
+    | None -> assert false (* chained after setup via datum 0 *)
+  in
+  let tasks =
+    Task.make ~id:0 ~name:(name ^ "-setup") ~flops:0.0 ~run:setup_body
+      [ Task.Write 0 ]
+    :: List.init chunks (fun i ->
+           Task.make ~id:(i + 1) ~name:(name ^ "-chunk") ~flops:0.0
+             ~run:chunk_body [ Task.Write 0 ])
+  in
+  {
+    dag = Dag.build tasks;
+    interp = None;
+    finish =
+      (fun () ->
+        match !cell with
+        | Some s ->
+          let sol = finish_of s in
+          cell := None;
+          sol
+        | None -> assert false);
+    cleanup = (fun () -> cell := None);
+    tiled = false;
+  }
+
+(* Chunk sizing: small enough that a dense arrival never waits long behind
+   one chunk, large enough that the chain's task count stays modest. *)
+let cg_chunk_iters = 32
+let mg_chunk_cycles = 2
+let max_chain_chunks = 64
+
+let chunking ~budget ~per =
+  let chunks = min max_chain_chunks ((budget + per - 1) / per) in
+  let per_chunk = (budget + chunks - 1) / chunks in
+  (chunks, per_chunk)
+
+let cg_plan ~harness ~key ~a ~b ~tol ~max_iter =
+  let chunks, per_chunk = chunking ~budget:max_iter ~per:cg_chunk_iters in
+  chain_plan ~harness ~key ~name:"cg" ~chunks
+    ~setup:(fun () -> Cg.stepper ~max_iter ~tol a b)
+    ~chunk:(fun s -> Cg.step s per_chunk)
+    ~finish_of:(fun s ->
+      (* Cg.result recomputes the TRUE residual b - A x: a stagnated or
+         corrupted solve fails typed here, never returns silently wrong. *)
+      let r = Cg.result s in
+      if not r.Cg.converged then
+        raise
+          (Non_convergence
+             (Printf.sprintf "cg: residual %.3e after %d iterations (cap %d)"
+                r.Cg.residual_norm r.Cg.iterations max_iter));
+      Request.Vector r.Cg.x)
+
+let mg_plan ~harness ~key ~grid ~levels ~b ~tol ~max_cycles =
+  let chunks, per_chunk = chunking ~budget:max_cycles ~per:mg_chunk_cycles in
+  chain_plan ~harness ~key ~name:"mg" ~chunks
+    ~setup:(fun () ->
+      let hier = Mg.create ~levels grid in
+      Mg.stepper ~tol ~max_cycles hier b)
+    ~chunk:(fun s -> Mg.step s per_chunk)
+    ~finish_of:(fun s ->
+      let x, cycles = Mg.solution s in
+      if not (Mg.converged s) then
+        raise
+          (Non_convergence
+             (Printf.sprintf "mg: no convergence after %d cycles (cap %d)"
+                cycles max_cycles));
+      Request.Vector x)
+
 let strictly_diag_dominant (a : Mat.t) =
   let n = a.Mat.rows in
   let ok = ref true in
@@ -222,6 +318,10 @@ let plan ?harness ?nb ~key (payload : Request.payload) =
         let c = Mat.create ra cb in
         Blas.gemm ~alpha:1.0 a b ~beta:0.0 c;
         Request.Matrix c)
+  | Request.Cg_solve { a; b; tol; max_iter } ->
+    cg_plan ~harness ~key ~a ~b ~tol ~max_iter
+  | Request.Mg_solve { grid; levels; b; tol; max_cycles } ->
+    mg_plan ~harness ~key ~grid ~levels ~b ~tol ~max_cycles
 
 (* The per-request oracle: the same plan, executed sequentially on the
    calling domain with no faults. Any pool execution of an equal plan is

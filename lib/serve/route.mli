@@ -8,10 +8,26 @@
     worker's domain and [finish]/[cleanup] release it, so buffers recycle
     inside the pool across same-class requests.
 
-    The packed kernels are bitwise schedule-independent, so executing a
-    plan's DAG under any DAG-consistent interleaving (the shared pool
-    under load, steals, preemption) then calling [finish] yields results
-    bitwise identical to {!direct} on an equal payload. *)
+    Sparse iterative solves ([Cg_solve]/[Mg_solve]) become sequential
+    CHAINS of chunk tasks over a resumable stepper (task 0 initialises,
+    each later task advances a fixed chunk of iterations; all tasks write
+    one datum so the chain serialises in id order). The pool preempts only
+    between chunks, bounding the head-of-line blocking a bandwidth-bound
+    solve can inflict on dense traffic.
+
+    The packed kernels are bitwise schedule-independent, and sparse chains
+    are totally ordered, so executing a plan's DAG under any
+    DAG-consistent interleaving (the shared pool under load, steals,
+    preemption) then calling [finish] yields results bitwise identical to
+    {!direct} on an equal payload. *)
+
+exception Non_convergence of string
+(** Raised by a sparse plan's [finish] when the solve exhausted its
+    iteration budget without reaching tolerance (checked against the TRUE
+    residual [b - A x], never the recurrence). Deterministic for a given
+    payload, so the server fails the request typed without retrying —
+    non-convergence feeds the same retry→typed-reject lattice as a
+    singular dense matrix, never a silently wrong answer. *)
 
 type t = {
   dag : Xsc_runtime.Dag.t;

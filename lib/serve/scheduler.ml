@@ -64,4 +64,18 @@ let pop t =
     Some top
   end
 
+(* EDF among eligible batches: pop minima, stashing ineligible ones, then
+   push the stash back. The stash is at most the number of distinct
+   cap-blocked classes deep in practice, so the extra heap traffic is
+   O(blocked classes * log size) per claim. *)
+let pop_when eligible t =
+  let rec go stash =
+    match pop t with
+    | None -> (None, stash)
+    | Some b -> if eligible b then (Some b, stash) else go (b :: stash)
+  in
+  let found, stash = go [] in
+  List.iter (push t) stash;
+  found
+
 let peek_deadline_ns t = if t.size = 0 then None else Some t.heap.(0).Batcher.deadline_ns

@@ -20,6 +20,13 @@ val push : 'a t -> 'a Batcher.batch -> unit
 val pop : 'a t -> 'a Batcher.batch option
 (** Earliest deadline, ties in formation order. *)
 
+val pop_when : ('a Batcher.batch -> bool) -> 'a t -> 'a Batcher.batch option
+(** EDF restricted to eligible batches: the most urgent batch satisfying
+    the predicate, leaving ineligible ones queued (their EDF order
+    preserved). The class-aware dispatch path uses this to hold back
+    concurrency-capped bandwidth-bound classes without starving them of
+    their place in line. *)
+
 val length : 'a t -> int
 
 val peek_deadline_ns : 'a t -> int option

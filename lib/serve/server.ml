@@ -86,6 +86,7 @@ type config = {
   slos : Slo.objective list;
   flight_path : string option;
   dispatch : dispatch;
+  class_caps : (string * int) list;
 }
 
 let default_config =
@@ -100,7 +101,11 @@ let default_config =
     spans = true;
     slos = [];
     flight_path = None;
-    dispatch = Slot;
+    (* Shared became the default after soaking through PRs 8-9 CI: EDF to
+       task granularity, admission against actual in-flight work. [Slot]
+       stays selectable as the run-to-completion ablation. *)
+    dispatch = Shared 2;
+    class_caps = [];
   }
 
 type ticket = {
@@ -116,7 +121,15 @@ type counters = {
   failed : int;
   retried : int;
   batches : int;
+  cap_deferred : int;
 }
+
+(* Class-aware dispatch: a per-kind concurrency cap on how many of a
+   class's DAGs may be live in the shared pool at once. [cc_live] counts
+   attempt submissions (incremented before Pool.submit, decremented on the
+   attempt's completion callback); a retry asleep in backoff holds no cap
+   slot, mirroring the admission window's pool-depth accounting. *)
+type class_cap = { cc_kind : string; cc_cap : int; cc_live : int Atomic.t }
 
 (* A finished request's trace footprint: a queue-wait span on the virtual
    queue lane plus a service span on the executing worker's lane. *)
@@ -139,6 +152,8 @@ type t = {
   slo : Slo.t option;
   ingress : Request.t Queue.t;
   pool : Pool.t option;  (* Some iff [dispatch = Shared _] *)
+  caps : class_cap array;  (* enforced by the Shared pump only *)
+  c_cap_deferred : int Atomic.t;
   (* ---- shared worker state, under [mu] ---- *)
   mu : Mutex.t;
   batcher : Request.t Batcher.t;
@@ -187,6 +202,11 @@ let solve_payload = function
     let c = Mat.create ra cb in
     Blas.gemm ~alpha:1.0 a b ~beta:0.0 c;
     Request.Matrix c
+  | (Request.Cg_solve _ | Request.Mg_solve _) as p ->
+    (* sparse kinds run the same stepper chain sequentially: bitwise equal
+       to the pooled chain by construction; non-convergence raises
+       Route.Non_convergence, a deterministic typed failure (not retried) *)
+    Route.direct p
 
 let thunk_of t (r : Request.t) () =
   match t.harness with
@@ -393,6 +413,15 @@ let execute t worker (batch : Request.t Batcher.batch) =
    running on the pool worker that drained the job — assemble the
    solution, queue a retry, or settle the request. No thread ever blocks
    per request; concurrency lives entirely in the shared pool. *)
+let cap_for t kind =
+  let n = Array.length t.caps in
+  let rec go i =
+    if i >= n then None
+    else if t.caps.(i).cc_kind = kind then Some t.caps.(i)
+    else go (i + 1)
+  in
+  go 0
+
 let rec submit_to_pool t pool (r : Request.t) ~attempt ~dispatch_ns =
   (* the attempt's DAG counts in [Pool.live_jobs] once submitted; for the
      first attempt the [staged] slot claimed at admission is released just
@@ -420,8 +449,13 @@ let rec submit_to_pool t pool (r : Request.t) ~attempt ~dispatch_ns =
         }
     | _ -> ()
   in
+  let cap = cap_for t (Request.kind_name r.Request.payload) in
+  (match cap with Some cc -> Atomic.incr cc.cc_live | None -> ());
   Pool.submit ?interp:plan.Route.interp ~deadline_ns:r.Request.deadline_ns ?sctx:actx
     pool plan.Route.dag ~on_done:(fun failure ~worker ->
+      (* the attempt left the pool: free its class-cap slot first, so the
+         pump can dispatch the class's next batch while we settle this one *)
+      (match cap with Some cc -> ignore (Atomic.fetch_and_add cc.cc_live (-1)) | None -> ());
       note_attempt ~worker;
       match failure with
       | None -> (
@@ -495,8 +529,10 @@ let dispatch_batch_pool t pool (batch : Request.t Batcher.batch) =
 
 (* Pump admitted requests through the batcher into the EDF heap and claim
    the most urgent ready batch. One state lock covers ingress drain, flush
-   and claim, so batches can never be claimed twice. *)
-let next_batch t =
+   and claim, so batches can never be claimed twice. [eligible] filters
+   the claim (class-aware dispatch): ineligible batches keep their EDF
+   place in the heap. *)
+let next_batch ?(eligible = fun _ -> true) t =
   Mutex.lock t.mu;
   let now = Clock.now_ns () in
   let rec drain () =
@@ -513,9 +549,28 @@ let next_batch t =
   if Atomic.get t.stopping then
     (* no more company is coming: flush partial batches immediately *)
     List.iter (Scheduler.push t.sched) (Batcher.flush_all t.batcher);
-  let b = Scheduler.pop t.sched in
+  let b = Scheduler.pop_when eligible t.sched in
   Mutex.unlock t.mu;
   b
+
+let kind_of_class_key key =
+  match String.index_opt key ':' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+(* Class-aware eligibility for the Shared pump: a batch whose kind has a
+   concurrency cap waits (keeping its EDF place) while the class already
+   has [cap] attempts live in the pool. The cap is checked at batch
+   granularity, so a batch may overshoot it by its own size minus one —
+   per-class batching already keeps sparse batches separate, and the
+   bench's sparse classes batch small. *)
+let batch_eligible t (b : Request.t Batcher.batch) =
+  match cap_for t (kind_of_class_key b.Batcher.class_key) with
+  | None -> true
+  | Some cc ->
+    let ok = Atomic.get cc.cc_live < cc.cc_cap in
+    if not ok then Atomic.incr t.c_cap_deferred;
+    ok
 
 let rec worker_loop t w =
   match next_batch t with
@@ -535,7 +590,7 @@ let rec worker_loop t w =
    admitted request has fully settled through its completion callback. *)
 let rec pump_loop t pool =
   service_retries t pool;
-  match next_batch t with
+  match next_batch ~eligible:(batch_eligible t) t with
   | Some b ->
     dispatch_batch_pool t pool b;
     pump_loop t pool
@@ -560,6 +615,11 @@ let start ?harness cfg =
   (match cfg.dispatch with
   | Slot -> ()
   | Shared n -> if n < 1 then invalid_arg "Server.start: Shared pool workers must be >= 1");
+  List.iter
+    (fun (kind, cap) ->
+      if kind = "" then invalid_arg "Server.start: class_caps kind must be non-empty";
+      if cap < 1 then invalid_arg "Server.start: class_caps cap must be >= 1")
+    cfg.class_caps;
   let collector =
     if cfg.spans then
       (* tee into the flight recorder only when a dump could ever be
@@ -583,6 +643,13 @@ let start ?harness cfg =
       slo = (match cfg.slos with [] -> None | slos -> Some (Slo.create slos));
       ingress = Queue.create ~capacity:cfg.capacity;
       pool;
+      caps =
+        Array.of_list
+          (List.map
+             (fun (kind, cap) ->
+               { cc_kind = kind; cc_cap = cap; cc_live = Atomic.make 0 })
+             cfg.class_caps);
+      c_cap_deferred = Atomic.make 0;
       mu = Mutex.create ();
       batcher =
         Batcher.create
@@ -749,7 +816,11 @@ let counters t =
     failed = Atomic.get t.c_failed;
     retried = Atomic.get t.c_retried;
     batches = Atomic.get t.c_batches;
+    cap_deferred = Atomic.get t.c_cap_deferred;
   }
+
+let class_live t kind =
+  match cap_for t kind with None -> 0 | Some cc -> Atomic.get cc.cc_live
 
 let origin_ns t = t.start_ns
 let span_records t = match t.collector with None -> [] | Some col -> Span.records col

@@ -78,13 +78,24 @@ type config = {
   spans : bool;  (** keep causal span records per request *)
   slos : Slo.objective list;  (** per-class burn-rate monitors; [[]] = off *)
   flight_path : string option;  (** arm the flight recorder: dump here *)
-  dispatch : dispatch;  (** batch execution mode (default [Slot]) *)
+  dispatch : dispatch;  (** batch execution mode (default [Shared 2]) *)
+  class_caps : (string * int) list;
+      (** class-aware dispatch ([Shared] mode only): at most [cap]
+          attempts of kind [kind] (a {!Request.kind_name}, e.g. ["cg"])
+          live in the pool at once. A capped class's batches wait in the
+          EDF heap — keeping their place in line — while the class is at
+          its cap, so a stream of long bandwidth-bound solves cannot
+          occupy every pool lane and destroy compute-bound tail latency.
+          Checked at batch granularity (a batch may overshoot its cap by
+          its own size minus one); ignored under [Slot]. [[]] = uncapped. *)
 }
 
 val default_config : config
-(** 2 workers, capacity 64, batches of 8 with a 2 ms linger, 250 ms
-    deadline, 3 retries from a 0.5 ms base backoff; spans on, no SLOs,
-    flight recorder unarmed. *)
+(** Shared-pool dispatch on 2 domains (the default since the Shared path
+    soaked through PRs 8-9 CI; [workers] only applies when [Slot] is
+    selected), capacity 64, batches of 8 with a 2 ms linger, 250 ms
+    deadline, 3 retries from a 0.5 ms base backoff; spans on, no SLOs, no
+    class caps, flight recorder unarmed. *)
 
 type t
 type ticket
@@ -96,6 +107,10 @@ type counters = {
   failed : int;  (** resolved [Error (Failed _)] *)
   retried : int;  (** re-executions after transient injected faults *)
   batches : int;  (** batches dispatched *)
+  cap_deferred : int;
+      (** class-aware dispatch deferral events: claims where a capped
+          class's most-urgent batch was held back (one per pump claim
+          attempt while blocked, so a diagnostic rate, not a batch count) *)
 }
 
 val start : ?harness:Xsc_resilience.Harness.t -> config -> t
@@ -128,6 +143,10 @@ val counters : t -> counters
 
 val in_flight : t -> int
 (** Momentary in-system count (admitted, not yet completed). *)
+
+val class_live : t -> string -> int
+(** Momentary live-in-pool attempt count of a capped kind (0 for kinds
+    without a cap entry). Exposed for tests and the mixed-workload bench. *)
 
 val occupancy : t -> int
 (** Momentary admission-window occupancy, the quantity {!submit} compares

@@ -30,64 +30,108 @@ let finish a b x counters ~iterations ~tol =
     flops = counters.flops;
   }
 
-let solve_classic ?precond ~max_iter ~tol a b x =
-  let n = Array.length b in
+(* Resumable classic-(P)CG stepper. All loop state lives in the record, so
+   the solve can be advanced a few iterations at a time — the serve routing
+   layer runs chunks of iterations as pool tasks, and because [solve_classic]
+   below is itself the stepper driven to completion, a chunked solve is
+   bitwise-identical to the sequential one by construction. *)
+type stepper = {
+  st_a : Csr.t;
+  st_b : Vec.t;
+  st_x : Vec.t;
+  st_precond : (Vec.t -> Vec.t) option;
+  st_max_iter : int;
+  st_tol : float;
+  st_c : counters;
+  st_r : Vec.t;
+  st_p : Vec.t;
+  mutable st_rz : float;
+  st_target : float;
+  mutable st_iterations : int;
+  mutable st_break : bool;
+}
+
+let st_spmv c a v =
+  c.spmvs <- c.spmvs + 1;
+  c.flops <- c.flops +. Csr.spmv_flops a;
+  Csr.mul_vec a v
+
+let st_dot_sync c ~fn u v =
+  c.syncs <- c.syncs + 1;
+  c.flops <- c.flops +. (2.0 *. fn);
+  Vec.dot u v
+
+let st_apply_m c a precond r =
+  match precond with
+  | None -> Array.copy r
+  | Some m ->
+    (* one SymGS sweep ~ two SpMV's worth of flops *)
+    c.flops <- c.flops +. (2.0 *. Csr.spmv_flops a);
+    m r
+
+let make_stepper ?precond ~max_iter ~tol a b x =
   let c = { syncs = 0; spmvs = 0; flops = 0.0 } in
-  let fn = float_of_int n in
-  let spmv v =
-    c.spmvs <- c.spmvs + 1;
-    c.flops <- c.flops +. Csr.spmv_flops a;
-    Csr.mul_vec a v
-  in
-  let dot_sync u v =
-    c.syncs <- c.syncs + 1;
-    c.flops <- c.flops +. (2.0 *. fn);
-    Vec.dot u v
-  in
-  let apply_m r =
-    match precond with
-    | None -> Array.copy r
-    | Some m ->
-      (* one SymGS sweep ~ two SpMV's worth of flops *)
-      c.flops <- c.flops +. (2.0 *. Csr.spmv_flops a);
-      m r
-  in
+  let fn = float_of_int (Array.length b) in
   let r = Array.copy b in
-  let ax = spmv x in
+  let ax = st_spmv c a x in
   Vec.axpy (-1.0) ax r;
-  let z = apply_m r in
+  let z = st_apply_m c a precond r in
   let p = Array.copy z in
-  let rz = ref (dot_sync r z) in
+  let rz = st_dot_sync c ~fn r z in
   let bn = Vec.nrm2 b in
   let target = tol *. (if bn = 0.0 then 1.0 else bn) in
-  let iterations = ref 0 in
-  let break = ref false in
-  while (not !break) && !iterations < max_iter do
-    let ap = spmv p in
-    let pap = dot_sync p ap in
-    if pap <= 0.0 then break := true
+  { st_a = a; st_b = b; st_x = x; st_precond = precond; st_max_iter = max_iter;
+    st_tol = tol; st_c = c; st_r = r; st_p = p; st_rz = rz; st_target = target;
+    st_iterations = 0; st_break = false }
+
+let finished s = s.st_break || s.st_iterations >= s.st_max_iter
+
+let step_one s =
+  let n = Array.length s.st_b in
+  let fn = float_of_int n in
+  let c = s.st_c in
+  let ap = st_spmv c s.st_a s.st_p in
+  let pap = st_dot_sync c ~fn s.st_p ap in
+  if pap <= 0.0 then s.st_break <- true
+  else begin
+    let alpha = s.st_rz /. pap in
+    Vec.axpy alpha s.st_p s.st_x;
+    Vec.axpy (-.alpha) ap s.st_r;
+    c.flops <- c.flops +. (4.0 *. fn);
+    s.st_iterations <- s.st_iterations + 1;
+    (* convergence check shares the r.z reduction *)
+    let z' = st_apply_m c s.st_a s.st_precond s.st_r in
+    let rz' = st_dot_sync c ~fn s.st_r z' in
+    let rn2 = if s.st_precond = None then rz' else Vec.dot s.st_r s.st_r in
+    if sqrt (abs_float rn2) <= s.st_target then s.st_break <- true
     else begin
-      let alpha = !rz /. pap in
-      Vec.axpy alpha p x;
-      Vec.axpy (-.alpha) ap r;
-      c.flops <- c.flops +. (4.0 *. fn);
-      incr iterations;
-      (* convergence check shares the r.z reduction *)
-      let z' = apply_m r in
-      let rz' = dot_sync r z' in
-      let rn2 = if precond = None then rz' else Vec.dot r r in
-      if sqrt (abs_float rn2) <= target then break := true
-      else begin
-        let beta = rz' /. !rz in
-        for i = 0 to n - 1 do
-          p.(i) <- z'.(i) +. (beta *. p.(i))
-        done;
-        c.flops <- c.flops +. (2.0 *. fn);
-        rz := rz'
-      end
+      let beta = rz' /. s.st_rz in
+      for i = 0 to n - 1 do
+        s.st_p.(i) <- z'.(i) +. (beta *. s.st_p.(i))
+      done;
+      c.flops <- c.flops +. (2.0 *. fn);
+      s.st_rz <- rz'
     end
+  end
+
+let step s k =
+  let left = ref k in
+  while !left > 0 && not (finished s) do
+    step_one s;
+    decr left
+  done
+
+let iterations_done s = s.st_iterations
+
+let result s =
+  finish s.st_a s.st_b s.st_x s.st_c ~iterations:s.st_iterations ~tol:s.st_tol
+
+let solve_classic ?precond ~max_iter ~tol a b x =
+  let s = make_stepper ?precond ~max_iter ~tol a b x in
+  while not (finished s) do
+    step_one s
   done;
-  finish a b x c ~iterations:!iterations ~tol
+  result s
 
 (* Chronopoulos-Gear and pipelined CG share the single-reduction
    recurrences; the pipelined variant additionally maintains w = A r and
@@ -189,6 +233,19 @@ let solve ?(variant = Classic) ?precond ?(max_iter = 10_000) ?(tol = 1e-10) ?x0 
     if precond <> None then
       invalid_arg "Cg.solve: preconditioning is supported for the Classic variant only";
     solve_fused ~pipelined:(variant = Pipelined) ~max_iter ~tol a b x
+
+let stepper ?precond ?(max_iter = 10_000) ?(tol = 1e-10) ?x0 a b =
+  if a.Csr.rows <> a.Csr.cols then invalid_arg "Cg.stepper: matrix not square";
+  if Array.length b <> a.Csr.rows then invalid_arg "Cg.stepper: dimension mismatch";
+  let x =
+    match x0 with
+    | None -> Array.make (Array.length b) 0.0
+    | Some v ->
+      if Array.length v <> Array.length b then
+        invalid_arg "Cg.stepper: x0 dimension mismatch";
+      Array.copy v
+  in
+  make_stepper ?precond ~max_iter ~tol a b x
 
 let symgs_preconditioner a r =
   let z = Array.make (Array.length r) 0.0 in

@@ -36,6 +36,35 @@ val solve :
     honoured by the [Classic] variant only — raises [Invalid_argument] if
     given with a fused variant. *)
 
+(** {2 Resumable stepper}
+
+    The classic variant exposed as a resumable iteration: the serve routing
+    layer advances a solve a chunk of iterations at a time as pool tasks.
+    [solve ~variant:Classic] is itself the stepper driven to completion, so
+    a chunked solve is bitwise-identical to the sequential one by
+    construction — the sequential solve is a valid oracle for any chunking. *)
+
+type stepper
+
+val stepper :
+  ?precond:(Vec.t -> Vec.t) -> ?max_iter:int -> ?tol:float -> ?x0:Vec.t ->
+  Csr.t -> Vec.t -> stepper
+(** Initialise a classic-(P)CG solve of [A x = b] (same defaults and
+    validation as {!solve}). The initial residual/search-direction setup
+    runs here. *)
+
+val step : stepper -> int -> unit
+(** [step s k] advances up to [k] iterations; stops early at convergence,
+    breakdown, or the iteration cap. No-op once {!finished}. *)
+
+val finished : stepper -> bool
+val iterations_done : stepper -> int
+
+val result : stepper -> result
+(** Finalise: recomputes the TRUE residual [b - A x] (never trusts the
+    recurrence), so a corrupted or stagnated solve reports
+    [converged = false] rather than silently returning a wrong answer. *)
+
 val symgs_preconditioner : Csr.t -> Vec.t -> Vec.t
 (** One symmetric Gauss-Seidel sweep from a zero initial guess — the HPCG
     preconditioner. Usage: [solve ~precond:(symgs_preconditioner a) a b]. *)

@@ -71,9 +71,17 @@ let get t i j =
   done;
   !result
 
+let spmv_flops t = 2.0 *. float_of_int (Array.length t.values)
+
+let spmv_bytes t =
+  (* values (8B) + column indices (4B equivalent) per nonzero, plus the
+     x read and y write per row (two 8B streams, ignoring cache reuse of x) *)
+  (12.0 *. float_of_int (Array.length t.values)) +. (16.0 *. float_of_int t.rows)
+
 let mul_vec_into t x y =
   if Array.length x <> t.cols || Array.length y <> t.rows then
     invalid_arg "Csr.mul_vec_into: dimension mismatch";
+  Blas.tally_kernel "spmv" ~flops:(spmv_flops t) ~bytes:(spmv_bytes t);
   for i = 0 to t.rows - 1 do
     let acc = ref 0.0 in
     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
@@ -95,6 +103,7 @@ let mul_vec_par ?workers t x =
     | Some _ -> invalid_arg "Csr.mul_vec_par: workers must be >= 1"
     | None -> min 8 (Domain.recommended_domain_count ())
   in
+  Blas.tally_kernel "spmv" ~flops:(spmv_flops t) ~bytes:(spmv_bytes t);
   let y = Array.make t.rows 0.0 in
   let workers = min workers (max 1 t.rows) in
   let chunk w =
@@ -138,6 +147,10 @@ let symgs_sweep t ~b ~x =
     if !diag = 0.0 then invalid_arg "Csr.symgs_sweep: zero diagonal";
     x.(i) <- !acc /. !diag
   in
+  (* forward + backward pass: twice the SpMV's nonzero traffic *)
+  Blas.tally_kernel "symgs"
+    ~flops:(2.0 *. spmv_flops t)
+    ~bytes:(2.0 *. spmv_bytes t);
   for i = 0 to t.rows - 1 do
     sweep_row i
   done;
@@ -149,6 +162,9 @@ let jacobi_sweep ?(omega = 2.0 /. 3.0) t ~b ~x =
   if t.rows <> t.cols then invalid_arg "Csr.jacobi_sweep: not square";
   if Array.length b <> t.rows || Array.length x <> t.rows then
     invalid_arg "Csr.jacobi_sweep: dimension mismatch";
+  Blas.tally_kernel "jacobi"
+    ~flops:(spmv_flops t +. (2.0 *. float_of_int t.rows))
+    ~bytes:(spmv_bytes t);
   let r = Array.make t.rows 0.0 in
   let d = Array.make t.rows 0.0 in
   for i = 0 to t.rows - 1 do
@@ -164,13 +180,6 @@ let jacobi_sweep ?(omega = 2.0 /. 3.0) t ~b ~x =
     if d.(i) = 0.0 then invalid_arg "Csr.jacobi_sweep: zero diagonal";
     x.(i) <- x.(i) +. (omega *. r.(i) /. d.(i))
   done
-
-let spmv_flops t = 2.0 *. float_of_int (nnz t)
-
-let spmv_bytes t =
-  (* values (8B) + column indices (4B equivalent) per nonzero, plus the
-     x read and y write per row (two 8B streams, ignoring cache reuse of x) *)
-  (12.0 *. float_of_int (nnz t)) +. (16.0 *. float_of_int t.rows)
 
 let is_symmetric ?(tol = 0.0) t =
   t.rows = t.cols

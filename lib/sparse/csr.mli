@@ -2,7 +2,12 @@
 
     The substrate of the HPCG-style experiments: SpMV and symmetric
     Gauss-Seidel are the memory-bandwidth-bound kernels whose low arithmetic
-    intensity creates the HPL/HPCG gap. *)
+    intensity creates the HPL/HPCG gap.
+
+    Every SpMV/sweep entry point tallies its flop and byte traffic through
+    {!Xsc_linalg.Blas.tally_kernel} (counters [blas.spmv.*], [blas.symgs.*],
+    [blas.jacobi.*]), so sparse kernels appear in the same roofline
+    achieved-vs-roof tables as the dense ones. *)
 
 open Xsc_linalg
 

@@ -97,19 +97,62 @@ let preconditioner t r =
   v_cycle t ~b:r ~x:z;
   z
 
-let solve ?(tol = 1e-8) ?(max_cycles = 200) t b =
-  let a = fine_matrix t in
-  let x = Array.make (Array.length b) 0.0 in
+(* Resumable V-cycle stepper: the convergence check runs at creation and
+   after every cycle, so [finished] is always decided and a chunked solve
+   performs exactly the cycle sequence of the sequential loop — same
+   scratch, same order, bitwise-identical x. *)
+type stepper = {
+  mg_t : t;
+  mg_b : Vec.t;
+  mg_x : Vec.t;
+  mg_target : float;
+  mg_max_cycles : int;
+  mutable mg_cycles : int;
+  mutable mg_done : bool;
+  mutable mg_converged : bool;
+}
+
+let true_residual_norm a ~b ~x =
+  let r = Csr.mul_vec a x in
+  Vec.axpy (-1.0) b r;
+  Vec.nrm2 r
+
+let mg_check s =
+  if true_residual_norm (fine_matrix s.mg_t) ~b:s.mg_b ~x:s.mg_x <= s.mg_target then begin
+    s.mg_done <- true;
+    s.mg_converged <- true
+  end
+  else if s.mg_cycles >= s.mg_max_cycles then s.mg_done <- true
+
+let stepper ?(tol = 1e-8) ?(max_cycles = 200) t b =
+  let fine = t.levels.(0) in
+  if Array.length b <> Array.length fine.b then
+    invalid_arg "Mg.stepper: dimension mismatch";
   let bn = Vec.nrm2 b in
   let target = tol *. (if bn = 0.0 then 1.0 else bn) in
-  let cycles = ref 0 in
-  let resid () =
-    let r = Csr.mul_vec a x in
-    Vec.axpy (-1.0) b r;
-    Vec.nrm2 r
+  let s =
+    { mg_t = t; mg_b = b; mg_x = Array.make (Array.length b) 0.0;
+      mg_target = target; mg_max_cycles = max_cycles; mg_cycles = 0;
+      mg_done = false; mg_converged = false }
   in
-  while resid () > target && !cycles < max_cycles do
-    v_cycle t ~b ~x;
-    incr cycles
-  done;
-  (x, !cycles)
+  mg_check s;
+  s
+
+let step s k =
+  let left = ref k in
+  while !left > 0 && not s.mg_done do
+    v_cycle s.mg_t ~b:s.mg_b ~x:s.mg_x;
+    s.mg_cycles <- s.mg_cycles + 1;
+    decr left;
+    mg_check s
+  done
+
+let finished s = s.mg_done
+let converged s = s.mg_converged
+let cycles_done s = s.mg_cycles
+let solution s = (s.mg_x, s.mg_cycles)
+
+let solve ?(tol = 1e-8) ?(max_cycles = 200) t b =
+  let s = stepper ~tol ~max_cycles t b in
+  step s max_cycles;
+  solution s

@@ -32,3 +32,31 @@ val preconditioner : t -> Xsc_linalg.Vec.t -> Xsc_linalg.Vec.t
 val solve : ?tol:float -> ?max_cycles:int -> t -> Xsc_linalg.Vec.t -> Xsc_linalg.Vec.t * int
 (** Stationary V-cycle iteration until the relative residual drops below
     [tol] (default 1e-8); returns the solution and cycle count. *)
+
+(** {2 Resumable stepper}
+
+    The stationary iteration exposed a chunk of V-cycles at a time, for the
+    serve routing layer. {!solve} is the stepper driven to completion, so
+    chunked solves are bitwise-identical to sequential ones by construction.
+    A hierarchy [t] holds mutable per-level scratch: a stepper borrows it
+    exclusively until finished. *)
+
+type stepper
+
+val stepper : ?tol:float -> ?max_cycles:int -> t -> Xsc_linalg.Vec.t -> stepper
+(** Initialise a solve of [A x = b] from a zero guess; the convergence
+    check (TRUE residual [b - A x], never a recurrence) runs here and
+    after every cycle, so {!finished}/{!converged} are always decided. *)
+
+val step : stepper -> int -> unit
+(** Advance up to [k] V-cycles; stops early at convergence or the cycle
+    cap. No-op once finished. *)
+
+val finished : stepper -> bool
+
+val converged : stepper -> bool
+(** True residual at or below target — [false] after a cap-out means the
+    answer is NOT trusted. *)
+
+val cycles_done : stepper -> int
+val solution : stepper -> Xsc_linalg.Vec.t * int

@@ -117,6 +117,74 @@ let test_calm_fleet_serves () =
   Alcotest.(check bool) "nearly all on time" true (r.Sim.availability > 0.9);
   Alcotest.(check bool) "goodput positive" true (r.Sim.goodput_rps > 0.0)
 
+(* ---- mixed (sparse) classes ---- *)
+
+let mixed_cfg ?(seed = 13) () =
+  Scenario.config ~classes:Scenario.mixed_classes ~nodes:200 ~node_mtbf:1500.0
+    ~rate_hz:0.4 ~count:40 ~seed ()
+
+let test_mixed_replay_bitwise () =
+  let a = Sim.run (mixed_cfg ()) in
+  let b = Sim.run (mixed_cfg ()) in
+  Alcotest.(check int64) "fingerprint" a.Sim.outcome_hash b.Sim.outcome_hash;
+  Alcotest.(check bool) "records bitwise equal" true (a.Sim.records = b.Sim.records)
+
+(* The bandwidth-costed CG class rides the same recovery lattice as the
+   dense classes: the storm record still reconciles, the run settles, and
+   sparse requests actually flow (drawn, not starved, by the weighted
+   class mix). *)
+let test_mixed_storm_reconciles_and_serves_sparse () =
+  let r = Sim.run (mixed_cfg ()) in
+  Alcotest.(check bool) "lattice reconciles" true (Sim.reconciles r.Sim.counters);
+  Alcotest.(check bool) "settled before horizon" false r.Sim.wedged;
+  let sparse =
+    Array.to_list r.Sim.records
+    |> List.filter (fun rc -> rc.Sim.cls = Scenario.sparse_class.Model.name)
+  in
+  Alcotest.(check bool) "sparse requests drawn" true (List.length sparse > 0);
+  Alcotest.(check bool) "some sparse completed" true
+    (List.exists
+       (fun rc -> match rc.Sim.outcome with Sim.Completed _ -> true | _ -> false)
+       sparse)
+
+(* Sanity on the Cg cost model itself: time scales with iterations, is
+   bandwidth- not flops-bound (far off the dense roofline), and carries
+   O(n) checkpoint state — 3 vectors, not a matrix. *)
+let test_cg_model_costs_sane () =
+  let machine = Scenario.machine ~nodes:100 ~node_mtbf:1e6 in
+  let cls = Scenario.sparse_class in
+  let c = Model.costs ~machine cls in
+  Alcotest.(check int) "one step per iteration"
+    (match cls.Model.kind with Model.Cg { iters } -> iters | _ -> 0)
+    c.Model.steps;
+  Alcotest.(check bool) "positive step time" true (c.Model.step_s > 0.0);
+  (let doubled =
+     Model.costs ~machine
+       { cls with Model.kind = Model.Cg { iters = 1000 }; name = "cg-2x" }
+   in
+   Alcotest.(check bool) "work scales with iterations" true
+     (doubled.Model.work_s > 1.9 *. c.Model.work_s));
+  (* checkpoint state is 3 vectors of n doubles — far below a dense tile
+     panel of the same deadline class *)
+  let dense = Model.costs ~machine Scenario.default_classes.(0) in
+  Alcotest.(check bool) "sparse checkpoint cheaper than dense" true
+    (c.Model.checkpoint_s < dense.Model.checkpoint_s)
+
+let test_cg_class_validates () =
+  Model.validate Scenario.sparse_class;
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) "invalid cg class" true
+        (try
+           Model.validate cls;
+           false
+         with Invalid_argument _ -> true))
+    [
+      { Scenario.sparse_class with Model.n = 0 };
+      { Scenario.sparse_class with Model.kind = Model.Cg { iters = 0 } };
+      { Scenario.sparse_class with Model.ranks = 0 };
+    ]
+
 (* ---- model validation ---- *)
 
 let test_model_rejects_malformed () =
@@ -174,5 +242,14 @@ let () =
         [
           Alcotest.test_case "rejects malformed" `Quick test_model_rejects_malformed;
           Alcotest.test_case "oversized class raises" `Quick test_oversized_class_raises;
+        ] );
+      ( "mixed",
+        [
+          Alcotest.test_case "bitwise replay with sparse class" `Quick
+            test_mixed_replay_bitwise;
+          Alcotest.test_case "storm reconciles, sparse served" `Quick
+            test_mixed_storm_reconciles_and_serves_sparse;
+          Alcotest.test_case "cg cost model sane" `Quick test_cg_model_costs_sane;
+          Alcotest.test_case "cg class validation" `Quick test_cg_class_validates;
         ] );
     ]

@@ -254,8 +254,8 @@ let test_server_serves_bitwise () =
         match c.Request.outcome with
         | Error e -> Alcotest.fail ("unexpected failure: " ^ Request.error_message e)
         | Ok sol ->
-          Alcotest.(check bool) "bitwise identical to direct kernel" true
-            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference cfg a));
+          Alcotest.(check bool) "bitwise identical to routed oracle" true
+            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed cfg a));
           Alcotest.(check bool) "latencies measured" true
             (c.Request.total_s >= 0.0
             && c.Request.queue_wait_s >= 0.0
@@ -396,7 +396,7 @@ let test_server_fault_storm_permanent () =
         match c.Request.outcome with
         | Ok sol ->
           Alcotest.(check bool) "untouched requests bitwise correct" true
-            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference storm_cfg a))
+            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed storm_cfg a))
         | Error e ->
           Alcotest.fail ("uninjected request failed: " ^ Request.error_message e))
     tickets;
@@ -642,6 +642,268 @@ let test_shared_soak () =
     (Printf.sprintf "allocation flat across halves (%.0f vs %.0f words)" first second)
     true
     (second < first *. 1.5)
+
+(* ---- sparse request classes ---- *)
+
+module Stencil = Xsc_sparse.Stencil
+module Csr = Xsc_sparse.Csr
+
+(* Both bandwidth-bound kinds over an 8^3 operator: small enough that a
+   CG solve is a handful of chunks, big enough that the chain actually
+   chunks (cg_max_iter 240 over 32-iteration chunks). *)
+let sparse_load =
+  { Loadgen.seed = 67; count = 24; rate_hz = 5000.0; n = 8;
+    kinds = [| Loadgen.Cg; Loadgen.Mg |]; deadline_s = 10.0 }
+
+(* The tentpole oracle: a chunked solver chain on the shared pool resumes
+   the same stepper the sequential solve drives, so every survivor is
+   bitwise-identical to Route.direct on the same seeded instance — not
+   merely close. *)
+let test_sparse_serves_bitwise () =
+  let srv = Server.start (shared_cfg 2) in
+  let arrivals = Loadgen.schedule sparse_load in
+  let tickets =
+    Array.map
+      (fun a -> (a, Result.get_ok (Server.submit srv (Loadgen.payload_of sparse_load a))))
+      arrivals
+  in
+  Array.iter
+    (fun (a, tk) ->
+      match (Server.await srv tk).Request.outcome with
+      | Ok sol ->
+        Alcotest.(check bool) "chunked chain bitwise vs sequential solve" true
+          (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed sparse_load a))
+      | Error e -> Alcotest.fail ("sparse request failed: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  check_counters_reconcile "sparse serve" srv ~offered:sparse_load.Loadgen.count
+
+(* Non-convergence is a typed, deterministic failure: a budget the
+   iteration cannot meet fails once (no retry — replaying the same chain
+   reproduces the same residual) and never returns a silent wrong answer. *)
+let test_sparse_non_convergence_typed () =
+  let srv = Server.start { (shared_cfg 2) with Server.max_retries = 3 } in
+  let rng = Rng.create 5 in
+  let a = Stencil.poisson_3d 6 in
+  let b = Vec.random rng a.Csr.rows in
+  let check_fails what tk =
+    match (Server.await srv tk).Request.outcome with
+    | Error (Request.Failed { attempts; error }) ->
+      Alcotest.(check int) (what ^ " fails deterministically, no retry") 1 attempts;
+      Alcotest.(check bool) (what ^ " names the residual miss") true
+        (String.length error > 0)
+    | Error e -> Alcotest.fail ("expected Failed, got " ^ Request.error_message e)
+    | Ok _ -> Alcotest.fail (what ^ ": an impossible tolerance cannot be met")
+  in
+  let t_cg =
+    Result.get_ok
+      (Server.submit srv (Request.Cg_solve { a; b; tol = 1e-12; max_iter = 2 }))
+  in
+  let t_mg =
+    Result.get_ok
+      (Server.submit srv
+         (Request.Mg_solve { grid = 6; levels = 2; b; tol = 1e-14; max_cycles = 1 }))
+  in
+  check_fails "cg" t_cg;
+  check_fails "mg" t_mg;
+  Server.stop srv;
+  check_counters_reconcile "non-convergence" srv ~offered:2
+
+let test_sparse_validation () =
+  let srv = Server.start (shared_cfg 1) in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      let b = Array.make 343 1.0 in
+      Alcotest.check_raises "odd multigrid grid rejected at submit"
+        (Invalid_argument "Request.mg: grid must be even (coarsening)")
+        (fun () ->
+          ignore
+            (Server.submit srv
+               (Request.Mg_solve { grid = 7; levels = 2; b; tol = 1e-8; max_cycles = 4 })));
+      let a = Stencil.poisson_3d 4 in
+      Alcotest.check_raises "rhs length mismatch rejected at submit"
+        (Invalid_argument "Request.cg: rhs length mismatch")
+        (fun () ->
+          ignore
+            (Server.submit srv
+               (Request.Cg_solve { a; b = Array.make 3 1.0; tol = 1e-8; max_iter = 10 }))))
+
+(* Class-aware dispatch: with cap 1 on "cg", at most one cg batch is ever
+   live in the pool no matter how many are queued, the held-back claims
+   are counted, and everything still completes. *)
+let test_sparse_class_cap () =
+  let srv =
+    Server.start
+      { (shared_cfg 2) with Server.class_caps = [ ("cg", 1) ];
+        max_batch = 1; linger_s = 0.0 }
+  in
+  let rng = Rng.create 7 in
+  let a = Stencil.poisson_3d 8 in
+  let mk () =
+    Request.Cg_solve { a; b = Vec.random rng a.Csr.rows; tol = 1e-8; max_iter = 240 }
+  in
+  let tickets =
+    List.init 6 (fun _ -> Result.get_ok (Server.submit srv (mk ())))
+  in
+  let over = ref 0 in
+  let pending = ref tickets in
+  while !pending <> [] do
+    let live = Server.class_live srv "cg" in
+    if live > 1 then incr over;
+    pending := List.filter (fun t -> Server.poll srv t = None) !pending;
+    Unix.sleepf 0.0002
+  done;
+  List.iter
+    (fun t ->
+      match (Server.await srv t).Request.outcome with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("capped request failed: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  Alcotest.(check int) "cap never exceeded" 0 !over;
+  Alcotest.(check int) "uncapped kind reads zero" 0 (Server.class_live srv "spd");
+  let c = Server.counters srv in
+  Alcotest.(check bool) "held-back claims counted" true (c.Server.cap_deferred > 0);
+  check_counters_reconcile "class cap" srv ~offered:6
+
+(* run_mixed merges two seeded streams and reports them per class; each
+   class's lattice must reconcile on its own and the survivors must match
+   their own oracles. *)
+let test_run_mixed_reconciles () =
+  let srv =
+    Server.start { (shared_cfg 2) with Server.class_caps = [ ("cg", 1) ] }
+  in
+  let dense =
+    { Loadgen.default with seed = 5; count = 20; rate_hz = 2000.0; n = 12 }
+  in
+  let sparse =
+    { Loadgen.seed = 67; count = 10; rate_hz = 1000.0; n = 8;
+      kinds = [| Loadgen.Cg |]; deadline_s = 10.0 }
+  in
+  let m = Loadgen.run_mixed srv ~dense ~sparse in
+  Server.stop srv;
+  let class_ok what (r : Loadgen.report) ~count =
+    Alcotest.(check int) (what ^ ": offered all") count r.Loadgen.offered;
+    Alcotest.(check int)
+      (what ^ ": offered = admitted + rejected")
+      r.Loadgen.offered
+      (r.Loadgen.admitted + r.Loadgen.rejected);
+    Alcotest.(check int)
+      (what ^ ": admitted = completed + failed")
+      r.Loadgen.admitted
+      (r.Loadgen.completed + r.Loadgen.failed)
+  in
+  class_ok "dense" m.Loadgen.m_dense ~count:dense.Loadgen.count;
+  class_ok "sparse" m.Loadgen.m_sparse ~count:sparse.Loadgen.count;
+  let bitwise cfg pairs =
+    List.for_all
+      (fun (a, (c : Request.completion)) ->
+        match c.Request.outcome with
+        | Ok sol ->
+          Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed cfg a)
+        | Error _ -> false)
+      pairs
+  in
+  Alcotest.(check bool) "dense survivors bitwise" true
+    (bitwise dense m.Loadgen.m_dense_pairs);
+  Alcotest.(check bool) "sparse survivors bitwise" true
+    (bitwise sparse m.Loadgen.m_sparse_pairs);
+  check_counters_reconcile "run_mixed" srv
+    ~offered:(dense.Loadgen.count + sparse.Loadgen.count)
+
+(* ---- sparse fault storms (CG / GMRES / MG) ---- *)
+
+(* Transient corruption mid-solve: every injected raise is retried and the
+   replayed chain converges to the same bits — never a silent wrong
+   answer. *)
+let test_sparse_transient_storm () =
+  let h =
+    Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = true }
+  in
+  let srv = Server.start ~harness:h { (shared_cfg 2) with Server.max_retries = 4 } in
+  let arrivals = Loadgen.schedule sparse_load in
+  let tickets =
+    Array.map
+      (fun a -> (a, Result.get_ok (Server.submit srv (Loadgen.payload_of sparse_load a))))
+      arrivals
+  in
+  let retried = ref 0 in
+  Array.iter
+    (fun (a, tk) ->
+      let c = Server.await srv tk in
+      retried := !retried + c.Request.retries;
+      match c.Request.outcome with
+      | Ok sol ->
+        Alcotest.(check bool) "replayed solve still bitwise" true
+          (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed sparse_load a))
+      | Error e ->
+        Alcotest.fail ("transient sparse fault not retried: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  Alcotest.(check bool) "faults actually fired" true (Harness.raised h > 0);
+  Alcotest.(check int) "one retry per injected raise" (Harness.raised h) !retried;
+  check_counters_reconcile "sparse transient storm" srv
+    ~offered:sparse_load.Loadgen.count
+
+let test_sparse_permanent_storm () =
+  let h =
+    Harness.create { Harness.default with seed = 9; p_raise = 0.3; transient = false }
+  in
+  let srv = Server.start ~harness:h { (shared_cfg 2) with Server.max_retries = 2 } in
+  let arrivals = Loadgen.schedule sparse_load in
+  let tickets =
+    Array.map
+      (fun a -> (a, Result.get_ok (Server.submit srv (Loadgen.payload_of sparse_load a))))
+      arrivals
+  in
+  let injected = ref 0 in
+  Array.iteri
+    (fun i (a, tk) ->
+      let c = Server.await srv tk in
+      if Harness.targets_key h i then begin
+        incr injected;
+        match c.Request.outcome with
+        | Error (Request.Failed { attempts; _ }) ->
+          Alcotest.(check int) "permanent fault exhausts retries" 3 attempts
+        | Error e -> Alcotest.fail ("expected Failed, got " ^ Request.error_message e)
+        | Ok _ -> Alcotest.fail "permanently injected solve cannot succeed"
+      end
+      else
+        match c.Request.outcome with
+        | Ok sol ->
+          Alcotest.(check bool) "untouched solves bitwise correct" true
+            (Loadgen.solutions_bitwise_equal sol (Loadgen.reference_routed sparse_load a))
+        | Error e ->
+          Alcotest.fail ("uninjected solve failed: " ^ Request.error_message e))
+    tickets;
+  Server.stop srv;
+  Alcotest.(check bool) "storm injected something" true (!injected > 0);
+  check_counters_reconcile "sparse permanent storm" srv
+    ~offered:sparse_load.Loadgen.count
+
+(* GMRES has no serving class yet, so its storm runs at the solver level:
+   a transiently injected attempt raises, the bare retry reproduces the
+   clean solve bit for bit — same discipline, one layer down. *)
+let test_gmres_storm_retries_bitwise () =
+  let rng = Rng.create 83 in
+  let a = Stencil.convection_diffusion_2d 12 in
+  let b = Vec.random rng a.Csr.rows in
+  let clean = Xsc_sparse.Gmres.solve ~tol:1e-10 a b in
+  Alcotest.(check bool) "clean gmres converges" true clean.Xsc_sparse.Gmres.converged;
+  let h =
+    Harness.create { Harness.default with seed = 5; p_raise = 1.0; transient = true }
+  in
+  let attempt () = Xsc_sparse.Gmres.solve ~tol:1e-10 a b in
+  let rec with_retries budget =
+    try Harness.wrap_thunk h ~key:0 attempt
+    with Harness.Injected _ when budget > 0 -> with_retries (budget - 1)
+  in
+  let r = with_retries 3 in
+  Alcotest.(check bool) "faults actually fired" true (Harness.raised h > 0);
+  Alcotest.(check bool) "retried gmres bitwise vs clean" true
+    (Loadgen.solutions_bitwise_equal (Request.Vector r.Xsc_sparse.Gmres.x)
+       (Request.Vector clean.Xsc_sparse.Gmres.x))
 
 (* ---- routing and scratch satellites ---- *)
 
@@ -1000,6 +1262,25 @@ let () =
           Alcotest.test_case "admits while a retry sleeps" `Quick
             test_shared_admission_while_retry_sleeps;
           Alcotest.test_case "soak: thousands of requests" `Slow test_shared_soak;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "chains bitwise vs sequential solver" `Quick
+            test_sparse_serves_bitwise;
+          Alcotest.test_case "non-convergence fails typed" `Quick
+            test_sparse_non_convergence_typed;
+          Alcotest.test_case "malformed payloads rejected at submit" `Quick
+            test_sparse_validation;
+          Alcotest.test_case "class cap bounds live cg batches" `Quick
+            test_sparse_class_cap;
+          Alcotest.test_case "run_mixed reconciles per class" `Quick
+            test_run_mixed_reconciles;
+          Alcotest.test_case "transient storm converges bitwise" `Quick
+            test_sparse_transient_storm;
+          Alcotest.test_case "permanent storm fails typed" `Quick
+            test_sparse_permanent_storm;
+          Alcotest.test_case "gmres storm retries bitwise" `Quick
+            test_gmres_storm_retries_bitwise;
         ] );
       ( "satellites",
         [

@@ -156,6 +156,62 @@ let test_hpcg_27pt_structure () =
   let d = Csr.to_dense a in
   Lapack.potrf d
 
+(* The 3-D stencils assemble CSR directly (no triplets) for O(nnz) cost;
+   their contract is bit-identity with what [of_triplets] builds from the
+   same entries — structural equality over the whole record, not just
+   matching values. *)
+let test_poisson_3d_matches_triplet_assembly () =
+  let n = 5 in
+  let idx = Stencil.grid_index ~n in
+  let ts = ref [] in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      for z = 0 to n - 1 do
+        let i = idx x y z in
+        ts := (i, i, 6.0) :: !ts;
+        if x > 0 then ts := (i, idx (x - 1) y z, -1.0) :: !ts;
+        if x < n - 1 then ts := (i, idx (x + 1) y z, -1.0) :: !ts;
+        if y > 0 then ts := (i, idx x (y - 1) z, -1.0) :: !ts;
+        if y < n - 1 then ts := (i, idx x (y + 1) z, -1.0) :: !ts;
+        if z > 0 then ts := (i, idx x y (z - 1), -1.0) :: !ts;
+        if z < n - 1 then ts := (i, idx x y (z + 1), -1.0) :: !ts
+      done
+    done
+  done;
+  let nn = n * n * n in
+  let reference = Csr.of_triplets ~rows:nn ~cols:nn !ts in
+  Alcotest.(check bool) "poisson_3d bit-identical to triplet path" true
+    (Stencil.poisson_3d n = reference)
+
+let test_hpcg_27pt_matches_triplet_assembly () =
+  let n = 4 in
+  let idx = Stencil.grid_index ~n in
+  let ts = ref [] in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      for z = 0 to n - 1 do
+        let i = idx x y z in
+        for dx = -1 to 1 do
+          for dy = -1 to 1 do
+            for dz = -1 to 1 do
+              let nx = x + dx and ny = y + dy and nz = z + dz in
+              if nx >= 0 && nx < n && ny >= 0 && ny < n && nz >= 0 && nz < n
+              then
+                ts :=
+                  (if dx = 0 && dy = 0 && dz = 0 then (i, i, 26.0)
+                   else (i, idx nx ny nz, -1.0))
+                  :: !ts
+            done
+          done
+        done
+      done
+    done
+  done;
+  let nn = n * n * n in
+  let reference = Csr.of_triplets ~rows:nn ~cols:nn !ts in
+  Alcotest.(check bool) "hpcg_27pt bit-identical to triplet path" true
+    (Stencil.hpcg_27pt n = reference)
+
 let test_exact_rhs () =
   let a = Stencil.poisson_2d 4 in
   let x, b = Stencil.exact_rhs a in
@@ -470,6 +526,10 @@ let () =
           Alcotest.test_case "poisson 2d" `Quick test_poisson_2d_structure;
           Alcotest.test_case "poisson 3d" `Quick test_poisson_3d_structure;
           Alcotest.test_case "hpcg 27pt" `Quick test_hpcg_27pt_structure;
+          Alcotest.test_case "poisson 3d direct assembly bit-identical" `Quick
+            test_poisson_3d_matches_triplet_assembly;
+          Alcotest.test_case "hpcg 27pt direct assembly bit-identical" `Quick
+            test_hpcg_27pt_matches_triplet_assembly;
           Alcotest.test_case "exact rhs" `Quick test_exact_rhs;
         ] );
       ( "cg",
